@@ -1,0 +1,48 @@
+//! Fig. 10 — the spatiotemporal family (OPW-TR, TD-SP, OPW-SP): cost per
+//! speed threshold, plus figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_compress::{Compressor, OpeningWindow, TdSp};
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut g = c.benchmark_group("fig10_sp_family");
+    g.sample_size(20);
+
+    let eps = 50.0;
+    for v in [5.0, 15.0, 25.0] {
+        g.bench_with_input(BenchmarkId::new("opw_sp", v as u32), &v, |b, &v| {
+            let algo = OpeningWindow::opw_sp(eps, v);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+    }
+    g.bench_function("td_sp_5", |b| {
+        let algo = TdSp::new(eps, 5.0);
+        b.iter(|| {
+            for t in &dataset {
+                black_box(algo.compress(black_box(t)));
+            }
+        })
+    });
+    g.bench_function("spt_reference_recursion", |b| {
+        b.iter(|| {
+            for t in &dataset {
+                black_box(traj_compress::spt(black_box(t), eps, 5.0));
+            }
+        })
+    });
+
+    g.sample_size(10);
+    g.bench_function("regenerate_figure", |b| {
+        b.iter(|| black_box(traj_eval::fig10(black_box(&dataset))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

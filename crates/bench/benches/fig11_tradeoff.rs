@@ -1,0 +1,40 @@
+//! Fig. 11 — the final error-versus-compression comparison: evaluation
+//! cost (compression + the full error calculus) per algorithm, and the
+//! full-figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traj_compress::{evaluate, Compressor, DouglasPeucker, OpeningWindow, TdTr};
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut g = c.benchmark_group("fig11_tradeoff");
+    g.sample_size(15);
+
+    let algos: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("ndp", Box::new(DouglasPeucker::new(50.0))),
+        ("td_tr", Box::new(TdTr::new(50.0))),
+        ("nopw", Box::new(OpeningWindow::nopw(50.0))),
+        ("opw_tr", Box::new(OpeningWindow::opw_tr(50.0))),
+        ("opw_sp_5", Box::new(OpeningWindow::opw_sp(50.0, 5.0))),
+    ];
+    for (name, algo) in &algos {
+        g.bench_function(format!("compress_evaluate/{name}"), |b| {
+            b.iter(|| {
+                for t in &dataset {
+                    let r = algo.compress(black_box(t));
+                    black_box(evaluate(t, &r));
+                }
+            })
+        });
+    }
+
+    g.sample_size(10);
+    g.bench_function("regenerate_figure", |b| {
+        b.iter(|| black_box(traj_eval::fig11(black_box(&dataset))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 7 — NDP vs TD-TR: the cost of each compressor over the dataset
+//! at representative thresholds, plus the full-figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_compress::{Compressor, DouglasPeucker, TdTr};
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut g = c.benchmark_group("fig7_ndp_vs_tdtr");
+    g.sample_size(20);
+
+    for eps in [30.0, 60.0, 100.0] {
+        g.bench_with_input(BenchmarkId::new("ndp", eps as u32), &eps, |b, &eps| {
+            let algo = DouglasPeucker::new(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("td_tr", eps as u32), &eps, |b, &eps| {
+            let algo = TdTr::new(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+    }
+
+    g.sample_size(10);
+    g.bench_function("regenerate_figure", |b| {
+        b.iter(|| black_box(traj_eval::fig7(black_box(&dataset))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

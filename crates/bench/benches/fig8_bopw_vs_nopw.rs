@@ -1,0 +1,40 @@
+//! Fig. 8 — BOPW vs NOPW break strategies: compressor cost and figure
+//! regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_compress::{Compressor, OpeningWindow};
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut g = c.benchmark_group("fig8_bopw_vs_nopw");
+    g.sample_size(20);
+
+    for eps in [30.0, 60.0, 100.0] {
+        g.bench_with_input(BenchmarkId::new("bopw", eps as u32), &eps, |b, &eps| {
+            let algo = OpeningWindow::bopw(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nopw", eps as u32), &eps, |b, &eps| {
+            let algo = OpeningWindow::nopw(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+    }
+
+    g.sample_size(10);
+    g.bench_function("regenerate_figure", |b| {
+        b.iter(|| black_box(traj_eval::fig8(black_box(&dataset))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 9 — NOPW vs OPW-TR: the perpendicular vs time-ratio criterion at
+//! equal engine, plus figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_compress::{Compressor, OpeningWindow};
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut g = c.benchmark_group("fig9_nopw_vs_opwtr");
+    g.sample_size(20);
+
+    for eps in [30.0, 60.0, 100.0] {
+        g.bench_with_input(BenchmarkId::new("nopw", eps as u32), &eps, |b, &eps| {
+            let algo = OpeningWindow::nopw(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("opw_tr", eps as u32), &eps, |b, &eps| {
+            let algo = OpeningWindow::opw_tr(eps);
+            b.iter(|| {
+                for t in &dataset {
+                    black_box(algo.compress(black_box(t)));
+                }
+            })
+        });
+    }
+
+    g.sample_size(10);
+    g.bench_function("regenerate_figure", |b| {
+        b.iter(|| black_box(traj_eval::fig9(black_box(&dataset))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Empirical scaling of every algorithm family with trajectory length.
+//!
+//! The paper states `O(N²)` for the original Douglas–Peucker and the
+//! opening-window family; this bench measures the actual curves on a
+//! noisy random-walk workload (frequent cuts keep the OW family near its
+//! typical, not worst, case) and on a straight line (the OW worst case,
+//! bounded to small N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use traj_compress::{BottomUp, Compressor, DouglasPeucker, OpeningWindow, SlidingWindow, TdTr};
+use traj_gen::simple::random_walk;
+use traj_model::Trajectory;
+
+fn walk(n: usize) -> Trajectory {
+    random_walk(&mut StdRng::seed_from_u64(9), n, 10.0, 40.0)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_random_walk");
+    g.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let t = walk(n);
+        g.throughput(Throughput::Elements(n as u64));
+        let algos: Vec<(&str, Box<dyn Compressor>)> = vec![
+            ("ndp", Box::new(DouglasPeucker::new(60.0))),
+            ("td_tr", Box::new(TdTr::new(60.0))),
+            ("opw_tr", Box::new(OpeningWindow::opw_tr(60.0))),
+            ("bottom_up_tr", Box::new(BottomUp::time_ratio(60.0))),
+            (
+                "sliding_window_tr",
+                Box::new(SlidingWindow::new(traj_compress::Metric::TimeRatio, 60.0, 32)),
+            ),
+        ];
+        for (name, algo) in algos {
+            g.bench_with_input(BenchmarkId::new(name, n), &t, |b, t| {
+                b.iter(|| black_box(algo.compress(black_box(t))))
+            });
+        }
+    }
+    g.finish();
+
+    // OW worst case: a straight line never cuts, so the window reopens
+    // over the whole prefix — O(N²). Kept small deliberately.
+    let mut g = c.benchmark_group("scaling_ow_worst_case_straight");
+    g.sample_size(10);
+    for n in [100usize, 400, 1_600] {
+        let t = traj_gen::simple::straight(n, 10.0, 15.0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("opw_tr", n), &t, |b, t| {
+            let algo = OpeningWindow::opw_tr(60.0);
+            b.iter(|| black_box(algo.compress(black_box(t))))
+        });
+        g.bench_with_input(BenchmarkId::new("td_tr", n), &t, |b, t| {
+            let algo = TdTr::new(60.0);
+            b.iter(|| black_box(algo.compress(black_box(t))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

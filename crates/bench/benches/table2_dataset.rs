@@ -1,0 +1,25 @@
+//! Table 2 — the dataset behind every experiment: generation cost and
+//! statistics computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traj_model::stats::DatasetStats;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_dataset");
+    g.sample_size(10);
+
+    g.bench_function("generate_paper_dataset", |b| {
+        b.iter(|| black_box(traj_gen::paper_dataset(black_box(42))))
+    });
+
+    let dataset = traj_gen::paper_dataset(42);
+    g.bench_function("dataset_statistics", |b| {
+        b.iter(|| black_box(DatasetStats::of(black_box(&dataset))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate. All content lives in `benches/`; see the crate
+//! manifest for the one-bench-per-paper-figure targets.

@@ -1,0 +1,354 @@
+//! Bottom-up compression (the third class of the paper's §2 taxonomy).
+//!
+//! "Starting from the finest possible representation, successive data
+//! points are merged until some halting condition is met. The algorithm
+//! may not visit all data points in sequence." (paper §2, after Keogh et
+//! al. \[10\].)
+//!
+//! The implementation starts with every point kept and repeatedly removes
+//! the point whose removal is *cheapest* — where the cost of removing an
+//! interior point is the worst metric deviation, over all original points
+//! it would leave uncovered, from the segment joining its kept
+//! neighbours. Removal continues while the cheapest cost stays within the
+//! threshold. A lazy max-heap over candidates with a doubly linked list
+//! of surviving indices keeps the loop `O(N log N)` heap operations with
+//! `O(span)` cost re-evaluation.
+//!
+//! Being a batch algorithm with global choice of merge order, bottom-up
+//! typically produces better error/compression trade-offs than the online
+//! opening-window family at the same threshold — it is included both for
+//! taxonomy completeness and as an ablation point.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::distance::Metric;
+use crate::result::{CompressionResult, Compressor};
+use traj_model::{Fix, Trajectory};
+
+/// Bottom-up merging compressor over a pluggable [`Metric`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottomUp {
+    metric: Metric,
+    epsilon: f64,
+}
+
+/// Min-heap candidate: removing `idx` (currently flanked by kept `left`
+/// and `right`) costs `cost`.
+struct Cand {
+    cost: f64,
+    idx: usize,
+    left: usize,
+    right: usize,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, o: &Self) -> bool {
+        self.cost == o.cost
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
+        o.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl BottomUp {
+    /// Creates a bottom-up compressor with deviation threshold `epsilon`
+    /// metres under `metric`.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and non-negative.
+    pub fn new(metric: Metric, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0"
+        );
+        BottomUp { metric, epsilon }
+    }
+
+    /// Bottom-up with the synchronized time-ratio metric — the
+    /// spatiotemporally sound configuration.
+    pub fn time_ratio(epsilon: f64) -> Self {
+        BottomUp::new(Metric::TimeRatio, epsilon)
+    }
+
+    /// Worst deviation of the original interior points `left+1..right`
+    /// from the `left`–`right` approximation.
+    fn merge_cost(&self, fixes: &[Fix], left: usize, right: usize) -> f64 {
+        let (a, b) = (&fixes[left], &fixes[right]);
+        let mut worst = 0.0f64;
+        for f in &fixes[left + 1..right] {
+            worst = worst.max(self.metric.distance(a, b, f));
+        }
+        worst
+    }
+}
+
+impl BottomUp {
+    /// Bottom-up merging under the paper's third halting condition (§2):
+    /// "the sum of the errors of all segments exceeds a user-defined
+    /// threshold". Merges cheapest-first while the *total* of
+    /// per-segment worst deviations stays within `total_budget` metres;
+    /// the per-point `epsilon` of `self` is ignored.
+    ///
+    /// # Panics
+    /// Panics unless `total_budget` is finite and non-negative.
+    pub fn compress_total_budget(
+        &self,
+        traj: &Trajectory,
+        total_budget: f64,
+    ) -> CompressionResult {
+        assert!(
+            total_budget.is_finite() && total_budget >= 0.0,
+            "total_budget must be finite and >= 0"
+        );
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
+        let mut next: Vec<usize> = (1..=n).collect();
+        let mut alive = vec![true; n];
+        let mut total = 0.0f64; // Σ per-segment worst deviations (all 0 initially).
+
+        let mut heap = BinaryHeap::with_capacity(n);
+        for i in 1..n - 1 {
+            heap.push(Cand {
+                cost: self.merge_cost(fixes, i - 1, i + 1),
+                idx: i,
+                left: i - 1,
+                right: i + 1,
+            });
+        }
+        while let Some(c) = heap.pop() {
+            if !alive[c.idx] || prev[c.idx] != c.left || next[c.idx] != c.right {
+                continue;
+            }
+            // Replacing the two segments around idx with one changes the
+            // total by (merged cost − left cost − right cost).
+            let left_cost = self.merge_cost(fixes, c.left, c.idx);
+            let right_cost = self.merge_cost(fixes, c.idx, c.right);
+            let new_total = total + c.cost - left_cost - right_cost;
+            if new_total > total_budget {
+                // The cheapest remaining merge overruns the budget; any
+                // other merge costs at least as much. Stop.
+                break;
+            }
+            total = new_total;
+            alive[c.idx] = false;
+            next[c.left] = c.right;
+            prev[c.right] = c.left;
+            if c.left > 0 {
+                let (l, r) = (prev[c.left], next[c.left]);
+                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.left, left: l, right: r });
+            }
+            if c.right < n - 1 {
+                let (l, r) = (prev[c.right], next[c.right]);
+                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.right, left: l, right: r });
+            }
+        }
+        let kept = (0..n).filter(|&i| alive[i]).collect();
+        CompressionResult::new(kept, n)
+    }
+}
+
+impl Compressor for BottomUp {
+    fn name(&self) -> String {
+        format!("bottom-up({},{}m)", self.metric.label(), self.epsilon)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        // Doubly linked list over surviving indices.
+        let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
+        let mut next: Vec<usize> = (1..=n).collect();
+        let mut alive = vec![true; n];
+
+        let mut heap = BinaryHeap::with_capacity(n);
+        for i in 1..n - 1 {
+            heap.push(Cand {
+                cost: self.merge_cost(fixes, i - 1, i + 1),
+                idx: i,
+                left: i - 1,
+                right: i + 1,
+            });
+        }
+
+        while let Some(c) = heap.pop() {
+            // Lazy invalidation: skip stale entries.
+            if !alive[c.idx] || prev[c.idx] != c.left || next[c.idx] != c.right {
+                continue;
+            }
+            if c.cost > self.epsilon {
+                break; // cheapest removal already violates: done.
+            }
+            // Remove c.idx.
+            alive[c.idx] = false;
+            next[c.left] = c.right;
+            prev[c.right] = c.left;
+            // Re-evaluate the neighbours' removal costs.
+            if c.left > 0 {
+                let (l, r) = (prev[c.left], next[c.left]);
+                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.left, left: l, right: r });
+            }
+            if c.right < n - 1 {
+                let (l, r) = (prev[c.right], next[c.right]);
+                heap.push(Cand {
+                    cost: self.merge_cost(fixes, l, r),
+                    idx: c.right,
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+
+        let kept = (0..n).filter(|&i| alive[i]).collect();
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sed;
+
+    fn wiggle() -> Trajectory {
+        Trajectory::from_triples((0..40).map(|i| {
+            let t = i as f64 * 10.0;
+            let x = i as f64 * 50.0;
+            let y = if i % 7 == 3 { 60.0 } else { (i % 3) as f64 };
+            (t, x, y)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn respects_threshold_postcondition() {
+        let t = wiggle();
+        let eps = 20.0;
+        let r = BottomUp::time_ratio(eps).compress(&t);
+        let f = t.fixes();
+        for w in r.kept().windows(2) {
+            for i in w[0] + 1..w[1] {
+                let d = sed(&f[w[0]], &f[w[1]], &f[i]);
+                assert!(d <= eps + 1e-9, "point {i} deviates {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_large_excursions() {
+        let t = wiggle();
+        let r = BottomUp::time_ratio(20.0).compress(&t);
+        for i in (3..40).step_by(7) {
+            assert!(r.contains(i), "excursion at {i} kept: {:?}", r.kept());
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_all_deviating_points() {
+        // Straight constant-speed: everything but endpoints removable
+        // even at eps = 0.
+        let straight =
+            Trajectory::from_triples((0..20).map(|i| (i as f64, i as f64 * 5.0, 0.0))).unwrap();
+        let r = BottomUp::time_ratio(0.0).compress(&straight);
+        assert_eq!(r.kept(), &[0, 19]);
+    }
+
+    #[test]
+    fn huge_threshold_keeps_endpoints_only() {
+        let t = wiggle();
+        let r = BottomUp::time_ratio(1e9).compress(&t);
+        assert_eq!(r.kept(), &[0, 39]);
+    }
+
+    #[test]
+    fn perpendicular_metric_variant_works() {
+        let t = wiggle();
+        let r = BottomUp::new(Metric::Perpendicular, 20.0).compress(&t);
+        assert!(r.kept_len() < t.len());
+        assert!(r.kept_len() >= 2);
+    }
+
+    #[test]
+    fn compresses_at_least_as_well_as_identity() {
+        let t = wiggle();
+        let r = BottomUp::time_ratio(5.0).compress(&t);
+        assert!(r.kept_len() <= t.len());
+        assert_eq!(r.kept()[0], 0);
+        assert_eq!(*r.kept().last().unwrap(), t.len() - 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
+        assert_eq!(BottomUp::time_ratio(1.0).compress(&two).kept_len(), 2);
+    }
+
+    #[test]
+    fn total_budget_zero_keeps_all_deviating_points() {
+        let t = wiggle();
+        let r = BottomUp::time_ratio(0.0).compress_total_budget(&t, 0.0);
+        // Only zero-cost merges allowed; wiggle has none except possibly
+        // collinear runs.
+        let full = BottomUp::time_ratio(0.0).compress(&t);
+        assert_eq!(r.kept(), full.kept());
+    }
+
+    #[test]
+    fn total_budget_controls_sum_of_segment_errors() {
+        use crate::distance::sed;
+        let t = wiggle();
+        let budget = 50.0;
+        let r = BottomUp::time_ratio(0.0).compress_total_budget(&t, budget);
+        let f = t.fixes();
+        let total: f64 = r
+            .kept()
+            .windows(2)
+            .map(|w| {
+                (w[0] + 1..w[1])
+                    .map(|i| sed(&f[w[0]], &f[w[1]], &f[i]))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        assert!(total <= budget + 1e-9, "total segment error {total} over budget {budget}");
+        assert!(r.kept_len() < t.len(), "some compression must happen");
+    }
+
+    #[test]
+    fn larger_total_budget_compresses_more() {
+        let t = wiggle();
+        let small = BottomUp::time_ratio(0.0).compress_total_budget(&t, 20.0).kept_len();
+        let large = BottomUp::time_ratio(0.0).compress_total_budget(&t, 200.0).kept_len();
+        assert!(large <= small, "large-budget kept {large} > small-budget kept {small}");
+    }
+
+    #[test]
+    fn infinite_is_rejected_huge_budget_keeps_endpoints() {
+        let t = wiggle();
+        let r = BottomUp::time_ratio(0.0).compress_total_budget(&t, 1e12);
+        assert_eq!(r.kept(), &[0, 39]);
+    }
+
+    #[test]
+    fn name_lists_metric_and_threshold() {
+        assert_eq!(BottomUp::time_ratio(25.0).name(), "bottom-up(tr,25m)");
+        assert_eq!(
+            BottomUp::new(Metric::Perpendicular, 25.0).name(),
+            "bottom-up(perp,25m)"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Dead-reckoning compression — the tracking-protocol baseline.
+//!
+//! The moving-object-database literature contemporary with the paper
+//! (Wolfson et al.'s dead-reckoning policies) keeps a data point only
+//! when the position *predicted* from the last kept point and its
+//! velocity drifts more than a threshold from the reported position.
+//! Unlike the opening-window family this needs `O(1)` state and `O(1)`
+//! work per fix — the cheapest online policy — at the cost of keeping
+//! more points, since the linear prediction is anchored at commit time
+//! and never revised.
+//!
+//! This is an *extension* relative to the paper (recorded in
+//! `DESIGN.md`): it completes the online spectrum
+//! `dead-reckoning (O(1)) → OPW (O(w)) → batch top-down` that the
+//! evaluation harness uses for context.
+
+use crate::result::{CompressionResult, Compressor};
+use traj_model::{Fix, Trajectory};
+use traj_geom::Vec2;
+
+/// Dead-reckoning compressor with a prediction-error threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadReckoning {
+    epsilon: f64,
+}
+
+impl DeadReckoning {
+    /// Keep a fix when the dead-reckoned prediction misses it by more
+    /// than `epsilon` metres.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and non-negative.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0"
+        );
+        DeadReckoning { epsilon }
+    }
+
+    /// The prediction-error threshold, metres.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Velocity estimate at commit time: from the kept fix and the fix right
+/// before it in the *original* stream (a tracker knows its own recent
+/// motion), or zero for the very first fix.
+fn commit_velocity(fixes: &[Fix], kept_idx: usize) -> Vec2 {
+    if kept_idx == 0 {
+        return Vec2::ZERO;
+    }
+    let prev = &fixes[kept_idx - 1];
+    let cur = &fixes[kept_idx];
+    let dt = (cur.t - prev.t).as_secs();
+    if dt <= 0.0 {
+        Vec2::ZERO
+    } else {
+        (cur.pos - prev.pos) / dt
+    }
+}
+
+impl Compressor for DeadReckoning {
+    fn name(&self) -> String {
+        format!("dead-reckoning({}m)", self.epsilon)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut kept = vec![0usize];
+        let mut anchor = 0usize;
+        let mut velocity = commit_velocity(fixes, 0);
+        for i in 1..n - 1 {
+            let dt = (fixes[i].t - fixes[anchor].t).as_secs();
+            let predicted = fixes[anchor].pos + velocity * dt;
+            if predicted.distance(fixes[i].pos) > self.epsilon {
+                kept.push(i);
+                anchor = i;
+                velocity = commit_velocity(fixes, i);
+            }
+        }
+        kept.push(n - 1);
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_velocity_compresses_to_near_endpoints() {
+        let t = Trajectory::from_triples((0..50).map(|i| (i as f64 * 10.0, i as f64 * 120.0, 0.0)))
+            .unwrap();
+        let r = DeadReckoning::new(10.0).compress(&t);
+        // The first commit carries zero velocity (no history yet), so the
+        // second fix is committed to bootstrap the velocity estimate;
+        // from there the linear prediction is exact.
+        assert_eq!(r.kept(), &[0, 1, 49]);
+    }
+
+    #[test]
+    fn keeps_points_after_velocity_changes() {
+        // Straight at 10 m/s, then turns 90°: prediction keeps drifting
+        // after the turn until recommitted.
+        let mut triples = Vec::new();
+        for i in 0..10 {
+            triples.push((i as f64 * 10.0, i as f64 * 100.0, 0.0));
+        }
+        for i in 0..10 {
+            triples.push((100.0 + i as f64 * 10.0, 900.0, (i + 1) as f64 * 100.0));
+        }
+        let t = Trajectory::from_triples(triples).unwrap();
+        let r = DeadReckoning::new(50.0).compress(&t);
+        assert!(r.kept_len() > 2, "turn must force commits: {:?}", r.kept());
+        // A commit happens shortly after the turn (index 10 or 11).
+        assert!(r.kept().iter().any(|&i| (10..=12).contains(&i)));
+    }
+
+    #[test]
+    fn postcondition_prediction_error_bounded_between_commits() {
+        let t = Trajectory::from_triples((0..60).map(|i| {
+            let tt = i as f64 * 10.0;
+            (tt, tt * 11.0, 250.0 * (tt / 180.0).sin())
+        }))
+        .unwrap();
+        let eps = 30.0;
+        let r = DeadReckoning::new(eps).compress(&t);
+        let fixes = t.fixes();
+        // Re-simulate: between consecutive kept points every skipped
+        // point was within eps of the prediction from the earlier one.
+        for w in r.kept().windows(2) {
+            let v = commit_velocity(fixes, w[0]);
+            for i in w[0] + 1..w[1] {
+                let dt = (fixes[i].t - fixes[w[0]].t).as_secs();
+                let predicted = fixes[w[0]].pos + v * dt;
+                assert!(
+                    predicted.distance(fixes[i].pos) <= eps + 1e-9,
+                    "skipped point {i} drifted {}",
+                    predicted.distance(fixes[i].pos)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_object_with_zero_velocity_start() {
+        let t = Trajectory::from_triples((0..20).map(|i| (i as f64, 5.0, 5.0))).unwrap();
+        let r = DeadReckoning::new(1.0).compress(&t);
+        assert_eq!(r.kept(), &[0, 19]);
+    }
+
+    #[test]
+    fn tighter_threshold_keeps_more() {
+        let t = Trajectory::from_triples((0..80).map(|i| {
+            let tt = i as f64 * 10.0;
+            (tt, tt * 9.0, 120.0 * (tt / 140.0).cos())
+        }))
+        .unwrap();
+        let loose = DeadReckoning::new(80.0).compress(&t).kept_len();
+        let tight = DeadReckoning::new(10.0).compress(&t).kept_len();
+        assert!(tight >= loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 5.0, 0.0)]).unwrap();
+        assert_eq!(DeadReckoning::new(1.0).compress(&two).kept_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_threshold() {
+        let _ = DeadReckoning::new(f64::INFINITY);
+    }
+}

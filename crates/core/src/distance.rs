@@ -1,0 +1,179 @@
+//! Discarding criteria: perpendicular distance, synchronized (time-ratio)
+//! distance, and derived-speed difference.
+//!
+//! The paper's central observation (§3.1) is that a trajectory is "not a
+//! line but historically traced points": the classic *perpendicular*
+//! distance used by line generalization ignores time, while the
+//! *synchronized Euclidean distance* (SED) compares the original point
+//! with where the approximated object would be *at the same instant*
+//! (§3.2, Fig. 4).
+
+use traj_model::{Fix, Trajectory};
+
+/// Which distance a top-down or opening-window algorithm uses to decide
+/// whether a data point is representable by the current anchor–float
+/// segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Perpendicular distance from the point to the anchor–float line —
+    /// the classic line-generalization criterion (paper §2).
+    Perpendicular,
+    /// Synchronized (time-ratio) Euclidean distance — the spatiotemporal
+    /// criterion of §3.2, equations (1)–(2).
+    TimeRatio,
+}
+
+impl Metric {
+    /// Distance of `point` from the `anchor`–`float` approximation under
+    /// this metric.
+    #[inline]
+    pub fn distance(self, anchor: &Fix, float: &Fix, point: &Fix) -> f64 {
+        match self {
+            Metric::Perpendicular => perpendicular_distance(anchor, float, point),
+            Metric::TimeRatio => sed(anchor, float, point),
+        }
+    }
+
+    /// Report name used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Perpendicular => "perp",
+            Metric::TimeRatio => "tr",
+        }
+    }
+}
+
+/// Perpendicular distance from `point` to the infinite line through
+/// `anchor` and `float` (spatial projection; time ignored).
+#[inline]
+pub fn perpendicular_distance(anchor: &Fix, float: &Fix, point: &Fix) -> f64 {
+    traj_geom::Segment::new(anchor.pos, float.pos).line_distance(point.pos)
+}
+
+/// Synchronized Euclidean distance (SED): the distance between `point`
+/// and the position `P'ᵢ` the object would have on the straight
+/// `anchor → float` trajectory at `point.t`, computed with the paper's
+/// time-interval ratio (eqs. 1–2).
+#[inline]
+pub fn sed(anchor: &Fix, float: &Fix, point: &Fix) -> f64 {
+    Fix::interpolate(anchor, float, point.t).distance(point.pos)
+}
+
+/// Absolute difference of the derived travel speeds of the two segments
+/// meeting at index `i` of `traj` — the paper's `‖vᵢ − vᵢ₋₁‖` (§3.3).
+///
+/// Speeds are derived from timestamps and positions (`vᵢ =
+/// dist(s[i+1], s[i]) / (t[i+1] − t[i])`); the paper assumes measured
+/// speeds are unavailable. Returns `None` when `i` is an endpoint (no two
+/// adjacent segments) or a segment has zero duration (impossible for a
+/// validated [`Trajectory`]).
+#[inline]
+pub fn speed_difference(traj: &Trajectory, i: usize) -> Option<f64> {
+    if i == 0 || i + 1 >= traj.len() {
+        return None;
+    }
+    let f = traj.fixes();
+    let v_prev = f[i - 1].speed_to(&f[i])?;
+    let v_next = f[i].speed_to(&f[i + 1])?;
+    Some((v_next - v_prev).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::Timestamp;
+
+    fn fix(t: f64, x: f64, y: f64) -> Fix {
+        Fix::from_parts(t, x, y)
+    }
+
+    #[test]
+    fn perpendicular_ignores_time() {
+        let a = fix(0.0, 0.0, 0.0);
+        let b = fix(10.0, 10.0, 0.0);
+        // Same geometry, wildly different timestamp: perp distance equal.
+        let p1 = fix(1.0, 5.0, 3.0);
+        let p2 = fix(9.0, 5.0, 3.0);
+        assert_eq!(perpendicular_distance(&a, &b, &p1), 3.0);
+        assert_eq!(perpendicular_distance(&a, &b, &p2), 3.0);
+    }
+
+    #[test]
+    fn sed_depends_on_time() {
+        let a = fix(0.0, 0.0, 0.0);
+        let b = fix(10.0, 10.0, 0.0);
+        // Point spatially on the line but temporally early: the
+        // synchronized position at t=2 is (2, 0); the point sits at x=8.
+        let p = fix(2.0, 8.0, 0.0);
+        assert_eq!(perpendicular_distance(&a, &b, &p), 0.0);
+        assert_eq!(sed(&a, &b, &p), 6.0);
+    }
+
+    #[test]
+    fn sed_matches_figure_4_construction() {
+        // Ps=(0, 0,0), Pe=(100, 100,50); Pi at ti=25 sits at (30, 20).
+        // P'i = (25, 12.5); distance = √(25 + 56.25).
+        let ps = fix(0.0, 0.0, 0.0);
+        let pe = fix(100.0, 100.0, 50.0);
+        let pi = fix(25.0, 30.0, 20.0);
+        let expect = ((30.0f64 - 25.0).powi(2) + (20.0f64 - 12.5).powi(2)).sqrt();
+        assert!((sed(&ps, &pe, &pi) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sed_is_zero_for_points_on_the_synchronized_path() {
+        let a = fix(0.0, 0.0, 0.0);
+        let b = fix(10.0, 20.0, 10.0);
+        let p = fix(5.0, 10.0, 5.0);
+        assert_eq!(sed(&a, &b, &p), 0.0);
+        // Fix::interpolate handles the endpoints.
+        assert_eq!(sed(&a, &b, &a), 0.0);
+        assert_eq!(sed(&a, &b, &b), 0.0);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let a = fix(0.0, 0.0, 0.0);
+        let b = fix(10.0, 10.0, 0.0);
+        let p = fix(2.0, 8.0, 0.0);
+        assert_eq!(Metric::Perpendicular.distance(&a, &b, &p), 0.0);
+        assert_eq!(Metric::TimeRatio.distance(&a, &b, &p), 6.0);
+        assert_eq!(Metric::Perpendicular.label(), "perp");
+        assert_eq!(Metric::TimeRatio.label(), "tr");
+    }
+
+    #[test]
+    fn speed_difference_at_a_kink() {
+        // 1 m/s for 10 s, then 3 m/s for 10 s.
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 10.0, 0.0),
+            (20.0, 40.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(speed_difference(&t, 1), Some(2.0));
+        assert_eq!(speed_difference(&t, 0), None);
+        assert_eq!(speed_difference(&t, 2), None);
+    }
+
+    #[test]
+    fn speed_difference_constant_speed_is_zero() {
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 10.0, 0.0),
+            (20.0, 20.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(speed_difference(&t, 1), Some(0.0));
+    }
+
+    #[test]
+    fn sed_of_degenerate_anchor_float_pair() {
+        // anchor and float at the same instant: interpolation degenerates
+        // to the anchor position.
+        let a = fix(5.0, 1.0, 1.0);
+        let b = Fix::new(Timestamp::from_secs(5.0), traj_geom::Point2::new(9.0, 9.0));
+        let p = fix(5.0, 4.0, 5.0);
+        assert_eq!(sed(&a, &b, &p), 5.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Top-down splitting algorithms: Douglas–Peucker and TD-TR.
+//!
+//! The top-down class (paper §2.1) recursively partitions the series at
+//! the data point farthest from the current anchor–float approximation
+//! until every point is within the threshold. With the perpendicular
+//! metric this is the classic Douglas–Peucker ("NDP" in the paper's
+//! experiments, Fig. 7); with the synchronized time-ratio metric it is
+//! the paper's **TD-TR** (§3.2).
+//!
+//! Three engines are provided:
+//!
+//! * [`TopDown::compress`] — iterative with an explicit stack (no
+//!   recursion-depth hazard on pathological inputs); the production path;
+//! * [`TopDown::compress_recursive`] — direct transcription of the
+//!   textbook recursion, kept as an executable specification and used by
+//!   equivalence tests and the ablation bench;
+//! * [`TopDown::compress_to_count`] — the "number of data points" halting
+//!   condition from the paper's §2 list: greedily keeps the globally
+//!   worst-represented points until a target count is reached.
+//!
+//! Complexity: `O(N²)` worst case, `O(N log N)` typical, matching the
+//! paper's statement for the original algorithm. (Hershberger & Snoeyink's
+//! `O(N log N)` path-hull variant applies only to the perpendicular
+//! metric; the SED metric has no such convexity structure, so we keep the
+//! uniform implementation for both.)
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::distance::Metric;
+use crate::result::{CompressionResult, Compressor};
+use traj_model::{Fix, Trajectory};
+
+/// Generic top-down splitter over a [`Metric`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopDown {
+    metric: Metric,
+    epsilon: f64,
+}
+
+/// Classic Douglas–Peucker on perpendicular distance — the paper's NDP
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DouglasPeucker(TopDown);
+
+/// Top-down time-ratio — the paper's TD-TR (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdTr(TopDown);
+
+impl TopDown {
+    /// Creates a top-down splitter with distance threshold `epsilon`
+    /// metres under `metric`.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and non-negative.
+    pub fn new(metric: Metric, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0"
+        );
+        TopDown { metric, epsilon }
+    }
+
+    /// The distance threshold, metres.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The splitting metric.
+    #[inline]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Interior point of `fixes[lo..=hi]` with the maximum metric
+    /// distance from the `lo`–`hi` approximation, or `None` when there is
+    /// no interior point.
+    fn farthest(&self, fixes: &[Fix], lo: usize, hi: usize) -> Option<(usize, f64)> {
+        if hi <= lo + 1 {
+            return None;
+        }
+        let (anchor, float) = (&fixes[lo], &fixes[hi]);
+        let mut best = (lo + 1, f64::NEG_INFINITY);
+        for (i, f) in fixes.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = self.metric.distance(anchor, float, f);
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        Some(best)
+    }
+
+    /// Iterative (explicit stack) compression — the production engine.
+    fn compress_impl(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[n - 1] = true;
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
+                if dist > self.epsilon {
+                    keep[split] = true;
+                    stack.push((lo, split));
+                    stack.push((split, hi));
+                }
+            }
+        }
+        let kept = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        CompressionResult::new(kept, n)
+    }
+
+    /// Reference recursion, equivalent to [`TopDown::compress`]; exposed
+    /// for equivalence testing and the `ablation_dp_variants` benchmark.
+    pub fn compress_recursive(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut kept = vec![0usize];
+        self.recurse(fixes, 0, n - 1, &mut kept);
+        kept.push(n - 1);
+        CompressionResult::new(kept, n)
+    }
+
+    fn recurse(&self, fixes: &[Fix], lo: usize, hi: usize, kept: &mut Vec<usize>) {
+        if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
+            if dist > self.epsilon {
+                self.recurse(fixes, lo, split, kept);
+                kept.push(split);
+                self.recurse(fixes, split, hi, kept);
+            }
+        }
+    }
+
+    /// Top-down splitting with the *point-count* halting condition:
+    /// repeatedly splits the segment whose worst point is globally the
+    /// farthest, until `target` points are kept (or no split remains).
+    ///
+    /// For `target <= 2` only the endpoints survive. The result keeps the
+    /// same points an ε-threshold run would keep for the ε equal to the
+    /// largest remaining deviation, making the two halting conditions
+    /// consistent.
+    pub fn compress_to_count(&self, traj: &Trajectory, target: usize) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 || target >= n {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+
+        /// Max-heap entry ordered by deviation.
+        struct Cand {
+            dist: f64,
+            split: usize,
+            lo: usize,
+            hi: usize,
+        }
+        impl PartialEq for Cand {
+            fn eq(&self, o: &Self) -> bool {
+                self.dist == o.dist
+            }
+        }
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, o: &Self) -> Ordering {
+                self.dist.partial_cmp(&o.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        let push = |heap: &mut BinaryHeap<Cand>, lo: usize, hi: usize| {
+            if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
+                heap.push(Cand { dist, split, lo, hi });
+            }
+        };
+        push(&mut heap, 0, n - 1);
+
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[n - 1] = true;
+        let mut count = 2usize;
+        while count < target.max(2) {
+            let Some(c) = heap.pop() else { break };
+            keep[c.split] = true;
+            count += 1;
+            push(&mut heap, c.lo, c.split);
+            push(&mut heap, c.split, c.hi);
+        }
+        let kept = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        CompressionResult::new(kept, n)
+    }
+}
+
+impl Compressor for TopDown {
+    fn name(&self) -> String {
+        match self.metric {
+            Metric::Perpendicular => format!("ndp({}m)", self.epsilon),
+            Metric::TimeRatio => format!("td-tr({}m)", self.epsilon),
+        }
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        self.compress_impl(traj)
+    }
+}
+
+impl DouglasPeucker {
+    /// Douglas–Peucker with perpendicular threshold `epsilon` metres.
+    pub fn new(epsilon: f64) -> Self {
+        DouglasPeucker(TopDown::new(Metric::Perpendicular, epsilon))
+    }
+
+    /// The underlying generic splitter.
+    pub fn inner(&self) -> &TopDown {
+        &self.0
+    }
+}
+
+impl TdTr {
+    /// TD-TR with synchronized-distance threshold `epsilon` metres.
+    pub fn new(epsilon: f64) -> Self {
+        TdTr(TopDown::new(Metric::TimeRatio, epsilon))
+    }
+
+    /// The underlying generic splitter.
+    pub fn inner(&self) -> &TopDown {
+        &self.0
+    }
+}
+
+impl Compressor for DouglasPeucker {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        self.0.compress(traj)
+    }
+}
+
+impl Compressor for TdTr {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        self.0.compress(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sed;
+
+    /// The paper's Fig. 1 shape: mostly-straight series with one spike.
+    fn spike() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (1.0, 10.0, 0.5),
+            (2.0, 20.0, -0.5),
+            (3.0, 30.0, 40.0), // spike
+            (4.0, 40.0, 0.3),
+            (5.0, 50.0, -0.2),
+            (6.0, 60.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dp_keeps_the_spike() {
+        let r = DouglasPeucker::new(5.0).compress(&spike());
+        assert!(r.contains(3), "spike must survive: {:?}", r.kept());
+        assert!(r.kept_len() < 7);
+    }
+
+    #[test]
+    fn dp_epsilon_zero_keeps_everything_noncollinear() {
+        let r = DouglasPeucker::new(0.0).compress(&spike());
+        assert_eq!(r.kept_len(), 7);
+    }
+
+    #[test]
+    fn dp_collinear_points_collapse_to_endpoints() {
+        let t = Trajectory::from_triples((0..50).map(|i| (i as f64, i as f64 * 3.0, 0.0)))
+            .unwrap();
+        let r = DouglasPeucker::new(0.5).compress(&t);
+        assert_eq!(r.kept(), &[0, 49]);
+    }
+
+    #[test]
+    fn tdtr_keeps_temporal_outliers_dp_misses() {
+        // Object moves along a straight road but dwells: spatially
+        // collinear, temporally violent. SED sees it; perpendicular
+        // doesn't.
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 10.0, 0.0),
+            (100.0, 20.0, 0.0), // long dwell before this point
+            (110.0, 200.0, 0.0),
+        ])
+        .unwrap();
+        let dp = DouglasPeucker::new(5.0).compress(&t);
+        assert_eq!(dp.kept(), &[0, 3], "perpendicular metric sees a straight line");
+        let tr = TdTr::new(5.0).compress(&t);
+        assert!(tr.kept_len() > 2, "SED must keep interior points: {:?}", tr.kept());
+    }
+
+    #[test]
+    fn iterative_equals_recursive() {
+        for eps in [0.0, 1.0, 5.0, 50.0] {
+            for metric in [Metric::Perpendicular, Metric::TimeRatio] {
+                let td = TopDown::new(metric, eps);
+                assert_eq!(
+                    td.compress(&spike()).kept(),
+                    td.compress_recursive(&spike()).kept(),
+                    "eps={eps} metric={metric:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_respects_epsilon_bound_tdtr() {
+        // Post-condition of top-down splitting: every discarded point is
+        // within eps of its covering approximation segment.
+        let t = spike();
+        let eps = 3.0;
+        let r = TdTr::new(eps).compress(&t);
+        let kept = r.kept();
+        for w in kept.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            for i in lo + 1..hi {
+                let d = sed(&t.fixes()[lo], &t.fixes()[hi], &t.fixes()[i]);
+                assert!(d <= eps, "point {i} deviates {d} > {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn compress_to_count_hits_target() {
+        let t = spike();
+        for target in 2..=7 {
+            let r = TopDown::new(Metric::TimeRatio, 0.0).compress_to_count(&t, target);
+            assert_eq!(r.kept_len(), target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn compress_to_count_keeps_worst_point_first() {
+        let r = TopDown::new(Metric::Perpendicular, 0.0).compress_to_count(&spike(), 3);
+        assert_eq!(r.kept(), &[0, 3, 6], "the spike is the worst deviation");
+    }
+
+    #[test]
+    fn compress_to_count_degenerate_targets() {
+        let t = spike();
+        let td = TopDown::new(Metric::Perpendicular, 0.0);
+        assert_eq!(td.compress_to_count(&t, 0).kept(), &[0, 6]);
+        assert_eq!(td.compress_to_count(&t, 100).kept_len(), 7);
+    }
+
+    #[test]
+    fn short_inputs_identity() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 100.0, 0.0)]).unwrap();
+        assert_eq!(DouglasPeucker::new(1.0).compress(&two).kept_len(), 2);
+        let one = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        assert_eq!(TdTr::new(1.0).compress(&one).kept_len(), 1);
+    }
+
+    #[test]
+    fn names_identify_algorithm_and_threshold() {
+        assert_eq!(DouglasPeucker::new(30.0).name(), "ndp(30m)");
+        assert_eq!(TdTr::new(45.0).name(), "td-tr(45m)");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_negative_epsilon() {
+        let _ = TopDown::new(Metric::Perpendicular, -1.0);
+    }
+
+    #[test]
+    fn monotone_compression_in_epsilon() {
+        // Larger thresholds never keep more points (on this input family).
+        let t = spike();
+        let mut prev = usize::MAX;
+        for eps in [0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+            let k = TdTr::new(eps).compress(&t).kept_len();
+            assert!(k <= prev, "eps={eps}: {k} > {prev}");
+            prev = k;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Error notions for trajectory compression (paper §4).
+//!
+//! The paper's key evaluation tool is the **average synchronous error**
+//! `α(p, a)` (§4.2): the time-average of the distance between the
+//! original object and the approximated object travelling their
+//! trajectories *synchronously*. [`synchronized`] provides it in closed
+//! form (with the paper's full case analysis) together with the
+//! sample-point SED statistics; [`perpendicular`] provides the classic
+//! line-generalization error family (§4.1, Fig. 5a) for comparison.
+//!
+//! [`evaluate`] bundles everything into one [`Evaluation`] per
+//! compression result — the record behind every figure of the paper.
+
+pub mod perpendicular;
+pub mod spline;
+pub mod synchronized;
+
+pub use perpendicular::{
+    area_perpendicular_error, max_perpendicular_error, mean_perpendicular_error,
+};
+pub use spline::{interpolation_model_gap, spline_synchronous_error};
+pub use synchronized::{
+    average_synchronous_error, average_synchronous_error_numeric, error_profile,
+    integrated_synchronous_distance, max_synchronous_error, sed_at_samples, sed_quantiles,
+    ErrorSegment,
+};
+
+use crate::result::CompressionResult;
+use traj_model::Trajectory;
+
+/// The full error/compression record for one (trajectory, compressor,
+/// threshold) cell of the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Percentage of points removed.
+    pub compression_pct: f64,
+    /// Average synchronous error `α(p, a)` in metres (paper §4.2) — the
+    /// "Error (meter)" axis of Figs. 7–11.
+    pub avg_sync_err_m: f64,
+    /// Maximum synchronous distance over the whole time interval, metres.
+    pub max_sync_err_m: f64,
+    /// Mean SED at the original sample instants, metres.
+    pub mean_sed_m: f64,
+    /// Maximum SED at the original sample instants, metres.
+    pub max_sed_m: f64,
+    /// Mean perpendicular distance of removed points to their covering
+    /// approximation line, metres (the classic error, §4.1).
+    pub mean_perp_m: f64,
+    /// Maximum perpendicular distance of removed points, metres.
+    pub max_perp_m: f64,
+}
+
+/// Evaluates a compression result against its original trajectory under
+/// every error notion.
+///
+/// # Panics
+/// Panics if `result` does not belong to `original` (length mismatch).
+pub fn evaluate(original: &Trajectory, result: &CompressionResult) -> Evaluation {
+    let approx = result.apply(original);
+    let (mean_sed, max_sed) = sed_at_samples(original, &approx);
+    let (mean_perp, max_perp) = (
+        mean_perpendicular_error(original, result),
+        max_perpendicular_error(original, result),
+    );
+    Evaluation {
+        compression_pct: result.compression_pct(),
+        avg_sync_err_m: average_synchronous_error(original, &approx),
+        max_sync_err_m: max_synchronous_error(original, &approx),
+        mean_sed_m: mean_sed,
+        max_sed_m: max_sed,
+        mean_perp_m: mean_perp,
+        max_perp_m: max_perp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::CompressionResult;
+
+    #[test]
+    fn evaluate_identity_compression_has_zero_error() {
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 20.0),
+            (20.0, 150.0, 90.0),
+        ])
+        .unwrap();
+        let e = evaluate(&t, &CompressionResult::identity(3));
+        assert_eq!(e.compression_pct, 0.0);
+        assert!(e.avg_sync_err_m < 1e-9);
+        assert!(e.max_sync_err_m < 1e-9);
+        assert!(e.mean_sed_m < 1e-9);
+        assert!(e.max_perp_m < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_endpoint_compression_reports_all_notions() {
+        // Right-angle detour compressed to the hypotenuse.
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 100.0, 100.0),
+        ])
+        .unwrap();
+        let r = CompressionResult::new(vec![0, 2], 3);
+        let e = evaluate(&t, &r);
+        assert!((e.compression_pct - 100.0 / 3.0).abs() < 1e-9);
+        // SED at the middle sample: original (100,0) vs synchronized
+        // (50,50) → √5000 ≈ 70.71; the endpoint samples contribute 0, so
+        // the mean over the three samples is √5000 / 3.
+        assert!((e.max_sed_m - 5000.0f64.sqrt()).abs() < 1e-9);
+        assert!((e.mean_sed_m - 5000.0f64.sqrt() / 3.0).abs() < 1e-9);
+        // Perpendicular distance of (100,0) to the hypotenuse is √5000.
+        assert!((e.max_perp_m - 5000.0f64.sqrt()).abs() < 1e-9);
+        // Average sync error is strictly between 0 and the max.
+        assert!(e.avg_sync_err_m > 0.0 && e.avg_sync_err_m < e.max_sed_m);
+        assert!((e.max_sync_err_m - e.max_sed_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_invariants_between_notions() {
+        use crate::result::Compressor;
+        let t = Trajectory::from_triples((0..30).map(|i| {
+            let t = i as f64 * 10.0;
+            (t, i as f64 * 40.0, ((i * 13) % 7) as f64 * 15.0)
+        }))
+        .unwrap();
+        let r = crate::douglas_peucker::TdTr::new(25.0).compress(&t);
+        let e = evaluate(&t, &r);
+        assert!(e.mean_sed_m <= e.max_sed_m + 1e-9);
+        assert!(e.avg_sync_err_m <= e.max_sync_err_m + 1e-9);
+        assert!(e.mean_perp_m <= e.max_perp_m + 1e-9);
+        // Sample SED max is a lower bound on the continuous max.
+        assert!(e.max_sed_m <= e.max_sync_err_m + 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Classic perpendicular (line-generalization) error notions (paper
+//! §4.1, Fig. 5a).
+//!
+//! These treat the trajectory as a plain 2-D line: the error of a removed
+//! point is its perpendicular distance to the approximation segment that
+//! replaced it. The paper keeps these notions for comparison and to
+//! show why they are the *wrong* yardstick for moving objects — they are
+//! blind to time. The area-based variant corresponds to the limit of
+//! Fig. 5a's "progressively finer sampling rates" construction.
+
+use crate::result::CompressionResult;
+use traj_geom::numeric::integrate_adaptive;
+use traj_geom::Segment;
+use traj_model::interp::position_at;
+use traj_model::{Timestamp, Trajectory};
+
+/// For every *removed* original point, the perpendicular distance to the
+/// line through the kept pair that covers it; returns the mean (0 when
+/// nothing was removed).
+pub fn mean_perpendicular_error(original: &Trajectory, result: &CompressionResult) -> f64 {
+    let (sum, n) = fold_removed(original, result);
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Maximum perpendicular distance over the removed points (0 when nothing
+/// was removed).
+pub fn max_perpendicular_error(original: &Trajectory, result: &CompressionResult) -> f64 {
+    let mut max = 0.0f64;
+    for_each_removed(original, result, |d| max = max.max(d));
+    max
+}
+
+fn fold_removed(original: &Trajectory, result: &CompressionResult) -> (f64, usize) {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for_each_removed(original, result, |d| {
+        sum += d;
+        n += 1;
+    });
+    (sum, n)
+}
+
+fn for_each_removed(
+    original: &Trajectory,
+    result: &CompressionResult,
+    mut f: impl FnMut(f64),
+) {
+    assert_eq!(original.len(), result.original_len(), "result/trajectory mismatch");
+    let fixes = original.fixes();
+    for w in result.kept().windows(2) {
+        let seg = Segment::new(fixes[w[0]].pos, fixes[w[1]].pos);
+        for fx in &fixes[w[0] + 1..w[1]] {
+            f(seg.line_distance(fx.pos));
+        }
+    }
+}
+
+/// Time-weighted area error (paper Fig. 5a in the fine-sampling limit):
+/// the time-average perpendicular distance from the original moving point
+/// to the covering approximation line,
+/// `1/T ∫ perp(loc(p,t), seg(t)) dt`, in metres.
+///
+/// Evaluated by adaptive quadrature per original segment (the integrand
+/// is piecewise smooth); `tol` is the per-segment absolute tolerance of
+/// the integral in metre·seconds (1e-6 is plenty for metre-scale data).
+pub fn area_perpendicular_error(
+    original: &Trajectory,
+    result: &CompressionResult,
+    tol: f64,
+) -> f64 {
+    assert_eq!(original.len(), result.original_len(), "result/trajectory mismatch");
+    let fixes = original.fixes();
+    let mut total = 0.0;
+    for w in result.kept().windows(2) {
+        let seg = Segment::new(fixes[w[0]].pos, fixes[w[1]].pos);
+        let (t0, t1) = (fixes[w[0]].t.as_secs(), fixes[w[1]].t.as_secs());
+        let q = integrate_adaptive(
+            |t| {
+                let p = position_at(original, Timestamp::from_secs(t))
+                    .expect("t within original span");
+                seg.line_distance(p)
+            },
+            t0,
+            t1,
+            tol,
+            40,
+        );
+        total += q.value;
+    }
+    total / original.duration().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geom::numeric::approx_eq;
+
+    fn detour() -> Trajectory {
+        // Right-angle detour: (0,0) → (100,0) → (100,100), approximated
+        // by the straight hypotenuse.
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 100.0, 100.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn removed_corner_distance() {
+        let t = detour();
+        let r = CompressionResult::new(vec![0, 2], 3);
+        let expect = 5000.0f64.sqrt();
+        assert!(approx_eq(mean_perpendicular_error(&t, &r), expect, 1e-9, 1e-12));
+        assert!(approx_eq(max_perpendicular_error(&t, &r), expect, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn identity_has_zero_error() {
+        let t = detour();
+        let r = CompressionResult::identity(3);
+        assert_eq!(mean_perpendicular_error(&t, &r), 0.0);
+        assert_eq!(max_perpendicular_error(&t, &r), 0.0);
+        assert!(area_perpendicular_error(&t, &r, 1e-8) < 1e-9);
+    }
+
+    #[test]
+    fn area_error_of_triangle_detour() {
+        // The perpendicular distance from loc(p,t) to the hypotenuse line
+        // grows linearly 0 → √5000 over the first leg and shrinks back
+        // over the second; with equal leg durations the time average is
+        // √5000 / 2.
+        let t = detour();
+        let r = CompressionResult::new(vec![0, 2], 3);
+        let got = area_perpendicular_error(&t, &r, 1e-9);
+        let expect = 5000.0f64.sqrt() / 2.0;
+        assert!(approx_eq(got, expect, 1e-6, 1e-9), "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn area_error_weights_by_time_not_space() {
+        // Same geometry as `detour`, but the object lingers on the first
+        // leg 9× longer: the time average shifts accordingly (the classic
+        // area notion would not change — this is the paper's §3.1 point
+        // made quantitative).
+        let fast = detour();
+        let slow = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (90.0, 100.0, 0.0),
+            (100.0, 100.0, 100.0),
+        ])
+        .unwrap();
+        let r = CompressionResult::new(vec![0, 2], 3);
+        let e_fast = area_perpendicular_error(&fast, &r, 1e-9);
+        let e_slow = area_perpendicular_error(&slow, &r, 1e-9);
+        assert!(
+            approx_eq(e_fast, e_slow, 1e-6, 1e-9),
+            "perpendicular area error is time-weighted only through \
+             segment durations; here both legs hit the same chord profile: \
+             fast={e_fast} slow={e_slow}"
+        );
+    }
+
+    #[test]
+    fn mean_le_max_invariant() {
+        let t = Trajectory::from_triples((0..25).map(|i| {
+            (i as f64, i as f64 * 10.0, ((i * 7) % 5) as f64 * 8.0)
+        }))
+        .unwrap();
+        let r = crate::douglas_peucker::DouglasPeucker::new(10.0);
+        use crate::result::Compressor;
+        let res = r.compress(&t);
+        assert!(
+            mean_perpendicular_error(&t, &res) <= max_perpendicular_error(&t, &res) + 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_result_panics() {
+        let t = detour();
+        let r = CompressionResult::new(vec![0, 4], 5);
+        let _ = mean_perpendicular_error(&t, &r);
+    }
+}

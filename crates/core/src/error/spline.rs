@@ -1,0 +1,149 @@
+//! Error notions under the Catmull–Rom interpolation model (the paper's
+//! §5 extension).
+//!
+//! Under a smoother motion model the "true" position between samples is
+//! no longer the chord point, so the synchronous error of an
+//! approximation changes. [`spline_synchronous_error`] evaluates the
+//! compressed (piecewise-linear) approximation against the original
+//! trajectory interpreted through the C¹ Catmull–Rom interpolant of
+//! `traj-model::spline`; [`interpolation_model_gap`] measures how far
+//! the two interpretations of the *same* data lie apart — an upper bound
+//! on how much the choice of motion model can matter for any error
+//! figure.
+//!
+//! There is no closed form for the spline integrand (the distance is the
+//! norm of a cubic), so both measures use the adaptive Simpson
+//! quadrature of `traj-geom`, subdivided at the merged vertex instants
+//! where either motion changes definition.
+
+use traj_geom::numeric::integrate_adaptive;
+use traj_model::interp::position_at;
+use traj_model::spline::spline_position_at;
+use traj_model::{Timestamp, Trajectory};
+
+/// Merged, deduplicated vertex instants of both trajectories over the
+/// overlap of their spans (same construction as the linear calculus).
+fn elementary_times(p: &Trajectory, a: &Trajectory) -> Vec<f64> {
+    let lo = p.start_time().as_secs().max(a.start_time().as_secs());
+    let hi = p.end_time().as_secs().min(a.end_time().as_secs());
+    if hi <= lo {
+        return Vec::new();
+    }
+    let mut ts: Vec<f64> = Vec::with_capacity(p.len() + a.len());
+    ts.push(lo);
+    for f in p.fixes().iter().chain(a.fixes()) {
+        let s = f.t.as_secs();
+        if s > lo && s < hi {
+            ts.push(s);
+        }
+    }
+    ts.push(hi);
+    ts.sort_unstable_by(|x, y| x.partial_cmp(y).expect("finite timestamps"));
+    ts.dedup();
+    ts
+}
+
+/// Time-average distance between the original motion under the
+/// Catmull–Rom interpolant and the approximation under the linear
+/// interpolant, metres.
+///
+/// `tol` is the per-interval quadrature tolerance in metre·seconds.
+///
+/// # Panics
+/// Panics when the spans do not overlap in an interval of positive
+/// length.
+pub fn spline_synchronous_error(p: &Trajectory, a: &Trajectory, tol: f64) -> f64 {
+    let times = elementary_times(p, a);
+    assert!(times.len() >= 2, "requires temporally overlapping trajectories");
+    let mut total = 0.0;
+    for w in times.windows(2) {
+        let q = integrate_adaptive(
+            |t| {
+                let ts = Timestamp::from_secs(t);
+                let orig = spline_position_at(p, ts).expect("t within p's span");
+                let appr = position_at(a, ts).expect("t within a's span");
+                orig.distance(appr)
+            },
+            w[0],
+            w[1],
+            tol,
+            40,
+        );
+        total += q.value;
+    }
+    total / (times[times.len() - 1] - times[0])
+}
+
+/// Time-average distance between the Catmull–Rom and linear
+/// interpretations of the *same* trajectory, metres — how much the
+/// piecewise-linear motion assumption can move any downstream figure.
+pub fn interpolation_model_gap(p: &Trajectory, tol: f64) -> f64 {
+    spline_synchronous_error(p, p, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::average_synchronous_error;
+    use crate::result::Compressor;
+
+    fn curved() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 180.0, 60.0),
+            (30.0, 220.0, 160.0),
+            (40.0, 220.0, 280.0),
+            (50.0, 170.0, 380.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_for_straight_constant_speed_identity() {
+        let t = Trajectory::from_triples((0..10).map(|i| (i as f64 * 10.0, i as f64 * 80.0, 0.0)))
+            .unwrap();
+        assert!(spline_synchronous_error(&t, &t, 1e-8) < 1e-7);
+        assert!(interpolation_model_gap(&t, 1e-8) < 1e-7);
+    }
+
+    #[test]
+    fn model_gap_positive_on_curves() {
+        let gap = interpolation_model_gap(&curved(), 1e-8);
+        assert!(gap > 0.1, "gap {gap} suspiciously small for curved motion");
+        assert!(gap < 50.0, "gap {gap} implausibly large");
+    }
+
+    #[test]
+    fn matches_linear_alpha_for_two_fix_original() {
+        // With ≤ 2 fixes the spline interpolant IS the linear one.
+        let p = Trajectory::from_triples([(0.0, 0.0, 0.0), (10.0, 100.0, 40.0)]).unwrap();
+        let a = Trajectory::from_triples([(0.0, 0.0, 10.0), (10.0, 100.0, 50.0)]).unwrap();
+        let spline = spline_synchronous_error(&p, &a, 1e-9);
+        let linear = average_synchronous_error(&p, &a);
+        assert!((spline - linear).abs() < 1e-6, "{spline} vs {linear}");
+    }
+
+    #[test]
+    fn spline_error_close_to_linear_error_plus_gap_bound() {
+        // Triangle inequality: |spline_err − linear_err| ≤ model gap.
+        let p = curved();
+        let r = crate::douglas_peucker::TdTr::new(20.0).compress(&p);
+        let a = r.apply(&p);
+        let spline = spline_synchronous_error(&p, &a, 1e-8);
+        let linear = average_synchronous_error(&p, &a);
+        let gap = interpolation_model_gap(&p, 1e-8);
+        assert!(
+            (spline - linear).abs() <= gap + 1e-6,
+            "spline {spline}, linear {linear}, gap {gap}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn disjoint_spans_panic() {
+        let p = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]).unwrap();
+        let a = Trajectory::from_triples([(5.0, 0.0, 0.0), (6.0, 1.0, 0.0)]).unwrap();
+        let _ = spline_synchronous_error(&p, &a, 1e-8);
+    }
+}

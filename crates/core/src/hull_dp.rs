@@ -1,0 +1,256 @@
+//! Hull-accelerated Douglas–Peucker (after Hershberger & Snoeyink \[17\]).
+//!
+//! The paper notes that the original Douglas–Peucker algorithm is
+//! `O(N²)` and cites Hershberger & Snoeyink's path-hull technique for an
+//! `O(N log N)` bound. The key geometric fact is the same one their
+//! algorithm exploits: the perpendicular distance to the anchor–float
+//! line is `|cross(float − anchor, p − anchor)| / |float − anchor|`,
+//! a scaled absolute linear functional — so its maximum over a point set
+//! is attained at a **convex-hull vertex** of the set.
+//!
+//! This implementation builds a monotone-chain hull per recursion node
+//! and scans only hull vertices for the farthest point: `O(k log k)`
+//! per node and `O(h)` for the query, which is `O(N log N)` in
+//! expectation on GPS-like data (hulls of noisy vehicle traces are tiny
+//! relative to the subseries). Degenerate worst cases (all points in
+//! convex position) fall back to the textbook bound — unlike the full
+//! path-hull structure with its split/undo machinery, which guarantees
+//! `O(N log N)` but is substantially more code; the honest trade-off is
+//! recorded here and measured in the `ablation_dp_variants` bench.
+//!
+//! Only the **perpendicular** metric has this hull structure: the
+//! synchronized distance of TD-TR couples space with time and its
+//! maximizer need not be a spatial hull vertex, so there is no TD-TR
+//! analogue (one reason the paper keeps the plain top-down scheme).
+//!
+//! Output: identical kept sets to [`crate::DouglasPeucker`] whenever the
+//! farthest point is unique at every split (always, on continuous data);
+//! under exact ties the split choice may differ while both outputs
+//! satisfy the same ε-postcondition.
+
+use crate::result::{CompressionResult, Compressor};
+use traj_geom::Point2;
+use traj_model::{Fix, Trajectory};
+
+/// Douglas–Peucker with hull-accelerated farthest-point queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HullDouglasPeucker {
+    epsilon: f64,
+}
+
+impl HullDouglasPeucker {
+    /// Creates the compressor with perpendicular threshold `epsilon`
+    /// metres.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and non-negative.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0"
+        );
+        HullDouglasPeucker { epsilon }
+    }
+
+    /// The distance threshold, metres.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Monotone-chain convex hull over `(original_index, position)` pairs.
+/// Returns hull members (indices into `pts`), counter-clockwise,
+/// collinear points excluded. Input is sorted in place.
+fn convex_hull(pts: &mut Vec<(usize, Point2)>) -> Vec<usize> {
+    pts.sort_unstable_by(|a, b| {
+        (a.1.x, a.1.y)
+            .partial_cmp(&(b.1.x, b.1.y))
+            .expect("finite coordinates")
+    });
+    pts.dedup_by(|a, b| a.1 == b.1);
+    let n = pts.len();
+    if n <= 2 {
+        return pts.iter().map(|&(i, _)| i).collect();
+    }
+    let cross = |o: Point2, a: Point2, b: Point2| (a - o).cross(b - o);
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for (k, &(_, p)) in pts.iter().enumerate() {
+        while hull.len() >= 2
+            && cross(pts[hull[hull.len() - 2]].1, pts[hull[hull.len() - 1]].1, p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(k);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for (k, &(_, p)) in pts.iter().enumerate().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(pts[hull[hull.len() - 2]].1, pts[hull[hull.len() - 1]].1, p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(k);
+    }
+    hull.pop(); // first point repeated
+    hull.into_iter().map(|k| pts[k].0).collect()
+}
+
+/// Farthest interior point (by perpendicular distance to the `lo`–`hi`
+/// line) among `fixes[lo+1..hi]`, via the convex hull.
+fn farthest_via_hull(fixes: &[Fix], lo: usize, hi: usize) -> Option<(usize, f64)> {
+    if hi <= lo + 1 {
+        return None;
+    }
+    let seg = traj_geom::Segment::new(fixes[lo].pos, fixes[hi].pos);
+    let mut pts: Vec<(usize, Point2)> =
+        (lo + 1..hi).map(|i| (i, fixes[i].pos)).collect();
+    let hull = convex_hull(&mut pts);
+    let mut best: Option<(usize, f64)> = None;
+    for i in hull {
+        let d = seg.line_distance(fixes[i].pos);
+        match best {
+            Some((_, bd)) if d <= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    // All interior points coincided after dedup: fall back to the first.
+    best.or(Some((lo + 1, seg.line_distance(fixes[lo + 1].pos))))
+}
+
+impl Compressor for HullDouglasPeucker {
+    fn name(&self) -> String {
+        format!("ndp-hull({}m)", self.epsilon)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[n - 1] = true;
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if let Some((split, dist)) = farthest_via_hull(fixes, lo, hi) {
+                if dist > self.epsilon {
+                    keep[split] = true;
+                    stack.push((lo, split));
+                    stack.push((split, hi));
+                }
+            }
+        }
+        let kept = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::douglas_peucker::DouglasPeucker;
+
+    fn noisy(n: usize, seed: u64) -> Trajectory {
+        // Deterministic pseudo-random continuous coordinates: ties have
+        // measure zero, so both DP variants must pick identical splits.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        Trajectory::from_triples((0..n).map(|i| {
+            let t = i as f64 * 10.0;
+            (t, t * 9.0 + 40.0 * next(), 200.0 * (t / 300.0).sin() + 40.0 * next())
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_textbook_dp_on_continuous_data() {
+        for seed in [1, 2, 3, 4, 5] {
+            let t = noisy(300, seed);
+            for eps in [5.0, 20.0, 60.0] {
+                let a = DouglasPeucker::new(eps).compress(&t);
+                let b = HullDouglasPeucker::new(eps).compress(&t);
+                assert_eq!(a.kept(), b.kept(), "seed={seed} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn postcondition_epsilon_bound() {
+        let t = noisy(400, 9);
+        let eps = 25.0;
+        let r = HullDouglasPeucker::new(eps).compress(&t);
+        let f = t.fixes();
+        for w in r.kept().windows(2) {
+            let seg = traj_geom::Segment::new(f[w[0]].pos, f[w[1]].pos);
+            for (i, fix) in f.iter().enumerate().take(w[1]).skip(w[0] + 1) {
+                let d = seg.line_distance(fix.pos);
+                assert!(d <= eps + 1e-9, "point {i} deviates {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_positions() {
+        // Dwell: many identical positions (hull dedup path).
+        let t = Trajectory::from_triples(
+            (0..30).map(|i| {
+                let x = if (10..20).contains(&i) { 100.0 } else { i as f64 * 10.0 };
+                (i as f64, x, 0.0)
+            }),
+        )
+        .unwrap();
+        let r = HullDouglasPeucker::new(1.0).compress(&t);
+        assert!(r.kept_len() >= 2);
+        // Same output as the textbook variant even with duplicates.
+        let a = DouglasPeucker::new(1.0).compress(&t);
+        // Both satisfy the postcondition; kept sets may differ on ties,
+        // but must be equally sized here (collinear duplicates all have
+        // zero distance).
+        assert_eq!(a.kept_len(), r.kept_len());
+    }
+
+    #[test]
+    fn collinear_series_collapses() {
+        let t = Trajectory::from_triples((0..100).map(|i| (i as f64, i as f64 * 5.0, 0.0)))
+            .unwrap();
+        let r = HullDouglasPeucker::new(0.5).compress(&t);
+        assert_eq!(r.kept(), &[0, 99]);
+    }
+
+    #[test]
+    fn hull_of_triangle_is_triangle() {
+        let mut pts = vec![
+            (0usize, Point2::new(0.0, 0.0)),
+            (1, Point2::new(10.0, 0.0)),
+            (2, Point2::new(5.0, 8.0)),
+            (3, Point2::new(5.0, 2.0)), // interior
+        ];
+        let hull = convex_hull(&mut pts);
+        assert_eq!(hull.len(), 3);
+        assert!(!hull.contains(&3), "interior point must be excluded");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 5.0, 5.0)]).unwrap();
+        assert_eq!(HullDouglasPeucker::new(1.0).compress(&two).kept_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_nan() {
+        let _ = HullDouglasPeucker::new(f64::NAN);
+    }
+}

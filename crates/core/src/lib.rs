@@ -1,0 +1,101 @@
+//! # traj-compress — spatiotemporal trajectory compression
+//!
+//! Implementation of the compression algorithms and error calculus of
+//! *Meratnia & de By, "Spatiotemporal Compression Techniques for Moving
+//! Point Objects" (EDBT 2004)*.
+//!
+//! ## Algorithms
+//!
+//! Line-generalization baselines (paper §2):
+//!
+//! * [`UniformSample`] — keep every *i*-th point (Tobler);
+//! * [`DistanceThreshold`] — drop points too close to the last kept point;
+//! * [`DouglasPeucker`] — classic top-down split on perpendicular
+//!   distance ("NDP" in the paper's experiments), with recursive,
+//!   iterative and keep-best-N variants;
+//! * [`OpeningWindow`] with [`Criterion::Perpendicular`] — the NOPW /
+//!   BOPW online baselines (§2.2);
+//! * [`SlidingWindow`], [`BottomUp`] — the two remaining classes of the
+//!   §2 taxonomy (after Keogh et al.).
+//!
+//! The paper's spatiotemporal algorithms (§3):
+//!
+//! * [`TdTr`] — top-down time-ratio: Douglas–Peucker splitting on the
+//!   *synchronized* (time-ratio) distance of §3.2;
+//! * [`OpeningWindow`] with [`Criterion::TimeRatio`] — OPW-TR;
+//! * [`spt()`] / [`OpeningWindow`] with [`Criterion::TimeRatioSpeed`] — the
+//!   §3.3 SPT algorithm (OPW-SP), combining the synchronized-distance and
+//!   derived-speed-difference thresholds;
+//! * [`TdSp`] — top-down variant of the spatiotemporal criteria (named in
+//!   the paper's §4.3; split rule documented in `DESIGN.md`).
+//!
+//! All batch algorithms implement [`Compressor`] and return a
+//! [`CompressionResult`] — the *subset of original sample indices kept* —
+//! so that any error notion can be evaluated against the original series.
+//! The opening-window family is also available in a true online form via
+//! [`streaming::OwStream`].
+//!
+//! ## Error calculus
+//!
+//! [`error`] implements the paper's §4 measures, most importantly the
+//! **average synchronous error** `α(p, a)` (§4.2): the time-average
+//! distance between the original and approximated object travelling
+//! synchronously, in closed form (with the paper's full case analysis)
+//! and cross-validated by adaptive quadrature.
+//!
+//! ## Example
+//!
+//! ```
+//! use traj_compress::{Compressor, TdTr, evaluate};
+//! use traj_model::Trajectory;
+//!
+//! // A car driving east, dwelling, then driving on: spatially a straight
+//! // line, temporally anything but.
+//! let trip = Trajectory::from_triples([
+//!     (0.0, 0.0, 0.0),
+//!     (10.0, 150.0, 0.0),
+//!     (20.0, 300.0, 0.0),
+//!     (30.0, 305.0, 0.0),   // dwell
+//!     (40.0, 310.0, 0.0),   // dwell
+//!     (50.0, 460.0, 0.0),
+//!     (60.0, 610.0, 0.0),
+//! ]).unwrap();
+//!
+//! let result = TdTr::new(20.0).compress(&trip);       // 20 m SED budget
+//! let eval = evaluate(&trip, &result);
+//! assert!(result.kept_len() < trip.len());            // compression happened
+//! assert!(eval.max_sed_m <= 20.0);                    // within budget
+//! // The dwell survives: a perpendicular-only simplifier would erase it.
+//! assert!(result.kept_len() > 2);
+//! ```
+
+pub mod bottom_up;
+pub mod dead_reckoning;
+pub mod distance;
+pub mod douglas_peucker;
+pub mod error;
+pub mod hull_dp;
+pub mod opening_window;
+pub mod parallel;
+pub mod result;
+pub mod segmentation;
+pub mod simple;
+pub mod sliding_window;
+pub mod spt;
+pub mod streaming;
+pub mod td_sp;
+
+pub use bottom_up::BottomUp;
+pub use dead_reckoning::DeadReckoning;
+pub use distance::{perpendicular_distance, sed, speed_difference, Metric};
+pub use douglas_peucker::{DouglasPeucker, TdTr, TopDown};
+pub use error::{average_synchronous_error, evaluate, Evaluation};
+pub use hull_dp::HullDouglasPeucker;
+pub use opening_window::{BreakStrategy, Criterion, OpeningWindow};
+pub use parallel::compress_all;
+pub use result::{CompressionResult, Compressor};
+pub use segmentation::{detect_stops, segment_stops_moves, stop_ratio, Episode, Stop};
+pub use simple::{DistanceThreshold, UniformSample};
+pub use sliding_window::SlidingWindow;
+pub use spt::spt;
+pub use td_sp::TdSp;

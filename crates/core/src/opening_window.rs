@@ -1,0 +1,378 @@
+//! The opening-window family: NOPW, BOPW, OPW-TR and OPW-SP.
+//!
+//! Opening-window (OW) algorithms (paper §2.2) anchor the start of a
+//! potential segment and grow ("open") a window by advancing a float
+//! point until some intermediate point violates the discarding criterion.
+//! On violation, either
+//!
+//! * the violating point itself becomes the break point
+//!   ([`BreakStrategy::Normal`], NOPW — the paper's preferred strategy),
+//!   or
+//! * the point *just before the float* — the last float position for
+//!   which the whole window was still representable —
+//!   ([`BreakStrategy::BeforeFloat`], BOPW, which the paper finds
+//!   compresses more but errs more, Fig. 8).
+//!
+//! The criterion is pluggable ([`Criterion`]): perpendicular distance
+//! yields the classic baselines, the synchronized time-ratio distance
+//! yields **OPW-TR** (§3.2), and time-ratio plus the derived
+//! speed-difference threshold yields **OPW-SP**, the opening-window form
+//! of the paper's SPT algorithm (§3.3).
+//!
+//! OW algorithms are *online*: they never look past the current float.
+//! [`crate::streaming::OwStream`] exposes exactly this engine
+//! incrementally. The batch form here is `O(N·w)` for maximum window
+//! size `w` (`O(N²)` worst case), matching the paper.
+//!
+//! The paper notes OW algorithms "may lose the last few data points";
+//! as countermeasure the final data point is always emitted.
+
+use crate::distance::{sed, speed_difference, Metric};
+use crate::result::{CompressionResult, Compressor};
+use traj_model::Trajectory;
+
+/// What becomes the break point when the window can no longer be opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakStrategy {
+    /// Break at the data point causing the threshold excess (NOPW).
+    Normal,
+    /// Break at the data point just before the float — the last float
+    /// position for which the window was still valid (BOPW; paper Fig. 3).
+    BeforeFloat,
+}
+
+/// The discarding criterion evaluated for every intermediate point of the
+/// open window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Criterion {
+    /// Perpendicular distance to the anchor–float line exceeds `epsilon`
+    /// (classic line generalization; NOPW/BOPW baselines).
+    Perpendicular {
+        /// Distance threshold, metres.
+        epsilon: f64,
+    },
+    /// Synchronized (time-ratio) distance exceeds `epsilon` (OPW-TR).
+    TimeRatio {
+        /// Distance threshold, metres.
+        epsilon: f64,
+    },
+    /// Synchronized distance exceeds `epsilon` **or** the derived speed
+    /// difference at the point exceeds `speed_epsilon` (OPW-SP / SPT).
+    TimeRatioSpeed {
+        /// Distance threshold, metres.
+        epsilon: f64,
+        /// Speed-difference threshold, metres/second.
+        speed_epsilon: f64,
+    },
+}
+
+impl Criterion {
+    fn validate(&self) {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        match *self {
+            Criterion::Perpendicular { epsilon } | Criterion::TimeRatio { epsilon } => {
+                assert!(ok(epsilon), "epsilon must be finite and >= 0");
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                assert!(ok(epsilon), "epsilon must be finite and >= 0");
+                assert!(ok(speed_epsilon), "speed_epsilon must be finite and >= 0");
+            }
+        }
+    }
+
+    /// Whether intermediate point `i` of the window `anchor..float`
+    /// violates the criterion.
+    #[inline]
+    pub(crate) fn violates(
+        &self,
+        traj: &Trajectory,
+        anchor: usize,
+        float: usize,
+        i: usize,
+    ) -> bool {
+        debug_assert!(anchor < i && i < float);
+        let f = traj.fixes();
+        match *self {
+            Criterion::Perpendicular { epsilon } => {
+                Metric::Perpendicular.distance(&f[anchor], &f[float], &f[i]) > epsilon
+            }
+            Criterion::TimeRatio { epsilon } => sed(&f[anchor], &f[float], &f[i]) > epsilon,
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                sed(&f[anchor], &f[float], &f[i]) > epsilon
+                    || speed_difference(traj, i).is_some_and(|dv| dv > speed_epsilon)
+            }
+        }
+    }
+
+    /// First intermediate index violating the criterion for the window
+    /// `anchor..float`, scanning forward (the paper's inner loop order).
+    #[inline]
+    fn first_violation(&self, traj: &Trajectory, anchor: usize, float: usize) -> Option<usize> {
+        (anchor + 1..float).find(|&i| self.violates(traj, anchor, float, i))
+    }
+
+    /// Report label fragment.
+    fn label(&self) -> String {
+        match *self {
+            Criterion::Perpendicular { epsilon } => format!("perp,{epsilon}m"),
+            Criterion::TimeRatio { epsilon } => format!("tr,{epsilon}m"),
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                format!("tr,{epsilon}m,{speed_epsilon}m/s")
+            }
+        }
+    }
+}
+
+/// Generic opening-window compressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpeningWindow {
+    criterion: Criterion,
+    strategy: BreakStrategy,
+}
+
+impl OpeningWindow {
+    /// General constructor.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative thresholds.
+    pub fn new(criterion: Criterion, strategy: BreakStrategy) -> Self {
+        criterion.validate();
+        OpeningWindow { criterion, strategy }
+    }
+
+    /// NOPW: perpendicular criterion, break at the excess point.
+    pub fn nopw(epsilon: f64) -> Self {
+        OpeningWindow::new(Criterion::Perpendicular { epsilon }, BreakStrategy::Normal)
+    }
+
+    /// BOPW: perpendicular criterion, break just before the float.
+    pub fn bopw(epsilon: f64) -> Self {
+        OpeningWindow::new(Criterion::Perpendicular { epsilon }, BreakStrategy::BeforeFloat)
+    }
+
+    /// OPW-TR: synchronized-distance criterion (paper §3.2).
+    pub fn opw_tr(epsilon: f64) -> Self {
+        OpeningWindow::new(Criterion::TimeRatio { epsilon }, BreakStrategy::Normal)
+    }
+
+    /// OPW-SP: synchronized distance + derived speed difference — the
+    /// opening-window spatiotemporal algorithm (paper §3.3).
+    pub fn opw_sp(epsilon: f64, speed_epsilon: f64) -> Self {
+        OpeningWindow::new(
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon },
+            BreakStrategy::Normal,
+        )
+    }
+
+    /// The active criterion.
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
+    }
+
+    /// The active break strategy.
+    pub fn strategy(&self) -> BreakStrategy {
+        self.strategy
+    }
+}
+
+impl Compressor for OpeningWindow {
+    fn name(&self) -> String {
+        let base = match (self.criterion, self.strategy) {
+            (Criterion::Perpendicular { .. }, BreakStrategy::Normal) => "nopw",
+            (Criterion::Perpendicular { .. }, BreakStrategy::BeforeFloat) => "bopw",
+            (Criterion::TimeRatio { .. }, BreakStrategy::Normal) => "opw-tr",
+            (Criterion::TimeRatio { .. }, BreakStrategy::BeforeFloat) => "bopw-tr",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::Normal) => "opw-sp",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "bopw-sp",
+        };
+        format!("{base}({})", self.criterion.label())
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let mut kept = vec![0usize];
+        let mut anchor = 0usize;
+        let mut float = anchor + 2;
+        while float < n {
+            match self.criterion.first_violation(traj, anchor, float) {
+                Some(i) => {
+                    let cut = match self.strategy {
+                        BreakStrategy::Normal => i,
+                        BreakStrategy::BeforeFloat => float - 1,
+                    };
+                    debug_assert!(cut > anchor, "opening window must make progress");
+                    kept.push(cut);
+                    anchor = cut;
+                    float = anchor + 2;
+                }
+                None => float += 1,
+            }
+        }
+        if *kept.last().expect("nonempty") != n - 1 {
+            kept.push(n - 1);
+        }
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::sed as sed_dist;
+
+    /// Zig-zag line: straight runs of 4 points, then a 90° turn.
+    fn zigzag() -> Trajectory {
+        let mut triples = Vec::new();
+        let mut t = 0.0;
+        let (mut x, mut y) = (0.0, 0.0);
+        for leg in 0..4 {
+            for _ in 0..4 {
+                triples.push((t, x, y));
+                t += 10.0;
+                if leg % 2 == 0 {
+                    x += 100.0;
+                } else {
+                    y += 100.0;
+                }
+            }
+        }
+        triples.push((t, x, y));
+        Trajectory::from_triples(triples).unwrap()
+    }
+
+    #[test]
+    fn nopw_breaks_at_turns() {
+        let t = zigzag();
+        let r = OpeningWindow::nopw(30.0).compress(&t);
+        // Must keep far fewer than all 17 points but more than endpoints.
+        assert!(r.kept_len() < t.len());
+        assert!(r.kept_len() > 2);
+        assert_eq!(*r.kept().last().unwrap(), t.len() - 1);
+    }
+
+    #[test]
+    fn bopw_compresses_at_least_as_much_as_nopw_here() {
+        // The paper finds BOPW gives higher compression at worse error.
+        let t = zigzag();
+        let n = OpeningWindow::nopw(30.0).compress(&t).kept_len();
+        let b = OpeningWindow::bopw(30.0).compress(&t).kept_len();
+        assert!(b <= n, "BOPW kept {b} > NOPW kept {n}");
+    }
+
+    #[test]
+    fn opw_tr_respects_sed_threshold_per_window() {
+        let t = zigzag();
+        let eps = 25.0;
+        let r = OpeningWindow::opw_tr(eps).compress(&t);
+        // Each kept segment must have been a valid open window at the
+        // moment it was cut — in particular all interior SEDs are bounded
+        // at the final float... Note: OW does NOT guarantee the *final*
+        // segment SEDs are below eps at break-at-violation cuts, but with
+        // Normal strategy the violating point becomes an anchor, so
+        // interior points of emitted segments were all checked. Verify
+        // the weaker, true invariant: no interior point of a kept segment
+        // violates against that segment.
+        let f = t.fixes();
+        for w in r.kept().windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            for i in lo + 1..hi {
+                let d = sed_dist(&f[lo], &f[hi], &f[i]);
+                assert!(
+                    d <= eps + 1e-9,
+                    "interior point {i} of segment {lo}-{hi} deviates {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_constant_speed_collapses_to_endpoints() {
+        let t = Trajectory::from_triples((0..30).map(|i| (i as f64 * 10.0, i as f64 * 50.0, 0.0)))
+            .unwrap();
+        for c in [
+            OpeningWindow::nopw(10.0),
+            OpeningWindow::opw_tr(10.0),
+            OpeningWindow::opw_sp(10.0, 5.0),
+        ] {
+            let r = c.compress(&t);
+            assert_eq!(r.kept(), &[0, 29], "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn opw_sp_keeps_speed_kinks_opw_tr_misses() {
+        // Straight line with a dramatic speed change at point 5: the
+        // object halts (same positions advancing slowly).
+        let mut triples = Vec::new();
+        for i in 0..5 {
+            triples.push((i as f64 * 10.0, i as f64 * 100.0, 0.0)); // 10 m/s
+        }
+        // Abrupt acceleration to 30 m/s.
+        for i in 0..5 {
+            triples.push((50.0 + i as f64 * 10.0, 400.0 + (i + 1) as f64 * 300.0, 0.0));
+        }
+        let t = Trajectory::from_triples(triples).unwrap();
+        // Huge SED threshold so only speed matters.
+        let sp = OpeningWindow::opw_sp(1e9, 5.0).compress(&t);
+        let tr = OpeningWindow::opw_tr(1e9).compress(&t);
+        assert_eq!(tr.kept(), &[0, 9], "SED alone sees nothing at eps=1e9");
+        assert!(sp.kept_len() > 2, "speed criterion must fire: {:?}", sp.kept());
+    }
+
+    #[test]
+    fn opw_sp_with_huge_speed_threshold_equals_opw_tr() {
+        // Paper Fig. 10: OPW-SP(25 m/s) coincides with OPW-TR on their
+        // car data. With an unbounded speed threshold they coincide
+        // exactly by construction.
+        let t = zigzag();
+        for eps in [10.0, 30.0, 60.0] {
+            let sp = OpeningWindow::opw_sp(eps, f64::MAX).compress(&t);
+            let tr = OpeningWindow::opw_tr(eps).compress(&t);
+            assert_eq!(sp.kept(), tr.kept(), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let one = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
+        let three =
+            Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0)])
+                .unwrap();
+        for c in [OpeningWindow::nopw(5.0), OpeningWindow::opw_tr(5.0)] {
+            assert_eq!(c.compress(&one).kept_len(), 1);
+            assert_eq!(c.compress(&two).kept_len(), 2);
+            let r = c.compress(&three);
+            assert_eq!(r.kept()[0], 0);
+            assert_eq!(*r.kept().last().unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_all_nontrivial_points() {
+        // With eps = 0 any deviation violates, so every point that is not
+        // exactly on its window's approximation is kept.
+        let t = zigzag();
+        let r = OpeningWindow::opw_tr(0.0).compress(&t);
+        // The zig-zag has straight constant-speed runs: interior points of
+        // a run have SED 0 against the run, so some compression remains.
+        assert!(r.kept_len() > 2);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OpeningWindow::nopw(30.0).name(), "nopw(perp,30m)");
+        assert_eq!(OpeningWindow::bopw(30.0).name(), "bopw(perp,30m)");
+        assert_eq!(OpeningWindow::opw_tr(30.0).name(), "opw-tr(tr,30m)");
+        assert_eq!(OpeningWindow::opw_sp(30.0, 5.0).name(), "opw-sp(tr,30m,5m/s)");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_nan_threshold() {
+        let _ = OpeningWindow::nopw(f64::NAN);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fleet-scale batch compression across OS threads.
+//!
+//! The paper's motivating arithmetic is a *fleet*: hundreds of objects
+//! reporting every 10 seconds. Trajectories are independent, so batch
+//! compression parallelizes embarrassingly; this module spreads a
+//! dataset over `std::thread::scope` workers with a simple striped
+//! partition (no work stealing — compression cost per trajectory is
+//! roughly proportional to its length, and striping balances mixed
+//! lengths well in practice).
+
+use crate::result::{CompressionResult, Compressor};
+use traj_model::Trajectory;
+
+/// Compresses every trajectory with `compressor`, using up to
+/// `threads` worker threads. Results are returned in input order.
+///
+/// `threads == 1` (or a single-trajectory input) runs inline with no
+/// thread overhead. The order and content of each result are identical
+/// to sequential compression — parallelism is observable only in wall
+/// time.
+///
+/// # Panics
+/// Panics if `threads == 0` or a worker panics (propagated).
+pub fn compress_all<C>(
+    trajectories: &[Trajectory],
+    compressor: &C,
+    threads: usize,
+) -> Vec<CompressionResult>
+where
+    C: Compressor + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let n = trajectories.len();
+    if threads == 1 || n <= 1 {
+        return trajectories.iter().map(|t| compressor.compress(t)).collect();
+    }
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<CompressionResult>> = vec![None; n];
+    std::thread::scope(|scope| {
+        // Striped partition: worker w takes items w, w+workers, …
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < n {
+                    out.push((i, compressor.compress(&trajectories[i])));
+                    i += workers;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::douglas_peucker::TdTr;
+
+    fn dataset(k: usize) -> Vec<Trajectory> {
+        (0..k)
+            .map(|j| {
+                Trajectory::from_triples((0..(40 + j * 7)).map(|i| {
+                    let t = i as f64 * 10.0;
+                    (t, t * (5.0 + j as f64), ((i * (j + 3)) % 11) as f64 * 12.0)
+                }))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let ds = dataset(17);
+        let c = TdTr::new(25.0);
+        let seq = compress_all(&ds, &c, 1);
+        for threads in [2, 4, 8] {
+            let par = compress_all(&ds, &c, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let ds = dataset(9);
+        let c = TdTr::new(25.0);
+        let results = compress_all(&ds, &c, 4);
+        for (t, r) in ds.iter().zip(&results) {
+            assert_eq!(r.original_len(), t.len(), "result aligned with its input");
+        }
+    }
+
+    #[test]
+    fn handles_more_threads_than_items() {
+        let ds = dataset(2);
+        let c = TdTr::new(25.0);
+        assert_eq!(compress_all(&ds, &c, 64).len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let c = TdTr::new(25.0);
+        assert!(compress_all(&[], &c, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let c = TdTr::new(25.0);
+        let _ = compress_all(&dataset(1), &c, 0);
+    }
+
+    #[test]
+    fn works_through_dyn_compressor() {
+        let ds = dataset(5);
+        let c: Box<dyn Compressor + Sync> = Box::new(TdTr::new(25.0));
+        let results = compress_all(&ds, c.as_ref(), 3);
+        assert_eq!(results.len(), 5);
+    }
+}

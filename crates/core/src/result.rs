@@ -1,0 +1,216 @@
+//! Compression results and the batch compressor interface.
+
+use traj_model::Trajectory;
+
+/// The outcome of compressing a trajectory: the strictly increasing set of
+/// *original sample indices* that were kept.
+///
+/// Every compressor in this crate discards data points but never invents
+/// new ones (the paper: "we never invented new data points, let alone time
+/// stamps", §4.2). Keeping indices rather than fixes lets the error
+/// calculus compare original and approximation without re-association.
+///
+/// Invariants (upheld by [`CompressionResult::new`]):
+/// * at least one index;
+/// * strictly increasing;
+/// * for inputs of length ≥ 2, the first (`0`) and last (`n-1`) samples
+///   are kept, so the approximation spans the same time interval — the
+///   countermeasure the paper prescribes for the opening-window family
+///   losing its last points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionResult {
+    kept: Vec<usize>,
+    original_len: usize,
+}
+
+impl CompressionResult {
+    /// Wraps a kept-index set, checking the invariants.
+    ///
+    /// # Panics
+    /// Panics if the invariants are violated; compressors construct their
+    /// index sets to satisfy them, so a violation is a bug in the
+    /// algorithm, not a data error.
+    pub fn new(kept: Vec<usize>, original_len: usize) -> Self {
+        assert!(!kept.is_empty(), "a compression result keeps at least one point");
+        assert!(
+            kept.windows(2).all(|w| w[0] < w[1]),
+            "kept indices must be strictly increasing"
+        );
+        assert!(
+            *kept.last().expect("nonempty") < original_len,
+            "kept index out of range"
+        );
+        if original_len >= 2 {
+            assert_eq!(kept[0], 0, "first sample must be kept");
+            assert_eq!(*kept.last().expect("nonempty"), original_len - 1, "last sample must be kept");
+        }
+        CompressionResult { kept, original_len }
+    }
+
+    /// The identity result: every point kept.
+    pub fn identity(original_len: usize) -> Self {
+        CompressionResult::new((0..original_len).collect(), original_len)
+    }
+
+    /// Kept original indices, strictly increasing.
+    #[inline]
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Number of kept points.
+    #[inline]
+    pub fn kept_len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Length of the original trajectory.
+    #[inline]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Number of removed points.
+    #[inline]
+    pub fn removed(&self) -> usize {
+        self.original_len - self.kept.len()
+    }
+
+    /// Compression rate as a percentage of points removed — the
+    /// "Compression (percent)" axis of the paper's figures.
+    #[inline]
+    pub fn compression_pct(&self) -> f64 {
+        if self.original_len == 0 {
+            0.0
+        } else {
+            100.0 * self.removed() as f64 / self.original_len as f64
+        }
+    }
+
+    /// Whether original index `i` was kept. `O(log n)`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.kept.binary_search(&i).is_ok()
+    }
+
+    /// Materializes the approximation trajectory `a` from the original
+    /// `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not the trajectory this result was computed from
+    /// (length mismatch).
+    pub fn apply(&self, original: &Trajectory) -> Trajectory {
+        assert_eq!(
+            original.len(),
+            self.original_len,
+            "result applied to a different trajectory"
+        );
+        original.select(&self.kept)
+    }
+}
+
+/// A batch trajectory compressor (the paper's "batch algorithms" need the
+/// full series up front; §2).
+pub trait Compressor {
+    /// Short lowercase identifier used in experiment reports (e.g.
+    /// `"td-tr"`, `"nopw"`).
+    fn name(&self) -> String;
+
+    /// Compresses `traj`, returning the kept original indices.
+    ///
+    /// Implementations must uphold the [`CompressionResult`] invariants
+    /// for every valid trajectory, including the degenerate 1- and
+    /// 2-point inputs (which are returned unchanged).
+    fn compress(&self, traj: &Trajectory) -> CompressionResult;
+}
+
+impl<C: Compressor + ?Sized> Compressor for &C {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        (**self).compress(traj)
+    }
+}
+
+impl<C: Compressor + ?Sized> Compressor for Box<C> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        (**self).compress(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariants_accept_valid_results() {
+        let r = CompressionResult::new(vec![0, 3, 9], 10);
+        assert_eq!(r.kept_len(), 3);
+        assert_eq!(r.removed(), 7);
+        assert_eq!(r.compression_pct(), 70.0);
+        assert!(r.contains(3));
+        assert!(!r.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn rejects_empty() {
+        let _ = CompressionResult::new(vec![], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted() {
+        let _ = CompressionResult::new(vec![0, 2, 2, 4], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "first sample")]
+    fn rejects_missing_first() {
+        let _ = CompressionResult::new(vec![1, 4], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "last sample")]
+    fn rejects_missing_last() {
+        let _ = CompressionResult::new(vec![0, 2], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = CompressionResult::new(vec![0, 7], 5);
+    }
+
+    #[test]
+    fn identity_keeps_everything() {
+        let r = CompressionResult::identity(4);
+        assert_eq!(r.kept(), &[0, 1, 2, 3]);
+        assert_eq!(r.compression_pct(), 0.0);
+    }
+
+    #[test]
+    fn apply_selects_kept_fixes() {
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (2.0, 2.0, 0.0),
+            (3.0, 3.0, 0.0),
+        ])
+        .unwrap();
+        let r = CompressionResult::new(vec![0, 2, 3], 4);
+        let a = r.apply(&t);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).unwrap().t.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn single_point_result_is_allowed() {
+        let r = CompressionResult::new(vec![0], 1);
+        assert_eq!(r.compression_pct(), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Stop/move segmentation of trajectories.
+//!
+//! The experiments make one thing obvious: *dwells* — the paper's urban
+//! cars waiting at lights — are exactly what separates the
+//! spatiotemporal algorithms from line generalization (a dwell is
+//! spatially a point but temporally a long stretch). This module makes
+//! that structure first-class: [`detect_stops`] finds maximal episodes
+//! during which the object stays within a radius for at least a minimum
+//! duration, and [`segment_stops_moves`] partitions a trajectory into
+//! alternating stop/move pieces.
+//!
+//! The detector is the standard trajectory-mining formulation (maximal
+//! windows of bounded spatial diameter and minimal duration), evaluated
+//! greedily left to right in `O(n·w)` where `w` is the longest stop's
+//! sample count.
+
+use traj_model::{TimeDelta, Timestamp, Trajectory};
+use traj_geom::Point2;
+
+/// One detected stop episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stop {
+    /// Index of the first fix of the episode.
+    pub start_idx: usize,
+    /// Index of the last fix of the episode (inclusive).
+    pub end_idx: usize,
+    /// Episode start instant.
+    pub start: Timestamp,
+    /// Episode end instant.
+    pub end: Timestamp,
+    /// Mean position over the episode.
+    pub centroid: Point2,
+}
+
+impl Stop {
+    /// Episode duration.
+    pub fn duration(&self) -> TimeDelta {
+        self.end - self.start
+    }
+
+    /// Number of fixes in the episode.
+    pub fn len(&self) -> usize {
+        self.end_idx - self.start_idx + 1
+    }
+
+    /// Whether the episode spans fewer than two fixes (cannot happen for
+    /// detector output; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.end_idx <= self.start_idx
+    }
+}
+
+/// A piece of a stop/move partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Episode {
+    /// The object dwells (indices inclusive).
+    Stop {
+        /// First fix index.
+        start_idx: usize,
+        /// Last fix index (inclusive).
+        end_idx: usize,
+    },
+    /// The object travels (indices inclusive).
+    Move {
+        /// First fix index.
+        start_idx: usize,
+        /// Last fix index (inclusive).
+        end_idx: usize,
+    },
+}
+
+/// Detects maximal stop episodes: windows of fixes all within
+/// `max_radius` metres of the window's *first* fix, lasting at least
+/// `min_duration`. Greedy left-to-right; episodes never overlap.
+///
+/// # Panics
+/// Panics unless `max_radius` is finite-positive and `min_duration` is
+/// positive.
+pub fn detect_stops(traj: &Trajectory, max_radius: f64, min_duration: TimeDelta) -> Vec<Stop> {
+    assert!(
+        max_radius.is_finite() && max_radius > 0.0,
+        "max_radius must be finite and > 0"
+    );
+    assert!(min_duration.is_positive(), "min_duration must be > 0");
+    let fixes = traj.fixes();
+    let n = fixes.len();
+    let mut stops = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < n {
+        // Grow the window while every fix stays near the window anchor.
+        let anchor = fixes[i].pos;
+        let mut j = i;
+        while j + 1 < n && anchor.distance(fixes[j + 1].pos) <= max_radius {
+            j += 1;
+        }
+        if j > i && fixes[j].t - fixes[i].t >= min_duration {
+            let k = (j - i + 1) as f64;
+            let centroid = fixes[i..=j]
+                .iter()
+                .fold(Point2::ORIGIN, |acc, f| Point2::new(acc.x + f.pos.x / k, acc.y + f.pos.y / k));
+            stops.push(Stop {
+                start_idx: i,
+                end_idx: j,
+                start: fixes[i].t,
+                end: fixes[j].t,
+                centroid,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    stops
+}
+
+/// Partitions the trajectory into alternating [`Episode::Stop`] /
+/// [`Episode::Move`] pieces covering every index (moves fill the gaps
+/// between detected stops; adjacent pieces share their boundary fix so
+/// each piece is a valid sub-trajectory).
+pub fn segment_stops_moves(
+    traj: &Trajectory,
+    max_radius: f64,
+    min_duration: TimeDelta,
+) -> Vec<Episode> {
+    let stops = detect_stops(traj, max_radius, min_duration);
+    let n = traj.len();
+    let mut out = Vec::with_capacity(stops.len() * 2 + 1);
+    let mut cursor = 0usize;
+    for s in &stops {
+        if s.start_idx > cursor {
+            out.push(Episode::Move { start_idx: cursor, end_idx: s.start_idx });
+        }
+        out.push(Episode::Stop { start_idx: s.start_idx, end_idx: s.end_idx });
+        cursor = s.end_idx;
+    }
+    if cursor < n - 1 {
+        out.push(Episode::Move { start_idx: cursor, end_idx: n - 1 });
+    }
+    out
+}
+
+/// Fraction of the trajectory's duration spent in detected stops,
+/// in `[0, 1]` — a one-number behavioural signature (urban trips score
+/// high, rural transits low), useful for per-class threshold guidance
+/// (paper §5).
+pub fn stop_ratio(traj: &Trajectory, max_radius: f64, min_duration: TimeDelta) -> f64 {
+    let total = traj.duration().as_secs();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let stopped: f64 = detect_stops(traj, max_radius, min_duration)
+        .iter()
+        .map(|s| s.duration().as_secs())
+        .sum();
+    stopped / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 100 s drive, 120 s dwell, 100 s drive.
+    fn drive_dwell_drive() -> Trajectory {
+        let mut triples = Vec::new();
+        let mut t = 0.0;
+        let mut x = 0.0;
+        for _ in 0..10 {
+            triples.push((t, x, 0.0));
+            t += 10.0;
+            x += 150.0;
+        }
+        for k in 0..12 {
+            triples.push((t, x + (k % 3) as f64, (k % 2) as f64)); // GPS jitter
+            t += 10.0;
+        }
+        for _ in 0..10 {
+            triples.push((t, x, 0.0));
+            t += 10.0;
+            x += 150.0;
+        }
+        Trajectory::from_triples(triples).unwrap()
+    }
+
+    #[test]
+    fn finds_the_dwell() {
+        let t = drive_dwell_drive();
+        let stops = detect_stops(&t, 25.0, TimeDelta::from_secs(60.0));
+        assert_eq!(stops.len(), 1, "{stops:?}");
+        let s = stops[0];
+        assert!(s.duration().as_secs() >= 110.0, "duration {}", s.duration());
+        assert!(s.len() >= 11);
+        // Centroid sits at the dwell location (x = 1500).
+        assert!((s.centroid.x - 1500.0).abs() < 5.0, "centroid {:?}", s.centroid);
+    }
+
+    #[test]
+    fn no_stops_in_constant_motion() {
+        let t = Trajectory::from_triples((0..50).map(|i| (i as f64 * 10.0, i as f64 * 120.0, 0.0)))
+            .unwrap();
+        assert!(detect_stops(&t, 25.0, TimeDelta::from_secs(30.0)).is_empty());
+        assert_eq!(stop_ratio(&t, 25.0, TimeDelta::from_secs(30.0)), 0.0);
+    }
+
+    #[test]
+    fn fully_stationary_is_one_long_stop() {
+        let t = Trajectory::from_triples((0..30).map(|i| (i as f64 * 10.0, 5.0, 5.0))).unwrap();
+        let stops = detect_stops(&t, 10.0, TimeDelta::from_secs(60.0));
+        assert_eq!(stops.len(), 1);
+        assert_eq!(stops[0].start_idx, 0);
+        assert_eq!(stops[0].end_idx, 29);
+        let ratio = stop_ratio(&t, 10.0, TimeDelta::from_secs(60.0));
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_duration_filters_brief_pauses() {
+        let t = drive_dwell_drive();
+        // Dwell lasts ~110 s: a 300 s minimum must reject it.
+        assert!(detect_stops(&t, 25.0, TimeDelta::from_secs(300.0)).is_empty());
+    }
+
+    #[test]
+    fn partition_covers_everything_alternating() {
+        let t = drive_dwell_drive();
+        let episodes = segment_stops_moves(&t, 25.0, TimeDelta::from_secs(60.0));
+        assert_eq!(episodes.len(), 3, "{episodes:?}");
+        assert!(matches!(episodes[0], Episode::Move { start_idx: 0, .. }));
+        assert!(matches!(episodes[1], Episode::Stop { .. }));
+        let last = episodes.last().unwrap();
+        match last {
+            Episode::Move { end_idx, .. } => assert_eq!(*end_idx, t.len() - 1),
+            other => panic!("expected trailing move, got {other:?}"),
+        }
+        // Consecutive episodes share their boundary fix.
+        for w in episodes.windows(2) {
+            let end = match w[0] {
+                Episode::Stop { end_idx, .. } | Episode::Move { end_idx, .. } => end_idx,
+            };
+            let start = match w[1] {
+                Episode::Stop { start_idx, .. } | Episode::Move { start_idx, .. } => start_idx,
+            };
+            assert_eq!(end, start);
+        }
+    }
+
+    #[test]
+    fn paper_dataset_trips_have_stop_structure() {
+        // The calibrated car trips include junction stops; at least some
+        // trips must show a nonzero stop ratio.
+        let ds = traj_gen::paper_dataset(42);
+        let with_stops = ds
+            .iter()
+            .filter(|t| stop_ratio(t, 30.0, TimeDelta::from_secs(20.0)) > 0.0)
+            .count();
+        assert!(with_stops >= 5, "only {with_stops}/10 trips show stops");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_radius")]
+    fn rejects_bad_radius() {
+        let t = drive_dwell_drive();
+        let _ = detect_stops(&t, 0.0, TimeDelta::from_secs(10.0));
+    }
+}

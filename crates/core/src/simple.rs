@@ -1,0 +1,170 @@
+//! Sequential single-pass baselines (paper §2).
+//!
+//! These are the "very simple in nature" algorithms the paper surveys
+//! first: they do not relate a point to a proposed approximation line,
+//! only to its neighbours, and are "computationally efficient … but not
+//! so popular" because they frequently drop important points such as
+//! sharp angles.
+
+use crate::result::{CompressionResult, Compressor};
+use traj_model::Trajectory;
+
+/// Keep every *i*-th data point (Tobler \[11\]): the crudest compression.
+///
+/// The first point is always kept, then every `step`-th point, and the
+/// last point is always kept regardless of phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSample {
+    step: usize,
+}
+
+impl UniformSample {
+    /// Keep one point in every `step` (`step >= 1`; `1` keeps everything).
+    ///
+    /// # Panics
+    /// Panics if `step == 0`.
+    pub fn new(step: usize) -> Self {
+        assert!(step >= 1, "step must be at least 1");
+        UniformSample { step }
+    }
+}
+
+impl Compressor for UniformSample {
+    fn name(&self) -> String {
+        format!("uniform({})", self.step)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        let mut kept: Vec<usize> = (0..n).step_by(self.step).collect();
+        if *kept.last().expect("n >= 1") != n - 1 {
+            kept.push(n - 1);
+        }
+        CompressionResult::new(kept, n)
+    }
+}
+
+/// Drop a point when its Euclidean distance to the *previously kept*
+/// point is below a threshold (the "neighbour distance" class of §2).
+///
+/// Points are visited in sequence; a point closer than `min_dist` metres
+/// to the last kept point is discarded. Endpoints are always kept.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceThreshold {
+    min_dist: f64,
+}
+
+impl DistanceThreshold {
+    /// Keep only points at least `min_dist` metres from the last kept
+    /// point.
+    ///
+    /// # Panics
+    /// Panics if `min_dist` is not a finite, non-negative number.
+    pub fn new(min_dist: f64) -> Self {
+        assert!(
+            min_dist.is_finite() && min_dist >= 0.0,
+            "min_dist must be finite and >= 0"
+        );
+        DistanceThreshold { min_dist }
+    }
+}
+
+impl Compressor for DistanceThreshold {
+    fn name(&self) -> String {
+        format!("dist-threshold({}m)", self.min_dist)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let fixes = traj.fixes();
+        let mut kept = vec![0usize];
+        let mut last = 0usize;
+        for (i, f) in fixes.iter().enumerate().take(n - 1).skip(1) {
+            if fixes[last].pos.distance(f.pos) >= self.min_dist {
+                kept.push(i);
+                last = i;
+            }
+        }
+        kept.push(n - 1);
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Trajectory {
+        Trajectory::from_triples((0..n).map(|i| (i as f64, i as f64 * 10.0, 0.0))).unwrap()
+    }
+
+    #[test]
+    fn uniform_keeps_every_step() {
+        let t = line(10);
+        let r = UniformSample::new(3).compress(&t);
+        assert_eq!(r.kept(), &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn uniform_always_keeps_last() {
+        let t = line(11);
+        let r = UniformSample::new(3).compress(&t);
+        assert_eq!(r.kept(), &[0, 3, 6, 9, 10]);
+    }
+
+    #[test]
+    fn uniform_step_one_is_identity() {
+        let t = line(5);
+        let r = UniformSample::new(1).compress(&t);
+        assert_eq!(r.kept_len(), 5);
+        assert_eq!(r.compression_pct(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn uniform_rejects_zero_step() {
+        let _ = UniformSample::new(0);
+    }
+
+    #[test]
+    fn distance_threshold_drops_close_points() {
+        // Points every 10 m; threshold 25 m keeps every third point.
+        let t = line(10);
+        let r = DistanceThreshold::new(25.0).compress(&t);
+        assert_eq!(r.kept(), &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn distance_threshold_zero_keeps_all() {
+        let t = line(6);
+        let r = DistanceThreshold::new(0.0).compress(&t);
+        assert_eq!(r.kept_len(), 6);
+    }
+
+    #[test]
+    fn distance_threshold_huge_keeps_endpoints_only() {
+        let t = line(10);
+        let r = DistanceThreshold::new(1e9).compress(&t);
+        assert_eq!(r.kept(), &[0, 9]);
+    }
+
+    #[test]
+    fn degenerate_inputs_pass_through() {
+        let one = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
+        for c in [&DistanceThreshold::new(100.0) as &dyn Compressor, &UniformSample::new(5)] {
+            assert_eq!(c.compress(&one).kept_len(), 1);
+            assert_eq!(c.compress(&two).kept_len(), 2);
+        }
+    }
+
+    #[test]
+    fn stationary_object_compresses_to_endpoints() {
+        let t = Trajectory::from_triples((0..20).map(|i| (i as f64, 5.0, 5.0))).unwrap();
+        let r = DistanceThreshold::new(1.0).compress(&t);
+        assert_eq!(r.kept(), &[0, 19]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's SPT pseudocode (§3.3), transcribed faithfully.
+//!
+//! `SPT(s, max_dist_error, max_speed_error)` opens a window from the
+//! anchor `s[1]`, checking every intermediate point against two halting
+//! conditions: the synchronized (time-ratio) distance against
+//! `max_dist_error` and the derived speed difference against
+//! `max_speed_error`. On the first violation at index `i` it returns
+//! `[s[1]] ++ SPT(s[i, len(s)], …)` — i.e. the violating point becomes
+//! the next anchor — and without violation it returns
+//! `[s[1], s[len(s)]]`.
+//!
+//! This module is the *executable specification*: a direct recursive
+//! transcription used to validate the production engine
+//! ([`crate::OpeningWindow::opw_sp`]) against the paper. Property tests
+//! assert the two produce identical index sets; the production engine is
+//! iterative and allocation-conscious, while this one mirrors the paper
+//! line by line.
+
+use crate::result::CompressionResult;
+use traj_model::{Fix, Trajectory};
+
+/// Runs the paper's SPT algorithm on `traj`, returning the kept original
+/// indices.
+///
+/// `max_dist_error` is the synchronized-distance threshold in metres;
+/// `max_speed_error` the derived-speed-difference threshold in m/s.
+///
+/// # Panics
+/// Panics on non-finite or negative thresholds.
+pub fn spt(traj: &Trajectory, max_dist_error: f64, max_speed_error: f64) -> CompressionResult {
+    assert!(
+        max_dist_error.is_finite() && max_dist_error >= 0.0,
+        "max_dist_error must be finite and >= 0"
+    );
+    assert!(
+        max_speed_error >= 0.0 && !max_speed_error.is_nan(),
+        "max_speed_error must be >= 0"
+    );
+    let n = traj.len();
+    let mut kept = Vec::new();
+    spt_rec(traj.fixes(), 0, max_dist_error, max_speed_error, &mut kept);
+    // The recursion emits indices relative to the original series and
+    // always terminates with the final point.
+    CompressionResult::new(kept, n)
+}
+
+/// The recursion over the subseries `s = fixes[base..]`, pushing *global*
+/// kept indices.
+///
+/// Pseudocode correspondence (paper indices are 1-based; `base + 0` is
+/// the paper's `s[1]`):
+///
+/// ```text
+/// if len(s) <= 2 then return s
+/// else e ← 2; while e ≤ len(s) ∧ ¬is_error: i ← 2; while i < e ∧ ¬is_error: …
+/// ```
+fn spt_rec(fixes: &[Fix], base: usize, max_dist: f64, max_speed: f64, kept: &mut Vec<usize>) {
+    let s = &fixes[base..];
+    let len = s.len();
+    // if len(s) ≤ 2 then return s
+    if len <= 2 {
+        for j in 0..len {
+            kept.push(base + j);
+        }
+        return;
+    }
+    let mut is_error = false;
+    // e ← 2 (1-based) ⇒ float index 1 (0-based).
+    let mut e = 1usize;
+    let mut violation = 0usize;
+    // while e ≤ len(s) ∧ ¬is_error
+    while e < len && !is_error {
+        // i ← 2 (1-based) ⇒ 0-based 1.
+        let mut i = 1usize;
+        // while i < e ∧ ¬is_error
+        while i < e && !is_error {
+            // Δe ← s[e]t − s[1]t ; Δi ← s[i]t − s[1]t ;
+            // (x'ᵢ, y'ᵢ) ← s[1]loc + (s[e]loc − s[1]loc)·Δi/Δe
+            let approx = Fix::interpolate(&s[0], &s[e], s[i].t);
+            // vᵢ₋₁ ← dist(s[i], s[i−1]) / (s[i]t − s[i−1]t)
+            let v_prev = s[i - 1].speed_to(&s[i]).expect("validated trajectory");
+            // vᵢ ← dist(s[i+1], s[i]) / (s[i+1]t − s[i]t)
+            let v_next = s[i].speed_to(&s[i + 1]).expect("validated trajectory");
+            // if dist(s[i], (x'ᵢ, y'ᵢ)) > max_dist ∨ ‖vᵢ − vᵢ₋₁‖ > max_speed
+            if approx.distance(s[i].pos) > max_dist || (v_next - v_prev).abs() > max_speed {
+                is_error = true;
+                violation = i;
+            } else {
+                i += 1;
+            }
+        }
+        if is_error {
+            // return [s[1]] ++ SPT(s[i, len(s)], …)
+            kept.push(base);
+            spt_rec(fixes, base + violation, max_dist, max_speed, kept);
+            return;
+        }
+        e += 1;
+    }
+    // if ¬is_error then return [s[1], s[len(s)]]
+    kept.push(base);
+    kept.push(base + len - 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opening_window::OpeningWindow;
+    use crate::result::Compressor;
+
+    fn sample() -> Trajectory {
+        // Car-like: straight run, turn, dwell, straight run.
+        let mut triples = Vec::new();
+        let mut t = 0.0;
+        for i in 0..6 {
+            triples.push((t, i as f64 * 120.0, 0.0));
+            t += 10.0;
+        }
+        for i in 1..5 {
+            triples.push((t, 600.0, i as f64 * 80.0));
+            t += 10.0;
+        }
+        // Dwell (slow creep).
+        for i in 1..4 {
+            triples.push((t, 600.0 + i as f64, 320.0));
+            t += 10.0;
+        }
+        for i in 1..6 {
+            triples.push((t, 600.0 + i as f64 * 150.0, 320.0 + i as f64 * 30.0));
+            t += 10.0;
+        }
+        Trajectory::from_triples(triples).unwrap()
+    }
+
+    #[test]
+    fn spt_matches_production_opw_sp() {
+        let t = sample();
+        for (eps, v) in [(30.0, 5.0), (50.0, 15.0), (80.0, 25.0), (30.0, 1.0)] {
+            let spec = spt(&t, eps, v);
+            let prod = OpeningWindow::opw_sp(eps, v).compress(&t);
+            assert_eq!(spec.kept(), prod.kept(), "eps={eps} v={v}");
+        }
+    }
+
+    #[test]
+    fn spt_short_series_returned_verbatim() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (10.0, 50.0, 0.0)]).unwrap();
+        assert_eq!(spt(&two, 1.0, 1.0).kept(), &[0, 1]);
+        let one = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        assert_eq!(spt(&one, 1.0, 1.0).kept(), &[0]);
+    }
+
+    #[test]
+    fn spt_no_violation_returns_endpoints() {
+        let straight =
+            Trajectory::from_triples((0..10).map(|i| (i as f64 * 10.0, i as f64 * 100.0, 0.0)))
+                .unwrap();
+        assert_eq!(spt(&straight, 5.0, 2.0).kept(), &[0, 9]);
+    }
+
+    #[test]
+    fn spt_zero_speed_threshold_keeps_every_kink() {
+        // Speeds alternate between 1 and 2 m/s: every interior point has
+        // a 1 m/s speed difference.
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 10.0, 0.0),
+            (20.0, 30.0, 0.0),
+            (30.0, 40.0, 0.0),
+            (40.0, 60.0, 0.0),
+        ])
+        .unwrap();
+        let r = spt(&t, 1e9, 0.5);
+        assert_eq!(r.kept(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spt_always_keeps_last_point() {
+        let t = sample();
+        let r = spt(&t, 40.0, 10.0);
+        assert_eq!(*r.kept().last().unwrap(), t.len() - 1);
+    }
+}

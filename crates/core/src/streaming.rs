@@ -1,0 +1,371 @@
+//! Online (streaming) opening-window compression.
+//!
+//! The paper stresses that opening-window algorithms "are online
+//! algorithms … typically used to compress data streams in real-time"
+//! (§2). [`OwStream`] is the incremental form of
+//! [`crate::OpeningWindow`]: fixes are pushed one at a time as a
+//! positioning device reports them, and the kept fixes are emitted as
+//! soon as they are decided. Feeding a whole trajectory through a stream
+//! produces *exactly* the same kept points as the batch compressor with
+//! the same criterion and strategy (asserted by equivalence tests).
+//!
+//! Memory: the stream buffers the currently open window. On highly
+//! compressible input the window can grow without bound — the price of
+//! the OW family's look-back — so a `max_window` safety valve can force a
+//! cut just before the float once the buffer reaches a limit, trading a
+//! little compression for bounded memory (used by `traj-store`'s ingest
+//! path).
+
+use crate::opening_window::{BreakStrategy, Criterion};
+use traj_model::{Fix, ModelError};
+
+/// Incremental opening-window compressor.
+///
+/// ```
+/// use traj_compress::streaming::OwStream;
+/// use traj_compress::{BreakStrategy, Criterion};
+/// use traj_model::Fix;
+///
+/// let mut stream = OwStream::new(
+///     Criterion::TimeRatio { epsilon: 30.0 },
+///     BreakStrategy::Normal,
+/// );
+/// let mut kept = Vec::new();
+/// for i in 0..100 {
+///     let fix = Fix::from_parts(i as f64 * 10.0, i as f64 * 120.0, 0.0);
+///     kept.extend(stream.push(fix).unwrap());
+/// }
+/// kept.extend(stream.finish());
+/// // A straight, constant-speed run compresses to its endpoints.
+/// assert_eq!(kept.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OwStream {
+    criterion: Criterion,
+    strategy: BreakStrategy,
+    /// Open window; `window[0]` is the current anchor (already emitted).
+    window: Vec<Fix>,
+    /// Next float index (relative to `window`) that still needs checking.
+    checked: usize,
+    /// Optional bound on the open window's length.
+    max_window: Option<usize>,
+    /// Total number of accepted fixes (for error reporting).
+    pushed: usize,
+}
+
+impl OwStream {
+    /// Creates a stream with the given discarding criterion and break
+    /// strategy.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative thresholds (same contract as
+    /// [`crate::OpeningWindow::new`]).
+    pub fn new(criterion: Criterion, strategy: BreakStrategy) -> Self {
+        // Reuse the batch constructor's validation.
+        let _ = crate::opening_window::OpeningWindow::new(criterion, strategy);
+        OwStream { criterion, strategy, window: Vec::new(), checked: 2, max_window: None, pushed: 0 }
+    }
+
+    /// OPW-TR stream (synchronized distance, break at the violation).
+    pub fn opw_tr(epsilon: f64) -> Self {
+        OwStream::new(Criterion::TimeRatio { epsilon }, BreakStrategy::Normal)
+    }
+
+    /// OPW-SP stream (synchronized distance + derived speed difference).
+    pub fn opw_sp(epsilon: f64, speed_epsilon: f64) -> Self {
+        OwStream::new(
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon },
+            BreakStrategy::Normal,
+        )
+    }
+
+    /// Bounds the open window to `max` fixes. Once the buffer holds `max`
+    /// fixes a cut is forced just before the float, bounding memory at
+    /// the cost of compression. Values below 3 are clamped to 3 (anchor,
+    /// one intermediate, float).
+    #[must_use]
+    pub fn with_max_window(mut self, max: usize) -> Self {
+        self.max_window = Some(max.max(3));
+        self
+    }
+
+    /// Number of fixes currently buffered.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The freshest buffered fix (the current float), if any.
+    pub fn last_buffered(&self) -> Option<Fix> {
+        self.window.last().copied()
+    }
+
+    /// Number of fixes accepted so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Feeds the next fix; returns the fixes *committed* (kept) by this
+    /// push, in order.
+    ///
+    /// # Errors
+    /// [`ModelError::NonFinite`] for NaN/∞ input and
+    /// [`ModelError::NonMonotonicTime`] when `fix.t` is not strictly
+    /// later than the previous fix (the index reported is the running
+    /// input position).
+    pub fn push(&mut self, fix: Fix) -> Result<Vec<Fix>, ModelError> {
+        if !fix.is_finite() {
+            return Err(ModelError::NonFinite { index: self.pushed });
+        }
+        if let Some(last) = self.window.last() {
+            // `fix` is already known finite, so >= is a total comparison.
+            if last.t >= fix.t {
+                return Err(ModelError::NonMonotonicTime { index: self.pushed });
+            }
+        }
+        self.pushed += 1;
+        let mut emitted = Vec::new();
+        if self.window.is_empty() {
+            // The very first fix is the initial anchor and is always kept.
+            self.window.push(fix);
+            self.checked = 2;
+            emitted.push(fix);
+            return Ok(emitted);
+        }
+        self.window.push(fix);
+        self.advance(&mut emitted);
+        if let Some(max) = self.max_window {
+            if self.window.len() >= max {
+                // Forced cut just before the float: the window up to
+                // len-2 was fully validated, so this keeps a point known
+                // to represent everything before it.
+                let cut = self.window.len() - 2;
+                if cut > 0 {
+                    emitted.push(self.window[cut]);
+                    self.window.drain(..cut);
+                    self.checked = 2;
+                    self.advance(&mut emitted);
+                }
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Re-establishes the invariant that every float position in the
+    /// current window has been checked against the current anchor,
+    /// cutting (possibly repeatedly) on violations — the exact loop
+    /// structure of the batch algorithm.
+    fn advance(&mut self, emitted: &mut Vec<Fix>) {
+        let mut e = self.checked.max(2);
+        while e < self.window.len() {
+            match self.first_violation(e) {
+                Some(i) => {
+                    let cut = match self.strategy {
+                        BreakStrategy::Normal => i,
+                        BreakStrategy::BeforeFloat => e - 1,
+                    };
+                    debug_assert!(cut > 0);
+                    emitted.push(self.window[cut]);
+                    self.window.drain(..cut);
+                    e = 2;
+                }
+                None => e += 1,
+            }
+        }
+        self.checked = e;
+    }
+
+    /// First intermediate (window-relative) index violating the criterion
+    /// for float `e`.
+    fn first_violation(&self, e: usize) -> Option<usize> {
+        let w = &self.window;
+        (1..e).find(|&i| match self.criterion {
+            Criterion::Perpendicular { epsilon } => {
+                crate::distance::perpendicular_distance(&w[0], &w[e], &w[i]) > epsilon
+            }
+            Criterion::TimeRatio { epsilon } => {
+                crate::distance::sed(&w[0], &w[e], &w[i]) > epsilon
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                if crate::distance::sed(&w[0], &w[e], &w[i]) > epsilon {
+                    return true;
+                }
+                // Derived speed difference at i uses its buffered
+                // neighbours; i ≥ 1 and i + 1 ≤ e keep both in window.
+                let v_prev = w[i - 1].speed_to(&w[i]);
+                let v_next = w[i].speed_to(&w[i + 1]);
+                match (v_prev, v_next) {
+                    (Some(a), Some(b)) => (b - a).abs() > speed_epsilon,
+                    _ => false,
+                }
+            }
+        })
+    }
+
+    /// Flushes the stream: the final fix (if any besides the anchor) is
+    /// committed, mirroring the batch algorithm's always-keep-the-last
+    /// countermeasure. Returns the remaining kept fixes.
+    pub fn finish(self) -> Vec<Fix> {
+        if self.window.len() >= 2 {
+            vec![*self.window.last().expect("len >= 2")]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opening_window::OpeningWindow;
+    use crate::result::Compressor;
+    use traj_model::Trajectory;
+
+    fn car_like() -> Trajectory {
+        let mut triples = Vec::new();
+        let mut t = 0.0;
+        let (mut x, mut y) = (0.0, 0.0);
+        for leg in 0..6 {
+            let (dx, dy) = match leg % 4 {
+                0 => (110.0, 3.0),
+                1 => (5.0, 90.0),
+                2 => (-80.0, 10.0),
+                _ => (2.0, -60.0),
+            };
+            for _ in 0..7 {
+                triples.push((t, x, y));
+                t += 10.0;
+                x += dx;
+                y += dy;
+            }
+        }
+        triples.push((t, x, y));
+        Trajectory::from_triples(triples).unwrap()
+    }
+
+    fn run_stream(mut s: OwStream, traj: &Trajectory) -> Vec<Fix> {
+        let mut out = Vec::new();
+        for f in traj.fixes() {
+            out.extend(s.push(*f).unwrap());
+        }
+        out.extend(s.finish());
+        out
+    }
+
+    #[test]
+    fn stream_equals_batch_for_all_criteria() {
+        let t = car_like();
+        let cases = [
+            (Criterion::Perpendicular { epsilon: 30.0 }, BreakStrategy::Normal),
+            (Criterion::Perpendicular { epsilon: 30.0 }, BreakStrategy::BeforeFloat),
+            (Criterion::TimeRatio { epsilon: 30.0 }, BreakStrategy::Normal),
+            (Criterion::TimeRatio { epsilon: 60.0 }, BreakStrategy::BeforeFloat),
+            (
+                Criterion::TimeRatioSpeed { epsilon: 30.0, speed_epsilon: 5.0 },
+                BreakStrategy::Normal,
+            ),
+        ];
+        for (criterion, strategy) in cases {
+            let batch = OpeningWindow::new(criterion, strategy).compress(&t);
+            let batch_fixes: Vec<Fix> =
+                batch.kept().iter().map(|&i| t.fixes()[i]).collect();
+            let streamed = run_stream(OwStream::new(criterion, strategy), &t);
+            assert_eq!(streamed, batch_fixes, "criterion {criterion:?} {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn first_fix_emitted_immediately() {
+        let mut s = OwStream::opw_tr(10.0);
+        let f0 = Fix::from_parts(0.0, 1.0, 2.0);
+        assert_eq!(s.push(f0).unwrap(), vec![f0]);
+    }
+
+    #[test]
+    fn rejects_nonmonotonic_and_nonfinite_input() {
+        let mut s = OwStream::opw_tr(10.0);
+        s.push(Fix::from_parts(10.0, 0.0, 0.0)).unwrap();
+        assert!(matches!(
+            s.push(Fix::from_parts(10.0, 1.0, 0.0)),
+            Err(ModelError::NonMonotonicTime { index: 1 })
+        ));
+        assert!(matches!(
+            s.push(Fix::from_parts(f64::NAN, 1.0, 0.0)),
+            Err(ModelError::NonFinite { .. })
+        ));
+        // Stream still usable after a rejected fix.
+        assert!(s.push(Fix::from_parts(20.0, 1.0, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn finish_emits_final_point() {
+        let t = car_like();
+        let streamed = run_stream(OwStream::opw_tr(50.0), &t);
+        assert_eq!(streamed.last().unwrap(), t.last());
+    }
+
+    #[test]
+    fn single_fix_stream_finish_is_empty() {
+        let mut s = OwStream::opw_tr(10.0);
+        let out = s.push(Fix::from_parts(0.0, 0.0, 0.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(s.finish().is_empty(), "anchor already emitted");
+    }
+
+    #[test]
+    fn max_window_bounds_memory() {
+        // Perfectly straight constant-speed data would grow the window
+        // forever; the valve must cap it.
+        let mut s = OwStream::opw_tr(100.0).with_max_window(16);
+        let mut max_seen = 0usize;
+        for i in 0..10_000 {
+            s.push(Fix::from_parts(i as f64, i as f64 * 10.0, 0.0)).unwrap();
+            max_seen = max_seen.max(s.window_len());
+        }
+        assert!(max_seen <= 16, "window grew to {max_seen}");
+    }
+
+    #[test]
+    fn max_window_output_still_within_threshold() {
+        let t = car_like();
+        let eps = 30.0;
+        let mut s = OwStream::opw_tr(eps).with_max_window(8);
+        let mut kept = Vec::new();
+        for f in t.fixes() {
+            kept.extend(s.push(*f).unwrap());
+        }
+        kept.extend(s.finish());
+        // The kept subsequence must still satisfy the per-segment SED
+        // bound for all dropped points.
+        let mut ki = 0usize;
+        let fixes = t.fixes();
+        let kept_idx: Vec<usize> = fixes
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                if ki < kept.len() && kept[ki] == **f {
+                    ki += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(kept_idx.len(), kept.len(), "kept fixes are a subsequence");
+        for w in kept_idx.windows(2) {
+            for i in w[0] + 1..w[1] {
+                let d = crate::distance::sed(&fixes[w[0]], &fixes[w[1]], &fixes[i]);
+                assert!(d <= eps + 1e-9, "point {i} deviates {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pushed_counts_accepted_fixes() {
+        let mut s = OwStream::opw_tr(10.0);
+        s.push(Fix::from_parts(0.0, 0.0, 0.0)).unwrap();
+        s.push(Fix::from_parts(1.0, 1.0, 0.0)).unwrap();
+        let _ = s.push(Fix::from_parts(0.5, 2.0, 0.0)); // rejected
+        assert_eq!(s.pushed(), 2);
+    }
+}

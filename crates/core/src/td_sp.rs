@@ -1,0 +1,213 @@
+//! TD-SP: top-down splitting under the spatiotemporal criteria.
+//!
+//! The paper applies its spatiotemporal criteria (synchronized distance
+//! *and* derived speed difference, §3.3) "in both opening window and
+//! top-down fashion" and reports TD-SP results in §4.3 (Fig. 10), but
+//! gives pseudocode only for the opening-window form. This module defines
+//! the top-down form; the design decision, recorded in `DESIGN.md`, is:
+//!
+//! * a point *violates* when its synchronized distance to the anchor–float
+//!   approximation exceeds `epsilon` **or** its derived speed difference
+//!   exceeds `speed_epsilon`;
+//! * among violating configurations the split point is the one with the
+//!   largest **violation score** `max(sed/epsilon, |Δv|/speed_epsilon)` —
+//!   a dimensionless blend that reduces to plain TD-TR when the speed
+//!   threshold is infinite;
+//! * the recursion stops when no interior point violates.
+//!
+//! Like TD-TR this is a batch algorithm; the paper observes TD-SP is
+//! highly sensitive to the speed threshold (only 5 m/s gave reasonable
+//! results on their data), which the reproduction in `traj-eval`
+//! confirms.
+
+use crate::distance::{sed, speed_difference};
+use crate::result::{CompressionResult, Compressor};
+use traj_model::Trajectory;
+
+/// Top-down spatiotemporal splitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdSp {
+    epsilon: f64,
+    speed_epsilon: f64,
+}
+
+impl TdSp {
+    /// Creates a TD-SP compressor with synchronized-distance threshold
+    /// `epsilon` (metres) and speed-difference threshold `speed_epsilon`
+    /// (m/s).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not finite-positive-or-zero, or
+    /// `speed_epsilon` is not strictly positive (a zero speed threshold
+    /// would force every interior point to be kept and makes the
+    /// violation score unbounded).
+    pub fn new(epsilon: f64, speed_epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0"
+        );
+        assert!(
+            speed_epsilon > 0.0 && !speed_epsilon.is_nan(),
+            "speed_epsilon must be > 0"
+        );
+        TdSp { epsilon, speed_epsilon }
+    }
+
+    /// The synchronized-distance threshold, metres.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The speed-difference threshold, m/s.
+    pub fn speed_epsilon(&self) -> f64 {
+        self.speed_epsilon
+    }
+
+    /// Violation score of interior point `i` for window `lo..hi`:
+    /// `max(sed/eps_d, |Δv|/eps_v)`; `> 1` means the point violates.
+    ///
+    /// With `epsilon == 0`, any positive SED is an infinite score (the
+    /// point must be kept), mirroring the threshold semantics `sed > 0`.
+    fn score(&self, traj: &Trajectory, lo: usize, hi: usize, i: usize) -> f64 {
+        let f = traj.fixes();
+        let d = sed(&f[lo], &f[hi], &f[i]);
+        let ds = if self.epsilon > 0.0 {
+            d / self.epsilon
+        } else if d > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let vs = speed_difference(traj, i)
+            .map(|dv| dv / self.speed_epsilon)
+            .unwrap_or(0.0);
+        ds.max(vs)
+    }
+}
+
+impl Compressor for TdSp {
+    fn name(&self) -> String {
+        format!("td-sp({}m,{}m/s)", self.epsilon, self.speed_epsilon)
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let n = traj.len();
+        if n <= 2 {
+            return CompressionResult::identity(n);
+        }
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[n - 1] = true;
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi <= lo + 1 {
+                continue;
+            }
+            let mut best = (lo + 1, f64::NEG_INFINITY);
+            for i in lo + 1..hi {
+                let s = self.score(traj, lo, hi, i);
+                if s > best.1 {
+                    best = (i, s);
+                }
+            }
+            if best.1 > 1.0 {
+                keep[best.0] = true;
+                stack.push((lo, best.0));
+                stack.push((best.0, hi));
+            }
+        }
+        let kept = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        CompressionResult::new(kept, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::douglas_peucker::TdTr;
+    use crate::distance::sed as sed_dist;
+
+    fn kinked() -> Trajectory {
+        // Straight in space, two abrupt speed regimes (10 m/s → 40 m/s),
+        // plus one spatial spike.
+        let mut triples = Vec::new();
+        let mut x = 0.0;
+        for i in 0..6 {
+            triples.push((i as f64 * 10.0, x, 0.0));
+            x += 100.0;
+        }
+        for i in 6..12 {
+            triples.push((i as f64 * 10.0, x, if i == 8 { 80.0 } else { 0.0 }));
+            x += 400.0;
+        }
+        Trajectory::from_triples(triples).unwrap()
+    }
+
+    #[test]
+    fn keeps_spatial_spike_and_speed_kink() {
+        let r = TdSp::new(30.0, 5.0).compress(&kinked());
+        assert!(r.contains(8), "spatial spike kept: {:?}", r.kept());
+        // The 10→40 m/s transition is around index 5/6.
+        assert!(
+            r.contains(5) || r.contains(6),
+            "speed kink kept: {:?}",
+            r.kept()
+        );
+    }
+
+    #[test]
+    fn infinite_speed_threshold_reduces_to_td_tr() {
+        let t = kinked();
+        for eps in [10.0, 30.0, 80.0] {
+            let sp = TdSp::new(eps, f64::INFINITY).compress(&t);
+            let tr = TdTr::new(eps).compress(&t);
+            assert_eq!(sp.kept(), tr.kept(), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn postcondition_no_violating_interior_point() {
+        let t = kinked();
+        let (eps, veps) = (30.0, 5.0);
+        let r = TdSp::new(eps, veps).compress(&t);
+        let f = t.fixes();
+        for w in r.kept().windows(2) {
+            for i in w[0] + 1..w[1] {
+                let d = sed_dist(&f[w[0]], &f[w[1]], &f[i]);
+                assert!(d <= eps, "point {i}: sed {d} > {eps}");
+                if let Some(dv) = speed_difference(&t, i) {
+                    assert!(dv <= veps, "point {i}: dv {dv} > {veps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_speed_threshold_keeps_more_points() {
+        let t = kinked();
+        let loose = TdSp::new(30.0, 25.0).compress(&t).kept_len();
+        let tight = TdSp::new(30.0, 1.0).compress(&t).kept_len();
+        assert!(tight >= loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
+        assert_eq!(TdSp::new(5.0, 5.0).compress(&two).kept_len(), 2);
+    }
+
+    #[test]
+    fn name_mentions_both_thresholds() {
+        assert_eq!(TdSp::new(30.0, 5.0).name(), "td-sp(30m,5m/s)");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_epsilon")]
+    fn rejects_zero_speed_threshold() {
+        let _ = TdSp::new(5.0, 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests for the compression algorithms and error
+//! calculus.
+
+use proptest::prelude::*;
+use traj_compress::error::{
+    average_synchronous_error, average_synchronous_error_numeric, max_synchronous_error,
+    sed_at_samples,
+};
+use traj_compress::streaming::OwStream;
+use traj_compress::{
+    sed, spt, BottomUp, BreakStrategy, Compressor, Criterion, DouglasPeucker, Metric,
+    OpeningWindow, SlidingWindow, TdSp, TdTr, TopDown, UniformSample,
+};
+use traj_model::{Fix, Trajectory};
+
+/// Random car-ish trajectory: 4..=80 fixes, bounded steps.
+fn trajectory() -> impl Strategy<Value = Trajectory> {
+    (
+        proptest::collection::vec(
+            (1.0..30.0f64, -200.0..200.0f64, -200.0..200.0f64),
+            3..80,
+        ),
+        (-1000.0..1000.0f64, -1000.0..1000.0f64),
+    )
+        .prop_map(|(steps, (x0, y0))| {
+            let mut t = 0.0;
+            let (mut x, mut y) = (x0, y0);
+            let mut triples = vec![(t, x, y)];
+            for (dt, dx, dy) in steps {
+                t += dt;
+                x += dx;
+                y += dy;
+                triples.push((t, x, y));
+            }
+            Trajectory::from_triples(triples).expect("valid by construction")
+        })
+}
+
+fn all_compressors(eps: f64, veps: f64) -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(UniformSample::new(3)),
+        Box::new(traj_compress::DistanceThreshold::new(eps)),
+        Box::new(DouglasPeucker::new(eps)),
+        Box::new(TdTr::new(eps)),
+        Box::new(TdSp::new(eps, veps)),
+        Box::new(OpeningWindow::nopw(eps)),
+        Box::new(OpeningWindow::bopw(eps)),
+        Box::new(OpeningWindow::opw_tr(eps)),
+        Box::new(OpeningWindow::opw_sp(eps, veps)),
+        Box::new(BottomUp::time_ratio(eps)),
+        Box::new(SlidingWindow::new(Metric::TimeRatio, eps, 12)),
+    ]
+}
+
+proptest! {
+    /// Every compressor upholds the CompressionResult invariants on
+    /// arbitrary valid inputs (first/last kept, strictly increasing) —
+    /// the constructor would panic otherwise, so surviving compression
+    /// plus the explicit checks here is the property.
+    #[test]
+    fn compressors_uphold_result_invariants(t in trajectory(), eps in 0.0..200.0f64, veps in 0.5..30.0f64) {
+        for c in all_compressors(eps, veps) {
+            let r = c.compress(&t);
+            prop_assert_eq!(r.original_len(), t.len());
+            prop_assert_eq!(r.kept()[0], 0, "{}", c.name());
+            prop_assert_eq!(*r.kept().last().unwrap(), t.len() - 1, "{}", c.name());
+            prop_assert!(r.kept_len() <= t.len());
+        }
+    }
+
+    /// Top-down algorithms guarantee every removed point is within eps of
+    /// its covering segment under their own metric.
+    #[test]
+    fn top_down_epsilon_postcondition(t in trajectory(), eps in 1.0..150.0f64) {
+        for metric in [Metric::Perpendicular, Metric::TimeRatio] {
+            let r = TopDown::new(metric, eps).compress(&t);
+            let f = t.fixes();
+            for w in r.kept().windows(2) {
+                for i in w[0] + 1..w[1] {
+                    let d = metric.distance(&f[w[0]], &f[w[1]], &f[i]);
+                    prop_assert!(d <= eps + 1e-9, "{metric:?} point {i}: {d} > {eps}");
+                }
+            }
+        }
+    }
+
+    /// Opening-window (Normal strategy) postcondition: interior points of
+    /// every emitted segment satisfy the SED bound (they were all checked
+    /// while the window was open).
+    #[test]
+    fn opw_tr_interior_postcondition(t in trajectory(), eps in 1.0..150.0f64) {
+        let r = OpeningWindow::opw_tr(eps).compress(&t);
+        let f = t.fixes();
+        for w in r.kept().windows(2) {
+            for i in w[0] + 1..w[1] {
+                prop_assert!(sed(&f[w[0]], &f[w[1]], &f[i]) <= eps + 1e-9);
+            }
+        }
+    }
+
+    /// The SPT recursion (paper pseudocode) and the production OPW-SP
+    /// engine agree exactly.
+    #[test]
+    fn spt_spec_equals_opw_sp(t in trajectory(), eps in 1.0..150.0f64, veps in 0.5..30.0f64) {
+        let spec = spt(&t, eps, veps);
+        let prod = OpeningWindow::opw_sp(eps, veps).compress(&t);
+        prop_assert_eq!(spec.kept(), prod.kept());
+    }
+
+    /// The streaming engine replays the batch engine exactly, for every
+    /// criterion/strategy pair.
+    #[test]
+    fn streaming_equals_batch(t in trajectory(), eps in 1.0..150.0f64, veps in 0.5..30.0f64) {
+        let cases = [
+            (Criterion::Perpendicular { epsilon: eps }, BreakStrategy::Normal),
+            (Criterion::Perpendicular { epsilon: eps }, BreakStrategy::BeforeFloat),
+            (Criterion::TimeRatio { epsilon: eps }, BreakStrategy::Normal),
+            (Criterion::TimeRatioSpeed { epsilon: eps, speed_epsilon: veps }, BreakStrategy::Normal),
+        ];
+        for (criterion, strategy) in cases {
+            let batch = OpeningWindow::new(criterion, strategy).compress(&t);
+            let expected: Vec<Fix> = batch.kept().iter().map(|&i| t.fixes()[i]).collect();
+            let mut stream = OwStream::new(criterion, strategy);
+            let mut got = Vec::new();
+            for f in t.fixes() {
+                got.extend(stream.push(*f).unwrap());
+            }
+            got.extend(stream.finish());
+            prop_assert_eq!(&got, &expected, "criterion {:?}", criterion);
+        }
+    }
+
+    /// Fault injection: a stream fed out-of-order and non-finite fixes
+    /// rejects exactly the invalid ones and produces, over the accepted
+    /// subsequence, the same output as the batch algorithm on that
+    /// subsequence.
+    #[test]
+    fn streaming_survives_dirty_input(
+        raw in proptest::collection::vec(
+            (0.0..5000.0f64, -500.0..500.0f64, -500.0..500.0f64, 0u8..10),
+            4..80,
+        ),
+        eps in 5.0..100.0f64,
+    ) {
+        let mut stream = OwStream::opw_tr(eps);
+        let mut accepted: Vec<Fix> = Vec::new();
+        let mut got: Vec<Fix> = Vec::new();
+        for (t, x, y, poison) in raw {
+            // Occasionally corrupt the fix.
+            let fix = match poison {
+                0 => Fix::from_parts(f64::NAN, x, y),
+                1 => Fix::from_parts(t, f64::INFINITY, y),
+                _ => Fix::from_parts(t, x, y),
+            };
+            match stream.push(fix) {
+                Ok(emitted) => {
+                    accepted.push(fix);
+                    got.extend(emitted);
+                }
+                Err(_) => {
+                    // Must be an actual violation: non-finite or not
+                    // strictly later than the last accepted fix.
+                    let later = accepted.last().is_none_or(|l| l.t < fix.t);
+                    prop_assert!(!fix.is_finite() || !later, "spurious rejection of {fix:?}");
+                }
+            }
+        }
+        got.extend(stream.finish());
+        prop_assume!(accepted.len() >= 2);
+        let clean = Trajectory::new(accepted).expect("accepted fixes are valid");
+        let batch = OpeningWindow::opw_tr(eps).compress(&clean);
+        let expected: Vec<Fix> = batch.kept().iter().map(|&i| clean.fixes()[i]).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// DP iterative == DP recursive on arbitrary input.
+    #[test]
+    fn dp_engines_agree(t in trajectory(), eps in 0.0..150.0f64) {
+        for metric in [Metric::Perpendicular, Metric::TimeRatio] {
+            let td = TopDown::new(metric, eps);
+            let iterative = td.compress(&t);
+            let recursive = td.compress_recursive(&t);
+            prop_assert_eq!(iterative.kept(), recursive.kept());
+        }
+    }
+
+    /// Larger epsilon never keeps more points (top-down family).
+    #[test]
+    fn top_down_monotone_in_epsilon(t in trajectory(), eps in 1.0..100.0f64, factor in 1.0..5.0f64) {
+        let small = TdTr::new(eps).compress(&t).kept_len();
+        let large = TdTr::new(eps * factor).compress(&t).kept_len();
+        prop_assert!(large <= small);
+    }
+
+    /// Closed-form α equals numeric quadrature for arbitrary compression
+    /// results.
+    #[test]
+    fn alpha_closed_form_matches_numeric(t in trajectory(), eps in 1.0..150.0f64) {
+        let r = TdTr::new(eps).compress(&t);
+        let a = r.apply(&t);
+        let closed = average_synchronous_error(&t, &a);
+        let numeric = average_synchronous_error_numeric(&t, &a, 1e-9);
+        prop_assert!(
+            (closed - numeric).abs() <= 1e-5 + 1e-6 * closed.abs(),
+            "closed={closed} numeric={numeric}"
+        );
+    }
+
+    /// α is bounded by the continuous maximum, which in turn bounds the
+    /// discrete sample maximum from above.
+    #[test]
+    fn alpha_ordering_invariants(t in trajectory(), eps in 1.0..150.0f64) {
+        let r = OpeningWindow::opw_tr(eps).compress(&t);
+        let a = r.apply(&t);
+        let avg = average_synchronous_error(&t, &a);
+        let max = max_synchronous_error(&t, &a);
+        let (mean_sed, max_sed) = sed_at_samples(&t, &a);
+        prop_assert!(avg <= max + 1e-9);
+        prop_assert!(mean_sed <= max_sed + 1e-9);
+        prop_assert!(max_sed <= max + 1e-9);
+        prop_assert!(avg >= 0.0 && max.is_finite());
+    }
+
+    /// TD-TR's α error is bounded by its threshold's continuous
+    /// consequence: since every removed point is within eps *at sample
+    /// instants*, and the synchronous distance is piecewise linear-ish
+    /// between them, the discrete max SED over samples is ≤ eps.
+    #[test]
+    fn td_tr_sample_sed_bounded_by_epsilon(t in trajectory(), eps in 1.0..150.0f64) {
+        let r = TdTr::new(eps).compress(&t);
+        let a = r.apply(&t);
+        let (_, max_sed) = sed_at_samples(&t, &a);
+        prop_assert!(max_sed <= eps + 1e-9, "max_sed={max_sed} eps={eps}");
+    }
+
+    /// Compressing an already-compressed trajectory with the same
+    /// threshold changes nothing for the top-down family (idempotence on
+    /// the kept set).
+    #[test]
+    fn td_tr_idempotent(t in trajectory(), eps in 1.0..150.0f64) {
+        let c = TdTr::new(eps);
+        let once = c.compress(&t).apply(&t);
+        let twice = c.compress(&once).apply(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Uniform sampling keeps ⌈n/step⌉ (+ last) points.
+    #[test]
+    fn uniform_sample_count(t in trajectory(), step in 1usize..10) {
+        let r = UniformSample::new(step).compress(&t);
+        let n = t.len();
+        let expect = n.div_ceil(step);
+        let got = r.kept_len();
+        prop_assert!(got == expect || got == expect + 1, "n={n} step={step} got={got}");
+    }
+}

@@ -1,0 +1,170 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [all|table2|fig7|fig8|fig9|fig10|fig11|check|ext] [--seed N] [--csv DIR]
+//! ```
+//!
+//! With no arguments, runs `all`: prints Table 2 and Figures 7–11 as
+//! aligned text tables (averages over the ten-trajectory dataset) and
+//! finishes with the paper-shape check. `--csv DIR` additionally writes
+//! one CSV per figure into `DIR`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use traj_eval::{
+    check_expectations, fig10, fig11, fig7, fig8, fig9, figure_to_csv, format_figure,
+    format_table2, table2, FigureData,
+};
+
+struct Args {
+    what: String,
+    seed: u64,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut what = "all".to_string();
+    let mut seed = 42u64;
+    let mut csv_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?;
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => what = other.to_string(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args { what, seed, csv_dir })
+}
+
+fn emit(fig: &FigureData, csv_dir: &Option<PathBuf>) {
+    println!("{}", format_figure(fig));
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{}.csv", fig.id));
+        std::fs::write(&path, figure_to_csv(fig)).expect("write csv");
+        println!("(wrote {})", path.display());
+    }
+}
+
+/// The §5 future-work extensions: object classes, noise and sampling
+/// ablations, interpolation-model gap.
+fn run_extensions(seed: u64) {
+    println!("— extension: moving objects of different nature (paper §5) —\n");
+    let signatures = traj_eval::class_signatures(seed);
+    for (class, fig) in traj_eval::object_classes(seed) {
+        let sig = signatures
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0);
+        println!("object class: {class} (mean stop-time ratio {:.0} %)", sig * 100.0);
+        println!("{}", format_figure(&fig));
+    }
+
+    let thresholds = [30.0, 50.0, 70.0, 100.0];
+    println!("— extension: GPS-noise ablation of Fig. 7 —");
+    println!(
+        "{:>8} | {:>10} {:>12} | {:>10} {:>12}",
+        "σ (m)", "NDP comp%", "NDP err(m)", "TDTR comp%", "TDTR err(m)"
+    );
+    for (sigma, ndp, tdtr) in traj_eval::noise_ablation(seed, &thresholds) {
+        println!(
+            "{:>8.1} | {:>10.2} {:>12.2} | {:>10.2} {:>12.2}",
+            sigma,
+            ndp.mean_compression(),
+            ndp.mean_error(),
+            tdtr.mean_compression(),
+            tdtr.mean_error()
+        );
+    }
+
+    println!("\n— extension: sampling-interval ablation of Fig. 7 —");
+    println!(
+        "{:>8} | {:>10} {:>12} | {:>10} {:>12}",
+        "Δt (s)", "NDP comp%", "NDP err(m)", "TDTR comp%", "TDTR err(m)"
+    );
+    for (interval, ndp, tdtr) in traj_eval::sampling_ablation(seed, &thresholds) {
+        println!(
+            "{:>8.0} | {:>10.2} {:>12.2} | {:>10.2} {:>12.2}",
+            interval,
+            ndp.mean_compression(),
+            ndp.mean_error(),
+            tdtr.mean_compression(),
+            tdtr.mean_error()
+        );
+    }
+
+    println!("\n— extension: the online spectrum (DR vs OPW-TR vs TD-TR) —");
+    println!("{}", format_figure(&traj_eval::online_spectrum(seed, &thresholds)));
+
+    println!(
+        "— extension: interpolation-model gap (Catmull–Rom vs linear) —\n\
+         mean gap over the dataset: {:.3} m",
+        traj_eval::interpolation_gap(seed)
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("generating dataset (seed {}) ...", args.seed);
+    let dataset = traj_gen::paper_dataset(args.seed);
+
+    let run_table2 = || println!("{}", format_table2(&table2(&dataset)));
+
+    match args.what.as_str() {
+        "table2" => run_table2(),
+        "fig7" => emit(&fig7(&dataset), &args.csv_dir),
+        "fig8" => emit(&fig8(&dataset), &args.csv_dir),
+        "fig9" => emit(&fig9(&dataset), &args.csv_dir),
+        "fig10" => emit(&fig10(&dataset), &args.csv_dir),
+        "fig11" => emit(&fig11(&dataset), &args.csv_dir),
+        "check" | "all" => {
+            let f7 = fig7(&dataset);
+            let f8 = fig8(&dataset);
+            let f9 = fig9(&dataset);
+            let f10 = fig10(&dataset);
+            let f11 = fig11(&dataset);
+            if args.what == "all" {
+                run_table2();
+                for f in [&f7, &f8, &f9, &f10, &f11] {
+                    emit(f, &args.csv_dir);
+                }
+            }
+            let violations = check_expectations(&f7, &f8, &f9, &f10, &f11);
+            if violations.is_empty() {
+                println!("paper-shape check: all expected relations hold ✓");
+            } else {
+                println!("paper-shape check: {} violation(s):", violations.len());
+                for v in &violations {
+                    println!("  ✗ {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+        "ext" => run_extensions(args.seed),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

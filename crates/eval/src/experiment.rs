@@ -1,0 +1,182 @@
+//! The experiment runner: threshold sweeps averaged over the dataset.
+
+use traj_compress::{evaluate, Compressor};
+use traj_model::Trajectory;
+
+/// The paper's fifteen spatial thresholds: 30–100 m in 5 m steps (§4.3).
+pub const PAPER_THRESHOLDS: [f64; 15] = [
+    30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0, 85.0, 90.0, 95.0, 100.0,
+];
+
+/// The paper's speed-difference thresholds: 5, 15, 25 m/s (§4.3).
+pub const PAPER_SPEED_THRESHOLDS: [f64; 3] = [5.0, 15.0, 25.0];
+
+/// One cell of a sweep: dataset-average compression and error at a
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Spatial threshold, metres.
+    pub threshold_m: f64,
+    /// Mean compression over the dataset, percent of points removed.
+    pub compression_pct: f64,
+    /// Std-dev of compression across the dataset's trajectories.
+    pub compression_std: f64,
+    /// Mean average-synchronous error `α` over the dataset, metres.
+    pub error_m: f64,
+    /// Std-dev of `α` across the dataset's trajectories, metres.
+    pub error_std: f64,
+    /// Mean of the classic perpendicular error over the dataset, metres
+    /// (reported alongside for the §4.1 comparison).
+    pub perp_error_m: f64,
+}
+
+/// A full threshold sweep for one algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoSweep {
+    /// Display label, e.g. `"TD-TR"` or `"OPW-SP(5m/s)"`.
+    pub label: String,
+    /// One point per threshold, in threshold order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl AlgoSweep {
+    /// Mean error across all thresholds (used by shape checks).
+    pub fn mean_error(&self) -> f64 {
+        mean(self.points.iter().map(|p| p.error_m))
+    }
+
+    /// Mean compression across all thresholds.
+    pub fn mean_compression(&self) -> f64 {
+        mean(self.points.iter().map(|p| p.compression_pct))
+    }
+
+    /// Error spread: max − min across thresholds (the paper's
+    /// "threshold-insensitivity" observation for OPW-TR, Fig. 9).
+    pub fn error_spread(&self) -> f64 {
+        let lo = self.points.iter().map(|p| p.error_m).fold(f64::INFINITY, f64::min);
+        let hi = self.points.iter().map(|p| p.error_m).fold(0.0f64, f64::max);
+        hi - lo
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Runs `make(threshold)` over every trajectory of `dataset` for every
+/// threshold, averaging compression and error per threshold — the
+/// protocol behind each curve of Figs. 7–11 ("figures given are averages
+/// over ten different trajectories").
+pub fn sweep<F>(label: &str, dataset: &[Trajectory], thresholds: &[f64], make: F) -> AlgoSweep
+where
+    F: Fn(f64) -> Box<dyn Compressor>,
+{
+    assert!(!dataset.is_empty(), "sweep needs a non-empty dataset");
+    let points = thresholds
+        .iter()
+        .map(|&eps| {
+            let compressor = make(eps);
+            let mut comps = Vec::with_capacity(dataset.len());
+            let mut errs = Vec::with_capacity(dataset.len());
+            let mut perp = 0.0;
+            for traj in dataset {
+                let result = compressor.compress(traj);
+                let e = evaluate(traj, &result);
+                comps.push(e.compression_pct);
+                errs.push(e.avg_sync_err_m);
+                perp += e.mean_perp_m;
+            }
+            let comp = traj_model::MeanStd::of(&comps);
+            let err = traj_model::MeanStd::of(&errs);
+            SweepPoint {
+                threshold_m: eps,
+                compression_pct: comp.mean,
+                compression_std: comp.std,
+                error_m: err.mean,
+                error_std: err.std,
+                perp_error_m: perp / dataset.len() as f64,
+            }
+        })
+        .collect();
+    AlgoSweep { label: label.to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_compress::TdTr;
+
+    fn tiny_dataset() -> Vec<Trajectory> {
+        (0..3)
+            .map(|k| {
+                Trajectory::from_triples((0..40).map(|i| {
+                    let t = i as f64 * 10.0;
+                    (
+                        t,
+                        t * 10.0,
+                        ((i + k) % 5) as f64 * 30.0,
+                    )
+                }))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_threshold() {
+        let ds = tiny_dataset();
+        let s = sweep("TD-TR", &ds, &[10.0, 50.0, 90.0], |e| Box::new(TdTr::new(e)));
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.label, "TD-TR");
+        for (p, eps) in s.points.iter().zip([10.0, 50.0, 90.0]) {
+            assert_eq!(p.threshold_m, eps);
+            assert!(p.compression_pct >= 0.0 && p.compression_pct <= 100.0);
+            assert!(p.error_m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn compression_monotone_in_threshold_for_td_tr() {
+        let ds = tiny_dataset();
+        let s = sweep("TD-TR", &ds, &PAPER_THRESHOLDS, |e| Box::new(TdTr::new(e)));
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].compression_pct >= w[0].compression_pct - 1e-9,
+                "compression dropped between thresholds"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let ds = tiny_dataset();
+        let s = sweep("TD-TR", &ds, &[30.0, 100.0], |e| Box::new(TdTr::new(e)));
+        assert!(s.mean_error() >= 0.0);
+        assert!(s.mean_compression() > 0.0);
+        assert!(s.error_spread() >= 0.0);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(PAPER_THRESHOLDS.len(), 15);
+        assert_eq!(PAPER_THRESHOLDS[0], 30.0);
+        assert_eq!(PAPER_THRESHOLDS[14], 100.0);
+        assert_eq!(PAPER_SPEED_THRESHOLDS, [5.0, 15.0, 25.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_rejected() {
+        let _ = sweep("x", &[], &[10.0], |e| Box::new(TdTr::new(e)));
+    }
+}

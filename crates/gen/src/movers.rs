@@ -1,0 +1,285 @@
+//! Moving objects of different nature (the paper's §5 future work).
+//!
+//! "Having a clear understanding of moving object behaviour helps in
+//! making these \[threshold\] choices, and we plan to look into the issue
+//! of moving objects of different nature." This module provides two
+//! non-vehicular movement models so that threshold guidance can actually
+//! be studied per object class:
+//!
+//! * [`pedestrian_trip`] — waypoint walking: a pedestrian strolls
+//!   between successive waypoints at ~1.4 m/s with per-step heading
+//!   wobble and frequent pauses (shop windows, crossings);
+//! * [`animal_track`] — a correlated random walk (CRW) with
+//!   area-restricted search: long, fairly straight *transit* bouts
+//!   alternate with slow, tortuous *foraging* bouts — the standard
+//!   two-state model in movement ecology.
+//!
+//! Both emit the same `⟨t, x, y⟩` streams as the car model, so every
+//! compressor and error notion applies unchanged; `traj-eval`'s
+//! `object_classes` extension experiment compares the compression/error
+//! trade-off across the three classes.
+
+use rand::Rng;
+use traj_geom::{Point2, Vec2};
+use traj_model::{Fix, Timestamp, Trajectory};
+
+/// Parameters of the pedestrian model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PedestrianParams {
+    /// Preferred walking speed, m/s.
+    pub walk_speed: f64,
+    /// Std-dev of per-step heading wobble, radians.
+    pub heading_wobble: f64,
+    /// Probability of pausing at each waypoint.
+    pub pause_probability: f64,
+    /// Pause duration range, seconds.
+    pub pause_duration: (f64, f64),
+    /// Number of waypoints in the stroll.
+    pub waypoints: usize,
+    /// Mean leg length between waypoints, metres.
+    pub leg_length: f64,
+    /// Sampling interval, seconds.
+    pub sample_interval: f64,
+}
+
+impl Default for PedestrianParams {
+    fn default() -> Self {
+        PedestrianParams {
+            walk_speed: 1.4,
+            heading_wobble: 0.25,
+            pause_probability: 0.35,
+            pause_duration: (5.0, 90.0),
+            waypoints: 12,
+            leg_length: 120.0,
+            sample_interval: 10.0,
+        }
+    }
+}
+
+/// Generates a pedestrian stroll starting at the origin.
+///
+/// # Panics
+/// Panics on non-positive speeds/intervals or zero waypoints.
+pub fn pedestrian_trip<R: Rng>(params: &PedestrianParams, rng: &mut R) -> Trajectory {
+    assert!(params.walk_speed > 0.0, "walk_speed must be positive");
+    assert!(params.sample_interval > 0.0, "sample_interval must be positive");
+    assert!(params.waypoints >= 1, "need at least one waypoint");
+    assert!(params.leg_length > 0.0, "leg_length must be positive");
+
+    let mut fixes = Vec::new();
+    let mut t = 0.0f64;
+    let mut pos = Point2::ORIGIN;
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let dt = params.sample_interval;
+    fixes.push(Fix::new(Timestamp::from_secs(t), pos));
+
+    for _ in 0..params.waypoints {
+        // Pick the next waypoint roughly ahead.
+        heading += rng.gen_range(-1.2..1.2);
+        let leg = params.leg_length * rng.gen_range(0.4..1.8);
+        let target = pos + Vec2::new(heading.cos(), heading.sin()) * leg;
+        // Walk toward it with heading wobble.
+        while pos.distance(target) > params.walk_speed * dt {
+            let to_target = (target - pos).angle();
+            let wobble = rng.gen_range(-1.0..1.0) * params.heading_wobble;
+            let dir = to_target + wobble;
+            pos += Vec2::new(dir.cos(), dir.sin()) * params.walk_speed * dt
+                * rng.gen_range(0.8..1.1);
+            t += dt;
+            fixes.push(Fix::new(Timestamp::from_secs(t), pos));
+        }
+        // Possibly pause.
+        if rng.gen_bool(params.pause_probability) {
+            let pause = rng.gen_range(params.pause_duration.0..=params.pause_duration.1);
+            let steps = (pause / dt).ceil() as usize;
+            for _ in 0..steps {
+                t += dt;
+                fixes.push(Fix::new(Timestamp::from_secs(t), pos));
+            }
+        }
+    }
+    Trajectory::new(fixes).expect("monotone time by construction")
+}
+
+/// Parameters of the two-state animal correlated random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnimalParams {
+    /// Transit speed, m/s (e.g. a migrating ungulate).
+    pub transit_speed: f64,
+    /// Foraging speed, m/s.
+    pub forage_speed: f64,
+    /// Turning-angle concentration in transit (higher = straighter);
+    /// std-dev of the wrapped-normal turning angle is `1/κ`.
+    pub transit_kappa: f64,
+    /// Turning-angle concentration while foraging (low = tortuous).
+    pub forage_kappa: f64,
+    /// Mean bout length in steps for each state (transit, forage).
+    pub bout_steps: (f64, f64),
+    /// Number of samples to generate.
+    pub steps: usize,
+    /// Sampling interval, seconds (wildlife tags report sparsely).
+    pub sample_interval: f64,
+}
+
+impl Default for AnimalParams {
+    fn default() -> Self {
+        AnimalParams {
+            transit_speed: 2.5,
+            forage_speed: 0.4,
+            transit_kappa: 8.0,
+            forage_kappa: 1.2,
+            bout_steps: (40.0, 25.0),
+            steps: 300,
+            sample_interval: 30.0,
+        }
+    }
+}
+
+/// Generates a two-state correlated-random-walk animal track starting at
+/// the origin.
+///
+/// # Panics
+/// Panics on non-positive speeds, intervals, concentrations or step
+/// counts.
+pub fn animal_track<R: Rng>(params: &AnimalParams, rng: &mut R) -> Trajectory {
+    assert!(params.transit_speed > 0.0 && params.forage_speed > 0.0, "speeds must be positive");
+    assert!(params.sample_interval > 0.0, "sample_interval must be positive");
+    assert!(params.transit_kappa > 0.0 && params.forage_kappa > 0.0, "kappas must be positive");
+    assert!(params.steps >= 1, "need at least one step");
+    assert!(params.bout_steps.0 >= 1.0 && params.bout_steps.1 >= 1.0, "bouts must last ≥ 1 step");
+
+    let mut fixes = Vec::with_capacity(params.steps + 1);
+    let mut pos = Point2::ORIGIN;
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut transit = true;
+    let mut bout_left = params.bout_steps.0;
+    let dt = params.sample_interval;
+    fixes.push(Fix::new(Timestamp::EPOCH, pos));
+
+    for i in 1..=params.steps {
+        // Exponential-ish bout switching.
+        bout_left -= 1.0;
+        if bout_left <= 0.0 {
+            transit = !transit;
+            let mean = if transit { params.bout_steps.0 } else { params.bout_steps.1 };
+            bout_left = mean * rng.gen_range(0.5..1.5);
+        }
+        let (speed, kappa) = if transit {
+            (params.transit_speed, params.transit_kappa)
+        } else {
+            (params.forage_speed, params.forage_kappa)
+        };
+        // Wrapped-normal-ish turning angle with std 1/κ (sum of three
+        // uniforms ≈ normal).
+        let turn: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / kappa;
+        heading += turn;
+        let step_speed = speed * rng.gen_range(0.7..1.3);
+        pos += Vec2::new(heading.cos(), heading.sin()) * step_speed * dt;
+        fixes.push(Fix::new(Timestamp::from_secs(i as f64 * dt), pos));
+    }
+    Trajectory::new(fixes).expect("monotone time by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traj_model::stats::TrajectoryStats;
+
+    #[test]
+    fn pedestrian_speeds_are_pedestrian() {
+        let t = pedestrian_trip(&PedestrianParams::default(), &mut StdRng::seed_from_u64(3));
+        let s = TrajectoryStats::of(&t);
+        assert!(s.max_speed_ms < 2.5, "max speed {} too fast for walking", s.max_speed_ms);
+        assert!(s.avg_speed_ms < 1.6, "avg {} too fast", s.avg_speed_ms);
+        assert!(s.n_points > 30, "too few samples: {}", s.n_points);
+    }
+
+    #[test]
+    fn pedestrian_pauses_produce_stationary_samples() {
+        let params = PedestrianParams {
+            pause_probability: 1.0,
+            pause_duration: (30.0, 60.0),
+            ..PedestrianParams::default()
+        };
+        let t = pedestrian_trip(&params, &mut StdRng::seed_from_u64(4));
+        let still = t
+            .segments()
+            .filter(|(a, b)| a.pos.distance(b.pos) < 1e-9)
+            .count();
+        assert!(still >= params.waypoints, "expected pauses, found {still}");
+    }
+
+    #[test]
+    fn animal_track_has_two_speed_regimes() {
+        let t = animal_track(&AnimalParams::default(), &mut StdRng::seed_from_u64(5));
+        let speeds: Vec<f64> = t.segments().filter_map(|(a, b)| a.speed_to(b)).collect();
+        let fast = speeds.iter().filter(|&&v| v > 1.5).count();
+        let slow = speeds.iter().filter(|&&v| v < 0.8).count();
+        assert!(fast > 20, "transit bouts missing ({fast})");
+        assert!(slow > 20, "foraging bouts missing ({slow})");
+    }
+
+    #[test]
+    fn transit_is_straighter_than_foraging() {
+        // Heading changes are smaller in transit: compare mean absolute
+        // turning angle among fast vs slow steps.
+        let t = animal_track(&AnimalParams::default(), &mut StdRng::seed_from_u64(6));
+        let fixes = t.fixes();
+        let mut fast_turns = Vec::new();
+        let mut slow_turns = Vec::new();
+        for w in fixes.windows(3) {
+            let v1 = w[1].pos - w[0].pos;
+            let v2 = w[2].pos - w[1].pos;
+            let speed = w[0].speed_to(&w[1]).unwrap_or(0.0);
+            let turn = {
+                let a = v2.angle() - v1.angle();
+                a.abs().min(std::f64::consts::TAU - a.abs())
+            };
+            if speed > 1.5 {
+                fast_turns.push(turn);
+            } else if speed < 0.8 {
+                slow_turns.push(turn);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&fast_turns) < mean(&slow_turns),
+            "transit {} not straighter than foraging {}",
+            mean(&fast_turns),
+            mean(&slow_turns)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = animal_track(&AnimalParams::default(), &mut StdRng::seed_from_u64(7));
+        let b = animal_track(&AnimalParams::default(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = pedestrian_trip(&PedestrianParams::default(), &mut StdRng::seed_from_u64(7));
+        let d = pedestrian_trip(&PedestrianParams::default(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn sample_grid_is_regular() {
+        let t = animal_track(&AnimalParams::default(), &mut StdRng::seed_from_u64(8));
+        for (a, b) in t.segments() {
+            assert!(((b.t - a.t).as_secs() - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds")]
+    fn rejects_bad_params() {
+        let params = AnimalParams { forage_speed: 0.0, ..AnimalParams::default() };
+        let _ = animal_track(&params, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn pedestrian_duration_is_positive() {
+        let t = pedestrian_trip(&PedestrianParams::default(), &mut StdRng::seed_from_u64(9));
+        assert!(t.duration() > traj_model::TimeDelta::from_secs(0.0));
+    }
+}

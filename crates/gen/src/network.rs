@@ -1,0 +1,280 @@
+//! A synthetic road network: jittered urban grid with arterials and a
+//! faster periphery.
+//!
+//! The paper's cars "travelled different roads in urban and rural areas";
+//! the network reproduces that mix. Nodes form a grid with positional
+//! jitter (so streets are not perfectly straight and turns have varied
+//! angles); every `k`-th row/column is an arterial with a higher speed
+//! limit, and the outermost ring is classed rural — long, fast stretches
+//! that yield the high-speed, high-compression parts of the workload.
+
+use rand::Rng;
+use traj_geom::Point2;
+
+/// Index of a node in the network.
+pub type NodeId = usize;
+
+/// Road classes with their speed limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoadClass {
+    /// Residential/urban street.
+    Urban,
+    /// Urban arterial.
+    Arterial,
+    /// Rural road on the periphery.
+    Rural,
+}
+
+impl RoadClass {
+    /// Speed limit in metres/second (50, 70 and 80 km/h respectively).
+    #[inline]
+    pub fn speed_limit(self) -> f64 {
+        match self {
+            RoadClass::Urban => 50.0 / 3.6,
+            RoadClass::Arterial => 70.0 / 3.6,
+            RoadClass::Rural => 80.0 / 3.6,
+        }
+    }
+}
+
+/// A directed edge of the road network (each undirected street is stored
+/// as two directed edges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Destination node.
+    pub to: NodeId,
+    /// Edge length in metres.
+    pub length: f64,
+    /// Road class (determines speed limit).
+    pub class: RoadClass,
+}
+
+/// A road network: nodes with planar positions and a directed adjacency
+/// list.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    positions: Vec<Point2>,
+    adjacency: Vec<Vec<Edge>>,
+    cols: usize,
+    rows: usize,
+}
+
+impl RoadNetwork {
+    /// Builds a `cols × rows` grid with `spacing` metres between
+    /// neighbouring intersections, jittered by up to `jitter` metres, an
+    /// arterial every `arterial_every` rows/columns, and a rural
+    /// outermost ring.
+    ///
+    /// # Panics
+    /// Panics for degenerate dimensions (`cols`/`rows` < 2), non-positive
+    /// spacing, or `arterial_every == 0`.
+    pub fn grid<R: Rng>(
+        cols: usize,
+        rows: usize,
+        spacing: f64,
+        jitter: f64,
+        arterial_every: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(cols >= 2 && rows >= 2, "grid must be at least 2×2");
+        assert!(spacing > 0.0 && spacing.is_finite(), "spacing must be positive");
+        assert!(jitter >= 0.0 && jitter < spacing / 2.0, "jitter must be < spacing/2");
+        assert!(arterial_every >= 1, "arterial_every must be >= 1");
+
+        let mut positions = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                positions.push(Point2::new(c as f64 * spacing + jx, r as f64 * spacing + jy));
+            }
+        }
+
+        let idx = |c: usize, r: usize| r * cols + c;
+        let classify = |c0: usize, r0: usize, c1: usize, r1: usize| -> RoadClass {
+            let on_rim = |c: usize, r: usize| c == 0 || r == 0 || c == cols - 1 || r == rows - 1;
+            if on_rim(c0, r0) && on_rim(c1, r1) {
+                return RoadClass::Rural;
+            }
+            // A horizontal street follows row r0; vertical follows col c0.
+            let arterial = if r0 == r1 {
+                r0.is_multiple_of(arterial_every)
+            } else {
+                c0.is_multiple_of(arterial_every)
+            };
+            if arterial {
+                RoadClass::Arterial
+            } else {
+                RoadClass::Urban
+            }
+        };
+
+        let mut adjacency = vec![Vec::with_capacity(4); cols * rows];
+        let connect = |a: NodeId, b: NodeId, class: RoadClass, adj: &mut Vec<Vec<Edge>>, pos: &[Point2]| {
+            let length = pos[a].distance(pos[b]);
+            adj[a].push(Edge { to: b, length, class });
+            adj[b].push(Edge { to: a, length, class });
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    let class = classify(c, r, c + 1, r);
+                    connect(idx(c, r), idx(c + 1, r), class, &mut adjacency, &positions);
+                }
+                if r + 1 < rows {
+                    let class = classify(c, r, c, r + 1);
+                    connect(idx(c, r), idx(c, r + 1), class, &mut adjacency, &positions);
+                }
+            }
+        }
+        RoadNetwork { positions, adjacency, cols, rows }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the network has no nodes (never true for a constructed
+    /// grid).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Position of node `n`.
+    #[inline]
+    pub fn position(&self, n: NodeId) -> Point2 {
+        self.positions[n]
+    }
+
+    /// Outgoing edges of node `n`.
+    #[inline]
+    pub fn edges(&self, n: NodeId) -> &[Edge] {
+        &self.adjacency[n]
+    }
+
+    /// The node closest to `p` (linear scan; the generator calls this a
+    /// handful of times per trip).
+    pub fn nearest_node(&self, p: Point2) -> NodeId {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, q) in self.positions.iter().enumerate() {
+            let d = q.distance_sq(p);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best.0
+    }
+
+    /// The edge class between two *adjacent* nodes, if they are
+    /// connected.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<Edge> {
+        self.adjacency[a].iter().copied().find(|e| e.to == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(7);
+        RoadNetwork::grid(8, 6, 500.0, 40.0, 4, &mut rng)
+    }
+
+    #[test]
+    fn grid_has_expected_node_and_edge_counts() {
+        let n = net();
+        assert_eq!(n.len(), 48);
+        // Undirected edges: horizontal 7×6 + vertical 8×5 = 82; directed 164.
+        let directed: usize = (0..n.len()).map(|i| n.edges(i).len()).sum();
+        assert_eq!(directed, 164);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let n = net();
+        for a in 0..n.len() {
+            for e in n.edges(a) {
+                assert!(
+                    n.edges(e.to).iter().any(|b| b.to == a),
+                    "edge {a}→{} missing reverse",
+                    e.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_lengths_match_node_distances() {
+        let n = net();
+        for a in 0..n.len() {
+            for e in n.edges(a) {
+                let d = n.position(a).distance(n.position(e.to));
+                assert!((e.length - d).abs() < 1e-9);
+                // Jitter keeps lengths near the nominal spacing.
+                assert!(e.length > 350.0 && e.length < 650.0, "length {}", e.length);
+            }
+        }
+    }
+
+    #[test]
+    fn rim_edges_are_rural_interior_mix() {
+        let n = net();
+        let (cols, rows) = n.dims();
+        let idx = |c: usize, r: usize| r * cols + c;
+        // Bottom rim edge (0,0)-(1,0) is rural.
+        let rim = n.edge_between(idx(0, 0), idx(1, 0)).unwrap();
+        assert_eq!(rim.class, RoadClass::Rural);
+        // Interior arterial: row 4 (4 % 4 == 0) between interior columns.
+        let art = n.edge_between(idx(2, 4), idx(3, 4)).unwrap();
+        assert_eq!(art.class, RoadClass::Arterial);
+        // Plain urban: row 2, interior.
+        let urb = n.edge_between(idx(2, 2), idx(3, 2)).unwrap();
+        assert_eq!(urb.class, RoadClass::Urban);
+        let _ = rows;
+    }
+
+    #[test]
+    fn speed_limits_are_ordered() {
+        assert!(RoadClass::Urban.speed_limit() < RoadClass::Arterial.speed_limit());
+        assert!(RoadClass::Arterial.speed_limit() < RoadClass::Rural.speed_limit());
+    }
+
+    #[test]
+    fn nearest_node_finds_the_obvious_one() {
+        let n = net();
+        for probe in [0usize, 13, 47] {
+            let found = n.nearest_node(n.position(probe));
+            assert_eq!(found, probe);
+        }
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let a = RoadNetwork::grid(5, 5, 400.0, 30.0, 3, &mut r1);
+        let b = RoadNetwork::grid(5, 5, 400.0, 30.0, 3, &mut r2);
+        for i in 0..a.len() {
+            assert_eq!(a.position(i), b.position(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2×2")]
+    fn rejects_degenerate_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = RoadNetwork::grid(1, 5, 400.0, 0.0, 3, &mut rng);
+    }
+}

@@ -1,0 +1,183 @@
+//! GPS measurement noise.
+//!
+//! The paper motivates its error tolerance with "we know our raw data to
+//! already contain error" (§2). Consumer GPS position error is not white:
+//! multipath and atmospheric effects correlate over tens of seconds. The
+//! model here is a first-order autoregressive (AR(1)) process per axis:
+//!
+//! ```text
+//! nᵢ = ρ·nᵢ₋₁ + √(1−ρ²)·σ·εᵢ,   εᵢ ~ N(0, 1)
+//! ```
+//!
+//! which has stationary standard deviation `σ` and lag-one correlation
+//! `ρ`. `ρ = 0` recovers white noise.
+
+use rand::Rng;
+use traj_geom::Vec2;
+use traj_model::{Fix, Trajectory};
+
+/// AR(1)-correlated planar GPS noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsNoise {
+    /// Stationary per-axis standard deviation, metres.
+    pub sigma: f64,
+    /// Lag-one autocorrelation in `[0, 1)`.
+    pub rho: f64,
+}
+
+impl GpsNoise {
+    /// Typical consumer GPS of the paper's era: σ = 4 m, ρ = 0.8 at a
+    /// 10 s sampling interval.
+    pub fn consumer_gps() -> Self {
+        GpsNoise { sigma: 4.0, rho: 0.8 }
+    }
+
+    /// White (uncorrelated) noise with the given σ.
+    pub fn white(sigma: f64) -> Self {
+        GpsNoise { sigma, rho: 0.0 }
+    }
+
+    /// Creates a noise model.
+    ///
+    /// # Panics
+    /// Panics unless `sigma >= 0` and `0 <= rho < 1`.
+    pub fn new(sigma: f64, rho: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite and >= 0");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        GpsNoise { sigma, rho }
+    }
+
+    /// Standard normal via Box–Muller (avoids a `rand_distr` dependency).
+    fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Applies the noise process to every fix, returning the noisy
+    /// trajectory (timestamps untouched).
+    pub fn apply<R: Rng>(&self, traj: &Trajectory, rng: &mut R) -> Trajectory {
+        if self.sigma == 0.0 {
+            return traj.clone();
+        }
+        let innovation = self.sigma * (1.0 - self.rho * self.rho).sqrt();
+        let mut n = Vec2::new(
+            self.sigma * Self::std_normal(rng),
+            self.sigma * Self::std_normal(rng),
+        );
+        let fixes = traj
+            .fixes()
+            .iter()
+            .map(|f| {
+                let fix = Fix::new(f.t, f.pos + n);
+                n = Vec2::new(
+                    self.rho * n.x + innovation * Self::std_normal(rng),
+                    self.rho * n.y + innovation * Self::std_normal(rng),
+                );
+                fix
+            })
+            .collect();
+        Trajectory::new(fixes).expect("noise preserves timestamps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn straight(n: usize) -> Trajectory {
+        Trajectory::from_triples((0..n).map(|i| (i as f64 * 10.0, i as f64 * 100.0, 0.0)))
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let t = straight(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(GpsNoise::white(0.0).apply(&t, &mut rng), t);
+    }
+
+    #[test]
+    fn preserves_timestamps_and_length() {
+        let t = straight(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = GpsNoise::consumer_gps().apply(&t, &mut rng);
+        assert_eq!(noisy.len(), t.len());
+        for (a, b) in noisy.fixes().iter().zip(t.fixes()) {
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn empirical_sigma_close_to_nominal() {
+        // Long trajectory: the per-axis deviation should estimate σ.
+        let t = straight(20_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 5.0;
+        let noisy = GpsNoise::new(sigma, 0.5).apply(&t, &mut rng);
+        let devs: Vec<f64> = noisy
+            .fixes()
+            .iter()
+            .zip(t.fixes())
+            .map(|(a, b)| a.pos.y - b.pos.y)
+            .collect();
+        let mean = devs.iter().sum::<f64>() / devs.len() as f64;
+        let var = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.5,
+            "empirical σ {} vs nominal {sigma}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn correlated_noise_has_positive_lag_correlation() {
+        let t = straight(20_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = GpsNoise::new(4.0, 0.8).apply(&t, &mut rng);
+        let devs: Vec<f64> = noisy
+            .fixes()
+            .iter()
+            .zip(t.fixes())
+            .map(|(a, b)| a.pos.x - b.pos.x)
+            .collect();
+        let mean = devs.iter().sum::<f64>() / devs.len() as f64;
+        let var = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        let cov = devs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (devs.len() - 1) as f64;
+        let rho = cov / var;
+        assert!((rho - 0.8).abs() < 0.05, "empirical ρ {rho}");
+    }
+
+    #[test]
+    fn white_noise_has_no_lag_correlation() {
+        let t = straight(20_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = GpsNoise::white(4.0).apply(&t, &mut rng);
+        let devs: Vec<f64> = noisy
+            .fixes()
+            .iter()
+            .zip(t.fixes())
+            .map(|(a, b)| a.pos.x - b.pos.x)
+            .collect();
+        let mean = devs.iter().sum::<f64>() / devs.len() as f64;
+        let var = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        let cov = devs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (devs.len() - 1) as f64;
+        assert!((cov / var).abs() < 0.05, "empirical ρ {}", cov / var);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_invalid_rho() {
+        let _ = GpsNoise::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Travel-time shortest paths over the road network.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::network::{NodeId, RoadNetwork};
+
+/// Heap entry for Dijkstra (min-heap by cost).
+struct Entry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, o: &Self) -> bool {
+        self.cost == o.cost
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Shortest path from `from` to `to` by free-flow travel time
+/// (edge length / speed limit). Returns the node sequence including both
+/// endpoints, or `None` if unreachable (cannot happen on a connected
+/// grid, but the API stays honest).
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    assert!(from < net.len() && to < net.len(), "node id out of range");
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = net.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[from] = 0.0;
+    heap.push(Entry { cost: 0.0, node: from });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node] {
+            continue; // stale entry
+        }
+        for e in net.edges(node) {
+            let next = cost + e.length / e.class.speed_limit();
+            if next < dist[e.to] {
+                dist[e.to] = next;
+                prev[e.to] = node;
+                heap.push(Entry { cost: next, node: e.to });
+            }
+        }
+    }
+    if dist[to].is_infinite() {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Free-flow travel time of a node path, seconds.
+pub fn path_travel_time(net: &RoadNetwork, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            let e = net
+                .edge_between(w[0], w[1])
+                .expect("path must follow network edges");
+            e.length / e.class.speed_limit()
+        })
+        .sum()
+}
+
+/// Total length of a node path, metres.
+pub fn path_length(net: &RoadNetwork, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            net.edge_between(w[0], w[1])
+                .expect("path must follow network edges")
+                .length
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(11);
+        RoadNetwork::grid(10, 10, 500.0, 0.0, 4, &mut rng)
+    }
+
+    #[test]
+    fn path_connects_endpoints_via_edges() {
+        let n = net();
+        let p = shortest_path(&n, 0, 99).unwrap();
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 99);
+        for w in p.windows(2) {
+            assert!(n.edge_between(w[0], w[1]).is_some(), "hop {w:?} not an edge");
+        }
+    }
+
+    #[test]
+    fn trivial_path_is_single_node() {
+        let n = net();
+        assert_eq!(shortest_path(&n, 5, 5).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn path_length_at_least_manhattan_distance() {
+        let n = net();
+        let p = shortest_path(&n, 0, 99).unwrap();
+        let len = path_length(&n, &p);
+        // 9 cols + 9 rows at 500 m.
+        assert!(len >= 9000.0 - 1e-6, "len {len}");
+        assert!(len <= 12_000.0, "len {len} suspiciously long");
+    }
+
+    #[test]
+    fn travel_time_is_positive_and_consistent() {
+        let n = net();
+        let p = shortest_path(&n, 3, 96).unwrap();
+        let t = path_travel_time(&n, &p);
+        let l = path_length(&n, &p);
+        // Time must be within the bounds set by the extreme speed limits.
+        assert!(t >= l / crate::network::RoadClass::Rural.speed_limit() - 1e-9);
+        assert!(t <= l / crate::network::RoadClass::Urban.speed_limit() + 1e-9);
+    }
+
+    #[test]
+    fn prefers_fast_roads_when_reasonable() {
+        // The rim is rural (fastest): a corner-to-corner trip should cost
+        // no more time than the pure inner-grid alternative.
+        let n = net();
+        let p = shortest_path(&n, 0, 99).unwrap();
+        let t = path_travel_time(&n, &p);
+        // Pure urban Manhattan path: 9000 m at 13.9 m/s ≈ 648 s.
+        assert!(t <= 9000.0 / crate::network::RoadClass::Urban.speed_limit() + 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_is_optimal_vs_bruteforce_on_small_grid() {
+        // 3×3 grid, no jitter: verify optimal cost against an exhaustive
+        // Bellman-Ford style relaxation.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = RoadNetwork::grid(3, 3, 100.0, 0.0, 2, &mut rng);
+        let mut dist = vec![f64::INFINITY; n.len()];
+        dist[0] = 0.0;
+        for _ in 0..n.len() {
+            for a in 0..n.len() {
+                if dist[a].is_finite() {
+                    for e in n.edges(a) {
+                        let nd = dist[a] + e.length / e.class.speed_limit();
+                        if nd < dist[e.to] {
+                            dist[e.to] = nd;
+                        }
+                    }
+                }
+            }
+        }
+        for (target, &expected) in dist.iter().enumerate() {
+            let p = shortest_path(&n, 0, target).unwrap();
+            let t = path_travel_time(&n, &p);
+            assert!((t - expected).abs() < 1e-9, "target {target}: {t} vs {expected}");
+        }
+    }
+}

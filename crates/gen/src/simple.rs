@@ -1,0 +1,140 @@
+//! Closed-form synthetic trajectories for tests, benches and examples.
+
+use rand::Rng;
+use traj_model::Trajectory;
+
+/// Straight run at constant speed: `n` fixes every `dt` seconds moving
+/// `speed` m/s along +x from the origin.
+///
+/// # Panics
+/// Panics for `n < 1` or non-positive `dt`.
+pub fn straight(n: usize, dt: f64, speed: f64) -> Trajectory {
+    assert!(n >= 1, "need at least one fix");
+    assert!(dt > 0.0, "dt must be positive");
+    Trajectory::from_triples((0..n).map(|i| {
+        let t = i as f64 * dt;
+        (t, speed * t, 0.0)
+    }))
+    .expect("strictly increasing times by construction")
+}
+
+/// Circular motion: `n` fixes every `dt` seconds on a circle of `radius`
+/// metres at `angular_speed` rad/s, centred on the origin.
+pub fn circle(n: usize, dt: f64, radius: f64, angular_speed: f64) -> Trajectory {
+    assert!(n >= 1, "need at least one fix");
+    assert!(dt > 0.0, "dt must be positive");
+    assert!(radius > 0.0, "radius must be positive");
+    Trajectory::from_triples((0..n).map(|i| {
+        let t = i as f64 * dt;
+        let a = angular_speed * t;
+        (t, radius * a.cos(), radius * a.sin())
+    }))
+    .expect("strictly increasing times by construction")
+}
+
+/// Random walk: steps with independent Gaussian-ish displacements of
+/// standard deviation `step_sigma` per axis (uniform approximation is
+/// fine for workload purposes; exact normality is irrelevant here).
+pub fn random_walk<R: Rng>(rng: &mut R, n: usize, dt: f64, step_sigma: f64) -> Trajectory {
+    assert!(n >= 1, "need at least one fix");
+    assert!(dt > 0.0, "dt must be positive");
+    assert!(step_sigma >= 0.0, "step_sigma must be >= 0");
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    Trajectory::from_triples((0..n).map(|i| {
+        let t = i as f64 * dt;
+        if i > 0 {
+            // Sum of three uniforms ≈ normal; scaled to σ = step_sigma.
+            let g = |rng: &mut R| -> f64 {
+                let s: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0)).sum();
+                s * step_sigma
+            };
+            x += g(rng);
+            y += g(rng);
+        }
+        (t, x, y)
+    }))
+    .expect("strictly increasing times by construction")
+}
+
+/// Stop-and-go traffic: alternating cruise (at `speed` m/s for
+/// `go_fixes` fixes) and standstill (for `stop_fixes` fixes), `cycles`
+/// times — the adversarial workload for purely spatial compressors.
+pub fn stop_and_go(cycles: usize, go_fixes: usize, stop_fixes: usize, dt: f64, speed: f64) -> Trajectory {
+    assert!(cycles >= 1 && go_fixes >= 1, "need at least one cycle of motion");
+    assert!(dt > 0.0, "dt must be positive");
+    let mut triples = Vec::new();
+    let mut t = 0.0;
+    let mut x = 0.0;
+    for _ in 0..cycles {
+        for _ in 0..go_fixes {
+            triples.push((t, x, 0.0));
+            t += dt;
+            x += speed * dt;
+        }
+        for _ in 0..stop_fixes {
+            triples.push((t, x, 0.0));
+            t += dt;
+        }
+    }
+    triples.push((t, x, 0.0));
+    Trajectory::from_triples(triples).expect("strictly increasing times by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traj_model::stats::TrajectoryStats;
+
+    #[test]
+    fn straight_has_constant_speed() {
+        let t = straight(100, 10.0, 15.0);
+        let s = TrajectoryStats::of(&t);
+        assert!((s.avg_speed_ms - 15.0).abs() < 1e-9);
+        assert!((s.max_speed_ms - 15.0).abs() < 1e-9);
+        assert_eq!(s.n_points, 100);
+    }
+
+    #[test]
+    fn circle_stays_on_circle() {
+        let t = circle(50, 1.0, 100.0, 0.1);
+        for f in t.fixes() {
+            let r = f.pos.distance(traj_geom::Point2::ORIGIN);
+            assert!((r - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circle_speed_is_radius_times_omega() {
+        let t = circle(100, 0.1, 50.0, 0.2);
+        let s = TrajectoryStats::of(&t);
+        // Chord speed slightly under arc speed rω = 10.
+        assert!(s.avg_speed_ms > 9.5 && s.avg_speed_ms <= 10.0, "{}", s.avg_speed_ms);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let a = random_walk(&mut StdRng::seed_from_u64(9), 100, 1.0, 5.0);
+        let b = random_walk(&mut StdRng::seed_from_u64(9), 100, 1.0, 5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stop_and_go_alternates() {
+        let t = stop_and_go(3, 5, 4, 10.0, 10.0);
+        assert_eq!(t.len(), 3 * 9 + 1);
+        let s = TrajectoryStats::of(&t);
+        // 3 cycles × 5 go-fixes × 100 m.
+        assert!((s.length_m - 1500.0).abs() < 1e-9);
+        // Standstill segments exist.
+        let still = t.segments().filter(|(a, b)| a.pos.distance(b.pos) < 1e-9).count();
+        assert!(still >= 9, "found {still} standstill segments");
+    }
+
+    #[test]
+    #[should_panic(expected = "dt")]
+    fn rejects_bad_dt() {
+        let _ = straight(10, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Kinematic car model driven along a routed path.
+//!
+//! The simulator produces the *continuous* motion the paper's GPS
+//! receivers observed discretely: a car accelerates toward the
+//! class-dependent speed limit, brakes ahead of sharp turns and
+//! junctions, occasionally stops (traffic lights, crossings), dwells, and
+//! drives on. The motion is integrated at a fine tick and sampled at the
+//! trajectory's reporting interval (the paper's example stream samples
+//! every 10 seconds).
+
+use rand::Rng;
+use traj_geom::polyline::{point_at_length, polyline_length};
+use traj_geom::Point2;
+use traj_model::{Fix, ModelError, Timestamp, Trajectory};
+
+use crate::network::{NodeId, RoadNetwork};
+
+/// Driver/vehicle behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleParams {
+    /// Acceleration, m/s².
+    pub accel: f64,
+    /// Comfortable braking deceleration, m/s².
+    pub decel: f64,
+    /// Maximum speed through a sharp (> ~35°) turn, m/s.
+    pub turn_speed: f64,
+    /// Probability of a full stop at an interior junction.
+    pub stop_probability: f64,
+    /// Stop dwell range, seconds (uniform).
+    pub stop_duration: (f64, f64),
+    /// Driver factor applied to speed limits (uniform range; one draw per
+    /// trip).
+    pub speed_factor: (f64, f64),
+    /// Integration tick, seconds.
+    pub tick: f64,
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams {
+            accel: 1.6,
+            decel: 2.2,
+            turn_speed: 6.0,
+            stop_probability: 0.32,
+            stop_duration: (10.0, 70.0),
+            speed_factor: (0.62, 1.02),
+            tick: 0.5,
+        }
+    }
+}
+
+impl VehicleParams {
+    fn validate(&self) {
+        assert!(self.accel > 0.0 && self.decel > 0.0, "accel/decel must be positive");
+        assert!(self.turn_speed > 0.0, "turn_speed must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.stop_probability),
+            "stop_probability must be in [0, 1]"
+        );
+        assert!(
+            self.stop_duration.0 >= 0.0 && self.stop_duration.0 <= self.stop_duration.1,
+            "stop_duration range must be ordered and non-negative"
+        );
+        assert!(
+            0.0 < self.speed_factor.0 && self.speed_factor.0 <= self.speed_factor.1,
+            "speed_factor range must be ordered and positive"
+        );
+        assert!(self.tick > 0.0 && self.tick <= 5.0, "tick must be in (0, 5] s");
+    }
+}
+
+/// A braking constraint: the car may pass arc position `at` no faster
+/// than `cap` m/s; if `dwell > 0` it must also stop there for `dwell`
+/// seconds.
+#[derive(Debug, Clone, Copy)]
+struct Constraint {
+    at: f64,
+    cap: f64,
+    dwell: f64,
+}
+
+/// Drives `path` (a node sequence from [`crate::route::shortest_path`])
+/// and samples the motion every `sample_interval` seconds starting at
+/// `start_time`.
+///
+/// Returns the sampled trajectory (noise-free; see
+/// [`crate::noise::GpsNoise`]).
+///
+/// # Errors
+/// Returns an error only in the degenerate case where the produced series
+/// is too short to form a trajectory (path of a single node).
+///
+/// # Panics
+/// Panics on invalid parameters, a path that does not follow network
+/// edges, or a simulation exceeding 12 hours (a parameterization bug).
+pub fn drive_route<R: Rng>(
+    net: &RoadNetwork,
+    path: &[NodeId],
+    params: &VehicleParams,
+    sample_interval: f64,
+    start_time: Timestamp,
+    rng: &mut R,
+) -> Result<Trajectory, ModelError> {
+    params.validate();
+    assert!(
+        sample_interval > 0.0 && sample_interval.is_finite(),
+        "sample_interval must be positive"
+    );
+    if path.len() < 2 {
+        return Err(ModelError::TooShort { required: 2, actual: path.len() });
+    }
+
+    // Way-point geometry.
+    let points: Vec<Point2> = path.iter().map(|&n| net.position(n)).collect();
+    let mut cum = Vec::with_capacity(points.len());
+    let mut acc = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            acc += points[i - 1].distance(*p);
+        }
+        cum.push(acc);
+    }
+    let total = polyline_length(&points);
+
+    // Per-trip driver factor and per-edge target speeds.
+    let factor = rng.gen_range(params.speed_factor.0..=params.speed_factor.1);
+    let edge_target: Vec<f64> = path
+        .windows(2)
+        .map(|w| {
+            let e = net
+                .edge_between(w[0], w[1])
+                .expect("path must follow network edges");
+            e.class.speed_limit() * factor
+        })
+        .collect();
+
+    // Constraints at interior way-points: turn slow-down and random
+    // stops; final constraint is a full stop at the destination.
+    let mut constraints: Vec<Constraint> = Vec::with_capacity(points.len());
+    for j in 1..points.len() - 1 {
+        let inbound = points[j] - points[j - 1];
+        let outbound = points[j + 1] - points[j];
+        let angle = inbound.angle() - outbound.angle();
+        let angle = angle.abs().min(std::f64::consts::TAU - angle.abs());
+        let sharp = angle > 0.6; // ≈ 35°
+        let stop_here = rng.gen_bool(params.stop_probability);
+        let dwell = if stop_here {
+            rng.gen_range(params.stop_duration.0..=params.stop_duration.1)
+        } else {
+            0.0
+        };
+        let cap = if stop_here {
+            0.0
+        } else if sharp {
+            params.turn_speed
+        } else {
+            edge_target[j].min(edge_target[j - 1])
+        };
+        if stop_here || sharp {
+            constraints.push(Constraint { at: cum[j], cap, dwell });
+        }
+    }
+    constraints.push(Constraint { at: total, cap: 0.0, dwell: 0.0 });
+
+    // Integration state.
+    let mut t = 0.0f64; // relative seconds
+    let mut s = 0.0f64; // arc position
+    let mut v = 0.0f64;
+    let mut next_constraint = 0usize;
+    let mut edge = 0usize;
+
+    // Sampling state.
+    let mut samples: Vec<Fix> = Vec::new();
+    let mut next_sample = 0.0f64;
+    let mut prev_state = (0.0f64, 0.0f64); // (t, s)
+    let pos_at = |s: f64| point_at_length(&points, s).expect("non-empty polyline");
+    let emit_until = |t_new: f64, s_new: f64, prev: (f64, f64), next_sample: &mut f64, samples: &mut Vec<Fix>| {
+        while *next_sample <= t_new {
+            let f = if t_new > prev.0 {
+                (*next_sample - prev.0) / (t_new - prev.0)
+            } else {
+                1.0
+            };
+            let s_sample = prev.1 + (s_new - prev.1) * f;
+            samples.push(Fix::new(
+                start_time + traj_model::TimeDelta::from_secs(*next_sample),
+                pos_at(s_sample),
+            ));
+            *next_sample += sample_interval;
+        }
+    };
+
+    const MAX_SIM_SECS: f64 = 12.0 * 3600.0;
+    while s < total {
+        assert!(t < MAX_SIM_SECS, "simulation exceeded 12 h — parameterization bug");
+        // Skip constraints already passed.
+        while next_constraint < constraints.len() && constraints[next_constraint].at < s - 1e-9 {
+            next_constraint += 1;
+        }
+        // Current edge target speed.
+        while edge + 1 < cum.len() - 1 && cum[edge + 1] <= s {
+            edge += 1;
+        }
+        let target = edge_target[edge.min(edge_target.len() - 1)];
+        // Braking envelope over upcoming constraints.
+        let mut envelope = f64::INFINITY;
+        for c in &constraints[next_constraint..] {
+            let d = (c.at - s).max(0.0);
+            let allowed = (c.cap * c.cap + 2.0 * params.decel * d).sqrt();
+            envelope = envelope.min(allowed);
+            if allowed >= target {
+                break; // farther constraints cannot bind more tightly yet
+            }
+        }
+        let v_des = target.min(envelope);
+        if v < v_des {
+            v = (v + params.accel * params.tick).min(v_des);
+        } else {
+            v = (v - params.decel * params.tick).max(v_des.min(v));
+        }
+
+        // Stop handling: a full-stop constraint must never be overshot by
+        // the discrete tick — if this tick would reach or cross it, the
+        // car arrives there exactly and dwells.
+        let c = constraints[next_constraint.min(constraints.len() - 1)];
+        if c.cap == 0.0 && s + v * params.tick >= c.at - 0.05 {
+            let dist = (c.at - s).max(0.0);
+            let dt = if v > 0.5 { (dist / v).min(params.tick * 4.0) } else { params.tick };
+            let t_new = t + dt.max(1e-3);
+            emit_until(t_new, c.at, prev_state, &mut next_sample, &mut samples);
+            t = t_new;
+            s = c.at;
+            v = 0.0;
+            prev_state = (t, s);
+            if c.dwell > 0.0 {
+                let t_new = t + c.dwell;
+                emit_until(t_new, s, prev_state, &mut next_sample, &mut samples);
+                t = t_new;
+                prev_state = (t, s);
+            }
+            next_constraint += 1;
+            if s >= total {
+                break;
+            }
+            continue;
+        }
+
+        let t_new = t + params.tick;
+        let s_new = (s + v * params.tick).min(total);
+        emit_until(t_new, s_new, prev_state, &mut next_sample, &mut samples);
+        t = t_new;
+        s = s_new;
+        prev_state = (t, s);
+    }
+
+    // Final fix at arrival, if the sampler has not just emitted there.
+    let arrival = Fix::new(start_time + traj_model::TimeDelta::from_secs(t), pos_at(total));
+    match samples.last() {
+        Some(last) if (arrival.t - last.t).as_secs() > 1e-6 => samples.push(arrival),
+        None => samples.push(arrival),
+        _ => {}
+    }
+    Trajectory::new(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::shortest_path;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use traj_model::stats::TrajectoryStats;
+
+    fn setup() -> (RoadNetwork, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = RoadNetwork::grid(12, 12, 500.0, 30.0, 4, &mut rng);
+        let path = shortest_path(&net, 0, 143).unwrap();
+        (net, path)
+    }
+
+    #[test]
+    fn produces_valid_sampled_trajectory() {
+        let (net, path) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = drive_route(&net, &path, &VehicleParams::default(), 10.0, Timestamp::EPOCH, &mut rng)
+            .unwrap();
+        assert!(t.len() > 10, "got {} fixes", t.len());
+        // Samples are on the 10 s grid except possibly the final fix.
+        for f in &t.fixes()[..t.len() - 1] {
+            let sec = f.t.as_secs();
+            assert!((sec / 10.0 - (sec / 10.0).round()).abs() < 1e-9, "off-grid at {sec}");
+        }
+    }
+
+    #[test]
+    fn starts_at_origin_ends_at_destination() {
+        let (net, path) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = drive_route(&net, &path, &VehicleParams::default(), 10.0, Timestamp::EPOCH, &mut rng)
+            .unwrap();
+        assert!(t.first().pos.distance(net.position(path[0])) < 1.0);
+        assert!(t.last().pos.distance(net.position(*path.last().unwrap())) < 1.0);
+    }
+
+    #[test]
+    fn speeds_respect_physical_bounds() {
+        let (net, path) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = VehicleParams::default();
+        let t = drive_route(&net, &path, &params, 10.0, Timestamp::EPOCH, &mut rng).unwrap();
+        let s = TrajectoryStats::of(&t);
+        let vmax = crate::network::RoadClass::Rural.speed_limit() * params.speed_factor.1;
+        assert!(s.max_speed_ms <= vmax + 0.5, "max {} vs limit {}", s.max_speed_ms, vmax);
+        assert!(s.avg_speed_ms > 3.0, "unreasonably slow: {} m/s", s.avg_speed_ms);
+    }
+
+    #[test]
+    fn trip_time_exceeds_free_flow_time() {
+        let (net, path) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = drive_route(&net, &path, &VehicleParams::default(), 10.0, Timestamp::EPOCH, &mut rng)
+            .unwrap();
+        let free_flow = crate::route::path_travel_time(&net, &path);
+        assert!(
+            t.duration().as_secs() >= free_flow * 0.9,
+            "duration {} vs free-flow {}",
+            t.duration().as_secs(),
+            free_flow
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, path) = setup();
+        let a = drive_route(
+            &net,
+            &path,
+            &VehicleParams::default(),
+            10.0,
+            Timestamp::EPOCH,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let b = drive_route(
+            &net,
+            &path,
+            &VehicleParams::default(),
+            10.0,
+            Timestamp::EPOCH,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stops_create_dwell_periods() {
+        let (net, path) = setup();
+        // Force a stop at every junction with long dwell.
+        let params = VehicleParams {
+            stop_probability: 1.0,
+            stop_duration: (30.0, 30.0),
+            ..VehicleParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = drive_route(&net, &path, &params, 10.0, Timestamp::EPOCH, &mut rng).unwrap();
+        // Some consecutive samples must be (nearly) stationary.
+        let stationary = t
+            .segments()
+            .filter(|(a, b)| a.pos.distance(b.pos) < 1.0)
+            .count();
+        assert!(stationary > 3, "expected dwells, found {stationary}");
+    }
+
+    #[test]
+    fn single_node_path_is_an_error() {
+        let (net, _) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = drive_route(&net, &[0], &VehicleParams::default(), 10.0, Timestamp::EPOCH, &mut rng);
+        assert!(matches!(r, Err(ModelError::TooShort { .. })));
+    }
+
+    #[test]
+    fn custom_start_time_offsets_all_fixes() {
+        let (net, path) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let t0 = Timestamp::from_secs(5000.0);
+        let t = drive_route(&net, &path, &VehicleParams::default(), 10.0, t0, &mut rng).unwrap();
+        assert!(t.start_time() >= t0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the synthetic workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_gen::route::{path_length, shortest_path};
+use traj_gen::simple::{circle, random_walk, stop_and_go, straight};
+use traj_gen::{
+    animal_track, drive_route, pedestrian_trip, AnimalParams, GpsNoise, PedestrianParams,
+    RoadNetwork, VehicleParams,
+};
+use traj_model::stats::TrajectoryStats;
+use traj_model::Timestamp;
+
+fn small_net(seed: u64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RoadNetwork::grid(8, 8, 400.0, 30.0, 3, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any OD pair on the grid routes successfully, the path follows
+    /// edges, and its length is at least the straight-line distance.
+    #[test]
+    fn routing_is_total_and_metric(seed in 0u64..500, from in 0usize..64, to in 0usize..64) {
+        let net = small_net(seed);
+        let path = shortest_path(&net, from, to).expect("grid is connected");
+        prop_assert_eq!(path[0], from);
+        prop_assert_eq!(*path.last().unwrap(), to);
+        for w in path.windows(2) {
+            prop_assert!(net.edge_between(w[0], w[1]).is_some());
+        }
+        let crow = net.position(from).distance(net.position(to));
+        prop_assert!(path_length(&net, &path) + 1e-6 >= crow);
+    }
+
+    /// Driving any route yields a physically sane sampled trajectory:
+    /// bounded speeds, endpoints at the route's ends, regular samples.
+    #[test]
+    fn driving_is_physical(seed in 0u64..200, from in 0usize..64, to in 0usize..64) {
+        prop_assume!(from != to);
+        let net = small_net(7);
+        let path = shortest_path(&net, from, to).expect("connected");
+        prop_assume!(path.len() >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = drive_route(&net, &path, &VehicleParams::default(), 10.0, Timestamp::EPOCH, &mut rng)
+            .expect("route has >= 2 nodes");
+        let s = TrajectoryStats::of(&t);
+        prop_assert!(s.max_speed_ms <= 25.0, "speed {}", s.max_speed_ms);
+        prop_assert!(t.first().pos.distance(net.position(from)) < 1.0);
+        prop_assert!(t.last().pos.distance(net.position(to)) < 1.0);
+        prop_assert!(s.length_m + 1e-6 >= s.displacement_m);
+    }
+
+    /// GPS noise preserves timestamps and has bounded excursions.
+    #[test]
+    fn noise_is_bounded_and_time_preserving(seed in 0u64..500, sigma in 0.5..10.0f64, rho in 0.0..0.95f64) {
+        let clean = straight(200, 10.0, 12.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = GpsNoise::new(sigma, rho).apply(&clean, &mut rng);
+        prop_assert_eq!(noisy.len(), clean.len());
+        for (a, b) in noisy.fixes().iter().zip(clean.fixes()) {
+            prop_assert_eq!(a.t, b.t);
+            // 6σ bound fails with probability ~1e-9 per sample.
+            prop_assert!(a.pos.distance(b.pos) < 6.0 * sigma * std::f64::consts::SQRT_2);
+        }
+    }
+
+    /// Pedestrians never exceed running speed; animals never exceed
+    /// their transit envelope.
+    #[test]
+    fn movers_respect_speed_envelopes(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ped = pedestrian_trip(&PedestrianParams::default(), &mut rng);
+        prop_assert!(TrajectoryStats::of(&ped).max_speed_ms < 2.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let animal = animal_track(&AnimalParams::default(), &mut rng);
+        // transit_speed 2.5 × factor ≤ 1.3.
+        prop_assert!(TrajectoryStats::of(&animal).max_speed_ms <= 2.5 * 1.3 + 1e-9);
+    }
+
+    /// The simple generators honour their closed-form statistics.
+    #[test]
+    fn simple_generators_closed_forms(n in 2usize..200, dt in 0.5..20.0f64, speed in 0.5..30.0f64) {
+        let s = straight(n, dt, speed);
+        let st = TrajectoryStats::of(&s);
+        prop_assert!((st.avg_speed_ms - speed).abs() < 1e-9);
+        prop_assert_eq!(st.n_points, n);
+
+        let c = circle(n, dt, 100.0, 0.05);
+        for f in c.fixes() {
+            prop_assert!((f.pos.distance(traj_geom::Point2::ORIGIN) - 100.0).abs() < 1e-9);
+        }
+
+        let w = random_walk(&mut StdRng::seed_from_u64(1), n, dt, 5.0);
+        prop_assert_eq!(w.len(), n);
+
+        let sg = stop_and_go(2, 3, 2, dt, speed);
+        prop_assert_eq!(sg.len(), 2 * 5 + 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Axis-aligned bounding boxes for spatial indexing.
+
+use crate::point::Point2;
+use crate::segment::Segment;
+
+/// An axis-aligned bounding box in the local planar frame.
+///
+/// An *empty* box (`min > max` on either axis) is representable via
+/// [`Bbox::EMPTY`] and behaves as the identity of [`Bbox::union`]; it
+/// contains nothing and intersects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bbox {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner.
+    pub max: Point2,
+}
+
+impl Bbox {
+    /// The empty box: identity for [`Bbox::union`].
+    pub const EMPTY: Bbox = Bbox {
+        min: Point2 { x: f64::INFINITY, y: f64::INFINITY },
+        max: Point2 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+    };
+
+    /// Box from two corner points given in any order.
+    #[inline]
+    pub fn from_corners(a: Point2, b: Point2) -> Self {
+        Bbox {
+            min: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Degenerate box containing a single point.
+    #[inline]
+    pub fn from_point(p: Point2) -> Self {
+        Bbox { min: p, max: p }
+    }
+
+    /// Tight box around a segment.
+    #[inline]
+    pub fn from_segment(s: &Segment) -> Self {
+        Bbox::from_corners(s.a, s.b)
+    }
+
+    /// Tight box around a set of points; [`Bbox::EMPTY`] for an empty set.
+    pub fn from_points<I: IntoIterator<Item = Point2>>(points: I) -> Self {
+        points.into_iter().fold(Bbox::EMPTY, |b, p| b.include(p))
+    }
+
+    /// Whether the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width (x extent); zero for empty boxes.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (y extent); zero for empty boxes.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area; zero for empty and degenerate boxes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point. Meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two boxes share at least one point (boundary inclusive).
+    #[inline]
+    pub fn intersects(&self, other: &Bbox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Smallest box covering both boxes.
+    #[inline]
+    pub fn union(&self, other: &Bbox) -> Bbox {
+        Bbox {
+            min: Point2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Smallest box covering this box and `p`.
+    #[inline]
+    pub fn include(&self, p: Point2) -> Bbox {
+        self.union(&Bbox::from_point(p))
+    }
+
+    /// Box grown by `margin` metres on every side.
+    #[inline]
+    pub fn expanded(&self, margin: f64) -> Bbox {
+        if self.is_empty() {
+            *self
+        } else {
+            Bbox {
+                min: Point2::new(self.min.x - margin, self.min.y - margin),
+                max: Point2::new(self.max.x + margin, self.max.y + margin),
+            }
+        }
+    }
+
+    /// Whether the segment intersects the box (boundary inclusive), via
+    /// Liang–Barsky parametric clipping.
+    pub fn intersects_segment(&self, seg: &Segment) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let d = seg.direction();
+        let (mut t0, mut t1) = (0.0f64, 1.0f64);
+        // Each slab clips the parametric interval [t0, t1].
+        for (p, q_min, q_max) in [
+            (d.x, self.min.x - seg.a.x, self.max.x - seg.a.x),
+            (d.y, self.min.y - seg.a.y, self.max.y - seg.a.y),
+        ] {
+            if p == 0.0 {
+                // Parallel to the slab: inside it or not at all.
+                if q_min > 0.0 || q_max < 0.0 {
+                    return false;
+                }
+            } else {
+                let (r0, r1) = (q_min / p, q_max / p);
+                let (lo, hi) = if r0 <= r1 { (r0, r1) } else { (r1, r0) };
+                t0 = t0.max(lo);
+                t1 = t1.min(hi);
+                if t0 > t1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Minimum distance from `p` to the box (zero when inside).
+    #[inline]
+    pub fn distance_to(&self, p: Point2) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Bbox {
+        Bbox::from_corners(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn corners_are_ordered_automatically() {
+        let b = Bbox::from_corners(Point2::new(5.0, -1.0), Point2::new(-2.0, 3.0));
+        assert_eq!(b.min, Point2::new(-2.0, -1.0));
+        assert_eq!(b.max, Point2::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Bbox::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains(Point2::ORIGIN));
+        assert!(!e.intersects(&unit()));
+        assert!(!unit().intersects(&e));
+        // Union identity.
+        assert_eq!(e.union(&unit()), unit());
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = unit();
+        assert!(b.contains(Point2::new(0.0, 0.0)));
+        assert!(b.contains(Point2::new(1.0, 1.0)));
+        assert!(b.contains(Point2::new(0.5, 0.5)));
+        assert!(!b.contains(Point2::new(1.000001, 0.5)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let b = unit();
+        let overlapping = Bbox::from_corners(Point2::new(0.5, 0.5), Point2::new(2.0, 2.0));
+        let touching = Bbox::from_corners(Point2::new(1.0, 0.0), Point2::new(2.0, 1.0));
+        let disjoint = Bbox::from_corners(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0));
+        assert!(b.intersects(&overlapping));
+        assert!(b.intersects(&touching));
+        assert!(!b.intersects(&disjoint));
+    }
+
+    #[test]
+    fn union_and_include_grow_monotonically() {
+        let b = unit().include(Point2::new(5.0, -3.0));
+        assert!(b.contains(Point2::new(5.0, -3.0)));
+        assert!(b.contains(Point2::new(0.5, 0.5)));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 4.0);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(2.0, 5.0), Point2::new(-1.0, 1.0)];
+        let b = Bbox::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(Bbox::from_points(std::iter::empty()), Bbox::EMPTY);
+    }
+
+    #[test]
+    fn distance_to_inside_is_zero_outside_is_euclidean() {
+        let b = unit();
+        assert_eq!(b.distance_to(Point2::new(0.5, 0.5)), 0.0);
+        assert!((b.distance_to(Point2::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(b.distance_to(Point2::new(0.5, 3.0)), 2.0);
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let b = unit();
+        let seg = |ax: f64, ay: f64, bx: f64, by: f64| {
+            Segment::new(Point2::new(ax, ay), Point2::new(bx, by))
+        };
+        // Fully inside.
+        assert!(b.intersects_segment(&seg(0.2, 0.2, 0.8, 0.8)));
+        // Crossing through without endpoints inside.
+        assert!(b.intersects_segment(&seg(-1.0, 0.5, 2.0, 0.5)));
+        // Diagonal crossing a corner region.
+        assert!(b.intersects_segment(&seg(-0.5, 0.5, 0.5, 1.5)));
+        // Touching the boundary exactly.
+        assert!(b.intersects_segment(&seg(1.0, -1.0, 1.0, 2.0)));
+        // Disjoint, parallel to an edge.
+        assert!(!b.intersects_segment(&seg(1.5, -1.0, 1.5, 2.0)));
+        // Disjoint diagonal passing near a corner.
+        assert!(!b.intersects_segment(&seg(1.5, 0.8, 0.8, 1.5)));
+        // Degenerate segment inside / outside.
+        assert!(b.intersects_segment(&seg(0.5, 0.5, 0.5, 0.5)));
+        assert!(!b.intersects_segment(&seg(2.0, 2.0, 2.0, 2.0)));
+        // Empty box intersects nothing.
+        assert!(!Bbox::EMPTY.intersects_segment(&seg(0.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = unit().expanded(2.0);
+        assert_eq!(b.min, Point2::new(-2.0, -2.0));
+        assert_eq!(b.max, Point2::new(3.0, 3.0));
+        assert_eq!(Bbox::EMPTY.expanded(2.0), Bbox::EMPTY);
+    }
+}

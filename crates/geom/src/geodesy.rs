@@ -1,0 +1,165 @@
+//! Geodesy: WGS-84 GPS fixes and their projection to the local plane.
+//!
+//! The paper's data stream is a sequence of `⟨t, x, y⟩` GPS samples. The
+//! compression algorithms operate on planar metre coordinates; this module
+//! supplies the conversion: a GPS receiver produces [`GeoPoint`]s
+//! (latitude/longitude) that a [`LocalProjection`] maps into the planar
+//! frame of [`crate::Point2`].
+//!
+//! For trajectories of a few tens of kilometres (the paper's Table 2:
+//! ~20 km average length) an equirectangular projection around a local
+//! origin is accurate to well under a metre, far below GPS noise, so no
+//! full UTM machinery is needed.
+
+use crate::point::Point2;
+
+/// Mean Earth radius in metres (IUGG mean radius R₁).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 geographic position in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude, degrees north, in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude, degrees east, in `[-180, 180]`.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic point from degrees.
+    #[inline]
+    pub const fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres.
+    pub fn haversine_distance(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+    }
+}
+
+/// Equirectangular projection centred on a local origin.
+///
+/// Maps geographic coordinates to planar metres with `x` pointing east and
+/// `y` pointing north. Exact at the origin; the distance distortion over a
+/// span `d` is on the order of `(d / R)²·d`, i.e. sub-millimetre over the
+/// tens of kilometres this library targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    cos_lat0: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centred at `origin`.
+    ///
+    /// # Panics
+    /// Panics if the origin latitude is outside `(-89.9°, 89.9°)`; an
+    /// equirectangular plane is meaningless at the poles.
+    pub fn new(origin: GeoPoint) -> Self {
+        assert!(
+            origin.lat_deg.abs() < 89.9,
+            "LocalProjection origin too close to a pole: {}°",
+            origin.lat_deg
+        );
+        LocalProjection { origin, cos_lat0: origin.lat_deg.to_radians().cos() }
+    }
+
+    /// The projection origin (maps to the planar origin).
+    #[inline]
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a geographic point into the local plane (metres).
+    #[inline]
+    pub fn to_plane(&self, g: GeoPoint) -> Point2 {
+        let dlat = (g.lat_deg - self.origin.lat_deg).to_radians();
+        let dlon = (g.lon_deg - self.origin.lon_deg).to_radians();
+        Point2::new(EARTH_RADIUS_M * dlon * self.cos_lat0, EARTH_RADIUS_M * dlat)
+    }
+
+    /// Inverse projection: planar metres back to geographic degrees.
+    #[inline]
+    pub fn to_geo(&self, p: Point2) -> GeoPoint {
+        GeoPoint::new(
+            self.origin.lat_deg + (p.y / EARTH_RADIUS_M).to_degrees(),
+            self.origin.lon_deg + (p.x / (EARTH_RADIUS_M * self.cos_lat0)).to_degrees(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Enschede, NL — where the paper's trajectories were collected.
+    const ENSCHEDE: GeoPoint = GeoPoint::new(52.2215, 6.8937);
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        assert_eq!(ENSCHEDE.haversine_distance(ENSCHEDE), 0.0);
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(52.0, 6.0);
+        let b = GeoPoint::new(53.0, 6.0);
+        let d = a.haversine_distance(b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = GeoPoint::new(52.0, 6.0);
+        let b = GeoPoint::new(52.5, 7.2);
+        assert!((a.haversine_distance(b) - b.haversine_distance(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_origin_maps_to_planar_origin() {
+        let proj = LocalProjection::new(ENSCHEDE);
+        let p = proj.to_plane(ENSCHEDE);
+        assert_eq!(p, Point2::ORIGIN);
+    }
+
+    #[test]
+    fn projection_roundtrip_is_exact_enough() {
+        let proj = LocalProjection::new(ENSCHEDE);
+        let g = GeoPoint::new(52.30, 7.01);
+        let back = proj.to_geo(proj.to_plane(g));
+        assert!((back.lat_deg - g.lat_deg).abs() < 1e-12);
+        assert!((back.lon_deg - g.lon_deg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine_locally() {
+        let proj = LocalProjection::new(ENSCHEDE);
+        // ~10 km east.
+        let g = GeoPoint::new(52.2215, 7.04);
+        let planar = proj.to_plane(g).distance(Point2::ORIGIN);
+        let sphere = ENSCHEDE.haversine_distance(g);
+        let rel = (planar - sphere).abs() / sphere;
+        assert!(rel < 1e-3, "relative error {rel}");
+    }
+
+    #[test]
+    fn axes_point_east_and_north() {
+        let proj = LocalProjection::new(ENSCHEDE);
+        let north = proj.to_plane(GeoPoint::new(ENSCHEDE.lat_deg + 0.01, ENSCHEDE.lon_deg));
+        let east = proj.to_plane(GeoPoint::new(ENSCHEDE.lat_deg, ENSCHEDE.lon_deg + 0.01));
+        assert!(north.y > 0.0 && north.x.abs() < 1e-9);
+        assert!(east.x > 0.0 && east.y.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn projection_rejects_polar_origin() {
+        let _ = LocalProjection::new(GeoPoint::new(90.0, 0.0));
+    }
+}

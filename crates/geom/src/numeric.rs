@@ -1,0 +1,150 @@
+//! Numerical helpers: adaptive quadrature and approximate comparison.
+//!
+//! The paper's average synchronous error `α(p, a)` (§4.2) has a closed-form
+//! antiderivative with a three-way case analysis. `traj-compress` evaluates
+//! that closed form on the hot path and uses the adaptive Simpson
+//! integrator here to *cross-validate* it in tests — an independent path to
+//! the same integral.
+
+/// Result of [`integrate_adaptive`]: value and an error estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quadrature {
+    /// Estimated integral value.
+    pub value: f64,
+    /// Estimated absolute error of `value`.
+    pub error_estimate: f64,
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]`.
+///
+/// Subdivides until the local Richardson error estimate is below `tol`
+/// (distributed over subintervals) or the recursion depth exceeds
+/// `max_depth`. Suitable for the piecewise-smooth, non-negative distance
+/// functions integrated by the error calculus; `√(quadratic)` integrands
+/// are handled well because they are smooth away from isolated zeros.
+pub fn integrate_adaptive<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: u32,
+) -> Quadrature {
+    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return Quadrature { value: 0.0, error_estimate: 0.0 };
+    }
+    let (lo, hi, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+    let flo = f(lo);
+    let fhi = f(hi);
+    let mid = 0.5 * (lo + hi);
+    let fmid = f(mid);
+    let whole = simpson(lo, hi, flo, fmid, fhi);
+    let (value, err) = adaptive_step(&f, lo, hi, flo, fmid, fhi, whole, tol, max_depth);
+    Quadrature { value: sign * value, error_estimate: err }
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_step<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> (f64, f64) {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    // Standard Richardson criterion for Simpson's rule: |delta|/15 estimates
+    // the error of the refined value.
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        (left + right + delta / 15.0, delta.abs() / 15.0)
+    } else {
+        let (lv, le) = adaptive_step(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1);
+        let (rv, re) = adaptive_step(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+        (lv + rv, le + re)
+    }
+}
+
+/// Approximate equality with combined absolute and relative tolerance.
+///
+/// Returns `true` when `|a - b| <= abs_tol + rel_tol * max(|a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    (a - b).abs() <= abs_tol + rel_tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let q = integrate_adaptive(|t| t * t * t - 2.0 * t + 1.0, 0.0, 2.0, 1e-12, 30);
+        // ∫₀² t³-2t+1 dt = 4 - 4 + 2 = 2.
+        assert!((q.value - 2.0).abs() < 1e-10, "got {}", q.value);
+    }
+
+    #[test]
+    fn integrates_sqrt_quadratic() {
+        // ∫₀¹ √(1+t²) dt = (√2 + asinh 1)/2.
+        let expect = (2.0_f64.sqrt() + 1.0_f64.asinh()) / 2.0;
+        let q = integrate_adaptive(|t| (1.0 + t * t).sqrt(), 0.0, 1.0, 1e-12, 40);
+        assert!((q.value - expect).abs() < 1e-9, "got {}", q.value);
+    }
+
+    #[test]
+    fn handles_reversed_bounds_with_sign_flip() {
+        let fwd = integrate_adaptive(|t| t, 0.0, 3.0, 1e-12, 30).value;
+        let rev = integrate_adaptive(|t| t, 3.0, 0.0, 1e-12, 30).value;
+        assert!((fwd + rev).abs() < 1e-12);
+        assert!((fwd - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_width_interval_is_zero() {
+        let q = integrate_adaptive(|t| t.exp(), 1.0, 1.0, 1e-9, 30);
+        assert_eq!(q.value, 0.0);
+    }
+
+    #[test]
+    fn integrates_abs_kink() {
+        // |t - 0.5| over [0,1] = 0.25; the kink forces subdivision.
+        let q = integrate_adaptive(|t| (t - 0.5f64).abs(), 0.0, 1.0, 1e-10, 40);
+        assert!((q.value - 0.25).abs() < 1e-8, "got {}", q.value);
+    }
+
+    #[test]
+    fn error_estimate_is_reported() {
+        let q = integrate_adaptive(|t| (1.0 + t * t).sqrt(), 0.0, 10.0, 1e-9, 40);
+        assert!(q.error_estimate < 1e-6);
+    }
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(approx_eq(1e9, 1e9 * (1.0 + 1e-12), 0.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-3, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn rejects_nonpositive_tolerance() {
+        let _ = integrate_adaptive(|t| t, 0.0, 1.0, 0.0, 10);
+    }
+}

@@ -1,0 +1,314 @@
+//! Points and vectors in the local planar frame.
+//!
+//! Coordinates are metres in a locally projected, axis-aligned frame
+//! (easting `x`, northing `y`), matching the paper's `(x, y)` locations
+//! (`IL ≅ IR × IR`).
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the local planar frame, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Easting, metres.
+    pub x: f64,
+    /// Northing, metres.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point2`] values, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Easting component, metres.
+    pub x: f64,
+    /// Northing component, metres.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin of the local frame.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from easting/northing metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    ///
+    /// This is the `dist` function of the paper's Table 1.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root on
+    /// comparison-only paths).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Linear interpolation: `self` at `f = 0`, `other` at `f = 1`.
+    ///
+    /// `f` outside `[0, 1]` extrapolates along the same line, which is the
+    /// behaviour required when evaluating a trajectory segment slightly
+    /// outside its time span due to floating-point rounding.
+    #[inline]
+    pub fn lerp(self, other: Point2, f: f64) -> Point2 {
+        Point2::new(self.x + (other.x - self.x) * f, self.y + (other.y - self.y) * f)
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+
+    /// Both coordinates are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Interprets the point as a displacement from the origin.
+    #[inline]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2 { x: self.x, y: self.y }
+    }
+}
+
+impl Vec2 {
+    /// The zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components in metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm (length), metres.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    ///
+    /// Its absolute value is twice the area of the triangle spanned by the
+    /// two vectors — the quantity behind perpendicular distances.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction, or `None` for the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Counter-clockwise perpendicular vector (rotate by +90°).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Angle of the vector from the +x axis, radians in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Both components are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(5.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point2::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn lerp_extrapolates_outside_unit_interval() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 1.0);
+        assert_eq!(a.lerp(b, 2.0), Point2::new(2.0, 2.0));
+        assert_eq!(a.lerp(b, -1.0), Point2::new(-1.0, -1.0));
+    }
+
+    #[test]
+    fn cross_gives_signed_parallelogram_area() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert_eq!(e1.cross(e2), 1.0);
+        assert_eq!(e2.cross(e1), -1.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let n = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perp_is_orthogonal_and_ccw() {
+        let v = Vec2::new(2.0, 1.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+    }
+
+    #[test]
+    fn vector_arithmetic_roundtrips() {
+        let a = Point2::new(1.5, -2.5);
+        let v = Vec2::new(0.5, 4.0);
+        assert_eq!((a + v) - v, a);
+        assert_eq!((a + v) - a, v);
+        let mut m = a;
+        m += v;
+        m -= v;
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert_eq!(Vec2::new(1.0, 0.0).angle(), 0.0);
+        assert!((Vec2::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(0.0, f64::INFINITY).is_finite());
+    }
+}

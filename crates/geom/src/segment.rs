@@ -1,0 +1,175 @@
+//! Straight line segments and perpendicular-distance operations.
+//!
+//! Classic line generalization (Douglas–Peucker, the opening-window family)
+//! discards a data point based on its *perpendicular* distance to the line
+//! through the current anchor and float points (paper §2). Both the
+//! infinite-line and the clamped-to-segment distance are provided: the
+//! original Douglas–Peucker formulation uses the infinite line, while
+//! spatial indexes and robustness-minded variants prefer the segment
+//! distance.
+
+use crate::point::{Point2, Vec2};
+
+/// A directed straight segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates the segment `a → b`.
+    #[inline]
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length in metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The displacement `b - a`.
+    #[inline]
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Whether the two endpoints coincide exactly.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Point at parameter `f` along the segment (`a` at 0, `b` at 1).
+    #[inline]
+    pub fn point_at(&self, f: f64) -> Point2 {
+        self.a.lerp(self.b, f)
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the *infinite*
+    /// line through the segment. Unclamped; `None` if the segment is
+    /// degenerate.
+    #[inline]
+    pub fn project_param(&self, p: Point2) -> Option<f64> {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq == 0.0 {
+            None
+        } else {
+            Some((p - self.a).dot(d) / len_sq)
+        }
+    }
+
+    /// Perpendicular distance from `p` to the *infinite line* through the
+    /// segment.
+    ///
+    /// This is the discarding criterion of the original Douglas–Peucker
+    /// algorithm \[12\] and of the NOPW/BOPW baselines (paper §2.1–2.2).
+    /// For a degenerate segment the distance to the (single) endpoint is
+    /// returned, which keeps the top-down recursion well-defined on
+    /// trajectories that revisit a location.
+    #[inline]
+    pub fn line_distance(&self, p: Point2) -> f64 {
+        let d = self.direction();
+        let len = d.norm();
+        if len == 0.0 {
+            self.a.distance(p)
+        } else {
+            (d.cross(p - self.a)).abs() / len
+        }
+    }
+
+    /// Distance from `p` to the segment itself (projection clamped to
+    /// `[a, b]`).
+    #[inline]
+    pub fn segment_distance(&self, p: Point2) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Closest point on the segment to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Point2) -> Point2 {
+        match self.project_param(p) {
+            None => self.a,
+            Some(f) => self.point_at(f.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Reversed segment `b → a`.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point2::new(ax, ay), Point2::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_direction() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.direction(), Vec2::new(3.0, 4.0));
+        assert_eq!(s.reversed().direction(), Vec2::new(-3.0, -4.0));
+    }
+
+    #[test]
+    fn line_distance_perpendicular_offset() {
+        // Horizontal segment; point 2 m above it.
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.line_distance(Point2::new(5.0, 2.0)), 2.0);
+        // Same for a point beyond the segment end: the *line* distance
+        // ignores the clamping.
+        assert_eq!(s.line_distance(Point2::new(25.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn segment_distance_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.segment_distance(Point2::new(5.0, 2.0)), 2.0);
+        // Beyond the end: distance to endpoint b = (10,0).
+        let d = s.segment_distance(Point2::new(13.0, 4.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_distances_fall_back_to_point_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert_eq!(s.line_distance(Point2::new(4.0, 5.0)), 5.0);
+        assert_eq!(s.segment_distance(Point2::new(4.0, 5.0)), 5.0);
+        assert!(s.project_param(Point2::new(4.0, 5.0)).is_none());
+        assert_eq!(s.closest_point(Point2::new(4.0, 5.0)), s.a);
+    }
+
+    #[test]
+    fn project_param_is_affine_along_segment() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert_eq!(s.project_param(Point2::new(1.0, 7.0)), Some(0.25));
+        assert_eq!(s.project_param(Point2::new(-4.0, 0.0)), Some(-1.0));
+        assert_eq!(s.project_param(Point2::new(8.0, -3.0)), Some(2.0));
+    }
+
+    #[test]
+    fn closest_point_interior_and_exterior() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point2::new(5.0, 3.0)), Point2::new(5.0, 0.0));
+        assert_eq!(s.closest_point(Point2::new(-5.0, 3.0)), Point2::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point2::new(15.0, 3.0)), Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn point_on_line_has_zero_line_distance() {
+        let s = seg(-3.0, -3.0, 5.0, 5.0);
+        assert!(s.line_distance(Point2::new(100.0, 100.0)) < 1e-9);
+    }
+}

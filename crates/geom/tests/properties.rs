@@ -1,0 +1,127 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use traj_geom::numeric::{approx_eq, integrate_adaptive};
+use traj_geom::{Bbox, GeoPoint, LocalProjection, Point2, Segment};
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Local-frame coordinates within ±100 km: the library's target domain.
+    -1e5..1e5f64
+}
+
+fn point() -> impl Strategy<Value = Point2> {
+    (coord(), coord()).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_symmetric(a in point(), b in point()) {
+        let d = a.distance(b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(approx_eq(d, b.distance(a), 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in point(), b in point(), f in 0.0..1.0f64) {
+        let p = a.lerp(b, f);
+        let seg = Segment::new(a, b);
+        prop_assert!(seg.segment_distance(p) < 1e-6);
+    }
+
+    #[test]
+    fn line_distance_le_segment_distance(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        prop_assert!(s.line_distance(p) <= s.segment_distance(p) + 1e-6);
+    }
+
+    #[test]
+    fn closest_point_is_at_segment_distance(a in point(), b in point(), p in point()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(p);
+        prop_assert!(approx_eq(c.distance(p), s.segment_distance(p), 1e-6, 1e-9));
+        // No vertex is closer than the closest point.
+        prop_assert!(c.distance(p) <= s.a.distance(p) + 1e-6);
+        prop_assert!(c.distance(p) <= s.b.distance(p) + 1e-6);
+    }
+
+    #[test]
+    fn bbox_union_contains_both(a in point(), b in point(), c in point(), d in point()) {
+        let b1 = Bbox::from_corners(a, b);
+        let b2 = Bbox::from_corners(c, d);
+        let u = b1.union(&b2);
+        prop_assert!(u.contains(a) && u.contains(b) && u.contains(c) && u.contains(d));
+        prop_assert!(u.area() + 1e-9 >= b1.area().max(b2.area()));
+    }
+
+    #[test]
+    fn bbox_intersects_is_symmetric(a in point(), b in point(), c in point(), d in point()) {
+        let b1 = Bbox::from_corners(a, b);
+        let b2 = Bbox::from_corners(c, d);
+        prop_assert_eq!(b1.intersects(&b2), b2.intersects(&b1));
+    }
+
+    #[test]
+    fn projection_roundtrip(lat in 50.0..54.0f64, lon in 5.0..8.0f64) {
+        let proj = LocalProjection::new(GeoPoint::new(52.0, 6.5));
+        let g = GeoPoint::new(lat, lon);
+        let back = proj.to_geo(proj.to_plane(g));
+        prop_assert!((back.lat_deg - g.lat_deg).abs() < 1e-9);
+        prop_assert!((back.lon_deg - g.lon_deg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_distance_close_to_haversine(
+        dlat in -0.1..0.1f64, dlon in -0.1..0.1f64
+    ) {
+        let origin = GeoPoint::new(52.0, 6.5);
+        let proj = LocalProjection::new(origin);
+        let g = GeoPoint::new(52.0 + dlat, 6.5 + dlon);
+        let planar = proj.to_plane(g).distance(Point2::ORIGIN);
+        let sphere = origin.haversine_distance(g);
+        prop_assert!(approx_eq(planar, sphere, 2.0, 1e-3), "planar={planar} sphere={sphere}");
+    }
+
+    /// Liang–Barsky segment/box intersection agrees with dense sampling:
+    /// if any sampled point of the segment lies in the box, the test must
+    /// report an intersection (soundness direction; the converse can
+    /// fail only for grazing hits finer than the sampling).
+    #[test]
+    fn segment_box_intersection_is_sound(a in point(), b in point(), c in point(), d in point()) {
+        let bbox = Bbox::from_corners(c, d);
+        let seg = Segment::new(a, b);
+        let mut sampled_hit = false;
+        for k in 0..=64 {
+            if bbox.contains(a.lerp(b, k as f64 / 64.0)) {
+                sampled_hit = true;
+                break;
+            }
+        }
+        if sampled_hit {
+            prop_assert!(bbox.intersects_segment(&seg), "sampled hit but intersection denied");
+        }
+        // And the exact test is never *wrong* the other way: when it
+        // reports an intersection, the closest approach of the segment to
+        // the box is (numerically) zero.
+        if bbox.intersects_segment(&seg) {
+            let closest = (0..=256)
+                .map(|k| bbox.distance_to(a.lerp(b, k as f64 / 256.0)))
+                .fold(f64::INFINITY, f64::min);
+            // Coarse bound: sampling can miss the exact touching point by
+            // up to half a step of the segment length.
+            let step = a.distance(b) / 256.0;
+            prop_assert!(closest <= step + 1e-6, "claimed hit but min distance {closest}");
+        }
+    }
+
+    #[test]
+    fn quadrature_linearity(a in -10.0..10.0f64, b in -10.0..10.0f64) {
+        // ∫ (a·t + b) dt over [0, 2] = 2a + 2b.
+        let q = integrate_adaptive(|t| a * t + b, 0.0, 2.0, 1e-10, 30);
+        prop_assert!(approx_eq(q.value, 2.0 * a + 2.0 * b, 1e-7, 1e-9));
+    }
+}

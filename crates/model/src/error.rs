@@ -1,0 +1,98 @@
+//! Error types for trajectory construction and I/O.
+
+use std::fmt;
+
+/// Errors raised when constructing, transforming or parsing trajectories.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A trajectory needs at least `required` fixes but `actual` were
+    /// given.
+    TooShort {
+        /// Minimum number of fixes required by the operation.
+        required: usize,
+        /// Number of fixes actually supplied.
+        actual: usize,
+    },
+    /// Timestamps must be strictly increasing; violated at `index`.
+    NonMonotonicTime {
+        /// Index of the offending fix (the one not later than its
+        /// predecessor).
+        index: usize,
+    },
+    /// A fix contains a NaN or infinite coordinate/timestamp.
+    NonFinite {
+        /// Index of the offending fix.
+        index: usize,
+    },
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TooShort { required, actual } => {
+                write!(f, "trajectory too short: needs {required} fixes, got {actual}")
+            }
+            ModelError::NonMonotonicTime { index } => {
+                write!(f, "timestamps must be strictly increasing (violation at fix {index})")
+            }
+            ModelError::NonFinite { index } => {
+                write!(f, "non-finite coordinate or timestamp at fix {index}")
+            }
+            ModelError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            ModelError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            ModelError::TooShort { required: 2, actual: 1 }.to_string(),
+            ModelError::NonMonotonicTime { index: 3 }.to_string(),
+            ModelError::NonFinite { index: 7 }.to_string(),
+            ModelError::Parse { line: 4, reason: "bad float".into() }.to_string(),
+        ];
+        assert!(msgs[0].contains("2") && msgs[0].contains("1"));
+        assert!(msgs[1].contains("fix 3"));
+        assert!(msgs[2].contains("fix 7"));
+        assert!(msgs[3].contains("line 4") && msgs[3].contains("bad float"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = ModelError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

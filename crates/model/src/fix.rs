@@ -1,0 +1,143 @@
+//! A single time-stamped position sample.
+
+use crate::time::{TimeDelta, Timestamp};
+use traj_geom::Point2;
+
+/// One GPS-style sample `⟨t, x, y⟩` — the paper's data point `d : T × IL`
+/// with `d_t` and `d_loc` projections (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fix {
+    /// Sample instant (`d_t`).
+    pub t: Timestamp,
+    /// Sampled position (`d_loc`).
+    pub pos: Point2,
+}
+
+impl Fix {
+    /// Creates a fix from an instant and position.
+    #[inline]
+    pub const fn new(t: Timestamp, pos: Point2) -> Self {
+        Fix { t, pos }
+    }
+
+    /// Convenience constructor from raw seconds and metre coordinates.
+    #[inline]
+    pub const fn from_parts(t_secs: f64, x: f64, y: f64) -> Self {
+        Fix { t: Timestamp::from_secs(t_secs), pos: Point2::new(x, y) }
+    }
+
+    /// Whether both timestamp and position are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.t.is_finite() && self.pos.is_finite()
+    }
+
+    /// Derived (average) speed from `self` to `next`, metres/second.
+    ///
+    /// This is the paper's `v_i = dist(s[i+1]_loc, s[i]_loc) / (s[i+1]_t -
+    /// s[i]_t)` — speeds are *derived from timestamps and positions*, not
+    /// measured (§3.3). Returns `None` when the two fixes share a
+    /// timestamp.
+    #[inline]
+    pub fn speed_to(&self, next: &Fix) -> Option<f64> {
+        let dt = (next.t - self.t).as_secs();
+        if dt == 0.0 {
+            None
+        } else {
+            Some(self.pos.distance(next.pos) / dt.abs())
+        }
+    }
+
+    /// Time elapsed from `self` to `other` (negative if `other` is
+    /// earlier).
+    #[inline]
+    pub fn time_to(&self, other: &Fix) -> TimeDelta {
+        other.t - self.t
+    }
+
+    /// The position of an object travelling linearly from `a` to `b`, at
+    /// time `t` — the paper's equations (1)–(2):
+    ///
+    /// ```text
+    /// x' = x_s + Δi/Δe · (x_e − x_s),   y' = y_s + Δi/Δe · (y_e − y_s)
+    /// ```
+    ///
+    /// `t` outside `[a.t, b.t]` extrapolates along the same motion. When
+    /// `a` and `b` share a timestamp the position of `a` is returned (the
+    /// degenerate segment carries no motion).
+    #[inline]
+    pub fn interpolate(a: &Fix, b: &Fix, t: Timestamp) -> Point2 {
+        match t.ratio_within(a.t, b.t) {
+            Some(f) => a.pos.lerp(b.pos, f),
+            None => a.pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_is_distance_over_time() {
+        let a = Fix::from_parts(0.0, 0.0, 0.0);
+        let b = Fix::from_parts(10.0, 30.0, 40.0);
+        assert_eq!(a.speed_to(&b), Some(5.0));
+        // Symmetric in magnitude.
+        assert_eq!(b.speed_to(&a), Some(5.0));
+    }
+
+    #[test]
+    fn speed_with_zero_dt_is_none() {
+        let a = Fix::from_parts(5.0, 0.0, 0.0);
+        let b = Fix::from_parts(5.0, 10.0, 0.0);
+        assert_eq!(a.speed_to(&b), None);
+    }
+
+    #[test]
+    fn interpolate_matches_paper_equations() {
+        // Ps = (ts=0, 0, 0), Pe = (te=100, 100, 50); at ti=25 the
+        // approximated position is (25, 12.5).
+        let ps = Fix::from_parts(0.0, 0.0, 0.0);
+        let pe = Fix::from_parts(100.0, 100.0, 50.0);
+        let p = Fix::interpolate(&ps, &pe, Timestamp::from_secs(25.0));
+        assert_eq!(p, Point2::new(25.0, 12.5));
+    }
+
+    #[test]
+    fn interpolate_at_endpoints() {
+        let a = Fix::from_parts(10.0, 1.0, 2.0);
+        let b = Fix::from_parts(20.0, 3.0, 4.0);
+        assert_eq!(Fix::interpolate(&a, &b, a.t), a.pos);
+        assert_eq!(Fix::interpolate(&a, &b, b.t), b.pos);
+    }
+
+    #[test]
+    fn interpolate_extrapolates() {
+        let a = Fix::from_parts(0.0, 0.0, 0.0);
+        let b = Fix::from_parts(10.0, 10.0, 0.0);
+        assert_eq!(Fix::interpolate(&a, &b, Timestamp::from_secs(20.0)), Point2::new(20.0, 0.0));
+    }
+
+    #[test]
+    fn interpolate_degenerate_interval_returns_first() {
+        let a = Fix::from_parts(5.0, 1.0, 1.0);
+        let b = Fix::from_parts(5.0, 9.0, 9.0);
+        assert_eq!(Fix::interpolate(&a, &b, Timestamp::from_secs(5.0)), a.pos);
+    }
+
+    #[test]
+    fn time_to_is_signed() {
+        let a = Fix::from_parts(10.0, 0.0, 0.0);
+        let b = Fix::from_parts(25.0, 0.0, 0.0);
+        assert_eq!(a.time_to(&b).as_secs(), 15.0);
+        assert_eq!(b.time_to(&a).as_secs(), -15.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Fix::from_parts(0.0, 1.0, 2.0).is_finite());
+        assert!(!Fix::from_parts(f64::NAN, 1.0, 2.0).is_finite());
+        assert!(!Fix::from_parts(0.0, f64::INFINITY, 2.0).is_finite());
+    }
+}

@@ -1,0 +1,133 @@
+//! Piecewise-linear interpolation along a trajectory.
+//!
+//! Implements the paper's `loc : IP → (T ⇸ IL)` (§4.2): for a trajectory
+//! `p`, `loc(p)` is a partial function defined on `[p[1]_t, p[len(p)]_t]`
+//! that linearly interpolates between consecutive fixes, and — for a single
+//! segment — follows equations (1)–(2) of §3.2.
+
+use crate::fix::Fix;
+use crate::time::Timestamp;
+use crate::trajectory::Trajectory;
+use traj_geom::Point2;
+
+/// Position of the object at time `t`, or `None` outside the trajectory's
+/// time span — the paper's partial function `loc(p)`.
+///
+/// `O(log n)` via binary search over the fix timestamps.
+pub fn position_at(traj: &Trajectory, t: Timestamp) -> Option<Point2> {
+    if !traj.covers(t) {
+        return None;
+    }
+    let i = traj.index_at(t).expect("covers(t) implies an index");
+    let fixes = traj.fixes();
+    if i + 1 == fixes.len() {
+        // t equals the final timestamp.
+        return Some(fixes[i].pos);
+    }
+    Some(Fix::interpolate(&fixes[i], &fixes[i + 1], t))
+}
+
+/// Positions at each of `times` (which must be sorted ascending), in a
+/// single forward sweep — `O(n + m)` instead of `O(m log n)`.
+///
+/// Times outside the trajectory's span yield `None` entries.
+pub fn positions_at_sorted(traj: &Trajectory, times: &[Timestamp]) -> Vec<Option<Point2>> {
+    let fixes = traj.fixes();
+    let mut out = Vec::with_capacity(times.len());
+    let mut seg = 0usize;
+    for &t in times {
+        if !traj.covers(t) {
+            out.push(None);
+            continue;
+        }
+        while seg + 1 < fixes.len() && fixes[seg + 1].t < t {
+            seg += 1;
+        }
+        if seg + 1 == fixes.len() {
+            out.push(Some(fixes[seg].pos));
+        } else {
+            out.push(Some(Fix::interpolate(&fixes[seg], &fixes[seg + 1], t)));
+        }
+    }
+    out
+}
+
+/// Distance between two synchronously travelling objects at time `t`, or
+/// `None` if either trajectory does not cover `t`.
+///
+/// This is the integrand of the paper's average synchronous error (§4.2):
+/// `dist(loc(p, t), loc(a, t))`.
+pub fn synchronous_distance(p: &Trajectory, a: &Trajectory, t: Timestamp) -> Option<f64> {
+    Some(position_at(p, t)?.distance(position_at(a, t)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (30.0, 100.0, 200.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn position_at_vertices() {
+        let t = traj();
+        assert_eq!(position_at(&t, Timestamp::from_secs(0.0)), Some(Point2::new(0.0, 0.0)));
+        assert_eq!(position_at(&t, Timestamp::from_secs(10.0)), Some(Point2::new(100.0, 0.0)));
+        assert_eq!(position_at(&t, Timestamp::from_secs(30.0)), Some(Point2::new(100.0, 200.0)));
+    }
+
+    #[test]
+    fn position_at_interior_points() {
+        let t = traj();
+        assert_eq!(position_at(&t, Timestamp::from_secs(5.0)), Some(Point2::new(50.0, 0.0)));
+        assert_eq!(position_at(&t, Timestamp::from_secs(20.0)), Some(Point2::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn position_outside_span_is_none() {
+        let t = traj();
+        assert_eq!(position_at(&t, Timestamp::from_secs(-0.1)), None);
+        assert_eq!(position_at(&t, Timestamp::from_secs(30.1)), None);
+    }
+
+    #[test]
+    fn single_fix_trajectory_is_defined_at_its_instant_only() {
+        let t = Trajectory::from_triples([(5.0, 7.0, 8.0)]).unwrap();
+        assert_eq!(position_at(&t, Timestamp::from_secs(5.0)), Some(Point2::new(7.0, 8.0)));
+        assert_eq!(position_at(&t, Timestamp::from_secs(5.1)), None);
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_queries() {
+        let t = traj();
+        let times: Vec<Timestamp> =
+            (-2..35).map(|s| Timestamp::from_secs(s as f64)).collect();
+        let swept = positions_at_sorted(&t, &times);
+        for (ts, got) in times.iter().zip(&swept) {
+            assert_eq!(*got, position_at(&t, *ts), "at t={ts}");
+        }
+    }
+
+    #[test]
+    fn synchronous_distance_between_parallel_trajectories() {
+        let p = traj();
+        // Same motion shifted 3 m east.
+        let a = Trajectory::from_triples([
+            (0.0, 3.0, 0.0),
+            (10.0, 103.0, 0.0),
+            (30.0, 103.0, 200.0),
+        ])
+        .unwrap();
+        for s in [0.0, 5.0, 10.0, 20.0, 30.0] {
+            let d = synchronous_distance(&p, &a, Timestamp::from_secs(s)).unwrap();
+            assert!((d - 3.0).abs() < 1e-9, "at {s}: {d}");
+        }
+        assert_eq!(synchronous_distance(&p, &a, Timestamp::from_secs(31.0)), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Trajectory model for moving point objects.
+//!
+//! A *trajectory* is a finite sequence of time-stamped positions — the
+//! paper's `IP ≅ seq (T × IL)` — interpreted as a piecewise-linear path in
+//! space-time. This crate provides:
+//!
+//! * [`Timestamp`] / [`TimeDelta`] — the time axis `T ≅ IR` (seconds);
+//! * [`Fix`] — one time-stamped position sample `⟨t, x, y⟩`;
+//! * [`Trajectory`] — a validated series with strictly increasing
+//!   timestamps, plus slicing (`p[k, m]`), concatenation (`++`) and
+//!   iteration, mirroring the paper's Table 1 vocabulary;
+//! * [`interp`] — the piecewise-linear `loc(p, t)` of §4.2 and the
+//!   time-ratio synchronized position of §3.2 (eqs. 1–2);
+//! * [`stats`] — per-trajectory and per-dataset statistics (Table 2);
+//! * [`ops`] — resampling, time slicing and related transformations;
+//! * [`io`] — a plain-text `t,x,y` CSV format for interchange.
+
+pub mod error;
+pub mod fix;
+pub mod interp;
+pub mod io;
+pub mod ops;
+pub mod spline;
+pub mod stats;
+pub mod time;
+pub mod trajectory;
+
+pub use error::ModelError;
+pub use fix::Fix;
+pub use stats::{DatasetStats, MeanStd, TrajectoryStats};
+pub use time::{TimeDelta, Timestamp};
+pub use trajectory::Trajectory;

@@ -1,0 +1,189 @@
+//! Trajectory transformations: resampling, time slicing, shifting.
+
+use crate::error::ModelError;
+use crate::fix::Fix;
+use crate::interp::position_at;
+use crate::time::{TimeDelta, Timestamp};
+use crate::trajectory::Trajectory;
+use traj_geom::Vec2;
+
+/// Resamples `traj` at a fixed `interval`, starting at its first timestamp.
+///
+/// The final original fix is always included (possibly at an irregular
+/// last interval), so the resampled trajectory spans the same time range.
+/// Positions are linear interpolations on the original path.
+///
+/// # Errors
+/// Returns [`ModelError::TooShort`] if `traj` has fewer than 2 fixes, and
+/// panics if `interval` is not strictly positive (a programming error).
+pub fn resample(traj: &Trajectory, interval: TimeDelta) -> Result<Trajectory, ModelError> {
+    assert!(interval.is_positive(), "resample interval must be > 0");
+    if traj.len() < 2 {
+        return Err(ModelError::TooShort { required: 2, actual: traj.len() });
+    }
+    let start = traj.start_time();
+    let end = traj.end_time();
+    let mut fixes = Vec::new();
+    let mut t = start;
+    while t < end {
+        let pos = position_at(traj, t).expect("t within span");
+        fixes.push(Fix::new(t, pos));
+        t += interval;
+    }
+    fixes.push(*traj.last());
+    Trajectory::new(fixes)
+}
+
+/// The part of `traj` within `[t0, t1]`, with interpolated boundary fixes.
+///
+/// Returns `None` when the requested window does not overlap the
+/// trajectory's span in an interval of positive length, or `t0 >= t1`.
+pub fn slice_time(traj: &Trajectory, t0: Timestamp, t1: Timestamp) -> Option<Trajectory> {
+    if !t0.is_finite() || !t1.is_finite() || t1 <= t0 {
+        return None;
+    }
+    let lo = if t0 > traj.start_time() { t0 } else { traj.start_time() };
+    let hi = if t1 < traj.end_time() { t1 } else { traj.end_time() };
+    if hi <= lo {
+        return None;
+    }
+    let mut fixes = Vec::new();
+    fixes.push(Fix::new(lo, position_at(traj, lo)?));
+    for f in traj.fixes() {
+        if f.t > lo && f.t < hi {
+            fixes.push(*f);
+        }
+    }
+    fixes.push(Fix::new(hi, position_at(traj, hi)?));
+    Some(Trajectory::new(fixes).expect("slice preserves monotonicity"))
+}
+
+/// The trajectory with all timestamps shifted by `dt`.
+pub fn shift_time(traj: &Trajectory, dt: TimeDelta) -> Trajectory {
+    let fixes = traj.fixes().iter().map(|f| Fix::new(f.t + dt, f.pos)).collect();
+    Trajectory::new(fixes).expect("shift preserves monotonicity")
+}
+
+/// The trajectory with all positions translated by `v`.
+pub fn translate(traj: &Trajectory, v: Vec2) -> Trajectory {
+    let fixes = traj.fixes().iter().map(|f| Fix::new(f.t, f.pos + v)).collect();
+    Trajectory::new(fixes).expect("translation preserves monotonicity")
+}
+
+/// Splits `traj` wherever the gap between consecutive fixes exceeds
+/// `max_gap`, yielding the maximal connected pieces.
+///
+/// Useful for raw GPS logs where the receiver lost signal: the compression
+/// algorithms assume a continuously observed object, so large gaps should
+/// become trajectory boundaries.
+pub fn split_on_gaps(traj: &Trajectory, max_gap: TimeDelta) -> Vec<Trajectory> {
+    assert!(max_gap.is_positive(), "max_gap must be > 0");
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let fixes = traj.fixes();
+    for i in 1..fixes.len() {
+        if fixes[i].t - fixes[i - 1].t > max_gap {
+            parts.push(traj.subseries(start, i - 1));
+            start = i;
+        }
+    }
+    parts.push(traj.subseries(start, fixes.len() - 1));
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_geom::Point2;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (25.0, 100.0, 150.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn resample_regular_grid_keeps_endpoints() {
+        let r = resample(&traj(), TimeDelta::from_secs(5.0)).unwrap();
+        let times: Vec<f64> = r.fixes().iter().map(|f| f.t.as_secs()).collect();
+        assert_eq!(times, vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0]);
+        assert_eq!(r.get(1).unwrap().pos, Point2::new(50.0, 0.0));
+        assert_eq!(r.last().pos, Point2::new(100.0, 150.0));
+    }
+
+    #[test]
+    fn resample_irregular_tail() {
+        // Interval 7 s over 25 s span: samples at 0,7,14,21 then the final
+        // fix at 25.
+        let r = resample(&traj(), TimeDelta::from_secs(7.0)).unwrap();
+        let times: Vec<f64> = r.fixes().iter().map(|f| f.t.as_secs()).collect();
+        assert_eq!(times, vec![0.0, 7.0, 14.0, 21.0, 25.0]);
+    }
+
+    #[test]
+    fn resample_too_short_errors() {
+        let single = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        assert!(matches!(
+            resample(&single, TimeDelta::from_secs(1.0)),
+            Err(ModelError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_interpolates_boundaries() {
+        let s = slice_time(&traj(), Timestamp::from_secs(5.0), Timestamp::from_secs(17.5))
+            .unwrap();
+        assert_eq!(s.first().t.as_secs(), 5.0);
+        assert_eq!(s.first().pos, Point2::new(50.0, 0.0));
+        assert_eq!(s.last().t.as_secs(), 17.5);
+        assert_eq!(s.last().pos, Point2::new(100.0, 75.0));
+        // Interior original vertex at t=10 retained.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn slice_clamps_to_span_and_rejects_disjoint() {
+        let t = traj();
+        let s = slice_time(&t, Timestamp::from_secs(-100.0), Timestamp::from_secs(100.0))
+            .unwrap();
+        assert_eq!(s.first().t, t.start_time());
+        assert_eq!(s.last().t, t.end_time());
+        assert!(slice_time(&t, Timestamp::from_secs(30.0), Timestamp::from_secs(40.0)).is_none());
+        assert!(slice_time(&t, Timestamp::from_secs(5.0), Timestamp::from_secs(5.0)).is_none());
+    }
+
+    #[test]
+    fn shift_and_translate_are_rigid() {
+        let t = traj();
+        let shifted = shift_time(&t, TimeDelta::from_secs(100.0));
+        assert_eq!(shifted.start_time().as_secs(), 100.0);
+        assert_eq!(shifted.duration(), t.duration());
+        let moved = translate(&t, Vec2::new(10.0, -5.0));
+        assert_eq!(moved.first().pos, Point2::new(10.0, -5.0));
+        let s_orig = crate::stats::TrajectoryStats::of(&t);
+        let s_moved = crate::stats::TrajectoryStats::of(&moved);
+        assert!((s_orig.length_m - s_moved.length_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_on_gaps_partitions() {
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 1.0, 0.0),
+            (200.0, 2.0, 0.0), // 190 s gap
+            (210.0, 3.0, 0.0),
+        ])
+        .unwrap();
+        let parts = split_on_gaps(&t, TimeDelta::from_secs(60.0));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 2);
+        // No gap: single part.
+        let whole = split_on_gaps(&t, TimeDelta::from_secs(1000.0));
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 4);
+    }
+}

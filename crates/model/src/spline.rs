@@ -1,0 +1,225 @@
+//! Catmull–Rom spline interpolation along a trajectory.
+//!
+//! The paper closes with: "Piecewise linear interpolation was used as
+//! the approximation technique. Considering that other measurements such
+//! as momentaneous speed and direction values are sometimes available,
+//! other, more advanced, interpolation techniques and consequently other
+//! error notions can be defined." (§5.)
+//!
+//! This module supplies that extension: a time-parameterized
+//! **Catmull–Rom** (cubic Hermite) interpolant through the sample
+//! points. Tangents are the standard three-point finite differences on
+//! the non-uniform time grid, so the curve
+//!
+//! * passes through every fix at its timestamp,
+//! * is C¹ (continuous velocity — a physical object does not teleport
+//!   its velocity the way the piecewise-linear model assumes),
+//! * degenerates to the linear interpolant on collinear constant-speed
+//!   samples.
+//!
+//! `traj-compress` builds the companion error notion
+//! (`spline_synchronous_error`) on top: original motion evaluated under
+//! this interpolant versus the (still piecewise-linear) compressed
+//! approximation.
+
+use crate::time::Timestamp;
+use crate::trajectory::Trajectory;
+use traj_geom::{Point2, Vec2};
+
+/// Velocity (tangent) estimate at fix `i` by non-uniform finite
+/// differences: central where possible, one-sided at the ends.
+fn tangent(traj: &Trajectory, i: usize) -> Vec2 {
+    let f = traj.fixes();
+    let n = f.len();
+    debug_assert!(n >= 2);
+    if i == 0 {
+        let dt = (f[1].t - f[0].t).as_secs();
+        (f[1].pos - f[0].pos) / dt
+    } else if i + 1 == n {
+        let dt = (f[n - 1].t - f[n - 2].t).as_secs();
+        (f[n - 1].pos - f[n - 2].pos) / dt
+    } else {
+        // Non-uniform central difference (Fritsch–Butland style simple
+        // weighted form): exact for quadratic motion in t.
+        let t0 = f[i - 1].t.as_secs();
+        let t1 = f[i].t.as_secs();
+        let t2 = f[i + 1].t.as_secs();
+        let d01 = (f[i].pos - f[i - 1].pos) / (t1 - t0);
+        let d12 = (f[i + 1].pos - f[i].pos) / (t2 - t1);
+        let w = (t1 - t0) / (t2 - t0);
+        d01 * (1.0 - w) + d12 * w
+    }
+}
+
+/// Position at `t` under the Catmull–Rom interpolant, or `None` outside
+/// the trajectory's time span.
+///
+/// For trajectories of fewer than 3 fixes the interpolant coincides with
+/// the linear one.
+pub fn spline_position_at(traj: &Trajectory, t: Timestamp) -> Option<Point2> {
+    if !traj.covers(t) {
+        return None;
+    }
+    let f = traj.fixes();
+    if f.len() < 3 {
+        return crate::interp::position_at(traj, t);
+    }
+    let i = traj.index_at(t).expect("covers(t)");
+    if i + 1 == f.len() {
+        return Some(f[i].pos);
+    }
+    let (a, b) = (&f[i], &f[i + 1]);
+    let h = (b.t - a.t).as_secs();
+    let s = (t - a.t).as_secs() / h;
+    // Cubic Hermite basis on [0, 1] with tangents scaled by h.
+    let m0 = tangent(traj, i) * h;
+    let m1 = tangent(traj, i + 1) * h;
+    let s2 = s * s;
+    let s3 = s2 * s;
+    let h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+    let h10 = s3 - 2.0 * s2 + s;
+    let h01 = -2.0 * s3 + 3.0 * s2;
+    let h11 = s3 - s2;
+    Some(Point2::new(
+        h00 * a.pos.x + h10 * m0.x + h01 * b.pos.x + h11 * m1.x,
+        h00 * a.pos.y + h10 * m0.y + h01 * b.pos.y + h11 * m1.y,
+    ))
+}
+
+/// Instantaneous velocity at `t` under the Catmull–Rom interpolant, or
+/// `None` outside the time span. At a vertex this is the (single,
+/// continuous) tangent — unlike the linear model, which is two-valued
+/// there.
+pub fn spline_velocity_at(traj: &Trajectory, t: Timestamp) -> Option<Vec2> {
+    if !traj.covers(t) {
+        return None;
+    }
+    let f = traj.fixes();
+    if f.len() < 2 {
+        return Some(Vec2::ZERO);
+    }
+    if f.len() < 3 {
+        let dt = (f[1].t - f[0].t).as_secs();
+        return Some((f[1].pos - f[0].pos) / dt);
+    }
+    let i = traj.index_at(t).expect("covers(t)");
+    if i + 1 == f.len() {
+        return Some(tangent(traj, i));
+    }
+    let (a, b) = (&f[i], &f[i + 1]);
+    let h = (b.t - a.t).as_secs();
+    let s = (t - a.t).as_secs() / h;
+    let m0 = tangent(traj, i) * h;
+    let m1 = tangent(traj, i + 1) * h;
+    let s2 = s * s;
+    // Derivatives of the Hermite basis, divided by h (chain rule).
+    let dh00 = (6.0 * s2 - 6.0 * s) / h;
+    let dh10 = (3.0 * s2 - 4.0 * s + 1.0) / h;
+    let dh01 = (-6.0 * s2 + 6.0 * s) / h;
+    let dh11 = (3.0 * s2 - 2.0 * s) / h;
+    Some(Vec2::new(
+        dh00 * a.pos.x + dh10 * m0.x + dh01 * b.pos.x + dh11 * m1.x,
+        dh00 * a.pos.y + dh10 * m0.y + dh01 * b.pos.y + dh11 * m1.y,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curved() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 180.0, 60.0),
+            (30.0, 220.0, 160.0),
+            (40.0, 220.0, 280.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_through_every_fix() {
+        let t = curved();
+        for f in t.fixes() {
+            let p = spline_position_at(&t, f.t).unwrap();
+            assert!(p.distance(f.pos) < 1e-9, "at {}: {:?} vs {:?}", f.t, p, f.pos);
+        }
+    }
+
+    #[test]
+    fn collinear_constant_speed_matches_linear() {
+        let t = Trajectory::from_triples((0..6).map(|i| (i as f64 * 10.0, i as f64 * 70.0, 0.0)))
+            .unwrap();
+        for s in [5.0, 12.5, 37.0, 48.0] {
+            let ts = Timestamp::from_secs(s);
+            let lin = crate::interp::position_at(&t, ts).unwrap();
+            let spl = spline_position_at(&t, ts).unwrap();
+            assert!(lin.distance(spl) < 1e-9, "at {s}: {lin:?} vs {spl:?}");
+        }
+    }
+
+    #[test]
+    fn exact_for_quadratic_motion() {
+        // x(t) = t², sampled non-uniformly: central differences are exact
+        // for quadratics, so the Hermite interpolant reproduces the curve
+        // on interior segments.
+        let times = [0.0, 1.0, 2.5, 4.0, 5.0, 7.0];
+        let t = Trajectory::from_triples(times.iter().map(|&s| (s, s * s, 0.0))).unwrap();
+        // Check interior segments only (boundary tangents are one-sided).
+        for s in [1.5, 3.0, 4.5] {
+            let p = spline_position_at(&t, Timestamp::from_secs(s)).unwrap();
+            assert!(
+                (p.x - s * s).abs() < 1e-9,
+                "at {s}: {} vs {}",
+                p.x,
+                s * s
+            );
+        }
+    }
+
+    #[test]
+    fn velocity_is_continuous_at_vertices() {
+        let t = curved();
+        for f in &t.fixes()[1..t.len() - 1] {
+            let before = spline_velocity_at(&t, f.t - crate::time::TimeDelta::from_secs(1e-7))
+                .unwrap();
+            let at = spline_velocity_at(&t, f.t).unwrap();
+            assert!(
+                (before - at).norm() < 1e-3,
+                "velocity jump at {}: {:?} vs {:?}",
+                f.t,
+                before,
+                at
+            );
+        }
+    }
+
+    #[test]
+    fn outside_span_is_none() {
+        let t = curved();
+        assert!(spline_position_at(&t, Timestamp::from_secs(-1.0)).is_none());
+        assert!(spline_position_at(&t, Timestamp::from_secs(41.0)).is_none());
+        assert!(spline_velocity_at(&t, Timestamp::from_secs(41.0)).is_none());
+    }
+
+    #[test]
+    fn two_fix_trajectory_falls_back_to_linear() {
+        let t = Trajectory::from_triples([(0.0, 0.0, 0.0), (10.0, 100.0, 50.0)]).unwrap();
+        let p = spline_position_at(&t, Timestamp::from_secs(5.0)).unwrap();
+        assert!(p.distance(Point2::new(50.0, 25.0)) < 1e-9);
+        let v = spline_velocity_at(&t, Timestamp::from_secs(5.0)).unwrap();
+        assert!((v - Vec2::new(10.0, 5.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn deviates_from_linear_on_curves() {
+        // On a genuine curve the spline must cut the corner differently
+        // from the chord.
+        let t = curved();
+        let ts = Timestamp::from_secs(15.0);
+        let lin = crate::interp::position_at(&t, ts).unwrap();
+        let spl = spline_position_at(&t, ts).unwrap();
+        assert!(lin.distance(spl) > 0.5, "spline suspiciously linear: {}", lin.distance(spl));
+    }
+}

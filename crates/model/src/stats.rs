@@ -1,0 +1,269 @@
+//! Trajectory and dataset statistics (the paper's Table 2).
+//!
+//! Table 2 reports, over ten car trajectories: duration, average speed,
+//! length, displacement and number of data points — each as mean ±
+//! standard deviation. [`TrajectoryStats`] computes the per-trajectory
+//! values; [`DatasetStats`] aggregates them.
+
+use crate::time::TimeDelta;
+use crate::trajectory::Trajectory;
+use traj_geom::polyline_length;
+
+/// Summary statistics of a single trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryStats {
+    /// Total time span.
+    pub duration: TimeDelta,
+    /// Path length along the piecewise-linear trajectory, metres.
+    pub length_m: f64,
+    /// Straight-line distance between first and last position, metres.
+    pub displacement_m: f64,
+    /// Mean travel speed `length / duration`, metres/second (zero for a
+    /// zero-duration trajectory).
+    pub avg_speed_ms: f64,
+    /// Largest derived per-segment speed, metres/second.
+    pub max_speed_ms: f64,
+    /// Number of data points.
+    pub n_points: usize,
+    /// Mean sampling interval, seconds (zero for a single point).
+    pub mean_interval_s: f64,
+}
+
+impl TrajectoryStats {
+    /// Computes the statistics of `traj`.
+    pub fn of(traj: &Trajectory) -> Self {
+        let positions: Vec<_> = traj.positions().collect();
+        let length_m = polyline_length(&positions);
+        let duration = traj.duration();
+        let dur_s = duration.as_secs();
+        let avg_speed_ms = if dur_s > 0.0 { length_m / dur_s } else { 0.0 };
+        let max_speed_ms = traj
+            .segments()
+            .filter_map(|(a, b)| a.speed_to(b))
+            .fold(0.0f64, f64::max);
+        let n = traj.len();
+        let mean_interval_s = if n > 1 { dur_s / (n - 1) as f64 } else { 0.0 };
+        TrajectoryStats {
+            duration,
+            length_m,
+            displacement_m: traj.first().pos.distance(traj.last().pos),
+            avg_speed_ms,
+            max_speed_ms,
+            n_points: n,
+            mean_interval_s,
+        }
+    }
+
+    /// Average speed in km/h (the unit of Table 2).
+    #[inline]
+    pub fn avg_speed_kmh(&self) -> f64 {
+        self.avg_speed_ms * 3.6
+    }
+
+    /// Length in km (the unit of Table 2).
+    #[inline]
+    pub fn length_km(&self) -> f64 {
+        self.length_m / 1000.0
+    }
+
+    /// Displacement in km (the unit of Table 2).
+    #[inline]
+    pub fn displacement_km(&self) -> f64 {
+        self.displacement_m / 1000.0
+    }
+}
+
+/// Derived per-segment speeds, m/s — the paper's `vᵢ` series (§3.3),
+/// one entry per segment. Empty for single-fix trajectories.
+pub fn speed_series(traj: &Trajectory) -> Vec<f64> {
+    traj.segments().filter_map(|(a, b)| a.speed_to(b)).collect()
+}
+
+/// Absolute heading change at every interior fix, radians in `[0, π]` —
+/// the angularity signal behind Jenks-style simplification and the
+/// movers' behavioural tests. Degenerate (zero-length) segments
+/// contribute a zero change.
+pub fn heading_change_series(traj: &Trajectory) -> Vec<f64> {
+    let fixes = traj.fixes();
+    fixes
+        .windows(3)
+        .map(|w| {
+            let v1 = w[1].pos - w[0].pos;
+            let v2 = w[2].pos - w[1].pos;
+            if v1.norm_sq() == 0.0 || v2.norm_sq() == 0.0 {
+                0.0
+            } else {
+                let a = v2.angle() - v1.angle();
+                a.abs().min(std::f64::consts::TAU - a.abs())
+            }
+        })
+        .collect()
+}
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (√ of the biased variance), matching
+    /// the descriptive use in the paper's Table 2.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean/std of `values`; zero mean and std for an empty
+    /// sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return MeanStd { mean: 0.0, std: 0.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        MeanStd { mean, std: var.sqrt() }
+    }
+
+    /// Whether `x` lies within `k` standard deviations of the mean.
+    pub fn within(&self, x: f64, k: f64) -> bool {
+        (x - self.mean).abs() <= k * self.std
+    }
+}
+
+/// Aggregate statistics over a set of trajectories — the rows of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Duration, seconds.
+    pub duration_s: MeanStd,
+    /// Average speed, km/h.
+    pub speed_kmh: MeanStd,
+    /// Length, km.
+    pub length_km: MeanStd,
+    /// Displacement, km.
+    pub displacement_km: MeanStd,
+    /// Number of data points.
+    pub n_points: MeanStd,
+}
+
+impl DatasetStats {
+    /// Aggregates per-trajectory statistics over `trajectories`.
+    pub fn of(trajectories: &[Trajectory]) -> Self {
+        let per: Vec<TrajectoryStats> = trajectories.iter().map(TrajectoryStats::of).collect();
+        let col = |f: &dyn Fn(&TrajectoryStats) -> f64| {
+            MeanStd::of(&per.iter().map(f).collect::<Vec<_>>())
+        };
+        DatasetStats {
+            duration_s: col(&|s| s.duration.as_secs()),
+            speed_kmh: col(&|s| s.avg_speed_kmh()),
+            length_km: col(&|s| s.length_km()),
+            displacement_km: col(&|s| s.displacement_km()),
+            n_points: col(&|s| s.n_points as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_loop() -> Trajectory {
+        // 4 × 100 m sides in 40 s → 10 m/s average, displacement back to
+        // near the origin.
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 100.0, 100.0),
+            (30.0, 0.0, 100.0),
+            (40.0, 0.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_of_square_loop() {
+        let s = TrajectoryStats::of(&square_loop());
+        assert_eq!(s.duration.as_secs(), 40.0);
+        assert_eq!(s.length_m, 390.0);
+        assert_eq!(s.displacement_m, 10.0);
+        assert!((s.avg_speed_ms - 9.75).abs() < 1e-12);
+        assert_eq!(s.max_speed_ms, 10.0);
+        assert_eq!(s.n_points, 5);
+        assert_eq!(s.mean_interval_s, 10.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let s = TrajectoryStats::of(&square_loop());
+        assert!((s.avg_speed_kmh() - 35.1).abs() < 1e-9);
+        assert!((s.length_km() - 0.39).abs() < 1e-12);
+        assert!((s.displacement_km() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_fix_stats_are_degenerate_but_defined() {
+        let t = Trajectory::from_triples([(3.0, 1.0, 1.0)]).unwrap();
+        let s = TrajectoryStats::of(&t);
+        assert_eq!(s.duration.as_secs(), 0.0);
+        assert_eq!(s.length_m, 0.0);
+        assert_eq!(s.avg_speed_ms, 0.0);
+        assert_eq!(s.max_speed_ms, 0.0);
+        assert_eq!(s.n_points, 1);
+        assert_eq!(s.mean_interval_s, 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let ms = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(ms.mean, 5.0);
+        assert_eq!(ms.std, 2.0);
+        assert!(ms.within(6.0, 1.0));
+        assert!(!ms.within(10.0, 2.0));
+        let empty = MeanStd::of(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std, 0.0);
+    }
+
+    #[test]
+    fn speed_series_matches_segments() {
+        let t = square_loop();
+        let speeds = speed_series(&t);
+        assert_eq!(speeds.len(), 4);
+        assert_eq!(speeds[0], 10.0);
+        assert_eq!(speeds[3], 9.0);
+        let single = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        assert!(speed_series(&single).is_empty());
+    }
+
+    #[test]
+    fn heading_changes_of_square_loop_are_right_angles() {
+        let t = square_loop();
+        let turns = heading_change_series(&t);
+        assert_eq!(turns.len(), 3);
+        for (i, turn) in turns.iter().enumerate() {
+            assert!(
+                (turn - std::f64::consts::FRAC_PI_2).abs() < 1e-9,
+                "turn {i}: {turn}"
+            );
+        }
+    }
+
+    #[test]
+    fn heading_changes_handle_standstill() {
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0), // no motion
+            (2.0, 5.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(heading_change_series(&t), vec![0.0]);
+    }
+
+    #[test]
+    fn dataset_stats_aggregate() {
+        let t1 = square_loop();
+        let t2 = Trajectory::from_triples([(0.0, 0.0, 0.0), (20.0, 200.0, 0.0)]).unwrap();
+        let d = DatasetStats::of(&[t1, t2]);
+        assert_eq!(d.duration_s.mean, 30.0);
+        assert_eq!(d.n_points.mean, 3.5);
+        assert!(d.length_km.mean > 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The validated trajectory type.
+
+use crate::error::ModelError;
+use crate::fix::Fix;
+use crate::time::{TimeDelta, Timestamp};
+use traj_geom::{Bbox, Point2};
+
+/// A moving point object's trajectory: a finite series of time-stamped
+/// positions with **strictly increasing timestamps** (the paper's
+/// `p : IP`).
+///
+/// The monotonic-time invariant is established at construction and
+/// preserved by every method, so downstream algorithms (interpolation,
+/// compression, error evaluation) can rely on `t[i] < t[i+1]` without
+/// re-checking. A trajectory has at least one fix; most algorithms
+/// additionally require two or more.
+///
+/// ```
+/// use traj_model::{Trajectory, Timestamp};
+/// use traj_model::interp::position_at;
+///
+/// let trip = Trajectory::from_triples([
+///     (0.0, 0.0, 0.0),
+///     (10.0, 100.0, 0.0),
+///     (20.0, 100.0, 80.0),
+/// ]).unwrap();
+/// assert_eq!(trip.len(), 3);
+/// assert_eq!(trip.duration().as_secs(), 20.0);
+/// // The paper's loc(p, t): linear interpolation within the span.
+/// let mid = position_at(&trip, Timestamp::from_secs(5.0)).unwrap();
+/// assert_eq!((mid.x, mid.y), (50.0, 0.0));
+/// // Construction rejects time-travel.
+/// assert!(Trajectory::from_triples([(5.0, 0.0, 0.0), (5.0, 1.0, 1.0)]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    fixes: Vec<Fix>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from fixes, validating finiteness and strict
+    /// time monotonicity.
+    pub fn new(fixes: Vec<Fix>) -> Result<Self, ModelError> {
+        if fixes.is_empty() {
+            return Err(ModelError::TooShort { required: 1, actual: 0 });
+        }
+        for (i, f) in fixes.iter().enumerate() {
+            if !f.is_finite() {
+                return Err(ModelError::NonFinite { index: i });
+            }
+            if i > 0 && fixes[i - 1].t >= f.t {
+                return Err(ModelError::NonMonotonicTime { index: i });
+            }
+        }
+        Ok(Trajectory { fixes })
+    }
+
+    /// Builds a trajectory from parallel `(seconds, x, y)` triples.
+    pub fn from_triples<I>(triples: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = (f64, f64, f64)>,
+    {
+        Trajectory::new(triples.into_iter().map(|(t, x, y)| Fix::from_parts(t, x, y)).collect())
+    }
+
+    /// Number of data points (the paper's `len(p)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fixes.len()
+    }
+
+    /// Whether the trajectory has no fixes. Always `false` for a
+    /// constructed trajectory; present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fixes.is_empty()
+    }
+
+    /// All fixes as a slice, in time order.
+    #[inline]
+    pub fn fixes(&self) -> &[Fix] {
+        &self.fixes
+    }
+
+    /// The `i`-th fix (0-based; the paper's `p[i]` is 1-based).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&Fix> {
+        self.fixes.get(i)
+    }
+
+    /// First fix.
+    #[inline]
+    pub fn first(&self) -> &Fix {
+        &self.fixes[0]
+    }
+
+    /// Last fix.
+    #[inline]
+    pub fn last(&self) -> &Fix {
+        &self.fixes[self.fixes.len() - 1]
+    }
+
+    /// Start instant.
+    #[inline]
+    pub fn start_time(&self) -> Timestamp {
+        self.first().t
+    }
+
+    /// End instant.
+    #[inline]
+    pub fn end_time(&self) -> Timestamp {
+        self.last().t
+    }
+
+    /// Total time span (zero for single-fix trajectories).
+    #[inline]
+    pub fn duration(&self) -> TimeDelta {
+        self.end_time() - self.start_time()
+    }
+
+    /// Whether `t` falls within `[start_time, end_time]`.
+    #[inline]
+    pub fn covers(&self, t: Timestamp) -> bool {
+        self.start_time() <= t && t <= self.end_time()
+    }
+
+    /// Tight spatial bounding box of the sample points.
+    pub fn bbox(&self) -> Bbox {
+        Bbox::from_points(self.fixes.iter().map(|f| f.pos))
+    }
+
+    /// Positions only, in time order.
+    pub fn positions(&self) -> impl Iterator<Item = Point2> + '_ {
+        self.fixes.iter().map(|f| f.pos)
+    }
+
+    /// Consecutive fix pairs `(p[i], p[i+1])` — the trajectory's linear
+    /// segments in space-time.
+    pub fn segments(&self) -> impl Iterator<Item = (&Fix, &Fix)> + '_ {
+        self.fixes.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// The subseries `p[k, m]` of the paper's Table 1 — fixes from index
+    /// `k` up to and including `m` (0-based here).
+    ///
+    /// # Panics
+    /// Panics if `k > m` or `m >= len`; slicing is an internal algorithmic
+    /// operation whose arguments are always derived from valid indices.
+    pub fn subseries(&self, k: usize, m: usize) -> Trajectory {
+        assert!(k <= m && m < self.fixes.len(), "invalid subseries [{k}, {m}]");
+        Trajectory { fixes: self.fixes[k..=m].to_vec() }
+    }
+
+    /// Concatenation `p ++ s` (Table 1).
+    ///
+    /// The first fix of `other` must be strictly later than the last fix of
+    /// `self`; otherwise the monotonicity invariant would break and an
+    /// error is returned.
+    pub fn concat(&self, other: &Trajectory) -> Result<Trajectory, ModelError> {
+        if other.first().t <= self.last().t {
+            return Err(ModelError::NonMonotonicTime { index: self.len() });
+        }
+        let mut fixes = Vec::with_capacity(self.len() + other.len());
+        fixes.extend_from_slice(&self.fixes);
+        fixes.extend_from_slice(&other.fixes);
+        Ok(Trajectory { fixes })
+    }
+
+    /// A new trajectory keeping only the fixes at `indices`.
+    ///
+    /// This is how a compression result (a subset of kept indices) is
+    /// materialized. Indices must be strictly increasing and in range.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or non-increasing indices — compressors
+    /// guarantee both by construction.
+    pub fn select(&self, indices: &[usize]) -> Trajectory {
+        assert!(!indices.is_empty(), "select requires at least one index");
+        let mut fixes = Vec::with_capacity(indices.len());
+        let mut prev: Option<usize> = None;
+        for &i in indices {
+            assert!(i < self.fixes.len(), "index {i} out of range");
+            if let Some(p) = prev {
+                assert!(p < i, "indices must be strictly increasing");
+            }
+            prev = Some(i);
+            fixes.push(self.fixes[i]);
+        }
+        Trajectory { fixes }
+    }
+
+    /// Index of the last fix whose timestamp is `<= t`, or `None` if `t`
+    /// precedes the trajectory. Binary search: `O(log n)`.
+    pub fn index_at(&self, t: Timestamp) -> Option<usize> {
+        if t < self.start_time() {
+            return None;
+        }
+        // partition_point returns the first index with fix.t > t.
+        let idx = self.fixes.partition_point(|f| f.t <= t);
+        Some(idx - 1)
+    }
+
+    /// Consumes the trajectory, returning its fixes.
+    pub fn into_fixes(self) -> Vec<Fix> {
+        self.fixes
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = &'a Fix;
+    type IntoIter = std::slice::Iter<'a, Fix>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fixes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_triples([
+            (0.0, 0.0, 0.0),
+            (10.0, 100.0, 0.0),
+            (20.0, 100.0, 100.0),
+            (30.0, 0.0, 100.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_monotonic_time() {
+        let err = Trajectory::from_triples([(0.0, 0.0, 0.0), (0.0, 1.0, 1.0)]).unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotonicTime { index: 1 }));
+        let err =
+            Trajectory::from_triples([(5.0, 0.0, 0.0), (4.0, 1.0, 1.0), (6.0, 2.0, 2.0)])
+                .unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotonicTime { index: 1 }));
+    }
+
+    #[test]
+    fn construction_validates_finiteness_and_nonempty() {
+        let err = Trajectory::new(vec![]).unwrap_err();
+        assert!(matches!(err, ModelError::TooShort { .. }));
+        let err = Trajectory::from_triples([(0.0, f64::NAN, 0.0)]).unwrap_err();
+        assert!(matches!(err, ModelError::NonFinite { index: 0 }));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = traj();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.first().t.as_secs(), 0.0);
+        assert_eq!(t.last().t.as_secs(), 30.0);
+        assert_eq!(t.duration().as_secs(), 30.0);
+        assert!(t.covers(Timestamp::from_secs(15.0)));
+        assert!(!t.covers(Timestamp::from_secs(31.0)));
+        assert_eq!(t.segments().count(), 3);
+    }
+
+    #[test]
+    fn bbox_covers_all_points() {
+        let b = traj().bbox();
+        assert_eq!(b.min, Point2::new(0.0, 0.0));
+        assert_eq!(b.max, Point2::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn subseries_matches_paper_semantics() {
+        let t = traj();
+        let s = t.subseries(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first().t.as_secs(), 10.0);
+        assert_eq!(s.last().t.as_secs(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subseries")]
+    fn subseries_rejects_bad_range() {
+        let _ = traj().subseries(2, 1);
+    }
+
+    #[test]
+    fn concat_requires_increasing_time() {
+        let a = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]).unwrap();
+        let b = Trajectory::from_triples([(2.0, 2.0, 0.0), (3.0, 3.0, 0.0)]).unwrap();
+        let ab = a.concat(&b).unwrap();
+        assert_eq!(ab.len(), 4);
+        assert!(a.concat(&a).is_err());
+    }
+
+    #[test]
+    fn select_keeps_subset() {
+        let t = traj();
+        let s = t.select(&[0, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1).unwrap().t.as_secs(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn select_rejects_unordered_indices() {
+        let _ = traj().select(&[2, 1]);
+    }
+
+    #[test]
+    fn index_at_binary_search() {
+        let t = traj();
+        assert_eq!(t.index_at(Timestamp::from_secs(-1.0)), None);
+        assert_eq!(t.index_at(Timestamp::from_secs(0.0)), Some(0));
+        assert_eq!(t.index_at(Timestamp::from_secs(9.9)), Some(0));
+        assert_eq!(t.index_at(Timestamp::from_secs(10.0)), Some(1));
+        assert_eq!(t.index_at(Timestamp::from_secs(30.0)), Some(3));
+        assert_eq!(t.index_at(Timestamp::from_secs(99.0)), Some(3));
+    }
+
+    #[test]
+    fn iteration_yields_all_fixes() {
+        let t = traj();
+        assert_eq!((&t).into_iter().count(), 4);
+    }
+}

@@ -1,0 +1,321 @@
+//! A uniform spatiotemporal grid index over trajectory segments.
+//!
+//! Each stored trajectory segment (two consecutive kept fixes) is binned
+//! into every `(x, y, t)` cell its spatiotemporal extent touches. A
+//! window query (space rectangle × time interval) visits only the
+//! covered cells, then verifies each candidate segment exactly: its
+//! motion is clipped to the query's time interval and the clipped
+//! sub-segment tested against the rectangle. The verification makes the
+//! index *exact* — equivalent to a full scan — while the grid provides
+//! the pruning.
+
+use std::collections::{HashMap, HashSet};
+
+use traj_geom::{Bbox, Segment};
+use traj_model::Fix;
+
+use crate::query::QueryWindow;
+use crate::store::{MovingObjectStore, ObjectId};
+
+/// A trajectory segment registered in the index.
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    object: ObjectId,
+    a: Fix,
+    b: Fix,
+}
+
+/// Uniform grid over space × time.
+///
+/// ```
+/// use traj_store::{GridIndex, IngestMode, MovingObjectStore, QueryWindow};
+/// use traj_geom::Point2;
+/// use traj_model::Trajectory;
+///
+/// let mut store = MovingObjectStore::new(IngestMode::Raw);
+/// // One car driving east at 10 m/s.
+/// store.insert_trajectory(1, &Trajectory::from_triples(
+///     (0..100).map(|i| (i as f64 * 10.0, i as f64 * 100.0, 0.0)),
+/// ).unwrap()).unwrap();
+///
+/// let index = GridIndex::build(&store, 500.0, 100.0);
+/// // Near x = 2000 m while the car is there (t ≈ 200 s)...
+/// let hit = QueryWindow::new(Point2::new(1900.0, -50.0), Point2::new(2100.0, 50.0), 150.0, 250.0);
+/// assert_eq!(index.objects_in_window(&hit), vec![1]);
+/// // ...but not an hour later.
+/// let miss = QueryWindow::new(Point2::new(1900.0, -50.0), Point2::new(2100.0, 50.0), 3600.0, 3700.0);
+/// assert!(index.objects_in_window(&miss).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    time_bucket: f64,
+    cells: HashMap<(i64, i64, i64), Vec<u32>>,
+    entries: Vec<SegEntry>,
+}
+
+impl GridIndex {
+    /// Builds an index over every stored segment of `store` with spatial
+    /// cells of `cell_size` metres and temporal buckets of `time_bucket`
+    /// seconds.
+    ///
+    /// # Panics
+    /// Panics unless both granularities are positive and finite.
+    pub fn build(store: &MovingObjectStore, cell_size: f64, time_bucket: f64) -> Self {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell_size must be positive");
+        assert!(time_bucket > 0.0 && time_bucket.is_finite(), "time_bucket must be positive");
+        let mut idx = GridIndex {
+            cell_size,
+            time_bucket,
+            cells: HashMap::new(),
+            entries: Vec::new(),
+        };
+        for id in store.object_ids() {
+            let fixes = store.stored_fixes(id).expect("id from iteration");
+            for w in fixes.windows(2) {
+                idx.insert_segment(id, w[0], w[1]);
+            }
+            if fixes.len() == 1 {
+                // A single-fix object is indexed as a degenerate segment
+                // so point-in-window queries can still find it.
+                idx.insert_segment(id, fixes[0], fixes[0]);
+            }
+        }
+        idx
+    }
+
+    fn insert_segment(&mut self, object: ObjectId, a: Fix, b: Fix) {
+        let entry_id = self.entries.len() as u32;
+        self.entries.push(SegEntry { object, a, b });
+        let bbox = Bbox::from_corners(a.pos, b.pos);
+        let (cx0, cx1) = (
+            (bbox.min.x / self.cell_size).floor() as i64,
+            (bbox.max.x / self.cell_size).floor() as i64,
+        );
+        let (cy0, cy1) = (
+            (bbox.min.y / self.cell_size).floor() as i64,
+            (bbox.max.y / self.cell_size).floor() as i64,
+        );
+        let (ct0, ct1) = (
+            (a.t.as_secs() / self.time_bucket).floor() as i64,
+            (b.t.as_secs() / self.time_bucket).floor() as i64,
+        );
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                for ct in ct0..=ct1 {
+                    self.cells.entry((cx, cy, ct)).or_default().push(entry_id);
+                }
+            }
+        }
+    }
+
+    /// Number of indexed segments.
+    pub fn segment_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of occupied cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Exact window query: ids of objects whose stored motion enters
+    /// `window.bbox` during `[window.t0, window.t1]`, ascending.
+    pub fn objects_in_window(&self, window: &QueryWindow) -> Vec<ObjectId> {
+        let mut seen_entries: HashSet<u32> = HashSet::new();
+        let mut hits: HashSet<ObjectId> = HashSet::new();
+        let (cx0, cx1) = (
+            (window.bbox.min.x / self.cell_size).floor() as i64,
+            (window.bbox.max.x / self.cell_size).floor() as i64,
+        );
+        let (cy0, cy1) = (
+            (window.bbox.min.y / self.cell_size).floor() as i64,
+            (window.bbox.max.y / self.cell_size).floor() as i64,
+        );
+        let (ct0, ct1) = (
+            (window.t0.as_secs() / self.time_bucket).floor() as i64,
+            (window.t1.as_secs() / self.time_bucket).floor() as i64,
+        );
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                for ct in ct0..=ct1 {
+                    let Some(ids) = self.cells.get(&(cx, cy, ct)) else { continue };
+                    for &eid in ids {
+                        if !seen_entries.insert(eid) {
+                            continue;
+                        }
+                        let e = &self.entries[eid as usize];
+                        if hits.contains(&e.object) {
+                            continue;
+                        }
+                        if segment_enters_window(&e.a, &e.b, window) {
+                            hits.insert(e.object);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<ObjectId> = hits.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Exact predicate: does the linear motion `a → b` enter `window.bbox`
+/// at some instant within `[window.t0, window.t1]`?
+///
+/// The motion is clipped to the overlap of `[a.t, b.t]` and the query
+/// interval, then the clipped spatial sub-segment is tested against the
+/// rectangle.
+pub(crate) fn segment_enters_window(a: &Fix, b: &Fix, window: &QueryWindow) -> bool {
+    let lo = if a.t > window.t0 { a.t } else { window.t0 };
+    let hi = if b.t < window.t1 { b.t } else { window.t1 };
+    if hi < lo {
+        return false;
+    }
+    let p0 = Fix::interpolate(a, b, lo);
+    let p1 = Fix::interpolate(a, b, hi);
+    window.bbox.intersects_segment(&Segment::new(p0, p1))
+}
+
+/// Reference full-scan implementation of the window query; the grid and
+/// R-tree paths are tested for equivalence against it.
+pub fn scan_objects_in_window(store: &MovingObjectStore, window: &QueryWindow) -> Vec<ObjectId> {
+    let mut out = Vec::new();
+    for id in store.object_ids() {
+        let fixes = store.stored_fixes(id).expect("id from iteration");
+        let hit = if fixes.len() == 1 {
+            window.t0 <= fixes[0].t
+                && fixes[0].t <= window.t1
+                && window.bbox.contains(fixes[0].pos)
+        } else {
+            fixes.windows(2).any(|w| segment_enters_window(&w[0], &w[1], window))
+        };
+        if hit {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<GridIndex>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::IngestMode;
+    use traj_geom::Point2;
+    use traj_model::{Timestamp, Trajectory};
+
+    fn window(x0: f64, y0: f64, x1: f64, y1: f64, t0: f64, t1: f64) -> QueryWindow {
+        QueryWindow {
+            bbox: Bbox::from_corners(Point2::new(x0, y0), Point2::new(x1, y1)),
+            t0: Timestamp::from_secs(t0),
+            t1: Timestamp::from_secs(t1),
+        }
+    }
+
+    fn demo_store() -> MovingObjectStore {
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        // Object 1: west→east along y=0, 10 m/s.
+        s.insert_trajectory(
+            1,
+            &Trajectory::from_triples((0..100).map(|i| (i as f64 * 10.0, i as f64 * 100.0, 0.0)))
+                .unwrap(),
+        )
+        .unwrap();
+        // Object 2: south→north along x=5000.
+        s.insert_trajectory(
+            2,
+            &Trajectory::from_triples((0..100).map(|i| (i as f64 * 10.0, 5000.0, i as f64 * 100.0 - 5000.0)))
+                .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn finds_object_crossing_window() {
+        let s = demo_store();
+        let idx = GridIndex::build(&s, 500.0, 100.0);
+        // Object 1 is near x=2000 at t≈200.
+        let w = window(1900.0, -50.0, 2100.0, 50.0, 150.0, 250.0);
+        assert_eq!(idx.objects_in_window(&w), vec![1]);
+    }
+
+    #[test]
+    fn time_interval_excludes_wrong_epoch() {
+        let s = demo_store();
+        let idx = GridIndex::build(&s, 500.0, 100.0);
+        // Same rectangle, but queried when object 1 is long past it.
+        let w = window(1900.0, -50.0, 2100.0, 50.0, 800.0, 990.0);
+        assert!(idx.objects_in_window(&w).is_empty());
+    }
+
+    #[test]
+    fn equivalence_with_scan_on_many_windows() {
+        let s = demo_store();
+        let idx = GridIndex::build(&s, 300.0, 50.0);
+        for i in 0..40 {
+            let cx = (i as f64) * 250.0;
+            let w = window(cx, -500.0, cx + 400.0, 500.0, i as f64 * 20.0, i as f64 * 20.0 + 300.0);
+            assert_eq!(
+                idx.objects_in_window(&w),
+                scan_objects_in_window(&s, &w),
+                "window {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_objects_in_one_window() {
+        let s = demo_store();
+        let idx = GridIndex::build(&s, 500.0, 100.0);
+        // Both pass near (5000, 0) around t=500.
+        let w = window(4000.0, -1000.0, 6000.0, 1000.0, 400.0, 600.0);
+        assert_eq!(idx.objects_in_window(&w), vec![1, 2]);
+    }
+
+    #[test]
+    fn single_fix_object_is_findable() {
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        s.append(7, Fix::from_parts(100.0, 50.0, 50.0)).unwrap();
+        let idx = GridIndex::build(&s, 100.0, 100.0);
+        let hit = window(0.0, 0.0, 100.0, 100.0, 50.0, 150.0);
+        let miss_time = window(0.0, 0.0, 100.0, 100.0, 150.0, 250.0);
+        assert_eq!(idx.objects_in_window(&hit), vec![7]);
+        assert!(idx.objects_in_window(&miss_time).is_empty());
+        assert_eq!(scan_objects_in_window(&s, &hit), vec![7]);
+    }
+
+    #[test]
+    fn build_counts() {
+        let s = demo_store();
+        let idx = GridIndex::build(&s, 500.0, 100.0);
+        assert_eq!(idx.segment_count(), 2 * 99);
+        assert!(idx.cell_count() > 0);
+    }
+
+    #[test]
+    fn motion_through_window_between_samples_is_detected() {
+        // Object samples bracket the window: at t=0 it is west of the
+        // box, at t=10 east of it — the *interpolated* motion crosses.
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        s.insert_trajectory(
+            3,
+            &Trajectory::from_triples([(0.0, -1000.0, 0.0), (10.0, 1000.0, 0.0)]).unwrap(),
+        )
+        .unwrap();
+        let idx = GridIndex::build(&s, 200.0, 10.0);
+        let w = window(-50.0, -50.0, 50.0, 50.0, 0.0, 10.0);
+        assert_eq!(idx.objects_in_window(&w), vec![3]);
+        // But not if the time interval excludes the crossing moment
+        // (crossing happens near t=5).
+        let w_early = window(-50.0, -50.0, 50.0, 50.0, 0.0, 2.0);
+        assert!(idx.objects_in_window(&w_early).is_empty());
+    }
+}

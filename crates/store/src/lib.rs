@@ -1,0 +1,33 @@
+//! # traj-store — a moving-object store with compressed ingest
+//!
+//! The paper's motivation (§1) is database support for moving objects:
+//! "100 Mb of storage capacity is required to store the data for just
+//! over 400 objects for a single day, barring any data compression".
+//! This crate closes the loop: it is the storage layer the compression
+//! algorithms exist for.
+//!
+//! * [`MovingObjectStore`] — per-object trajectory storage with two
+//!   ingest paths: raw appends, and *online compressed* appends through
+//!   the opening-window stream of `traj-compress` with a per-store error
+//!   budget;
+//! * [`index::GridIndex`] — a uniform spatiotemporal grid over trajectory
+//!   segments for window queries (space rectangle × time interval);
+//! * [`rtree::StrTree`] — an STR-packed R-tree over segment bounding
+//!   boxes, the classic database index structure, used for spatial
+//!   queries and as a cross-check of the grid;
+//! * [`query`] — position-at-time, range and nearest-neighbour queries
+//!   evaluated on the (compressed) piecewise-linear trajectories.
+
+pub mod index;
+pub mod persist;
+pub mod query;
+pub mod rtree;
+pub mod store;
+
+pub use index::GridIndex;
+pub use persist::{load_dir, save_dir};
+pub use query::{
+    knn_at, objects_in_window, position_of, snapshot_at, trajectories_in_window, QueryWindow,
+};
+pub use rtree::StrTree;
+pub use store::{IngestMode, MovingObjectStore, ObjectId, StoreError, StoreStats};

@@ -1,0 +1,159 @@
+//! Directory-based persistence for the moving-object store.
+//!
+//! The stored (possibly compressed) history of each object is written as
+//! one `<object_id>.csv` file in the `t,x,y` format of
+//! [`traj_model::io`] — a deliberately boring layout: greppable,
+//! diffable, loadable by anything. Loading reconstructs a store in
+//! [`IngestMode::Raw`]: the fixes on disk are already the kept subset,
+//! and compressing them again would silently stack error budgets.
+
+use std::path::Path;
+
+use traj_model::{io, Trajectory};
+
+use crate::store::{IngestMode, MovingObjectStore, ObjectId, StoreError};
+
+/// Writes every object's stored trajectory to `dir` as
+/// `<object_id>.csv`, creating the directory if needed.
+///
+/// Objects whose stored history is empty are skipped.
+///
+/// # Errors
+/// Propagates filesystem failures.
+pub fn save_dir(store: &MovingObjectStore, dir: &Path) -> Result<usize, StoreError> {
+    std::fs::create_dir_all(dir).map_err(traj_model::ModelError::Io)?;
+    let mut written = 0usize;
+    for id in store.object_ids() {
+        let Some(traj) = store.trajectory(id) else { continue };
+        io::write_csv(&traj, &dir.join(format!("{id}.csv")))?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Loads a store from a directory written by [`save_dir`]: every
+/// `<n>.csv` file becomes object `n`. Non-`.csv` entries and files whose
+/// stem is not an integer are ignored (so the directory can carry a
+/// README or manifests).
+///
+/// # Errors
+/// Fails on unreadable or malformed trajectory files.
+pub fn load_dir(dir: &Path) -> Result<MovingObjectStore, StoreError> {
+    let mut store = MovingObjectStore::new(IngestMode::Raw);
+    let entries = std::fs::read_dir(dir).map_err(traj_model::ModelError::Io)?;
+    let mut files: Vec<(ObjectId, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(traj_model::ModelError::Io)?;
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "csv") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+        let Ok(id) = stem.parse::<ObjectId>() else { continue };
+        files.push((id, path));
+    }
+    // Deterministic load order regardless of directory iteration order.
+    files.sort_unstable_by_key(|(id, _)| *id);
+    for (id, path) in files {
+        let traj: Trajectory = io::read_csv(&path)?;
+        store.insert_trajectory(id, &traj)?;
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::Fix;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("trajc_persist_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_store() -> MovingObjectStore {
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        for id in [3u64, 11, 7] {
+            for i in 0..20 {
+                s.append(
+                    id,
+                    Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0 + id as f64, id as f64),
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = tmp("roundtrip");
+        let store = sample_store();
+        let written = save_dir(&store, &dir).unwrap();
+        assert_eq!(written, 3);
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(
+            loaded.object_ids().collect::<Vec<_>>(),
+            store.object_ids().collect::<Vec<_>>()
+        );
+        for id in store.object_ids() {
+            assert_eq!(loaded.trajectory(id), store.trajectory(id), "object {id}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_store_persists_its_kept_subset() {
+        let dir = tmp("compressed");
+        let mut s = MovingObjectStore::new(IngestMode::Compressed {
+            epsilon: 1000.0,
+            speed_epsilon: None,
+            max_window: 64,
+        });
+        for i in 0..50 {
+            s.append(1, Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0, 0.0)).unwrap();
+        }
+        save_dir(&s, &dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        // The loaded store holds exactly the kept fixes (straight line →
+        // endpoints only).
+        assert_eq!(loaded.trajectory(1).unwrap(), s.trajectory(1).unwrap());
+        assert!(loaded.trajectory(1).unwrap().len() < 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_ignores_foreign_files() {
+        let dir = tmp("foreign");
+        save_dir(&sample_store(), &dir).unwrap();
+        std::fs::write(dir.join("README.md"), "not a trajectory").unwrap();
+        std::fs::write(dir.join("not_a_number.csv"), "t,x,y\n0,0,0\n").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_surfaces_corruption() {
+        let dir = tmp("corrupt");
+        save_dir(&sample_store(), &dir).unwrap();
+        std::fs::write(dir.join("3.csv"), "t,x,y\n0,0,0\ngarbage\n").unwrap();
+        assert!(load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        assert!(load_dir(Path::new("/definitely/not/here")).is_err());
+    }
+
+    #[test]
+    fn empty_directory_loads_empty_store() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert!(loaded.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

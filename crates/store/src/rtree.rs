@@ -1,0 +1,269 @@
+//! A static STR-packed R-tree.
+//!
+//! Sort-Tile-Recursive (STR) bulk loading builds a balanced R-tree in
+//! `O(n log n)`: leaf entries are sorted by x-centre into vertical
+//! slices, each slice sorted by y-centre and packed into nodes of fanout
+//! `M`; the node rectangles are then packed recursively the same way.
+//! The structure is immutable — the right trade-off for a store whose
+//! index is rebuilt on demand over committed (compressed) history.
+//!
+//! The tree is generic over its payload; `traj-store` instantiates it
+//! with trajectory-segment references, and the query layer verifies
+//! candidates exactly, so results are identical to a full scan.
+
+use traj_geom::{Bbox, Point2};
+
+const FANOUT: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: Bbox,
+    /// Children: either inner node indices or leaf payload indices.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// An immutable, bulk-loaded R-tree over `(Bbox, T)` entries.
+#[derive(Debug, Clone)]
+pub struct StrTree<T> {
+    payloads: Vec<T>,
+    boxes: Vec<Bbox>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl<T> StrTree<T> {
+    /// Bulk-loads the tree from `(bbox, payload)` entries.
+    pub fn build(entries: Vec<(Bbox, T)>) -> Self {
+        let mut payloads = Vec::with_capacity(entries.len());
+        let mut boxes = Vec::with_capacity(entries.len());
+        for (b, p) in entries {
+            boxes.push(b);
+            payloads.push(p);
+        }
+        let mut tree = StrTree { payloads, boxes, nodes: Vec::new(), root: None };
+        if tree.boxes.is_empty() {
+            return tree;
+        }
+
+        // Pack leaf level.
+        let ids: Vec<u32> = (0..tree.boxes.len() as u32).collect();
+        let level = tree.pack_level(ids, true);
+        // Pack inner levels until a single root remains.
+        let mut level = level;
+        while level.len() > 1 {
+            level = tree.pack_level(level, false);
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Sort-Tile-Recursive packing of one level; `items` are payload ids
+    /// (leaf) or node ids (inner). Returns the created node ids.
+    fn pack_level(&mut self, mut items: Vec<u32>, is_leaf: bool) -> Vec<u32> {
+        let bbox_of = |tree: &StrTree<T>, id: u32| -> Bbox {
+            if is_leaf {
+                tree.boxes[id as usize]
+            } else {
+                tree.nodes[id as usize].bbox
+            }
+        };
+        let center = |tree: &StrTree<T>, id: u32| -> Point2 { bbox_of(tree, id).center() };
+
+        let n = items.len();
+        let node_count = n.div_ceil(FANOUT);
+        let slice_count = (node_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slice_count);
+
+        items.sort_by(|&a, &b| {
+            center(self, a)
+                .x
+                .partial_cmp(&center(self, b).x)
+                .expect("finite coordinates")
+        });
+
+        let mut created = Vec::with_capacity(node_count);
+        for slice in items.chunks(slice_size) {
+            let mut slice: Vec<u32> = slice.to_vec();
+            slice.sort_by(|&a, &b| {
+                center(self, a)
+                    .y
+                    .partial_cmp(&center(self, b).y)
+                    .expect("finite coordinates")
+            });
+            for group in slice.chunks(FANOUT) {
+                let bbox = group
+                    .iter()
+                    .fold(Bbox::EMPTY, |acc, &id| acc.union(&bbox_of(self, id)));
+                let node = Node { bbox, children: group.to_vec(), is_leaf };
+                self.nodes.push(node);
+                created.push(self.nodes.len() as u32 - 1);
+            }
+        }
+        created
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Whether the tree stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// All payloads whose bounding box intersects `query`.
+    pub fn search(&self, query: &Bbox) -> Vec<&T> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid as usize];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            if node.is_leaf {
+                for &pid in &node.children {
+                    if self.boxes[pid as usize].intersects(query) {
+                        out.push(&self.payloads[pid as usize]);
+                    }
+                }
+            } else {
+                stack.extend(&node.children);
+            }
+        }
+        out
+    }
+
+    /// Visits every payload whose box intersects `query` (allocation-free
+    /// variant of [`StrTree::search`] for hot paths).
+    pub fn for_each_in<'a>(&'a self, query: &Bbox, mut f: impl FnMut(&'a T)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid as usize];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            if node.is_leaf {
+                for &pid in &node.children {
+                    if self.boxes[pid as usize].intersects(query) {
+                        f(&self.payloads[pid as usize]);
+                    }
+                }
+            } else {
+                stack.extend(&node.children);
+            }
+        }
+    }
+
+    /// Height of the tree (0 for empty).
+    pub fn height(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut h = 1;
+        let mut nid = root;
+        loop {
+            let node = &self.nodes[nid as usize];
+            if node.is_leaf {
+                return h;
+            }
+            nid = node.children[0];
+            h += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(n: usize) -> Vec<(Bbox, usize)> {
+        // Deterministic pseudo-random layout.
+        (0..n)
+            .map(|i| {
+                let x = ((i * 7919) % 10_000) as f64;
+                let y = ((i * 104_729) % 10_000) as f64;
+                let b = Bbox::from_corners(
+                    Point2::new(x, y),
+                    Point2::new(x + 50.0, y + 30.0),
+                );
+                (b, i)
+            })
+            .collect()
+    }
+
+    fn scan(entries: &[(Bbox, usize)], q: &Bbox) -> Vec<usize> {
+        let mut v: Vec<usize> = entries
+            .iter()
+            .filter(|(b, _)| b.intersects(q))
+            .map(|(_, i)| *i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn search_equals_linear_scan() {
+        let entries = boxes(1000);
+        let tree = StrTree::build(entries.clone());
+        for i in 0..30 {
+            let cx = (i * 331) as f64;
+            let q = Bbox::from_corners(
+                Point2::new(cx, cx / 2.0),
+                Point2::new(cx + 800.0, cx / 2.0 + 800.0),
+            );
+            let mut got: Vec<usize> = tree.search(&q).into_iter().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, scan(&entries, &q), "query {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_matches_search() {
+        let entries = boxes(500);
+        let tree = StrTree::build(entries);
+        let q = Bbox::from_corners(Point2::new(1000.0, 1000.0), Point2::new(4000.0, 4000.0));
+        let mut a: Vec<usize> = tree.search(&q).into_iter().copied().collect();
+        let mut b: Vec<usize> = Vec::new();
+        tree.for_each_in(&q, |&i| b.push(i));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: StrTree<u8> = StrTree::build(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree
+            .search(&Bbox::from_corners(Point2::ORIGIN, Point2::new(1.0, 1.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_entry() {
+        let b = Bbox::from_corners(Point2::new(5.0, 5.0), Point2::new(6.0, 6.0));
+        let tree = StrTree::build(vec![(b, 42u32)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.search(&b), vec![&42]);
+        let miss = Bbox::from_corners(Point2::new(10.0, 10.0), Point2::new(11.0, 11.0));
+        assert!(tree.search(&miss).is_empty());
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let tree = StrTree::build(boxes(4096));
+        // fanout 16 → height ≈ log₁₆(4096) = 3.
+        assert!(tree.height() <= 4, "height {}", tree.height());
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let tree = StrTree::build(boxes(200));
+        let q = Bbox::from_corners(Point2::new(-5000.0, -5000.0), Point2::new(-4000.0, -4000.0));
+        assert!(tree.search(&q).is_empty());
+    }
+}

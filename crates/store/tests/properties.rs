@@ -1,0 +1,163 @@
+//! Property-based tests for the moving-object store and its indexes.
+
+use proptest::prelude::*;
+use traj_geom::{Bbox, Point2};
+use traj_model::{Timestamp, Trajectory};
+use traj_store::query::{build_segment_rtree, rtree_objects_in_window};
+use traj_store::{
+    objects_in_window, position_of, GridIndex, IngestMode, MovingObjectStore, QueryWindow,
+};
+
+/// A small fleet of valid random trajectories.
+fn fleet() -> impl Strategy<Value = Vec<Trajectory>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                (5.0..20.0f64, -300.0..300.0f64, -300.0..300.0f64),
+                3..40,
+            ),
+            0.0..500.0f64,
+            (-3000.0..3000.0f64, -3000.0..3000.0f64),
+        )
+            .prop_map(|(steps, t0, (x0, y0))| {
+                let mut t = t0;
+                let (mut x, mut y) = (x0, y0);
+                let mut triples = vec![(t, x, y)];
+                for (dt, dx, dy) in steps {
+                    t += dt;
+                    x += dx;
+                    y += dy;
+                    triples.push((t, x, y));
+                }
+                Trajectory::from_triples(triples).expect("valid")
+            }),
+        1..6,
+    )
+}
+
+fn load(fleet: &[Trajectory], mode: IngestMode) -> MovingObjectStore {
+    let mut s = MovingObjectStore::new(mode);
+    for (id, t) in fleet.iter().enumerate() {
+        s.insert_trajectory(id as u64, t).expect("valid trajectories");
+    }
+    s
+}
+
+proptest! {
+    /// Grid index, STR R-tree and full scan answer every window query
+    /// identically, for raw and compressed stores alike.
+    #[test]
+    fn window_query_paths_agree(
+        fleet in fleet(),
+        cx in -3000.0..3000.0f64,
+        cy in -3000.0..3000.0f64,
+        w in 50.0..4000.0f64,
+        t0 in 0.0..800.0f64,
+        span in 10.0..500.0f64,
+        compressed in proptest::bool::ANY,
+    ) {
+        let mode = if compressed {
+            IngestMode::Compressed { epsilon: 40.0, speed_epsilon: None, max_window: 32 }
+        } else {
+            IngestMode::Raw
+        };
+        let store = load(&fleet, mode);
+        let window = QueryWindow::new(
+            Point2::new(cx, cy),
+            Point2::new(cx + w, cy + w),
+            t0,
+            t0 + span,
+        );
+        let scan = objects_in_window(&store, &window);
+        let grid = GridIndex::build(&store, 250.0, 120.0).objects_in_window(&window);
+        let rtree = rtree_objects_in_window(&build_segment_rtree(&store), &window);
+        prop_assert_eq!(&grid, &scan);
+        prop_assert_eq!(&rtree, &scan);
+    }
+
+    /// Every window hit is justified: the object's stored motion really
+    /// enters the box during the interval (verified by dense sampling).
+    #[test]
+    fn window_hits_are_sound(
+        fleet in fleet(),
+        cx in -2000.0..2000.0f64,
+        cy in -2000.0..2000.0f64,
+        w in 200.0..4000.0f64,
+        t0 in 0.0..600.0f64,
+        span in 50.0..500.0f64,
+    ) {
+        let store = load(&fleet, IngestMode::Raw);
+        let bbox = Bbox::from_corners(Point2::new(cx, cy), Point2::new(cx + w, cy + w));
+        let window = QueryWindow { bbox, t0: Timestamp::from_secs(t0), t1: Timestamp::from_secs(t0 + span) };
+        for id in objects_in_window(&store, &window) {
+            // Densely sample the motion over the window.
+            let mut found = false;
+            let steps = 400;
+            for k in 0..=steps {
+                let t = Timestamp::from_secs(t0 + span * k as f64 / steps as f64);
+                if let Some(p) = position_of(&store, id, t) {
+                    // Tolerance: the crossing may fall between samples.
+                    if bbox.expanded(w.max(span) * 0.05 + 5.0).contains(p) {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            prop_assert!(found, "object {id} reported but never near the window");
+        }
+    }
+
+    /// Compressed ingest honours the error budget at every original
+    /// sample instant.
+    #[test]
+    fn compressed_store_error_budget(fleet in fleet(), eps in 5.0..100.0f64) {
+        let store = load(
+            &fleet,
+            IngestMode::Compressed { epsilon: eps, speed_epsilon: None, max_window: 24 },
+        );
+        for (id, traj) in fleet.iter().enumerate() {
+            for fix in traj.fixes() {
+                let p = position_of(&store, id as u64, fix.t).expect("instant covered");
+                prop_assert!(
+                    p.distance(fix.pos) <= eps + 1e-6,
+                    "object {id}: {} m over budget {eps}",
+                    p.distance(fix.pos)
+                );
+            }
+        }
+    }
+
+    /// Store statistics are conserved: ingested = Σ input lengths,
+    /// stored ≤ ingested, raw mode stores everything.
+    #[test]
+    fn stats_conservation(fleet in fleet()) {
+        let total: usize = fleet.iter().map(|t| t.len()).sum();
+        let raw = load(&fleet, IngestMode::Raw);
+        prop_assert_eq!(raw.stats().ingested_points, total);
+        prop_assert_eq!(raw.stats().stored_points, total);
+        let comp = load(
+            &fleet,
+            IngestMode::Compressed { epsilon: 50.0, speed_epsilon: None, max_window: 32 },
+        );
+        prop_assert_eq!(comp.stats().ingested_points, total);
+        prop_assert!(comp.stats().stored_points <= total);
+        prop_assert_eq!(comp.stats().objects, fleet.len());
+    }
+
+    /// The stored trajectory's span always reaches the latest ingested
+    /// fix, compressed or not.
+    #[test]
+    fn span_reaches_latest(fleet in fleet(), compressed in proptest::bool::ANY) {
+        let mode = if compressed {
+            IngestMode::Compressed { epsilon: 30.0, speed_epsilon: Some(5.0), max_window: 16 }
+        } else {
+            IngestMode::Raw
+        };
+        let store = load(&fleet, mode);
+        for (id, traj) in fleet.iter().enumerate() {
+            let stored = store.trajectory(id as u64).expect("object exists");
+            prop_assert_eq!(stored.start_time(), traj.start_time());
+            prop_assert_eq!(stored.end_time(), traj.end_time());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Online compression under a hard memory bound.
+//!
+//! A tracking device (or ingest node) cannot buffer an unbounded open
+//! window. This example streams a long stop-and-go commute through
+//! OPW-SP with a 25 m error budget and a 64-fix window valve, and
+//! reports: points kept, the worst synchronized error actually committed
+//! at the original sample instants, and the peak buffer size — the three
+//! numbers an operator provisions against.
+//!
+//! ```text
+//! cargo run --release --example online_budget
+//! ```
+
+use trajc::compress::error::sed_at_samples;
+use trajc::compress::streaming::OwStream;
+use trajc::gen::simple::stop_and_go;
+use trajc::model::Trajectory;
+
+fn main() {
+    // 2-hour stop-and-go commute sampled every 10 s: cruise 2 min at
+    // 14 m/s, stand 1 min, repeat.
+    let trip = stop_and_go(60, 12, 6, 10.0, 14.0);
+    println!("raw stream: {} fixes over {}", trip.len(), trip.duration());
+
+    let budget_m = 25.0;
+    let speed_budget = 5.0;
+    let mut stream = OwStream::opw_sp(budget_m, speed_budget).with_max_window(64);
+
+    let mut kept = Vec::new();
+    let mut peak_window = 0usize;
+    for fix in trip.fixes() {
+        kept.extend(stream.push(*fix).expect("ordered, finite fixes"));
+        peak_window = peak_window.max(stream.window_len());
+    }
+    kept.extend(stream.finish());
+
+    let stored = Trajectory::new(kept).expect("stream output is ordered");
+    let (mean_sed, max_sed) = sed_at_samples(&trip, &stored);
+    println!(
+        "kept {} of {} fixes ({:.1}% compression)",
+        stored.len(),
+        trip.len(),
+        100.0 * (trip.len() - stored.len()) as f64 / trip.len() as f64
+    );
+    println!("error at sample instants: mean {mean_sed:.2} m, max {max_sed:.2} m (budget {budget_m} m)");
+    println!("peak buffered fixes: {peak_window} (valve 64)");
+    assert!(
+        max_sed <= budget_m + 1e-6,
+        "the committed history must honour the error budget"
+    );
+}

@@ -1,0 +1,386 @@
+//! The `trajc` command-line tool: compress, evaluate and generate
+//! trajectory files without writing a line of Rust.
+//!
+//! ```text
+//! trajc info <file.csv>
+//! trajc compress <file.csv> --algo td-tr --eps 30 [--speed-eps 5] [-o out.csv]
+//! trajc evaluate <original.csv> <approx.csv>
+//! trajc generate [--seed 42] [--trip 0..9] -o <file.csv>
+//! ```
+//!
+//! Files are the `t,x,y` format of [`traj_model::io`]. The command logic
+//! lives here (unit-testable); `src/bin/trajc.rs` is the thin entry
+//! point.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use traj_compress::{
+    evaluate, BottomUp, Compressor, DeadReckoning, DistanceThreshold, DouglasPeucker, Metric,
+    OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
+};
+use traj_model::stats::TrajectoryStats;
+use traj_model::{io, Trajectory};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `info <file>` — print statistics of a trajectory file.
+    Info {
+        /// Input `t,x,y` file.
+        file: PathBuf,
+    },
+    /// `compress <file> --algo A --eps E [--speed-eps V] [-o OUT]`.
+    Compress {
+        /// Input `t,x,y` file.
+        file: PathBuf,
+        /// Algorithm name (see [`make_compressor`]).
+        algo: String,
+        /// Distance threshold, metres.
+        eps: f64,
+        /// Speed-difference threshold, m/s (SP algorithms only).
+        speed_eps: Option<f64>,
+        /// Output path for the compressed trajectory.
+        out: Option<PathBuf>,
+    },
+    /// `evaluate <original> <approx>` — error figures between two files.
+    Evaluate {
+        /// Original trajectory file.
+        original: PathBuf,
+        /// Approximation trajectory file.
+        approx: PathBuf,
+    },
+    /// `generate [--seed S] [--trip K] -o OUT` — write a calibrated trip.
+    Generate {
+        /// Dataset seed.
+        seed: u64,
+        /// Trip index 0..=9.
+        trip: usize,
+        /// Output path.
+        out: PathBuf,
+    },
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+/// Returns a usage/diagnostic string on malformed input.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    const USAGE: &str = "usage: trajc <info|compress|evaluate|generate> ...\n\
+        \n  trajc info <file.csv>\
+        \n  trajc compress <file.csv> --algo <name> --eps <m> [--speed-eps <m/s>] [-o out.csv]\
+        \n  trajc evaluate <original.csv> <approx.csv>\
+        \n  trajc generate [--seed N] [--trip 0..9] -o <file.csv>\
+        \n\nalgorithms: uniform dist ndp ndp-hull td-tr td-sp nopw bopw opw-tr opw-sp \
+        dead-reckoning bottom-up sliding-window";
+    let mut it = args.iter();
+    let sub = it.next().ok_or(USAGE)?;
+    match sub.as_str() {
+        "info" => {
+            let file = it.next().ok_or("info: missing <file>")?;
+            Ok(Command::Info { file: PathBuf::from(file) })
+        }
+        "compress" => {
+            let file = PathBuf::from(it.next().ok_or("compress: missing <file>")?);
+            let mut algo = None;
+            let mut eps = None;
+            let mut speed_eps = None;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or(format!("compress: {name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--algo" => algo = Some(value("--algo")?.clone()),
+                    "--eps" => {
+                        eps = Some(parse_f64(value("--eps")?, "--eps")?);
+                    }
+                    "--speed-eps" => {
+                        speed_eps = Some(parse_f64(value("--speed-eps")?, "--speed-eps")?);
+                    }
+                    "-o" | "--out" => out = Some(PathBuf::from(value("-o")?)),
+                    other => return Err(format!("compress: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Compress {
+                file,
+                algo: algo.ok_or("compress: --algo is required")?,
+                eps: eps.ok_or("compress: --eps is required")?,
+                speed_eps,
+                out,
+            })
+        }
+        "evaluate" => {
+            let original = PathBuf::from(it.next().ok_or("evaluate: missing <original>")?);
+            let approx = PathBuf::from(it.next().ok_or("evaluate: missing <approx>")?);
+            Ok(Command::Evaluate { original, approx })
+        }
+        "generate" => {
+            let mut seed = 42u64;
+            let mut trip = 0usize;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or(format!("generate: {name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("generate: bad --seed: {e}"))?;
+                    }
+                    "--trip" => {
+                        trip = value("--trip")?
+                            .parse()
+                            .map_err(|e| format!("generate: bad --trip: {e}"))?;
+                    }
+                    "-o" | "--out" => out = Some(PathBuf::from(value("-o")?)),
+                    other => return Err(format!("generate: unknown flag {other:?}")),
+                }
+            }
+            if trip > 9 {
+                return Err("generate: --trip must be 0..=9".into());
+            }
+            Ok(Command::Generate { seed, trip, out: out.ok_or("generate: -o is required")? })
+        }
+        "--help" | "-h" => Err(USAGE.to_string()),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+fn parse_f64(s: &str, flag: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|e| format!("bad {flag} value {s:?}: {e}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("{flag} must be finite and >= 0, got {s}"));
+    }
+    Ok(v)
+}
+
+/// Builds a compressor by CLI name.
+///
+/// # Errors
+/// Returns a diagnostic for unknown names, missing speed thresholds and
+/// invalid parameter combinations.
+pub fn make_compressor(
+    algo: &str,
+    eps: f64,
+    speed_eps: Option<f64>,
+) -> Result<Box<dyn Compressor>, String> {
+    let need_speed = || {
+        speed_eps.ok_or_else(|| format!("algorithm {algo:?} needs --speed-eps"))
+    };
+    Ok(match algo {
+        "uniform" => {
+            let step = eps.round().max(1.0) as usize;
+            Box::new(UniformSample::new(step))
+        }
+        "dist" => Box::new(DistanceThreshold::new(eps)),
+        "ndp" | "dp" | "douglas-peucker" => Box::new(DouglasPeucker::new(eps)),
+        "ndp-hull" => Box::new(traj_compress::HullDouglasPeucker::new(eps)),
+        "td-tr" => Box::new(TdTr::new(eps)),
+        "td-sp" => {
+            let v = need_speed()?;
+            if v <= 0.0 {
+                return Err("td-sp: --speed-eps must be > 0".into());
+            }
+            Box::new(TdSp::new(eps, v))
+        }
+        "nopw" => Box::new(OpeningWindow::nopw(eps)),
+        "bopw" => Box::new(OpeningWindow::bopw(eps)),
+        "opw-tr" => Box::new(OpeningWindow::opw_tr(eps)),
+        "opw-sp" => Box::new(OpeningWindow::opw_sp(eps, need_speed()?)),
+        "dead-reckoning" | "dr" => Box::new(DeadReckoning::new(eps)),
+        "bottom-up" => Box::new(BottomUp::time_ratio(eps)),
+        "sliding-window" => Box::new(SlidingWindow::new(Metric::TimeRatio, eps, 32)),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Executes a parsed command, returning its human-readable report.
+///
+/// # Errors
+/// Propagates I/O, parse and validation failures as strings.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let load = |path: &PathBuf| -> Result<Trajectory, String> {
+        io::read_csv(path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let mut report = String::new();
+    match cmd {
+        Command::Info { file } => {
+            let t = load(file)?;
+            let s = TrajectoryStats::of(&t);
+            let _ = writeln!(report, "file:          {}", file.display());
+            let _ = writeln!(report, "data points:   {}", s.n_points);
+            let _ = writeln!(report, "duration:      {}", s.duration);
+            let _ = writeln!(report, "length:        {:.3} km", s.length_km());
+            let _ = writeln!(report, "displacement:  {:.3} km", s.displacement_km());
+            let _ = writeln!(report, "avg speed:     {:.2} km/h", s.avg_speed_kmh());
+            let _ = writeln!(report, "max speed:     {:.2} km/h", s.max_speed_ms * 3.6);
+            let _ = writeln!(report, "mean interval: {:.2} s", s.mean_interval_s);
+        }
+        Command::Compress { file, algo, eps, speed_eps, out } => {
+            let t = load(file)?;
+            let compressor = make_compressor(algo, *eps, *speed_eps)?;
+            let result = compressor.compress(&t);
+            let e = evaluate(&t, &result);
+            let _ = writeln!(report, "algorithm:        {}", compressor.name());
+            let _ = writeln!(report, "kept points:      {} of {}", result.kept_len(), t.len());
+            let _ = writeln!(report, "compression:      {:.2} %", e.compression_pct);
+            let _ = writeln!(report, "avg sync error:   {:.3} m", e.avg_sync_err_m);
+            let _ = writeln!(report, "max sync error:   {:.3} m", e.max_sync_err_m);
+            let _ = writeln!(report, "mean/max SED:     {:.3} / {:.3} m", e.mean_sed_m, e.max_sed_m);
+            let _ = writeln!(report, "mean/max perp:    {:.3} / {:.3} m", e.mean_perp_m, e.max_perp_m);
+            if let Some(out) = out {
+                let approx = result.apply(&t);
+                io::write_csv(&approx, out).map_err(|e| format!("{}: {e}", out.display()))?;
+                let _ = writeln!(report, "wrote:            {}", out.display());
+            }
+        }
+        Command::Evaluate { original, approx } => {
+            let p = load(original)?;
+            let a = load(approx)?;
+            let alpha = traj_compress::error::average_synchronous_error(&p, &a);
+            let max = traj_compress::error::max_synchronous_error(&p, &a);
+            let (mean_sed, max_sed) = traj_compress::error::sed_at_samples(&p, &a);
+            let _ = writeln!(report, "points:           {} vs {}", p.len(), a.len());
+            let _ = writeln!(
+                report,
+                "compression:      {:.2} %",
+                100.0 * (p.len().saturating_sub(a.len())) as f64 / p.len() as f64
+            );
+            let _ = writeln!(report, "avg sync error:   {alpha:.3} m");
+            let _ = writeln!(report, "max sync error:   {max:.3} m");
+            let _ = writeln!(report, "mean/max SED:     {mean_sed:.3} / {max_sed:.3} m");
+        }
+        Command::Generate { seed, trip, out } => {
+            let t = traj_gen::paper_dataset(*seed)
+                .into_iter()
+                .nth(*trip)
+                .expect("trip index validated at parse time");
+            io::write_csv(&t, out).map_err(|e| format!("{}: {e}", out.display()))?;
+            let s = TrajectoryStats::of(&t);
+            let _ = writeln!(
+                report,
+                "wrote trip {trip} (seed {seed}): {} fixes, {:.2} km, {} → {}",
+                s.n_points,
+                s.length_km(),
+                s.duration,
+                out.display()
+            );
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_info() {
+        assert_eq!(
+            parse(&args("info a.csv")).unwrap(),
+            Command::Info { file: PathBuf::from("a.csv") }
+        );
+        assert!(parse(&args("info")).is_err());
+    }
+
+    #[test]
+    fn parse_compress_full() {
+        let c = parse(&args("compress a.csv --algo opw-sp --eps 30 --speed-eps 5 -o b.csv"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Compress {
+                file: PathBuf::from("a.csv"),
+                algo: "opw-sp".into(),
+                eps: 30.0,
+                speed_eps: Some(5.0),
+                out: Some(PathBuf::from("b.csv")),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_compress_requires_algo_and_eps() {
+        assert!(parse(&args("compress a.csv --eps 30")).is_err());
+        assert!(parse(&args("compress a.csv --algo td-tr")).is_err());
+        assert!(parse(&args("compress a.csv --algo td-tr --eps nope")).is_err());
+        assert!(parse(&args("compress a.csv --algo td-tr --eps -5")).is_err());
+    }
+
+    #[test]
+    fn parse_generate_bounds_trip() {
+        assert!(parse(&args("generate --trip 10 -o x.csv")).is_err());
+        assert!(parse(&args("generate --trip 3")).is_err(), "-o required");
+        let g = parse(&args("generate --seed 7 --trip 3 -o x.csv")).unwrap();
+        assert_eq!(g, Command::Generate { seed: 7, trip: 3, out: PathBuf::from("x.csv") });
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&args("compress a.csv --algo td-tr --eps 5 --wat 3")).is_err());
+    }
+
+    #[test]
+    fn factory_knows_every_documented_algorithm() {
+        for name in [
+            "uniform", "dist", "ndp", "ndp-hull", "td-tr", "nopw", "bopw", "opw-tr",
+            "dead-reckoning", "bottom-up", "sliding-window",
+        ] {
+            assert!(make_compressor(name, 10.0, None).is_ok(), "{name}");
+        }
+        for name in ["td-sp", "opw-sp"] {
+            assert!(make_compressor(name, 10.0, None).is_err(), "{name} needs speed");
+            assert!(make_compressor(name, 10.0, Some(5.0)).is_ok(), "{name}");
+        }
+        assert!(make_compressor("nope", 10.0, None).is_err());
+    }
+
+    #[test]
+    fn run_info_compress_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("trajc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let output = dir.join("out.csv");
+
+        // generate → info → compress → evaluate, exercising every path.
+        let gen = Command::Generate { seed: 42, trip: 1, out: input.clone() };
+        let report = run(&gen).unwrap();
+        assert!(report.contains("wrote trip 1"));
+
+        let info = run(&Command::Info { file: input.clone() }).unwrap();
+        assert!(info.contains("data points"));
+        assert!(info.contains("km/h"));
+
+        let compress = Command::Compress {
+            file: input.clone(),
+            algo: "td-tr".into(),
+            eps: 30.0,
+            speed_eps: None,
+            out: Some(output.clone()),
+        };
+        let report = run(&compress).unwrap();
+        assert!(report.contains("td-tr(30m)"));
+        assert!(report.contains("compression"));
+
+        let eval = Command::Evaluate { original: input.clone(), approx: output.clone() };
+        let report = run(&eval).unwrap();
+        assert!(report.contains("avg sync error"));
+
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn run_surfaces_io_errors() {
+        let err = run(&Command::Info { file: PathBuf::from("/no/such/file.csv") }).unwrap_err();
+        assert!(err.contains("file.csv"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # trajc — spatiotemporal compression for moving point objects
+//!
+//! Umbrella crate re-exporting the `trajc` workspace, a full
+//! implementation of *Meratnia & de By, "Spatiotemporal Compression
+//! Techniques for Moving Point Objects" (EDBT 2004)*:
+//!
+//! * [`geom`] — planar geometry and geodesy;
+//! * [`model`] — trajectories, interpolation, statistics, I/O;
+//! * [`compress`] — the compression algorithms and the error calculus
+//!   (the paper's contribution);
+//! * [`gen`] — synthetic GPS workloads calibrated to the paper's dataset;
+//! * [`store`] — a moving-object store with spatiotemporal indexing and
+//!   online compressed ingest;
+//! * [`eval`] — the experiment harness reproducing the paper's tables and
+//!   figures.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod cli;
+
+pub use traj_compress as compress;
+pub use traj_eval as eval;
+pub use traj_gen as gen;
+pub use traj_geom as geom;
+pub use traj_model as model;
+pub use traj_store as store;
