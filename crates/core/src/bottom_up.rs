@@ -23,6 +23,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::distance::Metric;
+use crate::obs::AlgoRun;
 use crate::result::{CompressionResult, Compressor};
 use traj_model::{Fix, Trajectory};
 
@@ -90,6 +91,14 @@ impl BottomUp {
         }
         worst
     }
+
+    /// [`BottomUp::merge_cost`] plus metric-evaluation accounting
+    /// (`right - left - 1` distance evaluations per call).
+    #[inline]
+    fn merge_cost_counted(&self, fixes: &[Fix], left: usize, right: usize, run: &mut AlgoRun) -> f64 {
+        run.sed_evals((right - left).saturating_sub(1) as u64);
+        self.merge_cost(fixes, left, right)
+    }
 }
 
 impl BottomUp {
@@ -115,6 +124,7 @@ impl BottomUp {
             return CompressionResult::identity(n);
         }
         let fixes = traj.fixes();
+        let mut run = AlgoRun::new();
         let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
         let mut next: Vec<usize> = (1..=n).collect();
         let mut alive = vec![true; n];
@@ -123,20 +133,21 @@ impl BottomUp {
         let mut heap = BinaryHeap::with_capacity(n);
         for i in 1..n - 1 {
             heap.push(Cand {
-                cost: self.merge_cost(fixes, i - 1, i + 1),
+                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
                 idx: i,
                 left: i - 1,
                 right: i + 1,
             });
         }
         while let Some(c) = heap.pop() {
+            run.heap_pop();
             if !alive[c.idx] || prev[c.idx] != c.left || next[c.idx] != c.right {
                 continue;
             }
             // Replacing the two segments around idx with one changes the
             // total by (merged cost − left cost − right cost).
-            let left_cost = self.merge_cost(fixes, c.left, c.idx);
-            let right_cost = self.merge_cost(fixes, c.idx, c.right);
+            let left_cost = self.merge_cost_counted(fixes, c.left, c.idx, &mut run);
+            let right_cost = self.merge_cost_counted(fixes, c.idx, c.right, &mut run);
             let new_total = total + c.cost - left_cost - right_cost;
             if new_total > total_budget {
                 // The cheapest remaining merge overruns the budget; any
@@ -144,20 +155,33 @@ impl BottomUp {
                 break;
             }
             total = new_total;
+            run.merge_step();
             alive[c.idx] = false;
             next[c.left] = c.right;
             prev[c.right] = c.left;
             if c.left > 0 {
                 let (l, r) = (prev[c.left], next[c.left]);
-                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.left, left: l, right: r });
+                heap.push(Cand {
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    idx: c.left,
+                    left: l,
+                    right: r,
+                });
             }
             if c.right < n - 1 {
                 let (l, r) = (prev[c.right], next[c.right]);
-                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.right, left: l, right: r });
+                heap.push(Cand {
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    idx: c.right,
+                    left: l,
+                    right: r,
+                });
             }
         }
         let kept = (0..n).filter(|&i| alive[i]).collect();
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush("bottom-up-budget", n, result.kept_len());
+        result
     }
 }
 
@@ -171,7 +195,9 @@ impl Compressor for BottomUp {
         if n <= 2 {
             return CompressionResult::identity(n);
         }
+        let _span = traj_obs::span!("bottom_up.compress", points = n);
         let fixes = traj.fixes();
+        let mut run = AlgoRun::new();
         // Doubly linked list over surviving indices.
         let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
         let mut next: Vec<usize> = (1..=n).collect();
@@ -180,7 +206,7 @@ impl Compressor for BottomUp {
         let mut heap = BinaryHeap::with_capacity(n);
         for i in 1..n - 1 {
             heap.push(Cand {
-                cost: self.merge_cost(fixes, i - 1, i + 1),
+                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
                 idx: i,
                 left: i - 1,
                 right: i + 1,
@@ -188,6 +214,7 @@ impl Compressor for BottomUp {
         }
 
         while let Some(c) = heap.pop() {
+            run.heap_pop();
             // Lazy invalidation: skip stale entries.
             if !alive[c.idx] || prev[c.idx] != c.left || next[c.idx] != c.right {
                 continue;
@@ -196,18 +223,24 @@ impl Compressor for BottomUp {
                 break; // cheapest removal already violates: done.
             }
             // Remove c.idx.
+            run.merge_step();
             alive[c.idx] = false;
             next[c.left] = c.right;
             prev[c.right] = c.left;
             // Re-evaluate the neighbours' removal costs.
             if c.left > 0 {
                 let (l, r) = (prev[c.left], next[c.left]);
-                heap.push(Cand { cost: self.merge_cost(fixes, l, r), idx: c.left, left: l, right: r });
+                heap.push(Cand {
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    idx: c.left,
+                    left: l,
+                    right: r,
+                });
             }
             if c.right < n - 1 {
                 let (l, r) = (prev[c.right], next[c.right]);
                 heap.push(Cand {
-                    cost: self.merge_cost(fixes, l, r),
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
                     idx: c.right,
                     left: l,
                     right: r,
@@ -216,7 +249,9 @@ impl Compressor for BottomUp {
         }
 
         let kept = (0..n).filter(|&i| alive[i]).collect();
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush("bottom-up", n, result.kept_len());
+        result
     }
 }
 

@@ -28,6 +28,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::distance::Metric;
+use crate::obs::AlgoRun;
 use crate::result::{CompressionResult, Compressor};
 use traj_model::{Fix, Trajectory};
 
@@ -73,6 +74,21 @@ impl TopDown {
         self.metric
     }
 
+    /// Static metric-family name for metric labels (threshold-free, so
+    /// label cardinality stays bounded).
+    fn family(&self) -> &'static str {
+        match self.metric {
+            Metric::Perpendicular => "ndp",
+            Metric::TimeRatio => "td-tr",
+        }
+    }
+
+    /// Number of metric evaluations one `farthest(lo, hi)` call performs.
+    #[inline]
+    fn evals(lo: usize, hi: usize) -> u64 {
+        (hi - lo).saturating_sub(1) as u64
+    }
+
     /// Interior point of `fixes[lo..=hi]` with the maximum metric
     /// distance from the `lo`–`hi` approximation, or `None` when there is
     /// no interior point.
@@ -97,17 +113,27 @@ impl TopDown {
         if n <= 2 {
             return CompressionResult::identity(n);
         }
+        let _span = match self.metric {
+            Metric::Perpendicular => traj_obs::span!("ndp.compress", points = n),
+            Metric::TimeRatio => traj_obs::span!("td_tr.compress", points = n),
+        };
+        let mut run = AlgoRun::new();
         let fixes = traj.fixes();
         let mut keep = vec![false; n];
         keep[0] = true;
         keep[n - 1] = true;
-        let mut stack = vec![(0usize, n - 1)];
-        while let Some((lo, hi)) = stack.pop() {
+        // The third element is the split depth, fed to the `dp_depth`
+        // histogram (max over the run ≙ the recursion depth the textbook
+        // formulation would reach).
+        let mut stack = vec![(0usize, n - 1, 1u32)];
+        while let Some((lo, hi, depth)) = stack.pop() {
+            run.depth(u64::from(depth));
+            run.sed_evals(Self::evals(lo, hi));
             if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
                 if dist > self.epsilon {
                     keep[split] = true;
-                    stack.push((lo, split));
-                    stack.push((split, hi));
+                    stack.push((lo, split, depth + 1));
+                    stack.push((split, hi, depth + 1));
                 }
             }
         }
@@ -116,7 +142,9 @@ impl TopDown {
             .enumerate()
             .filter_map(|(i, &k)| k.then_some(i))
             .collect();
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush(self.family(), n, result.kept_len());
+        result
     }
 
     /// Reference recursion, equivalent to [`TopDown::compress`]; exposed
@@ -127,18 +155,31 @@ impl TopDown {
             return CompressionResult::identity(n);
         }
         let fixes = traj.fixes();
+        let mut run = AlgoRun::new();
         let mut kept = vec![0usize];
-        self.recurse(fixes, 0, n - 1, &mut kept);
+        self.recurse(fixes, 0, n - 1, &mut kept, 1, &mut run);
         kept.push(n - 1);
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush(self.family(), n, result.kept_len());
+        result
     }
 
-    fn recurse(&self, fixes: &[Fix], lo: usize, hi: usize, kept: &mut Vec<usize>) {
+    fn recurse(
+        &self,
+        fixes: &[Fix],
+        lo: usize,
+        hi: usize,
+        kept: &mut Vec<usize>,
+        depth: u32,
+        run: &mut AlgoRun,
+    ) {
+        run.depth(u64::from(depth));
+        run.sed_evals(Self::evals(lo, hi));
         if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
             if dist > self.epsilon {
-                self.recurse(fixes, lo, split, kept);
+                self.recurse(fixes, lo, split, kept, depth + 1, run);
                 kept.push(split);
-                self.recurse(fixes, split, hi, kept);
+                self.recurse(fixes, split, hi, kept, depth + 1, run);
             }
         }
     }
@@ -182,13 +223,15 @@ impl TopDown {
             }
         }
 
+        let mut run = AlgoRun::new();
         let mut heap = BinaryHeap::new();
-        let push = |heap: &mut BinaryHeap<Cand>, lo: usize, hi: usize| {
+        let push = |heap: &mut BinaryHeap<Cand>, run: &mut AlgoRun, lo: usize, hi: usize| {
+            run.sed_evals(Self::evals(lo, hi));
             if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
                 heap.push(Cand { dist, split, lo, hi });
             }
         };
-        push(&mut heap, 0, n - 1);
+        push(&mut heap, &mut run, 0, n - 1);
 
         let mut keep = vec![false; n];
         keep[0] = true;
@@ -196,17 +239,20 @@ impl TopDown {
         let mut count = 2usize;
         while count < target.max(2) {
             let Some(c) = heap.pop() else { break };
+            run.heap_pop();
             keep[c.split] = true;
             count += 1;
-            push(&mut heap, c.lo, c.split);
-            push(&mut heap, c.split, c.hi);
+            push(&mut heap, &mut run, c.lo, c.split);
+            push(&mut heap, &mut run, c.split, c.hi);
         }
         let kept = keep
             .iter()
             .enumerate()
             .filter_map(|(i, &k)| k.then_some(i))
             .collect();
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush(self.family(), n, result.kept_len());
+        result
     }
 }
 
@@ -395,6 +441,25 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn rejects_negative_epsilon() {
         let _ = TopDown::new(Metric::Perpendicular, -1.0);
+    }
+
+    /// Deltas only (the registry is global and tests run in parallel).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn compression_flushes_run_metrics() {
+        let r = traj_obs::registry();
+        let labels: &[(&str, &str)] = &[("algo", "td-tr")];
+        let evals = r.counter_with("compress", "sed_evals", labels);
+        let points_in = r.counter_with("compress", "points_in", labels);
+        let points_out = r.counter_with("compress", "points_out", labels);
+        let depth = r.histogram_with("compress", "dp_depth", labels);
+
+        let (e0, i0, o0, d0) = (evals.get(), points_in.get(), points_out.get(), depth.count());
+        let result = TdTr::new(5.0).compress(&spike());
+        assert!(evals.get() >= e0 + 5, "top-level farthest() alone is 5 evals");
+        assert!(points_in.get() >= i0 + 7);
+        assert!(points_out.get() >= o0 + result.kept_len() as u64);
+        assert!(depth.count() > d0, "one dp_depth observation per run");
     }
 
     #[test]

@@ -46,11 +46,21 @@ fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
     // The relative threshold guards against catastrophic cancellation
     // when the two displacements are nearly identical.
     if a <= 1e-24 * (d0.norm_sq() + d1.norm_sq() + 1.0) {
+        #[cfg(feature = "obs")]
+        traj_obs::counter!("error", "alpha_case_translation").inc();
         return 0.5 * (d0.norm() + d1.norm());
     }
     let u0 = d0.dot(w) / a;
     let u1 = u0 + 1.0;
     let k = d0.cross(w).abs() / a;
+    // Which branch of the paper's case analysis fires, counted once per
+    // elementary interval (the antiderivative below is evaluated twice).
+    #[cfg(feature = "obs")]
+    if k > 0.0 {
+        traj_obs::counter!("error", "alpha_case_general").inc();
+    } else {
+        traj_obs::counter!("error", "alpha_case_parallel").inc();
+    }
     let sqrt_a = a.sqrt();
 
     // Antiderivative of √(u² + k²).
@@ -485,6 +495,42 @@ mod tests {
         let p = t(&[(0.0, 0.0, 2.0), (40.0, 100.0, 2.0)]);
         let a = t(&[(0.0, 0.0, 0.0), (40.0, 100.0, 0.0)]);
         assert!(approx_eq(integrated_synchronous_distance(&p, &a), 80.0, 1e-9, 1e-12));
+    }
+
+    /// The paper-case counters must attribute known geometries to the
+    /// right branch of the α case analysis. The registry is global and
+    /// tests run in parallel, so assertions are on monotone deltas.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn case_counters_fire_for_known_geometries() {
+        let translation = traj_obs::registry().counter("error", "alpha_case_translation");
+        let parallel = traj_obs::registry().counter("error", "alpha_case_parallel");
+        let general = traj_obs::registry().counter("error", "alpha_case_general");
+
+        // Pure translation (c₁ = 0), two segments → two translation hits.
+        let t0 = translation.get();
+        let p = t(&[(0.0, 0.0, 0.0), (10.0, 100.0, 0.0), (30.0, 100.0, 200.0)]);
+        let a = t(&[(0.0, 3.0, 4.0), (10.0, 103.0, 4.0), (30.0, 103.0, 204.0)]);
+        let _ = average_synchronous_error(&p, &a);
+        assert!(
+            translation.get() >= t0 + 2,
+            "both segments of a translated trajectory are case c1=0"
+        );
+
+        // Parallel displacements (det = 0) with a genuine direction
+        // change: δ₀ = (0,2) ∥ δ₁ = (0,6).
+        let p0 = parallel.get();
+        let p = t(&[(0.0, 0.0, 2.0), (10.0, 10.0, 6.0)]);
+        let a = t(&[(0.0, 0.0, 0.0), (10.0, 10.0, 0.0)]);
+        let _ = average_synchronous_error(&p, &a);
+        assert!(parallel.get() > p0, "parallel chords are the det=0 case");
+
+        // Non-degenerate displacement pair → the general asinh case.
+        let g0 = general.get();
+        let p = t(&[(0.0, 0.0, 5.0), (10.0, 10.0, 0.0)]);
+        let a = t(&[(0.0, 4.0, 0.0), (10.0, 10.0, 7.0)]);
+        let _ = average_synchronous_error(&p, &a);
+        assert!(general.get() > g0, "skew displacements are the general case");
     }
 
     #[test]

@@ -71,6 +71,7 @@
 
 pub mod bottom_up;
 pub mod dead_reckoning;
+pub(crate) mod obs;
 pub mod distance;
 pub mod douglas_peucker;
 pub mod error;

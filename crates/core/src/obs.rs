@@ -1,0 +1,157 @@
+//! Per-call metric accumulation for the compression algorithms.
+//!
+//! The hot loops of this crate run millions of distance evaluations;
+//! touching an atomic (let alone a registry mutex) per evaluation would
+//! distort the very measurements the paper reproduces. [`AlgoRun`]
+//! therefore accumulates plain integers on the stack during one
+//! compression call and flushes them into the global `traj-obs` registry
+//! exactly once, labeled by the algorithm family.
+//!
+//! With the `obs` feature disabled the struct is a zero-sized type and
+//! every method an empty `#[inline(always)]` body, so the algorithms
+//! compile to the same code as before instrumentation existed.
+//!
+//! Metrics flushed (subsystem `compress`, label `algo`):
+//!
+//! | name             | kind      | meaning |
+//! |------------------|-----------|---------|
+//! | `runs`           | counter   | compression calls |
+//! | `points_in`      | counter   | input points across runs |
+//! | `points_out`     | counter   | kept points across runs |
+//! | `sed_evals`      | counter   | metric distance / criterion evaluations |
+//! | `dp_depth`       | histogram | top-down split depth per run |
+//! | `windows_opened` | counter   | opening-window windows opened |
+//! | `windows_closed` | counter   | opening-window windows closed |
+//! | `forced_cuts`    | counter   | stream cuts forced by `max_window` |
+//! | `merge_steps`    | counter   | bottom-up merges executed |
+//! | `heap_pops`      | counter   | candidate-heap pops |
+
+#[cfg(not(feature = "obs"))]
+pub(crate) use disabled::AlgoRun;
+#[cfg(feature = "obs")]
+pub(crate) use enabled::AlgoRun;
+
+#[cfg(feature = "obs")]
+mod enabled {
+    /// Stack-local accumulator; see the module docs.
+    #[derive(Debug, Clone, Default)]
+    pub(crate) struct AlgoRun {
+        sed_evals: u64,
+        max_depth: u64,
+        windows_opened: u64,
+        windows_closed: u64,
+        forced_cuts: u64,
+        merge_steps: u64,
+        heap_pops: u64,
+    }
+
+    impl AlgoRun {
+        #[inline]
+        pub(crate) fn new() -> Self {
+            AlgoRun::default()
+        }
+
+        #[inline]
+        pub(crate) fn sed_evals(&mut self, n: u64) {
+            self.sed_evals += n;
+        }
+
+        #[inline]
+        pub(crate) fn depth(&mut self, d: u64) {
+            if d > self.max_depth {
+                self.max_depth = d;
+            }
+        }
+
+        #[inline]
+        pub(crate) fn window_opened(&mut self) {
+            self.windows_opened += 1;
+        }
+
+        #[inline]
+        pub(crate) fn window_closed(&mut self) {
+            self.windows_closed += 1;
+        }
+
+        #[inline]
+        pub(crate) fn forced_cut(&mut self) {
+            self.forced_cuts += 1;
+        }
+
+        #[inline]
+        pub(crate) fn merge_step(&mut self) {
+            self.merge_steps += 1;
+        }
+
+        #[inline]
+        pub(crate) fn heap_pop(&mut self) {
+            self.heap_pops += 1;
+        }
+
+        /// Publishes the accumulated run into the global registry under
+        /// the static `algo` family label. Zero-valued window/merge/heap
+        /// counters are skipped so algorithms only surface the metrics
+        /// that apply to them.
+        pub(crate) fn flush(&self, algo: &'static str, points_in: usize, points_out: usize) {
+            let r = traj_obs::registry();
+            let labels: &[(&str, &str)] = &[("algo", algo)];
+            r.counter_with("compress", "runs", labels).inc();
+            r.counter_with("compress", "points_in", labels).add(points_in as u64);
+            r.counter_with("compress", "points_out", labels).add(points_out as u64);
+            r.counter_with("compress", "sed_evals", labels).add(self.sed_evals);
+            if self.max_depth > 0 {
+                r.histogram_with("compress", "dp_depth", labels).record(self.max_depth);
+            }
+            for (name, value) in [
+                ("windows_opened", self.windows_opened),
+                ("windows_closed", self.windows_closed),
+                ("forced_cuts", self.forced_cuts),
+                ("merge_steps", self.merge_steps),
+                ("heap_pops", self.heap_pops),
+            ] {
+                if value > 0 {
+                    r.counter_with("compress", name, labels).add(value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    /// Zero-sized stand-in; every method compiles away.
+    #[derive(Debug, Clone, Default)]
+    pub(crate) struct AlgoRun;
+
+    #[allow(clippy::unused_self)]
+    impl AlgoRun {
+        #[inline(always)]
+        pub(crate) fn new() -> Self {
+            AlgoRun
+        }
+
+        #[inline(always)]
+        pub(crate) fn sed_evals(&mut self, _n: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn depth(&mut self, _d: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn window_opened(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn window_closed(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn forced_cut(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn merge_step(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn heap_pop(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn flush(&self, _algo: &'static str, _points_in: usize, _points_out: usize) {}
+    }
+}

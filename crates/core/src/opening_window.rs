@@ -28,6 +28,7 @@
 //! as countermeasure the final data point is always emitted.
 
 use crate::distance::{sed, speed_difference, Metric};
+use crate::obs::AlgoRun;
 use crate::result::{CompressionResult, Compressor};
 use traj_model::Trajectory;
 
@@ -173,19 +174,24 @@ impl OpeningWindow {
     pub fn strategy(&self) -> BreakStrategy {
         self.strategy
     }
-}
 
-impl Compressor for OpeningWindow {
-    fn name(&self) -> String {
-        let base = match (self.criterion, self.strategy) {
+    /// Static algorithm-family name (the threshold-free prefix of
+    /// [`Compressor::name`]) used as metric label.
+    pub(crate) fn family(&self) -> &'static str {
+        match (self.criterion, self.strategy) {
             (Criterion::Perpendicular { .. }, BreakStrategy::Normal) => "nopw",
             (Criterion::Perpendicular { .. }, BreakStrategy::BeforeFloat) => "bopw",
             (Criterion::TimeRatio { .. }, BreakStrategy::Normal) => "opw-tr",
             (Criterion::TimeRatio { .. }, BreakStrategy::BeforeFloat) => "bopw-tr",
             (Criterion::TimeRatioSpeed { .. }, BreakStrategy::Normal) => "opw-sp",
             (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "bopw-sp",
-        };
-        format!("{base}({})", self.criterion.label())
+        }
+    }
+}
+
+impl Compressor for OpeningWindow {
+    fn name(&self) -> String {
+        format!("{}({})", self.family(), self.criterion.label())
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
@@ -193,12 +199,17 @@ impl Compressor for OpeningWindow {
         if n <= 2 {
             return CompressionResult::identity(n);
         }
+        let _span = traj_obs::span!("ow.compress", points = n);
+        let mut run = AlgoRun::new();
         let mut kept = vec![0usize];
         let mut anchor = 0usize;
         let mut float = anchor + 2;
+        run.window_opened();
         while float < n {
             match self.criterion.first_violation(traj, anchor, float) {
                 Some(i) => {
+                    // `first_violation` evaluated anchor+1..=i.
+                    run.sed_evals((i - anchor) as u64);
                     let cut = match self.strategy {
                         BreakStrategy::Normal => i,
                         BreakStrategy::BeforeFloat => float - 1,
@@ -207,14 +218,22 @@ impl Compressor for OpeningWindow {
                     kept.push(cut);
                     anchor = cut;
                     float = anchor + 2;
+                    run.window_closed();
+                    run.window_opened();
                 }
-                None => float += 1,
+                None => {
+                    run.sed_evals((float - anchor).saturating_sub(1) as u64);
+                    float += 1;
+                }
             }
         }
+        run.window_closed();
         if *kept.last().expect("nonempty") != n - 1 {
             kept.push(n - 1);
         }
-        CompressionResult::new(kept, n)
+        let result = CompressionResult::new(kept, n);
+        run.flush(self.family(), n, result.kept_len());
+        result
     }
 }
 

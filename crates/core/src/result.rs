@@ -11,7 +11,8 @@ use traj_model::Trajectory;
 /// calculus compare original and approximation without re-association.
 ///
 /// Invariants (upheld by [`CompressionResult::new`]):
-/// * at least one index;
+/// * at least one index, unless the original itself was empty (the only
+///   lossless representation of zero input points is zero kept points);
 /// * strictly increasing;
 /// * for inputs of length ≥ 2, the first (`0`) and last (`n-1`) samples
 ///   are kept, so the approximation spans the same time interval — the
@@ -31,15 +32,17 @@ impl CompressionResult {
     /// index sets to satisfy them, so a violation is a bug in the
     /// algorithm, not a data error.
     pub fn new(kept: Vec<usize>, original_len: usize) -> Self {
-        assert!(!kept.is_empty(), "a compression result keeps at least one point");
+        assert!(
+            !kept.is_empty() || original_len == 0,
+            "a compression result keeps at least one point"
+        );
         assert!(
             kept.windows(2).all(|w| w[0] < w[1]),
             "kept indices must be strictly increasing"
         );
-        assert!(
-            *kept.last().expect("nonempty") < original_len,
-            "kept index out of range"
-        );
+        if let Some(&last) = kept.last() {
+            assert!(last < original_len, "kept index out of range");
+        }
         if original_len >= 2 {
             assert_eq!(kept[0], 0, "first sample must be kept");
             assert_eq!(*kept.last().expect("nonempty"), original_len - 1, "last sample must be kept");
@@ -211,6 +214,25 @@ mod tests {
     #[test]
     fn single_point_result_is_allowed() {
         let r = CompressionResult::new(vec![0], 1);
+        assert_eq!(r.compression_pct(), 0.0);
+    }
+
+    #[test]
+    fn empty_original_is_representable_and_not_nan() {
+        // The empty trajectory compresses to itself; the rate must be a
+        // plain 0 %, not a 0/0 NaN.
+        let r = CompressionResult::identity(0);
+        assert_eq!(r.kept(), &[] as &[usize]);
+        assert_eq!(r.original_len(), 0);
+        assert_eq!(r.removed(), 0);
+        assert_eq!(r.compression_pct(), 0.0);
+        assert!(!r.compression_pct().is_nan());
+    }
+
+    #[test]
+    fn keeping_every_point_is_zero_percent() {
+        let r = CompressionResult::new(vec![0, 1, 2, 3, 4], 5);
+        assert_eq!(r.kept_len(), r.original_len());
         assert_eq!(r.compression_pct(), 0.0);
     }
 }

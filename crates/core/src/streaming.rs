@@ -16,6 +16,7 @@
 //! little compression for bounded memory (used by `traj-store`'s ingest
 //! path).
 
+use crate::obs::AlgoRun;
 use crate::opening_window::{BreakStrategy, Criterion};
 use traj_model::{Fix, ModelError};
 
@@ -51,6 +52,10 @@ pub struct OwStream {
     max_window: Option<usize>,
     /// Total number of accepted fixes (for error reporting).
     pushed: usize,
+    /// Total number of fixes committed so far.
+    emitted: usize,
+    /// Metric accumulator, flushed by [`OwStream::finish`].
+    run: AlgoRun,
 }
 
 impl OwStream {
@@ -63,7 +68,30 @@ impl OwStream {
     pub fn new(criterion: Criterion, strategy: BreakStrategy) -> Self {
         // Reuse the batch constructor's validation.
         let _ = crate::opening_window::OpeningWindow::new(criterion, strategy);
-        OwStream { criterion, strategy, window: Vec::new(), checked: 2, max_window: None, pushed: 0 }
+        OwStream {
+            criterion,
+            strategy,
+            window: Vec::new(),
+            checked: 2,
+            max_window: None,
+            pushed: 0,
+            emitted: 0,
+            run: AlgoRun::new(),
+        }
+    }
+
+    /// Static algorithm-family label for stream metrics: the batch family
+    /// name with a `stream-` prefix, so online and batch runs stay
+    /// distinguishable in reports.
+    fn family(&self) -> &'static str {
+        match (self.criterion, self.strategy) {
+            (Criterion::Perpendicular { .. }, BreakStrategy::Normal) => "stream-nopw",
+            (Criterion::Perpendicular { .. }, BreakStrategy::BeforeFloat) => "stream-bopw",
+            (Criterion::TimeRatio { .. }, BreakStrategy::Normal) => "stream-opw-tr",
+            (Criterion::TimeRatio { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-tr",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::Normal) => "stream-opw-sp",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-sp",
+        }
     }
 
     /// OPW-TR stream (synchronized distance, break at the violation).
@@ -128,7 +156,9 @@ impl OwStream {
             // The very first fix is the initial anchor and is always kept.
             self.window.push(fix);
             self.checked = 2;
+            self.run.window_opened();
             emitted.push(fix);
+            self.emitted += 1;
             return Ok(emitted);
         }
         self.window.push(fix);
@@ -140,6 +170,9 @@ impl OwStream {
                 // to represent everything before it.
                 let cut = self.window.len() - 2;
                 if cut > 0 {
+                    self.run.forced_cut();
+                    self.run.window_closed();
+                    self.run.window_opened();
                     emitted.push(self.window[cut]);
                     self.window.drain(..cut);
                     self.checked = 2;
@@ -147,6 +180,7 @@ impl OwStream {
                 }
             }
         }
+        self.emitted += emitted.len();
         Ok(emitted)
     }
 
@@ -159,6 +193,10 @@ impl OwStream {
         while e < self.window.len() {
             match self.first_violation(e) {
                 Some(i) => {
+                    // Scanned window indices 1..=i against float `e`.
+                    self.run.sed_evals(i as u64);
+                    self.run.window_closed();
+                    self.run.window_opened();
                     let cut = match self.strategy {
                         BreakStrategy::Normal => i,
                         BreakStrategy::BeforeFloat => e - 1,
@@ -168,7 +206,10 @@ impl OwStream {
                     self.window.drain(..cut);
                     e = 2;
                 }
-                None => e += 1,
+                None => {
+                    self.run.sed_evals(e.saturating_sub(1) as u64);
+                    e += 1;
+                }
             }
         }
         self.checked = e;
@@ -204,12 +245,20 @@ impl OwStream {
     /// Flushes the stream: the final fix (if any besides the anchor) is
     /// committed, mirroring the batch algorithm's always-keep-the-last
     /// countermeasure. Returns the remaining kept fixes.
-    pub fn finish(self) -> Vec<Fix> {
-        if self.window.len() >= 2 {
+    ///
+    /// This also publishes the stream's accumulated metrics (criterion
+    /// evaluations, windows, forced cuts) to the `traj-obs` registry;
+    /// a stream dropped without `finish` reports nothing.
+    pub fn finish(mut self) -> Vec<Fix> {
+        let out = if self.window.len() >= 2 {
+            self.run.window_closed();
             vec![*self.window.last().expect("len >= 2")]
         } else {
             Vec::new()
-        }
+        };
+        self.emitted += out.len();
+        self.run.flush(self.family(), self.pushed, self.emitted);
+        out
     }
 }
 

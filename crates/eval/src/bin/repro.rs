@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! repro [all|table2|fig7|fig8|fig9|fig10|fig11|check|ext] [--seed N] [--csv DIR]
+//!       [--metrics-out FILE]
 //! ```
 //!
 //! With no arguments, runs `all`: prints Table 2 and Figures 7–11 as
 //! aligned text tables (averages over the ten-trajectory dataset) and
 //! finishes with the paper-shape check. `--csv DIR` additionally writes
-//! one CSV per figure into `DIR`.
+//! one CSV per figure into `DIR`, plus a `metrics.csv` sidecar with the
+//! instrumentation snapshot of the whole run; `--metrics-out FILE`
+//! redirects the sidecar (JSON lines for `.json` paths, CSV otherwise).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,12 +24,14 @@ struct Args {
     what: String,
     seed: u64,
     csv_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut what = "all".to_string();
     let mut seed = 42u64;
     let mut csv_dir = None;
+    let mut metrics_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,15 +43,44 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
             }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a path")?;
+                metrics_out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR]"
+                return Err("usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR] \
+                            [--metrics-out FILE]"
                     .to_string())
             }
             other if !other.starts_with('-') => what = other.to_string(),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(Args { what, seed, csv_dir })
+    Ok(Args { what, seed, csv_dir, metrics_out })
+}
+
+/// Writes the instrumentation snapshot of the whole run: to
+/// `--metrics-out` when given, else to `DIR/metrics.csv` next to the
+/// figure CSVs. JSON lines for `.json` paths, CSV otherwise.
+fn write_metrics(args: &Args) {
+    let path = match (&args.metrics_out, &args.csv_dir) {
+        (Some(p), _) => p.clone(),
+        (None, Some(dir)) => dir.join("metrics.csv"),
+        (None, None) => return,
+    };
+    let snapshot = traj_obs::registry().snapshot();
+    let body = if path.extension().is_some_and(|e| e == "json") {
+        traj_obs::sink::to_json_lines(&snapshot)
+    } else {
+        traj_obs::sink::to_csv(&snapshot)
+    };
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("(metrics → {})", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics to {}: {e}", path.display()),
+    }
 }
 
 fn emit(fig: &FigureData, csv_dir: &Option<PathBuf>) {
@@ -166,5 +200,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    write_metrics(&args);
     ExitCode::SUCCESS
 }

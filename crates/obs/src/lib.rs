@@ -1,0 +1,141 @@
+//! `traj-obs`: the observability substrate of the trajc workspace.
+//!
+//! The paper's whole argument rests on *measuring* compression behaviour
+//! — points kept, error evaluations, algorithm cost — so this crate makes
+//! every hot path visible and cheap to export, with **no dependencies
+//! outside `std`**:
+//!
+//! * [`Counter`] / [`Gauge`] — atomic scalar instruments;
+//! * [`Histogram`] — fixed-bucket log₂ histogram with exact count / sum /
+//!   min / max and estimated p50/p90/p99;
+//! * [`Timer`] / [`ScopeTimer`] — monotonic wall-clock timing;
+//! * [`Registry`] — the global metric store, keyed by
+//!   `(subsystem, name)` plus an optional label set, so one logical
+//!   metric can fan out into a family (`compress.sed_evals{algo=td-tr}`);
+//! * [`span!`] — lightweight nested wall-clock spans recorded into the
+//!   registry under the `span` subsystem;
+//! * [`sink`] — export of a registry snapshot as a human-readable table,
+//!   JSON lines, or RFC-4180 CSV.
+//!
+//! # Compile-time removal
+//!
+//! The `enabled` feature (on by default) selects the real implementation.
+//! With `--no-default-features` every instrument becomes a zero-sized
+//! type with inlined empty methods: call sites compile and the optimizer
+//! erases them, so disabling observability costs nothing at runtime.
+//! Code can branch on [`metrics_enabled`] where the *surrounding* work
+//! (e.g. building a label string) should also be skipped.
+//!
+//! # Conventions
+//!
+//! * Durations are recorded in **nanoseconds** (`*_ns` histograms; the
+//!   `span` subsystem is implicitly nanoseconds).
+//! * Hot loops accumulate into plain locals and flush once per call; the
+//!   atomic instruments are for call-boundary updates.
+//!
+//! ```
+//! use traj_obs::{counter, registry, span};
+//!
+//! {
+//!     let _span = span!("doctest.work", points = 128u64);
+//!     counter!("doctest", "points_in").add(128);
+//! }
+//! let samples = registry().snapshot();
+//! println!("{}", traj_obs::sink::render_table(&samples));
+//! ```
+
+pub mod sample;
+pub mod sink;
+
+#[cfg(feature = "enabled")]
+mod metrics;
+#[cfg(feature = "enabled")]
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry, ScopeTimer, Span, SpanGuard, Timer};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{registry, Counter, Gauge, Histogram, Registry, ScopeTimer, Span, SpanGuard, Timer};
+
+pub use sample::{HistogramSummary, MetricKind, MetricSample};
+
+/// Whether instrumentation is compiled in (`enabled` feature).
+#[inline(always)]
+pub const fn metrics_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// A cached global [`Counter`] handle for this call site.
+///
+/// `counter!("compress", "sed_evals")` resolves the registry entry once
+/// per call site; the labeled form
+/// `counter!("compress", "sed_evals", algo = name)` looks up per call
+/// (label values are dynamic) and is meant for call-boundary code.
+#[macro_export]
+macro_rules! counter {
+    ($subsystem:expr, $name:expr) => {{
+        static __OBS_HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        __OBS_HANDLE.get_or_init(|| $crate::registry().counter($subsystem, $name))
+    }};
+    ($subsystem:expr, $name:expr, $($label:ident = $value:expr),+ $(,)?) => {
+        $crate::registry().counter_with(
+            $subsystem,
+            $name,
+            &[$((stringify!($label), &*$value.to_string())),+],
+        )
+    };
+}
+
+/// A cached global [`Gauge`] handle for this call site (labeled form
+/// looks up per call).
+#[macro_export]
+macro_rules! gauge {
+    ($subsystem:expr, $name:expr) => {{
+        static __OBS_HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        __OBS_HANDLE.get_or_init(|| $crate::registry().gauge($subsystem, $name))
+    }};
+    ($subsystem:expr, $name:expr, $($label:ident = $value:expr),+ $(,)?) => {
+        $crate::registry().gauge_with(
+            $subsystem,
+            $name,
+            &[$((stringify!($label), &*$value.to_string())),+],
+        )
+    };
+}
+
+/// A cached global [`Histogram`] handle for this call site (labeled form
+/// looks up per call).
+#[macro_export]
+macro_rules! histogram {
+    ($subsystem:expr, $name:expr) => {{
+        static __OBS_HANDLE: ::std::sync::OnceLock<$crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        __OBS_HANDLE.get_or_init(|| $crate::registry().histogram($subsystem, $name))
+    }};
+    ($subsystem:expr, $name:expr, $($label:ident = $value:expr),+ $(,)?) => {
+        $crate::registry().histogram_with(
+            $subsystem,
+            $name,
+            &[$((stringify!($label), &*$value.to_string())),+],
+        )
+    };
+}
+
+/// Opens a wall-clock span; the returned guard records the elapsed time
+/// into the `span` subsystem (nanoseconds) when dropped. Spans nest: a
+/// span opened inside another records under the joined path
+/// (`outer/inner`). Numeric fields record into companion histograms
+/// `span.<name>.<field>`.
+///
+/// ```
+/// let _span = traj_obs::span!("td_tr.split", points = 42u64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, &[])
+    };
+    ($name:expr, $($field:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::enter($name, &[$((stringify!($field), $value as u64)),+])
+    };
+}

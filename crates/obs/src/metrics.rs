@@ -1,0 +1,561 @@
+//! The real (`enabled`) implementation of the instruments and registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::sample::{HistogramSummary, MetricKind, MetricSample};
+
+/// A monotonically increasing count. Handles are cheap `Arc` clones of
+/// the shared cell; updates are relaxed atomics (the snapshot is
+/// advisory, not a synchronization point).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins level; stores `f64` bits in an atomic cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (CAS loop; gauges are cold-path).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets; bucket 0 holds the value 0, bucket `i > 0`
+/// holds values in `[2^(i-1), 2^i)`, and the last bucket is open-ended.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket log₂ histogram of `u64` observations.
+///
+/// `count`/`sum`/`min`/`max` are exact; percentiles are estimated from
+/// the bucket a given rank falls in (geometric bucket midpoint, clamped
+/// to the observed range). Recording is lock-free and wait-free.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        let inner = &*self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSummary { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 };
+        }
+        let sum = inner.sum.load(Ordering::Relaxed);
+        let min = inner.min.load(Ordering::Relaxed);
+        let max = inner.max.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let pct = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return Self::bucket_estimate(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary { count, sum, min, max, p50: pct(0.50), p90: pct(0.90), p99: pct(0.99) }
+    }
+
+    /// Geometric midpoint of bucket `i` (`0` for the zero bucket).
+    fn bucket_estimate(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        // Bucket i spans [2^(i-1), 2^i); midpoint ≈ 2^(i-1) · √2.
+        let lo = 1u64 << (i - 1);
+        (lo as f64 * std::f64::consts::SQRT_2).round() as u64
+    }
+
+    fn reset(&self) {
+        let inner = &*self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        inner.min.store(u64::MAX, Ordering::Relaxed);
+        inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A started monotonic clock; read with [`Timer::elapsed_ns`].
+#[derive(Clone, Copy, Debug)]
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Nanoseconds since [`Timer::start`] (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Times a scope: records the elapsed nanoseconds into a histogram when
+/// dropped.
+#[derive(Debug)]
+pub struct ScopeTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl ScopeTimer {
+    /// Starts timing into `histogram`.
+    pub fn new(histogram: Histogram) -> Self {
+        ScopeTimer { histogram, start: Instant::now() }
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.start.elapsed());
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Entry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type Key = (String, String, Vec<(String, String)>);
+
+/// The metric store: maps `(subsystem, name, labels)` to a live
+/// instrument. Lookup takes a mutex; handles returned from lookup are
+/// lock-free, which is why hot paths cache them (see the `counter!`
+/// macro) or accumulate locally and flush once.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<Key, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses
+    /// [`registry`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn key(subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (subsystem.to_string(), name.to_string(), labels)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<Key, Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns (registering on first use) the unlabeled counter
+    /// `subsystem.name`.
+    pub fn counter(&self, subsystem: &str, name: &str) -> Counter {
+        self.counter_with(subsystem, name, &[])
+    }
+
+    /// Returns (registering on first use) a labeled counter.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different instrument kind.
+    pub fn counter_with(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Self::key(subsystem, name, labels);
+        let mut map = self.lock();
+        match map.entry(key).or_insert_with(|| Entry::Counter(Counter::new())) {
+            Entry::Counter(c) => c.clone(),
+            _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the unlabeled gauge
+    /// `subsystem.name`.
+    pub fn gauge(&self, subsystem: &str, name: &str) -> Gauge {
+        self.gauge_with(subsystem, name, &[])
+    }
+
+    /// Returns (registering on first use) a labeled gauge.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different instrument kind.
+    pub fn gauge_with(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Self::key(subsystem, name, labels);
+        let mut map = self.lock();
+        match map.entry(key).or_insert_with(|| Entry::Gauge(Gauge::new())) {
+            Entry::Gauge(g) => g.clone(),
+            _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the unlabeled histogram
+    /// `subsystem.name`.
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Histogram {
+        self.histogram_with(subsystem, name, &[])
+    }
+
+    /// Returns (registering on first use) a labeled histogram.
+    ///
+    /// # Panics
+    /// If the key is already registered as a different instrument kind.
+    pub fn histogram_with(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let key = Self::key(subsystem, name, labels);
+        let mut map = self.lock();
+        match map.entry(key).or_insert_with(|| Entry::Histogram(Histogram::new())) {
+            Entry::Histogram(h) => h.clone(),
+            _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// A sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let map = self.lock();
+        map.iter()
+            .map(|((subsystem, name, labels), entry)| {
+                let (kind, value, histogram) = match entry {
+                    Entry::Counter(c) => (MetricKind::Counter, c.get() as f64, None),
+                    Entry::Gauge(g) => (MetricKind::Gauge, g.get(), None),
+                    Entry::Histogram(h) => (MetricKind::Histogram, 0.0, Some(h.summary())),
+                };
+                MetricSample {
+                    subsystem: subsystem.clone(),
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind,
+                    value,
+                    histogram,
+                }
+            })
+            .collect()
+    }
+
+    /// Zeroes every registered instrument **in place**, keeping all
+    /// handles (including macro-cached ones) valid.
+    pub fn reset(&self) {
+        let map = self.lock();
+        for entry in map.values() {
+            match entry {
+                Entry::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Entry::Gauge(g) => g.set(0.0),
+                Entry::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-wide registry every macro and instrumented crate records
+/// into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Entry point for the [`span!`](crate::span) macro.
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// Opens a span named `name` under the thread's current span path,
+    /// recording `fields` as companion histograms `span.<name>.<field>`.
+    pub fn enter(name: &'static str, fields: &[(&'static str, u64)]) -> SpanGuard {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        let path = SPAN_STACK.with(|stack| stack.borrow().join("/"));
+        for (field, value) in fields {
+            registry()
+                .histogram("span", &format!("{path}.{field}"))
+                .record(*value);
+        }
+        SpanGuard { path: Some(path), start: Instant::now() }
+    }
+}
+
+/// Guard returned by [`Span::enter`]; records the span's wall-clock
+/// duration (nanoseconds) under `span.<path>` on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: Option<String>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            registry()
+                .histogram("span", &path)
+                .record_duration(self.start.elapsed());
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let r = Registry::new();
+        let a = r.counter("t", "hits");
+        let b = r.counter("t", "hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_and_sorted() {
+        let r = Registry::new();
+        r.counter_with("c", "evals", &[("algo", "td-tr")]).add(5);
+        r.counter_with("c", "evals", &[("algo", "ndp")]).add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        // BTreeMap ordering: "ndp" < "td-tr".
+        assert_eq!(snap[0].labels, vec![("algo".to_string(), "ndp".to_string())]);
+        assert_eq!(snap[0].value, 2.0);
+        assert_eq!(snap[1].value, 5.0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        r.counter_with("c", "x", &[("a", "1"), ("b", "2")]).inc();
+        r.counter_with("c", "x", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.snapshot()[0].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("t", "x");
+        r.gauge("t", "x");
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Registry::new();
+        let g = r.gauge("t", "level");
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_order_of_magnitude() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.summary();
+        // p50 lands in the bucket holding 10 (bucket [8,16)).
+        assert!((8..=16).contains(&s.p50), "p50 = {}", s.p50);
+        // p99 lands in the bucket holding 1000, clamped to max.
+        assert!((512..=1000).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_zero_and_huge_values() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, 0);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 });
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn scope_timer_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("t", "elapsed_ns");
+        {
+            let _t = ScopeTimer::new(h.clone());
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        // Uses the global registry (spans always do); assert on deltas.
+        let outer = registry().histogram("span", "obs_test.outer");
+        let inner = registry().histogram("span", "obs_test.outer/obs_test.inner");
+        let (o0, i0) = (outer.count(), inner.count());
+        {
+            let _a = Span::enter("obs_test.outer", &[("points", 7)]);
+            let _b = Span::enter("obs_test.inner", &[]);
+        }
+        assert_eq!(outer.count(), o0 + 1);
+        assert_eq!(inner.count(), i0 + 1);
+        let fields = registry().histogram("span", "obs_test.outer.points");
+        assert!(fields.count() >= 1);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = Registry::new();
+        let c = r.counter("t", "n");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.snapshot()[0].value, 1.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Export sinks for registry snapshots: human table, JSON lines, CSV.
+//!
+//! All three take the same input — a `&[MetricSample]` from
+//! [`Registry::snapshot`](crate::Registry) — and are pure functions of
+//! it, so they stay testable without any global state.
+//!
+//! # CSV schema
+//!
+//! One row per metric, RFC-4180 quoting, stable column order:
+//!
+//! ```text
+//! subsystem,name,labels,kind,value,count,sum,min,max,p50,p90,p99
+//! ```
+//!
+//! Counters and gauges fill `value` and leave the histogram columns
+//! empty; histograms leave `value` empty and fill `count`…`p99`. Labels
+//! render as `k=v;k2=v2`.
+//!
+//! # JSON lines
+//!
+//! One JSON object per line:
+//!
+//! ```text
+//! {"subsystem":"compress","name":"sed_evals","labels":{"algo":"td-tr"},"kind":"counter","value":841}
+//! {"subsystem":"span","name":"cli.compress","kind":"histogram","count":1,"sum":51234,"min":51234,"max":51234,"p50":51234,"p90":51234,"p99":51234}
+//! ```
+
+use crate::sample::{MetricKind, MetricSample};
+
+/// Renders a left-aligned human-readable table of the snapshot.
+///
+/// Counters/gauges print their value; histograms print
+/// `count / mean / p50 / p99 / max`. Returns an explanatory one-liner
+/// when the snapshot is empty (e.g. instrumentation compiled out).
+pub fn render_table(samples: &[MetricSample]) -> String {
+    if samples.is_empty() {
+        return "(no metrics recorded — instrumentation may be compiled out)\n".to_string();
+    }
+    let rows: Vec<(String, String)> = samples
+        .iter()
+        .map(|s| {
+            let value = match (s.kind, &s.histogram) {
+                (MetricKind::Histogram, Some(h)) => format!(
+                    "count {}  mean {:.1}  p50 {}  p99 {}  max {}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p99,
+                    h.max
+                ),
+                (MetricKind::Gauge, _) => format_value(s.value),
+                _ => format!("{}", s.value as u64),
+            };
+            (s.path(), value)
+        })
+        .collect();
+    let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let mut last_subsystem: Option<&str> = None;
+    for (sample, (path, value)) in samples.iter().zip(&rows) {
+        if last_subsystem != Some(sample.subsystem.as_str()) {
+            if last_subsystem.is_some() {
+                out.push('\n');
+            }
+            last_subsystem = Some(sample.subsystem.as_str());
+        }
+        out.push_str(&format!("  {path:<width$}  {value}\n"));
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializes the snapshot as JSON lines (one object per sample).
+pub fn to_json_lines(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        out.push('{');
+        push_json_field(&mut out, "subsystem", &s.subsystem);
+        out.push(',');
+        push_json_field(&mut out, "name", &s.name);
+        if !s.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_field(&mut out, k, v);
+            }
+            out.push('}');
+        }
+        out.push(',');
+        push_json_field(&mut out, "kind", s.kind.as_str());
+        match (s.kind, &s.histogram) {
+            (MetricKind::Histogram, Some(h)) => {
+                out.push_str(&format!(
+                    ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                ));
+            }
+            _ => {
+                out.push_str(",\"value\":");
+                out.push_str(&json_number(s.value));
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn push_json_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    push_json_escaped(out, key);
+    out.push_str("\":\"");
+    push_json_escaped(out, value);
+    out.push('"');
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Column order of [`to_csv`], exposed so tests and readers can assert
+/// schema stability.
+pub const CSV_HEADER: &str = "subsystem,name,labels,kind,value,count,sum,min,max,p50,p90,p99";
+
+/// Serializes the snapshot as RFC-4180 CSV with header [`CSV_HEADER`].
+pub fn to_csv(samples: &[MetricSample]) -> String {
+    let mut out = String::with_capacity(64 + samples.len() * 48);
+    out.push_str(CSV_HEADER);
+    out.push_str("\r\n");
+    for s in samples {
+        let labels = s
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let mut fields: Vec<String> = vec![
+            s.subsystem.clone(),
+            s.name.clone(),
+            labels,
+            s.kind.as_str().to_string(),
+        ];
+        match (s.kind, &s.histogram) {
+            (MetricKind::Histogram, Some(h)) => {
+                fields.push(String::new());
+                for v in [h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99] {
+                    fields.push(v.to_string());
+                }
+            }
+            _ => {
+                fields.push(format_value(s.value));
+                fields.extend(std::iter::repeat_with(String::new).take(7));
+            }
+        }
+        let row = fields
+            .iter()
+            .map(|f| csv_escape(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&row);
+        out.push_str("\r\n");
+    }
+    out
+}
+
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or
+/// line break; embedded quotes are doubled.
+fn csv_escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::HistogramSummary;
+
+    fn counter(sub: &str, name: &str, labels: &[(&str, &str)], value: f64) -> MetricSample {
+        MetricSample {
+            subsystem: sub.to_string(),
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind: MetricKind::Counter,
+            value,
+            histogram: None,
+        }
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let s = counter("compress", "sed_evals", &[("algo", "td-tr(\"30,5m\")")], 7.0);
+        let csv = to_csv(&[s]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert_eq!(
+            lines.next(),
+            Some(r#"compress,sed_evals,"algo=td-tr(""30,5m"")",counter,7,,,,,,,"#)
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let s = counter("a", "b", &[("path", "C:\\tmp \"x\"\n")], 1.0);
+        let json = to_json_lines(&[s]);
+        assert!(json.contains(r#""path":"C:\\tmp \"x\"\n""#), "{json}");
+    }
+
+    #[test]
+    fn table_lists_histogram_stats() {
+        let s = MetricSample {
+            subsystem: "span".into(),
+            name: "cli.compress".into(),
+            labels: vec![],
+            kind: MetricKind::Histogram,
+            value: 0.0,
+            histogram: Some(HistogramSummary {
+                count: 3,
+                sum: 300,
+                min: 50,
+                max: 200,
+                p50: 100,
+                p90: 200,
+                p99: 200,
+            }),
+        };
+        let table = render_table(&[s]);
+        assert!(table.contains("span.cli.compress"), "{table}");
+        assert!(table.contains("count 3"), "{table}");
+        assert!(table.contains("p99 200"), "{table}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_notice() {
+        assert!(render_table(&[]).contains("no metrics recorded"));
+        assert_eq!(to_json_lines(&[]), "");
+        assert_eq!(to_csv(&[]).lines().count(), 1);
+    }
+}

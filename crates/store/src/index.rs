@@ -122,6 +122,7 @@ impl GridIndex {
     /// Exact window query: ids of objects whose stored motion enters
     /// `window.bbox` during `[window.t0, window.t1]`, ascending.
     pub fn objects_in_window(&self, window: &QueryWindow) -> Vec<ObjectId> {
+        crate::query::count_query("window_grid");
         let mut seen_entries: HashSet<u32> = HashSet::new();
         let mut hits: HashSet<ObjectId> = HashSet::new();
         let (cx0, cx1) = (

@@ -25,9 +25,18 @@ pub fn save_dir(store: &MovingObjectStore, dir: &Path) -> Result<usize, StoreErr
     let mut written = 0usize;
     for id in store.object_ids() {
         let Some(traj) = store.trajectory(id) else { continue };
-        io::write_csv(&traj, &dir.join(format!("{id}.csv")))?;
+        let path = dir.join(format!("{id}.csv"));
+        io::write_csv(&traj, &path)?;
         written += 1;
+        if traj_obs::metrics_enabled() {
+            // Size lookup only when instrumentation is compiled in — it
+            // costs a stat(2) per file.
+            if let Ok(meta) = std::fs::metadata(&path) {
+                traj_obs::counter!("store", "persist_bytes").add(meta.len());
+            }
+        }
     }
+    traj_obs::counter!("store", "persist_files").add(written as u64);
     Ok(written)
 }
 

@@ -14,6 +14,12 @@ use crate::index::segment_enters_window;
 use crate::rtree::StrTree;
 use crate::store::{MovingObjectStore, ObjectId};
 
+/// Bumps the per-kind query counter (`store.queries{kind=…}`).
+#[inline]
+pub(crate) fn count_query(kind: &'static str) {
+    traj_obs::registry().counter_with("store", "queries", &[("kind", kind)]).inc();
+}
+
 /// A spatiotemporal query window: a rectangle during a time interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryWindow {
@@ -40,6 +46,7 @@ impl QueryWindow {
 /// stored trajectory; `None` for unknown objects or instants outside the
 /// stored span.
 pub fn position_of(store: &MovingObjectStore, id: ObjectId, t: Timestamp) -> Option<Point2> {
+    count_query("position_at");
     let fixes = store.stored_fixes(id)?;
     position_on(&fixes, t)
 }
@@ -64,12 +71,14 @@ fn position_on(fixes: &[Fix], t: Timestamp) -> Option<Point2> {
 /// window's time interval (full scan; see
 /// [`crate::GridIndex::objects_in_window`] for the indexed path).
 pub fn objects_in_window(store: &MovingObjectStore, window: &QueryWindow) -> Vec<ObjectId> {
+    count_query("window_scan");
     crate::index::scan_objects_in_window(store, window)
 }
 
 /// Positions of every object whose stored span covers `t` — the
 /// "where is everybody right now" snapshot, ascending by id.
 pub fn snapshot_at(store: &MovingObjectStore, t: Timestamp) -> Vec<(ObjectId, Point2)> {
+    count_query("snapshot");
     store
         .object_ids()
         .filter_map(|id| position_of(store, id, t).map(|p| (id, p)))
@@ -85,6 +94,7 @@ pub fn knn_at(
     query: Point2,
     k: usize,
 ) -> Vec<(ObjectId, f64)> {
+    count_query("knn");
     let mut candidates: Vec<(ObjectId, f64)> = store
         .object_ids()
         .filter_map(|id| position_of(store, id, t).map(|p| (id, p.distance(query))))
@@ -105,6 +115,7 @@ pub fn trajectories_in_window(
     store: &MovingObjectStore,
     window: &QueryWindow,
 ) -> Vec<(ObjectId, traj_model::Trajectory)> {
+    count_query("window_trajectories");
     objects_in_window(store, window)
         .into_iter()
         .filter_map(|id| {
@@ -141,6 +152,7 @@ pub fn rtree_objects_in_window(
     tree: &StrTree<(ObjectId, Fix, Fix)>,
     window: &QueryWindow,
 ) -> Vec<ObjectId> {
+    count_query("window_rtree");
     let mut hits = std::collections::HashSet::new();
     tree.for_each_in(&window.bbox, |(id, a, b)| {
         if !hits.contains(id) && segment_enters_window(a, b, window) {

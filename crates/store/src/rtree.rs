@@ -116,23 +116,7 @@ impl<T> StrTree<T> {
     /// All payloads whose bounding box intersects `query`.
     pub fn search(&self, query: &Bbox) -> Vec<&T> {
         let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
-        let mut stack = vec![root];
-        while let Some(nid) = stack.pop() {
-            let node = &self.nodes[nid as usize];
-            if !node.bbox.intersects(query) {
-                continue;
-            }
-            if node.is_leaf {
-                for &pid in &node.children {
-                    if self.boxes[pid as usize].intersects(query) {
-                        out.push(&self.payloads[pid as usize]);
-                    }
-                }
-            } else {
-                stack.extend(&node.children);
-            }
-        }
+        self.for_each_in(query, |p| out.push(p));
         out
     }
 
@@ -140,8 +124,12 @@ impl<T> StrTree<T> {
     /// variant of [`StrTree::search`] for hot paths).
     pub fn for_each_in<'a>(&'a self, query: &Bbox, mut f: impl FnMut(&'a T)) {
         let Some(root) = self.root else { return };
+        // Node visits accumulate in a stack local and flush once per
+        // query, keeping the traversal free of shared-state traffic.
+        let mut visited = 0u64;
         let mut stack = vec![root];
         while let Some(nid) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[nid as usize];
             if !node.bbox.intersects(query) {
                 continue;
@@ -156,6 +144,8 @@ impl<T> StrTree<T> {
                 stack.extend(&node.children);
             }
         }
+        traj_obs::counter!("store", "rtree_node_visits").add(visited);
+        traj_obs::histogram!("store", "rtree_nodes_per_query").record(visited);
     }
 
     /// Height of the tree (0 for empty).
@@ -258,6 +248,24 @@ mod tests {
         let tree = StrTree::build(boxes(4096));
         // fanout 16 → height ≈ log₁₆(4096) = 3.
         assert!(tree.height() <= 4, "height {}", tree.height());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn queries_record_node_visits() {
+        let tree = StrTree::build(boxes(1000));
+        let visits_before = traj_obs::counter!("store", "rtree_node_visits").get();
+        let queries_before =
+            traj_obs::histogram!("store", "rtree_nodes_per_query").count();
+        let q = Bbox::from_corners(Point2::new(0.0, 0.0), Point2::new(5000.0, 5000.0));
+        let _ = tree.search(&q);
+        let visits_after = traj_obs::counter!("store", "rtree_node_visits").get();
+        let queries_after =
+            traj_obs::histogram!("store", "rtree_nodes_per_query").count();
+        // At minimum the root is visited; deltas are monotone because the
+        // registry is global and tests run concurrently.
+        assert!(visits_after > visits_before);
+        assert!(queries_after > queries_before);
     }
 
     #[test]

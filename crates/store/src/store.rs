@@ -204,6 +204,7 @@ impl MovingObjectStore {
             }
         }
         state.ingested += 1;
+        traj_obs::counter!("store", "inserts").inc();
         Ok(())
     }
 
@@ -279,6 +280,7 @@ impl MovingObjectStore {
             removed += result.removed();
             state.committed = result.apply(&traj).into_fixes();
         }
+        traj_obs::counter!("store", "compact_removed").add(removed as u64);
         removed
     }
 
@@ -445,6 +447,20 @@ mod tests {
             batch_stored <= online_stored,
             "batch {batch_stored} vs online {online_stored}"
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn ingest_bumps_insert_counter() {
+        // The registry is global and tests run in parallel, so assert a
+        // monotone delta rather than an absolute value.
+        let before = traj_obs::counter!("store", "inserts").get();
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        for f in zigzag_fixes(25) {
+            s.append(1, f).unwrap();
+        }
+        let after = traj_obs::counter!("store", "inserts").get();
+        assert!(after >= before + 25, "inserts {before} -> {after}");
     }
 
     #[test]

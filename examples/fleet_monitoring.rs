@@ -65,6 +65,12 @@ fn main() {
     let inside = index.objects_in_window(&centre);
     println!("vehicles in the centre during [300s, 1200s]: {inside:?}");
 
+    // Cross-check through the R-tree path (both indexes are exact, so
+    // they must agree).
+    let rtree = trajc::store::query::build_segment_rtree(&compressed);
+    let inside_rtree = trajc::store::query::rtree_objects_in_window(&rtree, &centre);
+    assert_eq!(inside, inside_rtree, "grid and R-tree answers must match");
+
     // Who was nearest to an incident at (9000, 9000) at t = 900 s?
     let incident = Point2::new(9_000.0, 9_000.0);
     let nearest = knn_at(&compressed, Timestamp::from_secs(900.0), incident, 3);
@@ -81,5 +87,14 @@ fn main() {
         "nightly compaction removed {removed} more fixes → {} stored ({:.1}% total saving)",
         compressed.stats().stored_points,
         compressed.stats().compression_pct()
+    );
+
+    // Everything above was instrumented as it ran: ingest volume,
+    // per-kind queries, R-tree node visits, compaction, compressor
+    // internals. Dump the live registry.
+    println!("\n— session metrics (traj-obs) —");
+    print!(
+        "{}",
+        trajc::obs::sink::render_table(&trajc::obs::registry().snapshot())
     );
 }

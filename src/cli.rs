@@ -4,6 +4,7 @@
 //! ```text
 //! trajc info <file.csv>
 //! trajc compress <file.csv> --algo td-tr --eps 30 [--speed-eps 5] [-o out.csv]
+//!       [--stats] [--metrics-out m.json] [--metrics-format json|csv]
 //! trajc evaluate <original.csv> <approx.csv>
 //! trajc generate [--seed 42] [--trip 0..9] -o <file.csv>
 //! ```
@@ -21,6 +22,16 @@ use traj_compress::{
 };
 use traj_model::stats::TrajectoryStats;
 use traj_model::{io, Trajectory};
+
+/// Output format for the metrics sidecar written by
+/// `compress --metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// One JSON object per line ([`traj_obs::sink::to_json_lines`]).
+    Json,
+    /// RFC-4180 CSV ([`traj_obs::sink::to_csv`]).
+    Csv,
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +53,12 @@ pub enum Command {
         speed_eps: Option<f64>,
         /// Output path for the compressed trajectory.
         out: Option<PathBuf>,
+        /// Print the metrics table after the report (`--stats`).
+        stats: bool,
+        /// Write a metrics sidecar file (`--metrics-out`).
+        metrics_out: Option<PathBuf>,
+        /// Sidecar format (`--metrics-format`), default JSON lines.
+        metrics_format: MetricsFormat,
     },
     /// `evaluate <original> <approx>` — error figures between two files.
     Evaluate {
@@ -69,10 +86,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     const USAGE: &str = "usage: trajc <info|compress|evaluate|generate> ...\n\
         \n  trajc info <file.csv>\
         \n  trajc compress <file.csv> --algo <name> --eps <m> [--speed-eps <m/s>] [-o out.csv]\
+        \n                 [--stats] [--metrics-out FILE] [--metrics-format json|csv]\
         \n  trajc evaluate <original.csv> <approx.csv>\
         \n  trajc generate [--seed N] [--trip 0..9] -o <file.csv>\
         \n\nalgorithms: uniform dist ndp ndp-hull td-tr td-sp nopw bopw opw-tr opw-sp \
-        dead-reckoning bottom-up sliding-window";
+        dead-reckoning bottom-up sliding-window\
+        \n\n--stats prints the instrumentation table (points in/out, SED evaluations,\
+        \nrecursion depth, per-phase wall time); --metrics-out writes the same snapshot\
+        \nto FILE as JSON lines (default) or CSV.";
     let mut it = args.iter();
     let sub = it.next().ok_or(USAGE)?;
     match sub.as_str() {
@@ -86,6 +107,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut eps = None;
             let mut speed_eps = None;
             let mut out = None;
+            let mut stats = false;
+            let mut metrics_out = None;
+            let mut metrics_format = MetricsFormat::Json;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, String> {
                     it.next().ok_or(format!("compress: {name} needs a value"))
@@ -99,6 +123,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         speed_eps = Some(parse_f64(value("--speed-eps")?, "--speed-eps")?);
                     }
                     "-o" | "--out" => out = Some(PathBuf::from(value("-o")?)),
+                    "--stats" => stats = true,
+                    "--metrics-out" => {
+                        metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+                    }
+                    "--metrics-format" => {
+                        metrics_format = match value("--metrics-format")?.as_str() {
+                            "json" => MetricsFormat::Json,
+                            "csv" => MetricsFormat::Csv,
+                            other => {
+                                return Err(format!(
+                                    "compress: --metrics-format must be json or csv, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
                     other => return Err(format!("compress: unknown flag {other:?}")),
                 }
             }
@@ -108,6 +147,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 eps: eps.ok_or("compress: --eps is required")?,
                 speed_eps,
                 out,
+                stats,
+                metrics_out,
+                metrics_format,
             })
         }
         "evaluate" => {
@@ -218,11 +260,30 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let _ = writeln!(report, "max speed:     {:.2} km/h", s.max_speed_ms * 3.6);
             let _ = writeln!(report, "mean interval: {:.2} s", s.mean_interval_s);
         }
-        Command::Compress { file, algo, eps, speed_eps, out } => {
-            let t = load(file)?;
+        Command::Compress {
+            file,
+            algo,
+            eps,
+            speed_eps,
+            out,
+            stats,
+            metrics_out,
+            metrics_format,
+        } => {
+            let total = traj_obs::Timer::start();
+            let t = {
+                let _phase = traj_obs::span!("cli.read_input");
+                load(file)?
+            };
             let compressor = make_compressor(algo, *eps, *speed_eps)?;
-            let result = compressor.compress(&t);
-            let e = evaluate(&t, &result);
+            let result = {
+                let _phase = traj_obs::span!("cli.compress", points = t.len() as u64);
+                compressor.compress(&t)
+            };
+            let e = {
+                let _phase = traj_obs::span!("cli.evaluate");
+                evaluate(&t, &result)
+            };
             let _ = writeln!(report, "algorithm:        {}", compressor.name());
             let _ = writeln!(report, "kept points:      {} of {}", result.kept_len(), t.len());
             let _ = writeln!(report, "compression:      {:.2} %", e.compression_pct);
@@ -231,9 +292,26 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let _ = writeln!(report, "mean/max SED:     {:.3} / {:.3} m", e.mean_sed_m, e.max_sed_m);
             let _ = writeln!(report, "mean/max perp:    {:.3} / {:.3} m", e.mean_perp_m, e.max_perp_m);
             if let Some(out) = out {
+                let _phase = traj_obs::span!("cli.write_output");
                 let approx = result.apply(&t);
                 io::write_csv(&approx, out).map_err(|e| format!("{}: {e}", out.display()))?;
                 let _ = writeln!(report, "wrote:            {}", out.display());
+            }
+            traj_obs::histogram!("cli", "total_ns").record(total.elapsed_ns());
+            if *stats {
+                let _ = writeln!(report);
+                report.push_str(&traj_obs::sink::render_table(
+                    &traj_obs::registry().snapshot(),
+                ));
+            }
+            if let Some(path) = metrics_out {
+                let snapshot = traj_obs::registry().snapshot();
+                let body = match metrics_format {
+                    MetricsFormat::Json => traj_obs::sink::to_json_lines(&snapshot),
+                    MetricsFormat::Csv => traj_obs::sink::to_csv(&snapshot),
+                };
+                std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+                let _ = writeln!(report, "metrics:          {}", path.display());
             }
         }
         Command::Evaluate { original, approx } => {
@@ -301,8 +379,39 @@ mod tests {
                 eps: 30.0,
                 speed_eps: Some(5.0),
                 out: Some(PathBuf::from("b.csv")),
+                stats: false,
+                metrics_out: None,
+                metrics_format: MetricsFormat::Json,
             }
         );
+    }
+
+    #[test]
+    fn parse_compress_metrics_flags() {
+        let c = parse(&args(
+            "compress a.csv --algo td-tr --eps 30 --stats --metrics-out m.csv --metrics-format csv",
+        ))
+        .unwrap();
+        match c {
+            Command::Compress { stats, metrics_out, metrics_format, .. } => {
+                assert!(stats);
+                assert_eq!(metrics_out, Some(PathBuf::from("m.csv")));
+                assert_eq!(metrics_format, MetricsFormat::Csv);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Default format is JSON lines; bad formats are rejected.
+        let c = parse(&args("compress a.csv --algo td-tr --eps 30 --metrics-out m.json")).unwrap();
+        match c {
+            Command::Compress { metrics_format, .. } => {
+                assert_eq!(metrics_format, MetricsFormat::Json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args(
+            "compress a.csv --algo td-tr --eps 30 --metrics-format yaml"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -365,6 +474,9 @@ mod tests {
             eps: 30.0,
             speed_eps: None,
             out: Some(output.clone()),
+            stats: false,
+            metrics_out: None,
+            metrics_format: MetricsFormat::Json,
         };
         let report = run(&compress).unwrap();
         assert!(report.contains("td-tr(30m)"));
@@ -376,6 +488,57 @@ mod tests {
 
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn run_compress_with_stats_prints_metric_table() {
+        let dir = std::env::temp_dir().join("trajc_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        run(&Command::Generate { seed: 7, trip: 0, out: input.clone() }).unwrap();
+
+        let metrics_json = dir.join("m.json");
+        let report = run(&Command::Compress {
+            file: input.clone(),
+            algo: "td-tr".into(),
+            eps: 30.0,
+            speed_eps: None,
+            out: None,
+            stats: true,
+            metrics_out: Some(metrics_json.clone()),
+            metrics_format: MetricsFormat::Json,
+        })
+        .unwrap();
+        // The acceptance surface: points in/out, SED evaluations,
+        // recursion depth and per-phase wall time are all visible.
+        for needle in ["points_in", "points_out", "sed_evals", "dp_depth", "cli.compress"] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+        // The JSON sidecar is one object per line.
+        let body = std::fs::read_to_string(&metrics_json).unwrap();
+        assert!(!body.is_empty());
+        for line in body.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line:?}");
+        }
+        assert!(body.contains("\"sed_evals\""));
+
+        let metrics_csv = dir.join("m.csv");
+        run(&Command::Compress {
+            file: input.clone(),
+            algo: "td-tr".into(),
+            eps: 30.0,
+            speed_eps: None,
+            out: None,
+            stats: false,
+            metrics_out: Some(metrics_csv.clone()),
+            metrics_format: MetricsFormat::Csv,
+        })
+        .unwrap();
+        let body = std::fs::read_to_string(&metrics_csv).unwrap();
+        assert!(body.starts_with(traj_obs::sink::CSV_HEADER));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`store`] — a moving-object store with spatiotemporal indexing and
 //!   online compressed ingest;
 //! * [`eval`] — the experiment harness reproducing the paper's tables and
-//!   figures.
+//!   figures;
+//! * [`obs`] — the zero-dependency metrics & tracing layer wired through
+//!   all of the above (disable the `obs` feature to compile it out).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -23,4 +25,5 @@ pub use traj_eval as eval;
 pub use traj_gen as gen;
 pub use traj_geom as geom;
 pub use traj_model as model;
+pub use traj_obs as obs;
 pub use traj_store as store;

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's `benches/`
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! with a simple wall-clock harness: per benchmark it warms up briefly,
+//! then times batches and reports the best/median/mean time per
+//! iteration.
+//!
+//! Run modes, matching cargo's conventions:
+//! - `cargo bench` (cargo passes `--bench`): full measurement.
+//! - `cargo test` (no `--bench` flag, or `--test`): smoke mode — each
+//!   benchmark body runs exactly once so the target doubles as a test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the measurement loop should run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Real timing run (`cargo bench`).
+    Measure,
+    /// Run every body once, report nothing (`cargo test`).
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: detect_mode(), sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if self.mode == Mode::Measure {
+            println!("\n{name}");
+        }
+        BenchmarkGroup { criterion: self, name, sample_size: None, throughput: None }
+    }
+
+    /// Registers a stand-alone benchmark (same as a one-entry group).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Throughput annotation; used to derive elements/sec in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple. Rarely used; same reporting as `Bytes`.
+    BytesDecimal(u64),
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.full, &mut |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; drop would do).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        match self.criterion.mode {
+            Mode::Smoke => {
+                let mut b = Bencher { mode: Mode::Smoke, samples: Vec::new(), sample_size: 1 };
+                f(&mut b);
+            }
+            Mode::Measure => {
+                let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+                let mut b = Bencher {
+                    mode: Mode::Measure,
+                    samples: Vec::new(),
+                    sample_size,
+                };
+                f(&mut b);
+                report(&self.name, id, &b.samples, self.throughput);
+            }
+        }
+    }
+}
+
+/// Per-iteration timings (seconds), one entry per timed sample.
+fn report(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let best = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / median),
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {group}/{id:<40} best {:>10}  median {:>10}  mean {:>10}{rate}",
+        fmt_time(best),
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Warm up and size the batch so one sample spans ≥ ~1 ms.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+
+        let deadline = Instant::now() + Duration::from_millis(250);
+        self.samples.clear();
+        for done in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+            // Keep heavyweight benches bounded: stop sampling after the
+            // time budget once we have a few samples.
+            if done >= 2 && Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, each `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest 1.x this workspace uses — the
+//! [`proptest!`] macro family, [`strategy::Strategy`] with ranges,
+//! tuples, `prop_map`, collection/vec, string-regex strategies,
+//! `any::<prop::sample::Index>()` and `bool::ANY` — backed by a
+//! deterministic per-test RNG. Failing cases report their inputs;
+//! there is **no shrinking**.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod sample;
+
+pub mod string;
+
+pub mod test_runner;
+
+/// Strategies for `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized {
+        /// The default strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the default strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy for `A` (`any::<A>()`).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = crate::sample::IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            crate::sample::IndexStrategy
+        }
+    }
+}
+
+/// The glob-import surface used by the tests:
+/// `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    /// Alias so `prop::sample::Index` etc. resolve after a glob import.
+    pub use crate as prop;
+}
+
+/// Runs each `fn name(arg in strategy, ...) { body }` item as a
+/// `#[test]` over many generated cases.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header. Bodies may
+/// use [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+/// [`prop_assume!`].
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::execute(&__pt_config, stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    let __pt_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let __pt_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    (__pt_case(), __pt_inputs)
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ::std::default::Default::default(); $($rest)*);
+    };
+}
+
+/// `assert!` for proptest bodies: fails the current case (with optional
+/// formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies (operands must be `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __pt_l,
+            __pt_r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for proptest bodies (operands must be `Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __pt_l
+        );
+    }};
+}
+
+/// Rejects the current case (does not count towards the case budget)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,31 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A length-agnostic index: generated once, projectable into any
+/// non-empty collection via [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Index(f64);
+
+impl Index {
+    /// Projects this index into a collection of length `len`.
+    ///
+    /// Panics if `len == 0`, like upstream proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 * len as f64) as usize).min(len - 1)
+    }
+}
+
+/// Strategy behind `any::<Index>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen_range(0.0..1.0))
+    }
+}

@@ -1,0 +1,205 @@
+//! String strategies from a regex-like pattern.
+//!
+//! `&str` implements [`Strategy`]`<Value = String>` for the pattern
+//! subset the workspace uses: literal characters, `.`/`\PC` (printable),
+//! character classes like `[-0-9a-zA-Z\.]` (with ranges and escapes),
+//! and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One pattern atom plus its repetition bounds.
+#[derive(Clone, Debug)]
+struct Atom {
+    set: CharSet,
+    lo: usize,
+    hi: usize,
+}
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// Any printable (non-control) character — `.` and `\PC`.
+    Printable,
+    /// An explicit class: inclusive char ranges.
+    Ranges(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Printable => {
+                // Mostly ASCII, occasionally wider unicode, never control.
+                if rng.gen_bool(0.85) {
+                    rng.gen_range(0x20u32..=0x7E) as u8 as char
+                } else {
+                    char::from_u32(rng.gen_range(0xA1u32..=0x2FF)).unwrap_or('¿')
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut k = rng.gen_range(0u32..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if k < span {
+                        return char::from_u32(a as u32 + k).expect("valid class range");
+                    }
+                    k -= span;
+                }
+                unreachable!("index within total span")
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Printable
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 1;
+                match c {
+                    // \PC — "not a control character".
+                    'P' if chars.get(i) == Some(&'C') => {
+                        i += 1;
+                        CharSet::Printable
+                    }
+                    'd' => CharSet::Ranges(vec![('0', '9')]),
+                    'w' => CharSet::Ranges(vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')]),
+                    's' => CharSet::Ranges(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                    other => CharSet::Ranges(vec![(other, other)]),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a lone `-` at either end is literal).
+                    if chars.get(i + 1) == Some(&'-')
+                        && i + 2 < chars.len()
+                        && chars[i + 2] != ']'
+                    {
+                        let end = chars[i + 2];
+                        assert!(c <= end, "inverted class range in {pattern:?}");
+                        ranges.push((c, end));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(chars.get(i) == Some(&']'), "unterminated class in {pattern:?}");
+                i += 1;
+                CharSet::Ranges(ranges)
+            }
+            c => {
+                i += 1;
+                CharSet::Ranges(vec![(c, c)])
+            }
+        };
+
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n = body.parse().expect("count quantifier");
+                        (n, n)
+                    }
+                    Some((lo, "")) => (lo.parse().expect("lower bound"), 16),
+                    Some((lo, hi)) => (
+                        lo.parse().expect("lower bound"),
+                        hi.parse().expect("upper bound"),
+                    ),
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { set, lo, hi });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let n = rng.gen_range(atom.lo..=atom.hi);
+            for _ in 0..n {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn printable_pattern_generates_no_controls() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "\\PC{0,256}".generate(&mut rng);
+            assert!(s.chars().count() <= 256);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_pattern_respects_alphabet() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = "[-0-9a-zA-Z\\.]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(
+                s.chars().all(|c| c == '-' || c == '.' || c.is_ascii_alphanumeric()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = "a{3}b?".generate(&mut rng);
+        assert!(s.starts_with("aaa") && s.len() <= 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. Deterministic per (test name, attempt).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Overridable like upstream proptest; the default favours suite
+        // runtime over exhaustiveness.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — retried, not counted.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `run` until `config.cases` cases pass; panics on the first
+/// failing case with its seed and Debug-rendered inputs.
+///
+/// `run` returns the case outcome plus a rendering of the generated
+/// inputs (used only in the failure message).
+pub fn execute<F>(config: &ProptestConfig, name: &str, mut run: F)
+where
+    F: FnMut(&mut TestRng) -> (TestCaseResult, String),
+{
+    let base = fnv1a(name.as_bytes());
+    let max_rejects = config.cases as u64 * 16 + 256;
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let (outcome, inputs) = run(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: gave up after {rejected} rejected cases ({passed} passed)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest failed: {name}, case {passed} (seed {seed:#018x})\n{msg}\ninputs: {inputs}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
