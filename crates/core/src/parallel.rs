@@ -19,6 +19,25 @@ use traj_model::Trajectory;
 /// to sequential compression — parallelism is observable only in wall
 /// time.
 ///
+/// ```
+/// use traj_compress::{compress_all, Compressor, TdTr};
+/// use traj_model::Trajectory;
+///
+/// let fleet: Vec<Trajectory> = (0..8)
+///     .map(|v| {
+///         Trajectory::from_triples(
+///             (0..50).map(|i| (i as f64 * 10.0, (i * i) as f64, v as f64 * 100.0)),
+///         )
+///         .unwrap()
+///     })
+///     .collect();
+/// let compressor = TdTr::new(30.0);
+/// let parallel = compress_all(&fleet, &compressor, 4);
+/// // Same results as the sequential path, in input order.
+/// let sequential: Vec<_> = fleet.iter().map(|t| compressor.compress(t)).collect();
+/// assert_eq!(parallel, sequential);
+/// ```
+///
 /// # Panics
 /// Panics if `threads == 0` or a worker panics (propagated).
 pub fn compress_all<C>(

@@ -111,6 +111,22 @@ impl OwStream {
     /// fixes a cut is forced just before the float, bounding memory at
     /// the cost of compression. Values below 3 are clamped to 3 (anchor,
     /// one intermediate, float).
+    ///
+    /// ```
+    /// use traj_compress::streaming::OwStream;
+    /// use traj_model::Fix;
+    ///
+    /// // Straight constant-speed data never violates the threshold, so
+    /// // an unbounded window would buffer every fix; the valve caps it.
+    /// let mut stream = OwStream::opw_tr(100.0).with_max_window(16);
+    /// let mut peak = 0;
+    /// for i in 0..10_000 {
+    ///     stream.push(Fix::from_parts(i as f64, i as f64 * 10.0, 0.0))?;
+    ///     peak = peak.max(stream.window_len());
+    /// }
+    /// assert!(peak <= 16, "memory stayed bounded, window peaked at {peak}");
+    /// # Ok::<(), traj_model::ModelError>(())
+    /// ```
     #[must_use]
     pub fn with_max_window(mut self, max: usize) -> Self {
         self.max_window = Some(max.max(3));

@@ -10,6 +10,14 @@
 //!   ingest paths: raw appends, and *online compressed* appends through
 //!   the opening-window stream of `traj-compress` with a per-store error
 //!   budget;
+//! * [`DurableStore`] — the durable ingest path: a CRC-checksummed
+//!   [write-ahead log](wal) appended to before a fix is acknowledged,
+//!   atomic checksummed snapshots ([`persist`]), and crash recovery
+//!   ([`DurableStore::open`]) that replays the log tail over the latest
+//!   snapshot (format spec: `crates/store/README.md`);
+//! * [`storage`] — the injectable filesystem boundary behind the
+//!   durability layer, including the fault-injecting
+//!   [`storage::MemStorage`] the crash tests sweep with;
 //! * [`index::GridIndex`] — a uniform spatiotemporal grid over trajectory
 //!   segments for window queries (space rectangle × time interval);
 //! * [`rtree::StrTree`] — an STR-packed R-tree over segment bounding
@@ -18,12 +26,16 @@
 //! * [`query`] — position-at-time, range and nearest-neighbour queries
 //!   evaluated on the (compressed) piecewise-linear trajectories.
 
+pub mod durable;
 pub mod index;
 pub mod persist;
 pub mod query;
 pub mod rtree;
+pub mod storage;
 pub mod store;
+pub mod wal;
 
+pub use durable::{DurableOptions, DurableStore, RecoveryReport};
 pub use index::GridIndex;
 pub use persist::{load_dir, save_dir};
 pub use query::{
@@ -31,3 +43,4 @@ pub use query::{
 };
 pub use rtree::StrTree;
 pub use store::{IngestMode, MovingObjectStore, ObjectId, StoreError, StoreStats};
+pub use wal::{SyncPolicy, WalOptions};

@@ -1,0 +1,485 @@
+//! Injectable storage backend for the durability layer.
+//!
+//! Everything the write-ahead log ([`crate::wal`]) and the snapshot
+//! writer ([`crate::persist`]) do to a disk goes through the [`Storage`]
+//! trait, so the same code runs against the real filesystem
+//! ([`FsStorage`]) and against an in-memory double ([`MemStorage`]) that
+//! can tear writes at an exact byte offset, flip bits, and refuse all
+//! further I/O — the crash model the fault-injection tests sweep over
+//! (`crates/store/tests/durability.rs`).
+//!
+//! The fault model of [`MemStorage`]:
+//!
+//! * every byte written through [`StorageWriter::write_all`] consumes the
+//!   *write budget*; the write that would exceed it lands only its
+//!   allowed prefix (a torn write) and fails, and every subsequent
+//!   operation fails too — the process is "dead" until
+//!   [`MemStorage::lift_faults`] simulates the restart;
+//! * renames are atomic and free (metadata, not data), matching POSIX
+//!   `rename(2)` semantics on a journaling filesystem;
+//! * [`MemStorage::corrupt_byte`] models at-rest bit rot.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// This is the checksum used by both the WAL record header and the
+/// snapshot trailer (see `crates/store/README.md` for the byte layout).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// A sequential writer into one storage object (file).
+pub trait StorageWriter {
+    /// Appends all of `buf` to the object.
+    ///
+    /// # Errors
+    /// Fails on the backend's I/O errors; a fault-injecting backend may
+    /// persist a *prefix* of `buf` before failing (a torn write).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Forces written data down to durable storage (`fsync`).
+    ///
+    /// # Errors
+    /// Propagates the backend's sync failure.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Backend filesystem operations used by the durability layer.
+///
+/// Implementations must make [`Storage::rename`] atomic: after a crash
+/// either the old or the new name is visible, never a half-state — this
+/// is the commit point of snapshot publication.
+pub trait Storage: Send + Sync {
+    /// Reads the entire object at `path`.
+    ///
+    /// # Errors
+    /// `NotFound` if the object does not exist, plus backend failures.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Lists the objects directly under `dir`, sorted by path.
+    ///
+    /// # Errors
+    /// `NotFound` if the directory does not exist.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Creates `dir` and all missing parents.
+    ///
+    /// # Errors
+    /// Propagates backend failures; an existing directory is not an
+    /// error.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Creates (truncating) the object at `path` for writing.
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageWriter>>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    ///
+    /// # Errors
+    /// `NotFound` if `from` does not exist, plus backend failures.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the object at `path`.
+    ///
+    /// # Errors
+    /// `NotFound` if it does not exist.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether an object or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Flushes directory metadata (created/renamed/removed entries) for
+    /// `dir` down to durable storage.
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------
+
+/// [`Storage`] over `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStorage;
+
+struct FsWriter(std::fs::File);
+
+impl StorageWriter for FsWriter {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.0, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Storage for FsStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> =
+            std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageWriter>> {
+        Ok(Box::new(FsWriter(std::fs::File::create(path)?)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Windows cannot open directories as files; the rename itself is
+        // already journaled there, so skipping is acceptable.
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        let _ = dir;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory fault-injecting double
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemFs {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: Vec<PathBuf>,
+    /// Bytes that may still be written before the injected crash.
+    budget: Option<u64>,
+    /// Set once the budget is exhausted: all further I/O fails.
+    crashed: bool,
+    /// Cumulative bytes successfully written (for sizing crash sweeps).
+    written: u64,
+}
+
+impl MemFs {
+    fn check_alive(&self) -> io::Result<()> {
+        if self.crashed {
+            Err(io::Error::new(io::ErrorKind::Other, "injected crash: storage is down"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// An in-memory [`Storage`] with byte-exact fault injection; see the
+/// module docs for the crash model.
+///
+/// Cloning shares the underlying state, so a test can keep a handle,
+/// run a workload "process" against another, and inspect or revive the
+/// "disk" afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    fs: Arc<Mutex<MemFs>>,
+}
+
+impl MemStorage {
+    /// A fault-free in-memory storage.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// A storage that crashes after exactly `budget` more bytes have
+    /// been written: the write crossing the boundary lands only its
+    /// allowed prefix and fails, and everything after it fails too.
+    pub fn with_write_budget(budget: u64) -> Self {
+        let s = MemStorage::new();
+        s.fs.lock().unwrap().budget = Some(budget);
+        s
+    }
+
+    /// Clears the crashed flag and the write budget — the simulated
+    /// machine restart. On-disk contents are untouched.
+    pub fn lift_faults(&self) {
+        let mut fs = self.fs.lock().unwrap();
+        fs.crashed = false;
+        fs.budget = None;
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.fs.lock().unwrap().crashed
+    }
+
+    /// Cumulative bytes successfully written so far (used to size
+    /// crash-at-every-offset sweeps).
+    pub fn written_bytes(&self) -> u64 {
+        self.fs.lock().unwrap().written
+    }
+
+    /// XORs `mask` into byte `offset` of `path` (at-rest bit rot).
+    /// Returns `false` if the file or offset does not exist.
+    pub fn corrupt_byte(&self, path: &Path, offset: usize, mask: u8) -> bool {
+        let mut fs = self.fs.lock().unwrap();
+        match fs.files.get_mut(path).and_then(|f| f.get_mut(offset)) {
+            Some(b) => {
+                *b ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Truncates `path` to `len` bytes (a short read / lost tail).
+    /// Returns `false` if the file does not exist or is already shorter.
+    pub fn truncate_file(&self, path: &Path, len: usize) -> bool {
+        let mut fs = self.fs.lock().unwrap();
+        match fs.files.get_mut(path) {
+            Some(f) if f.len() > len => {
+                f.truncate(len);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current contents of `path`, if it exists.
+    pub fn file(&self, path: &Path) -> Option<Vec<u8>> {
+        self.fs.lock().unwrap().files.get(path).cloned()
+    }
+
+    /// Paths of all stored files, sorted.
+    pub fn file_paths(&self) -> Vec<PathBuf> {
+        self.fs.lock().unwrap().files.keys().cloned().collect()
+    }
+}
+
+struct MemWriter {
+    fs: Arc<Mutex<MemFs>>,
+    path: PathBuf,
+}
+
+impl StorageWriter for MemWriter {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        let allowed = match fs.budget {
+            Some(b) => (b.min(buf.len() as u64)) as usize,
+            None => buf.len(),
+        };
+        let file = fs.files.entry(self.path.clone()).or_default();
+        file.extend_from_slice(&buf[..allowed]);
+        fs.written += allowed as u64;
+        if let Some(b) = &mut fs.budget {
+            *b -= allowed as u64;
+        }
+        if allowed < buf.len() {
+            fs.crashed = true;
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("injected crash: wrote {allowed} of {} bytes", buf.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.fs.lock().unwrap().check_alive()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        fs.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        if !fs.dirs.iter().any(|d| d == dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such directory {}", dir.display()),
+            ));
+        }
+        Ok(fs.files.keys().filter(|p| p.parent() == Some(dir)).cloned().collect())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        let mut d = dir.to_path_buf();
+        loop {
+            if !fs.dirs.iter().any(|x| *x == d) {
+                fs.dirs.push(d.clone());
+            }
+            match d.parent() {
+                Some(p) if !p.as_os_str().is_empty() => d = p.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageWriter>> {
+        let mut fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        fs.files.insert(path.to_path_buf(), Vec::new());
+        Ok(Box::new(MemWriter { fs: Arc::clone(&self.fs), path: path.to_path_buf() }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        match fs.files.remove(from) {
+            Some(data) => {
+                fs.files.insert(to.to_path_buf(), data);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("rename source {}", from.display()),
+            )),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut fs = self.fs.lock().unwrap();
+        fs.check_alive()?;
+        fs.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let fs = self.fs.lock().unwrap();
+        fs.files.contains_key(path) || fs.dirs.iter().any(|d| d == path)
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        self.fs.lock().unwrap().check_alive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        let s = MemStorage::new();
+        let dir = Path::new("/db");
+        s.create_dir_all(dir).unwrap();
+        let mut w = s.create(&dir.join("a.bin")).unwrap();
+        w.write_all(b"hello").unwrap();
+        w.sync().unwrap();
+        assert_eq!(s.read(&dir.join("a.bin")).unwrap(), b"hello");
+        assert_eq!(s.list(dir).unwrap(), vec![dir.join("a.bin")]);
+        s.rename(&dir.join("a.bin"), &dir.join("b.bin")).unwrap();
+        assert!(!s.exists(&dir.join("a.bin")));
+        assert_eq!(s.read(&dir.join("b.bin")).unwrap(), b"hello");
+        s.remove_file(&dir.join("b.bin")).unwrap();
+        assert!(s.list(dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn budget_tears_the_crossing_write_and_kills_the_rest() {
+        let s = MemStorage::with_write_budget(3);
+        s.create_dir_all(Path::new("/d")).unwrap();
+        let mut w = s.create(Path::new("/d/f")).unwrap();
+        let err = w.write_all(b"abcdef").unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert!(s.crashed());
+        // The torn prefix landed; nothing else works until restart.
+        assert!(s.read(Path::new("/d/f")).is_err());
+        s.lift_faults();
+        assert_eq!(s.read(Path::new("/d/f")).unwrap(), b"abc");
+        assert_eq!(s.written_bytes(), 3);
+    }
+
+    #[test]
+    fn corruption_helpers() {
+        let s = MemStorage::new();
+        s.create_dir_all(Path::new("/d")).unwrap();
+        s.create(Path::new("/d/f")).unwrap().write_all(b"xyz").unwrap();
+        assert!(s.corrupt_byte(Path::new("/d/f"), 1, 0x80));
+        assert_eq!(s.file(Path::new("/d/f")).unwrap(), vec![b'x', b'y' ^ 0x80, b'z']);
+        assert!(!s.corrupt_byte(Path::new("/d/f"), 99, 1));
+        assert!(s.truncate_file(Path::new("/d/f"), 1));
+        assert_eq!(s.file(Path::new("/d/f")).unwrap(), b"x");
+        assert!(!s.truncate_file(Path::new("/d/f"), 5));
+    }
+
+    #[test]
+    fn fs_storage_roundtrip() {
+        let dir = std::env::temp_dir().join("trajc_storage_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let s = FsStorage;
+        s.create_dir_all(&dir).unwrap();
+        let mut w = s.create(&dir.join("x")).unwrap();
+        w.write_all(b"data").unwrap();
+        w.sync().unwrap();
+        s.sync_dir(&dir).unwrap();
+        assert_eq!(s.read(&dir.join("x")).unwrap(), b"data");
+        s.rename(&dir.join("x"), &dir.join("y")).unwrap();
+        assert_eq!(s.list(&dir).unwrap(), vec![dir.join("y")]);
+        assert!(s.exists(&dir.join("y")));
+        s.remove_file(&dir.join("y")).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,6 +34,22 @@ pub enum StoreError {
     /// The fix was rejected (non-finite, or not later than the object's
     /// latest fix).
     Model(ModelError),
+    /// A storage backend operation failed; `path` is the file or
+    /// directory being touched.
+    Storage {
+        /// The path the failing operation was addressing.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// On-disk data failed validation (checksum mismatch, malformed
+    /// trailer, undecodable contents).
+    Corrupt {
+        /// The corrupt file.
+        path: std::path::PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -41,11 +57,25 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::UnknownObject(id) => write!(f, "unknown object {id}"),
             StoreError::Model(e) => write!(f, "rejected fix: {e}"),
+            StoreError::Storage { path, source } => {
+                write!(f, "storage error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt data in {}: {detail}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Model(e) => Some(e),
+            StoreError::Storage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<ModelError> for StoreError {
     fn from(e: ModelError) -> Self {
@@ -199,6 +229,19 @@ impl MovingObjectStore {
                 state.committed.push(fix);
             }
             Some(stream) => {
+                if stream.window_len() == 0 {
+                    // A fresh stream (first contact, or right after
+                    // `restore_trajectory`) has no window to check
+                    // monotonicity against; the committed history is
+                    // the reference.
+                    if let Some(last) = state.committed.last() {
+                        if last.t >= fix.t {
+                            return Err(StoreError::Model(ModelError::NonMonotonicTime {
+                                index: state.ingested,
+                            }));
+                        }
+                    }
+                }
                 let emitted = stream.push(fix)?;
                 state.committed.extend(emitted);
             }
@@ -217,6 +260,36 @@ impl MovingObjectStore {
         for f in traj.fixes() {
             self.append(id, *f)?;
         }
+        Ok(())
+    }
+
+    /// Installs `fixes` as the *already-kept* committed history of `id`,
+    /// bypassing compression — the recovery path ([`crate::load_dir`],
+    /// [`crate::DurableStore`]). Re-feeding an already-compressed subset
+    /// through the ingest stream would silently stack error budgets;
+    /// this does not. Any existing state for `id` is replaced; later
+    /// [`MovingObjectStore::append`]s continue in the configured ingest
+    /// mode from the restored history's end.
+    ///
+    /// # Errors
+    /// Rejects non-finite fixes and non-strictly-increasing timestamps;
+    /// the store is unchanged on error.
+    pub fn restore_trajectory(
+        &mut self,
+        id: ObjectId,
+        fixes: Vec<Fix>,
+    ) -> Result<(), StoreError> {
+        for (i, f) in fixes.iter().enumerate() {
+            if !f.is_finite() {
+                return Err(StoreError::Model(ModelError::NonFinite { index: i }));
+            }
+            if i > 0 && fixes[i - 1].t >= f.t {
+                return Err(StoreError::Model(ModelError::NonMonotonicTime { index: i }));
+            }
+        }
+        let ingested = fixes.len();
+        let stream = self.new_stream();
+        self.objects.insert(id, ObjectState { committed: fixes, stream, ingested });
         Ok(())
     }
 
@@ -447,6 +520,38 @@ mod tests {
             batch_stored <= online_stored,
             "batch {batch_stored} vs online {online_stored}"
         );
+    }
+
+    #[test]
+    fn restore_bypasses_compression_and_resumes_ingest() {
+        let mut s = MovingObjectStore::new(IngestMode::Compressed {
+            epsilon: 1e9, // everything would compress away if streamed
+            speed_epsilon: None,
+            max_window: 64,
+        });
+        let kept = zigzag_fixes(10);
+        s.restore_trajectory(5, kept.clone()).unwrap();
+        // The restored subset is stored verbatim, not re-compressed.
+        assert_eq!(s.stored_fixes(5).unwrap(), kept);
+        assert_eq!(s.stats().ingested_points, 10);
+        // Ingest resumes in the configured mode after the restored end.
+        let last_t = kept.last().unwrap().t.as_secs();
+        s.append(5, Fix::from_parts(last_t + 10.0, 0.0, 0.0)).unwrap();
+        // A stale fix is rejected even though the fresh stream has no
+        // window yet.
+        let stale = s.append(5, Fix::from_parts(last_t, 1.0, 1.0));
+        assert!(matches!(stale, Err(StoreError::Model(ModelError::NonMonotonicTime { .. }))));
+    }
+
+    #[test]
+    fn restore_validates_input() {
+        let mut s = MovingObjectStore::new(IngestMode::Raw);
+        let bad = vec![Fix::from_parts(10.0, 0.0, 0.0), Fix::from_parts(5.0, 0.0, 0.0)];
+        assert!(s.restore_trajectory(1, bad).is_err());
+        assert!(s
+            .restore_trajectory(1, vec![Fix::from_parts(f64::NAN, 0.0, 0.0)])
+            .is_err());
+        assert!(s.is_empty(), "failed restore must not leave state behind");
     }
 
     #[cfg(feature = "obs")]

@@ -7,6 +7,7 @@
 //!       [--stats] [--metrics-out m.json] [--metrics-format json|csv]
 //! trajc evaluate <original.csv> <approx.csv>
 //! trajc generate [--seed 42] [--trip 0..9] -o <file.csv>
+//! trajc store recover <dir> [--snapshot]
 //! ```
 //!
 //! Files are the `t,x,y` format of [`traj_model::io`]. The command logic
@@ -22,6 +23,7 @@ use traj_compress::{
 };
 use traj_model::stats::TrajectoryStats;
 use traj_model::{io, Trajectory};
+use traj_store::{DurableOptions, DurableStore, IngestMode};
 
 /// Output format for the metrics sidecar written by
 /// `compress --metrics-out`.
@@ -76,6 +78,15 @@ pub enum Command {
         /// Output path.
         out: PathBuf,
     },
+    /// `store recover <dir> [--snapshot]` — replay a durable store's
+    /// write-ahead log over its latest snapshot and report what was
+    /// found (torn tails, corrupt records, replayed fixes).
+    StoreRecover {
+        /// The durable store directory (holds `snapshot/` and `wal/`).
+        dir: PathBuf,
+        /// After recovery, write a fresh snapshot and truncate the log.
+        snapshot: bool,
+    },
 }
 
 /// Parses command-line arguments (without the program name).
@@ -83,12 +94,13 @@ pub enum Command {
 /// # Errors
 /// Returns a usage/diagnostic string on malformed input.
 pub fn parse(args: &[String]) -> Result<Command, String> {
-    const USAGE: &str = "usage: trajc <info|compress|evaluate|generate> ...\n\
+    const USAGE: &str = "usage: trajc <info|compress|evaluate|generate|store> ...\n\
         \n  trajc info <file.csv>\
         \n  trajc compress <file.csv> --algo <name> --eps <m> [--speed-eps <m/s>] [-o out.csv]\
         \n                 [--stats] [--metrics-out FILE] [--metrics-format json|csv]\
         \n  trajc evaluate <original.csv> <approx.csv>\
         \n  trajc generate [--seed N] [--trip 0..9] -o <file.csv>\
+        \n  trajc store recover <dir> [--snapshot]\
         \n\nalgorithms: uniform dist ndp ndp-hull td-tr td-sp nopw bopw opw-tr opw-sp \
         dead-reckoning bottom-up sliding-window\
         \n\n--stats prints the instrumentation table (points in/out, SED evaluations,\
@@ -184,6 +196,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 return Err("generate: --trip must be 0..=9".into());
             }
             Ok(Command::Generate { seed, trip, out: out.ok_or("generate: -o is required")? })
+        }
+        "store" => {
+            match it.next().map(String::as_str) {
+                Some("recover") => {}
+                Some(other) => {
+                    return Err(format!("store: unknown action {other:?} (expected recover)"))
+                }
+                None => return Err("store: missing action (expected recover)".into()),
+            }
+            let dir = PathBuf::from(it.next().ok_or("store recover: missing <dir>")?);
+            let mut snapshot = false;
+            for flag in it {
+                match flag.as_str() {
+                    "--snapshot" => snapshot = true,
+                    other => return Err(format!("store recover: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::StoreRecover { dir, snapshot })
         }
         "--help" | "-h" => Err(USAGE.to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
@@ -345,6 +375,36 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 s.duration,
                 out.display()
             );
+        }
+        Command::StoreRecover { dir, snapshot } => {
+            if !dir.is_dir() {
+                return Err(format!("{}: not a directory", dir.display()));
+            }
+            let (mut store, r) =
+                DurableStore::open(dir, IngestMode::Raw, DurableOptions::default())
+                    .map_err(|e| e.to_string())?;
+            let s = store.store().stats();
+            let _ = writeln!(report, "store:            {}", dir.display());
+            let _ = writeln!(
+                report,
+                "snapshot:         {} objects, {} fixes",
+                r.snapshot_objects, r.snapshot_fixes
+            );
+            let _ = writeln!(report, "wal segments:     {}", r.wal_segments);
+            let _ = writeln!(report, "replayed:         {} records", r.replayed);
+            let _ = writeln!(report, "skipped covered:  {} records", r.skipped_covered);
+            let _ = writeln!(report, "skipped corrupt:  {} records", r.skipped_corrupt);
+            let _ = writeln!(report, "torn tail:        {}", if r.torn_tail { "yes" } else { "no" });
+            let _ = writeln!(
+                report,
+                "health:           {}",
+                if r.clean() { "clean" } else { "recovered from crash/corruption" }
+            );
+            let _ = writeln!(report, "recovered state:  {} objects, {} fixes", s.objects, s.stored_points);
+            if *snapshot {
+                let files = store.snapshot().map_err(|e| e.to_string())?;
+                let _ = writeln!(report, "snapshotted:      {files} files, log truncated");
+            }
         }
     }
     Ok(report)
@@ -539,6 +599,59 @@ mod tests {
         assert!(body.starts_with(traj_obs::sink::CSV_HEADER));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_store_recover() {
+        assert_eq!(
+            parse(&args("store recover /tmp/db")).unwrap(),
+            Command::StoreRecover { dir: PathBuf::from("/tmp/db"), snapshot: false }
+        );
+        assert_eq!(
+            parse(&args("store recover db --snapshot")).unwrap(),
+            Command::StoreRecover { dir: PathBuf::from("db"), snapshot: true }
+        );
+        assert!(parse(&args("store")).is_err());
+        assert!(parse(&args("store compact db")).is_err());
+        assert!(parse(&args("store recover")).is_err());
+        assert!(parse(&args("store recover db --wat")).is_err());
+    }
+
+    #[test]
+    fn run_store_recover_reports_and_snapshots() {
+        let dir = std::env::temp_dir().join("trajc_cli_recover_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let (mut store, _) =
+                DurableStore::open(&dir, IngestMode::Raw, DurableOptions::default()).unwrap();
+            for i in 0..5 {
+                store
+                    .append(3, traj_model::Fix::from_parts(i as f64, i as f64 * 2.0, 0.0))
+                    .unwrap();
+            }
+        }
+        let report = run(&Command::StoreRecover { dir: dir.clone(), snapshot: true }).unwrap();
+        assert!(report.contains("replayed:         5 records"), "{report}");
+        assert!(report.contains("recovered state:  1 objects, 5 fixes"), "{report}");
+        assert!(report.contains("health:           clean"), "{report}");
+        assert!(report.contains("log truncated"), "{report}");
+        // The --snapshot pass moved the fixes into the snapshot: a second
+        // recovery replays nothing.
+        let report = run(&Command::StoreRecover { dir: dir.clone(), snapshot: false }).unwrap();
+        assert!(report.contains("replayed:         0 records"), "{report}");
+        assert!(report.contains("snapshot:         1 objects, 5 fixes"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_recover_rejects_missing_dir() {
+        let err = run(&Command::StoreRecover {
+            dir: PathBuf::from("/no/such/store"),
+            snapshot: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("/no/such/store"));
     }
 
     #[test]

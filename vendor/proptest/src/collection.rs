@@ -33,7 +33,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct VecStrategy<S> {
     element: S,
