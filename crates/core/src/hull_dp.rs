@@ -63,9 +63,7 @@ impl HullDouglasPeucker {
 /// collinear points excluded. Input is sorted in place.
 fn convex_hull(pts: &mut Vec<(usize, Point2)>) -> Vec<usize> {
     pts.sort_unstable_by(|a, b| {
-        (a.1.x, a.1.y)
-            .partial_cmp(&(b.1.x, b.1.y))
-            .expect("finite coordinates")
+        a.1.x.total_cmp(&b.1.x).then_with(|| a.1.y.total_cmp(&b.1.y))
     });
     pts.dedup_by(|a, b| a.1 == b.1);
     let n = pts.len();

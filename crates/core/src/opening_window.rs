@@ -228,7 +228,8 @@ impl Compressor for OpeningWindow {
             }
         }
         run.window_closed();
-        if *kept.last().expect("nonempty") != n - 1 {
+        // `kept` starts with the anchor 0, so last() always exists.
+        if kept.last() != Some(&(n - 1)) {
             kept.push(n - 1);
         }
         let result = CompressionResult::new(kept, n);

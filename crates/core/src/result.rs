@@ -45,7 +45,7 @@ impl CompressionResult {
         }
         if original_len >= 2 {
             assert_eq!(kept[0], 0, "first sample must be kept");
-            assert_eq!(*kept.last().expect("nonempty"), original_len - 1, "last sample must be kept");
+            assert_eq!(kept.last(), Some(&(original_len - 1)), "last sample must be kept");
         }
         CompressionResult { kept, original_len }
     }

@@ -37,7 +37,8 @@ impl Compressor for UniformSample {
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
         let n = traj.len();
         let mut kept: Vec<usize> = (0..n).step_by(self.step).collect();
-        if *kept.last().expect("n >= 1") != n - 1 {
+        // Empty only when n == 0; then there is no last sample to force.
+        if n >= 1 && kept.last() != Some(&(n - 1)) {
             kept.push(n - 1);
         }
         CompressionResult::new(kept, n)

@@ -77,10 +77,18 @@ fn spt_rec(fixes: &[Fix], base: usize, max_dist: f64, max_speed: f64, kept: &mut
             // Δe ← s[e]t − s[1]t ; Δi ← s[i]t − s[1]t ;
             // (x'ᵢ, y'ᵢ) ← s[1]loc + (s[e]loc − s[1]loc)·Δi/Δe
             let approx = Fix::interpolate(&s[0], &s[e], s[i].t);
-            // vᵢ₋₁ ← dist(s[i], s[i−1]) / (s[i]t − s[i−1]t)
-            let v_prev = s[i - 1].speed_to(&s[i]).expect("validated trajectory");
-            // vᵢ ← dist(s[i+1], s[i]) / (s[i+1]t − s[i]t)
-            let v_next = s[i].speed_to(&s[i + 1]).expect("validated trajectory");
+            // vᵢ₋₁ ← dist(s[i], s[i−1]) / (s[i]t − s[i−1]t) and
+            // vᵢ ← dist(s[i+1], s[i]) / (s[i+1]t − s[i]t). Validated
+            // trajectories have strictly increasing timestamps, so the
+            // speeds exist; a duplicate timestamp that slipped through
+            // is treated as a speed violation (cut here) rather than a
+            // panic.
+            let speeds = (s[i - 1].speed_to(&s[i]), s[i].speed_to(&s[i + 1]));
+            let (Some(v_prev), Some(v_next)) = speeds else {
+                is_error = true;
+                violation = i;
+                continue;
+            };
             // if dist(s[i], (x'ᵢ, y'ᵢ)) > max_dist ∨ ‖vᵢ − vᵢ₋₁‖ > max_speed
             if approx.distance(s[i].pos) > max_dist || (v_next - v_prev).abs() > max_speed {
                 is_error = true;

@@ -266,11 +266,12 @@ impl OwStream {
     /// evaluations, windows, forced cuts) to the `traj-obs` registry;
     /// a stream dropped without `finish` reports nothing.
     pub fn finish(mut self) -> Vec<Fix> {
-        let out = if self.window.len() >= 2 {
-            self.run.window_closed();
-            vec![*self.window.last().expect("len >= 2")]
-        } else {
-            Vec::new()
+        let out = match self.window.last() {
+            Some(last) if self.window.len() >= 2 => {
+                self.run.window_closed();
+                vec![*last]
+            }
+            _ => Vec::new(),
         };
         self.emitted += out.len();
         self.run.flush(self.family(), self.pushed, self.emitted);

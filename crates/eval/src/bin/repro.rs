@@ -48,15 +48,22 @@ fn parse_args() -> Result<Args, String> {
                 metrics_out = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
-                return Err("usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR] \
+                return Err(
+                    "usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR] \
                             [--metrics-out FILE]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other if !other.starts_with('-') => what = other.to_string(),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(Args { what, seed, csv_dir, metrics_out })
+    Ok(Args {
+        what,
+        seed,
+        csv_dir,
+        metrics_out,
+    })
 }
 
 /// Writes the instrumentation snapshot of the whole run: to
@@ -79,16 +86,25 @@ fn write_metrics(args: &Args) {
     }
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("(metrics → {})", path.display()),
-        Err(e) => eprintln!("warning: could not write metrics to {}: {e}", path.display()),
+        Err(e) => eprintln!(
+            "warning: could not write metrics to {}: {e}",
+            path.display()
+        ),
     }
 }
 
 fn emit(fig: &FigureData, csv_dir: &Option<PathBuf>) {
     println!("{}", format_figure(fig));
     if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create csv dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
         let path = dir.join(format!("{}.csv", fig.id));
-        std::fs::write(&path, figure_to_csv(fig)).expect("write csv");
+        if let Err(e) = std::fs::write(&path, figure_to_csv(fig)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!("(wrote {})", path.display());
     }
 }
@@ -104,7 +120,10 @@ fn run_extensions(seed: u64) {
             .find(|(c, _)| *c == class)
             .map(|(_, r)| *r)
             .unwrap_or(0.0);
-        println!("object class: {class} (mean stop-time ratio {:.0} %)", sig * 100.0);
+        println!(
+            "object class: {class} (mean stop-time ratio {:.0} %)",
+            sig * 100.0
+        );
         println!("{}", format_figure(&fig));
     }
 
@@ -142,7 +161,10 @@ fn run_extensions(seed: u64) {
     }
 
     println!("\n— extension: the online spectrum (DR vs OPW-TR vs TD-TR) —");
-    println!("{}", format_figure(&traj_eval::online_spectrum(seed, &thresholds)));
+    println!(
+        "{}",
+        format_figure(&traj_eval::online_spectrum(seed, &thresholds))
+    );
 
     println!(
         "— extension: interpolation-model gap (Catmull–Rom vs linear) —\n\

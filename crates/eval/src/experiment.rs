@@ -53,7 +53,11 @@ impl AlgoSweep {
     /// Error spread: max − min across thresholds (the paper's
     /// "threshold-insensitivity" observation for OPW-TR, Fig. 9).
     pub fn error_spread(&self) -> f64 {
-        let lo = self.points.iter().map(|p| p.error_m).fold(f64::INFINITY, f64::min);
+        let lo = self
+            .points
+            .iter()
+            .map(|p| p.error_m)
+            .fold(f64::INFINITY, f64::min);
         let hi = self.points.iter().map(|p| p.error_m).fold(0.0f64, f64::max);
         hi - lo
     }
@@ -108,7 +112,10 @@ where
             }
         })
         .collect();
-    AlgoSweep { label: label.to_string(), points }
+    AlgoSweep {
+        label: label.to_string(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -121,11 +128,7 @@ mod tests {
             .map(|k| {
                 Trajectory::from_triples((0..40).map(|i| {
                     let t = i as f64 * 10.0;
-                    (
-                        t,
-                        t * 10.0,
-                        ((i + k) % 5) as f64 * 30.0,
-                    )
+                    (t, t * 10.0, ((i + k) % 5) as f64 * 30.0)
                 }))
                 .unwrap()
             })
@@ -135,7 +138,9 @@ mod tests {
     #[test]
     fn sweep_produces_one_point_per_threshold() {
         let ds = tiny_dataset();
-        let s = sweep("TD-TR", &ds, &[10.0, 50.0, 90.0], |e| Box::new(TdTr::new(e)));
+        let s = sweep("TD-TR", &ds, &[10.0, 50.0, 90.0], |e| {
+            Box::new(TdTr::new(e))
+        });
         assert_eq!(s.points.len(), 3);
         assert_eq!(s.label, "TD-TR");
         for (p, eps) in s.points.iter().zip([10.0, 50.0, 90.0]) {

@@ -99,7 +99,7 @@ pub fn noise_ablation(seed: u64, thresholds: &[f64]) -> Vec<(f64, AlgoSweep, Alg
         .iter()
         .map(|&sigma| {
             let cfg = traj_gen::TripConfig {
-                noise: if sigma == 0.0 {
+                noise: if traj_geom::numeric::approx_zero(sigma, 0.0) {
                     traj_gen::GpsNoise::white(0.0)
                 } else {
                     traj_gen::GpsNoise::new(sigma, 0.8)
@@ -180,7 +180,10 @@ pub fn online_spectrum(seed: u64, thresholds: &[f64]) -> FigureData {
 /// error figure (paper §5).
 pub fn interpolation_gap(seed: u64) -> f64 {
     let ds = paper_dataset(seed);
-    let gaps: Vec<f64> = ds.iter().map(|t| interpolation_model_gap(t, 1e-4)).collect();
+    let gaps: Vec<f64> = ds
+        .iter()
+        .map(|t| interpolation_model_gap(t, 1e-4))
+        .collect();
     gaps.iter().sum::<f64>() / gaps.len() as f64
 }
 
@@ -248,7 +251,12 @@ mod tests {
         // every member compresses something.
         assert!(tdtr.mean_compression() >= opwtr.mean_compression() - 1.0);
         for s in [dr, opwtr, tdtr] {
-            assert!(s.mean_compression() > 5.0, "{}: {}", s.label, s.mean_compression());
+            assert!(
+                s.mean_compression() > 5.0,
+                "{}: {}",
+                s.label,
+                s.mean_compression()
+            );
             assert!(s.mean_error().is_finite());
         }
     }

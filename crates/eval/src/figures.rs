@@ -195,7 +195,13 @@ mod tests {
         let labels: Vec<&str> = f.sweeps.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["OPW-TR", "TD-SP(5m/s)", "OPW-SP(5m/s)", "OPW-SP(15m/s)", "OPW-SP(25m/s)"]
+            vec![
+                "OPW-TR",
+                "TD-SP(5m/s)",
+                "OPW-SP(5m/s)",
+                "OPW-SP(15m/s)",
+                "OPW-SP(25m/s)"
+            ]
         );
     }
 

@@ -36,4 +36,6 @@ pub use figures::{
     fig10, fig10_with, fig11, fig11_with, fig7, fig7_with, fig8, fig8_with, fig9, fig9_with,
     table2, FigureData,
 };
-pub use report::{check_expectations, figure_to_csv, figure_to_markdown, format_figure, format_table2};
+pub use report::{
+    check_expectations, figure_to_csv, figure_to_markdown, format_figure, format_table2,
+};

@@ -5,13 +5,18 @@ use std::fmt::Write as _;
 use traj_model::stats::DatasetStats;
 use traj_model::TimeDelta;
 
+use crate::experiment::AlgoSweep;
 use crate::figures::FigureData;
 
 /// Renders Table 2 next to the paper's published values.
 pub fn format_table2(stats: &DatasetStats) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 2 — statistics of the ten trajectories");
-    let _ = writeln!(out, "{:<16} {:>12} {:>12} {:>14} {:>14}", "statistic", "ours(avg)", "ours(std)", "paper(avg)", "paper(std)");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>14} {:>14}",
+        "statistic", "ours(avg)", "ours(std)", "paper(avg)", "paper(std)"
+    );
     let dur = |s: f64| TimeDelta::from_secs(s).to_string();
     let _ = writeln!(
         out,
@@ -31,7 +36,13 @@ pub fn format_table2(stats: &DatasetStats) -> String {
     };
     row(&mut out, "speed (km/h)", &stats.speed_kmh, "40.85", "12.63");
     row(&mut out, "length (km)", &stats.length_km, "19.95", "12.84");
-    row(&mut out, "displacement", &stats.displacement_km, "10.58", "8.97");
+    row(
+        &mut out,
+        "displacement",
+        &stats.displacement_km,
+        "10.58",
+        "8.97",
+    );
     row(&mut out, "# data points", &stats.n_points, "200", "100.9");
     out
 }
@@ -62,7 +73,12 @@ pub fn format_figure(fig: &FigureData) -> String {
     }
     let _ = write!(out, "{:>9}", "mean");
     for s in &fig.sweeps {
-        let _ = write!(out, " | {:>9.2} {:>11.2}", s.mean_compression(), s.mean_error());
+        let _ = write!(
+            out,
+            " | {:>9.2} {:>11.2}",
+            s.mean_compression(),
+            s.mean_error()
+        );
     }
     let _ = writeln!(out);
     out
@@ -95,7 +111,12 @@ pub fn figure_to_markdown(fig: &FigureData) -> String {
     }
     let _ = write!(out, "| **mean** |");
     for s in &fig.sweeps {
-        let _ = write!(out, " **{:.2}** | **{:.2}** |", s.mean_compression(), s.mean_error());
+        let _ = write!(
+            out,
+            " **{:.2}** | **{:.2}** |",
+            s.mean_compression(),
+            s.mean_error()
+        );
     }
     let _ = writeln!(out);
     out
@@ -153,125 +174,177 @@ pub fn check_expectations(
     fig11: &FigureData,
 ) -> Vec<String> {
     let mut violations = Vec::new();
-    let mut expect = |ok: bool, msg: String| {
+    fn expect(violations: &mut Vec<String>, ok: bool, msg: String) {
         if !ok {
             violations.push(msg);
         }
-    };
+    }
+    // Fetches a labeled sweep; a figure missing an expected sweep is
+    // itself a recorded violation, not a panic — callers assemble the
+    // figures from config and deserve a diagnosis, not an abort.
+    fn sweep_of<'a>(
+        violations: &mut Vec<String>,
+        fig: &'a FigureData,
+        id: &str,
+        label: &str,
+    ) -> Option<&'a AlgoSweep> {
+        let s = fig.sweep(label);
+        if s.is_none() {
+            violations.push(format!("{id}: missing expected sweep {label}"));
+        }
+        s
+    }
 
     // Fig. 7.
-    let ndp = fig7.sweep("NDP").expect("fig7 has NDP");
-    let tdtr = fig7.sweep("TD-TR").expect("fig7 has TD-TR");
-    expect(
-        tdtr.mean_error() < 0.6 * ndp.mean_error(),
-        format!(
-            "fig7: TD-TR error {:.1} not ≪ NDP error {:.1}",
-            tdtr.mean_error(),
-            ndp.mean_error()
-        ),
+    let (ndp, tdtr) = (
+        sweep_of(&mut violations, fig7, "fig7", "NDP"),
+        sweep_of(&mut violations, fig7, "fig7", "TD-TR"),
     );
-    expect(
-        (ndp.mean_compression() - tdtr.mean_compression()).abs() < 25.0,
-        format!(
-            "fig7: compression gap too large (NDP {:.1} vs TD-TR {:.1})",
-            ndp.mean_compression(),
-            tdtr.mean_compression()
-        ),
-    );
-    for s in [ndp, tdtr] {
-        let monotone = s
-            .points
-            .windows(2)
-            .all(|w| w[1].compression_pct >= w[0].compression_pct - 1e-9);
-        expect(monotone, format!("fig7: {} compression not monotone", s.label));
+    if let (Some(ndp), Some(tdtr)) = (ndp, tdtr) {
+        expect(
+            &mut violations,
+            tdtr.mean_error() < 0.6 * ndp.mean_error(),
+            format!(
+                "fig7: TD-TR error {:.1} not ≪ NDP error {:.1}",
+                tdtr.mean_error(),
+                ndp.mean_error()
+            ),
+        );
+        expect(
+            &mut violations,
+            (ndp.mean_compression() - tdtr.mean_compression()).abs() < 25.0,
+            format!(
+                "fig7: compression gap too large (NDP {:.1} vs TD-TR {:.1})",
+                ndp.mean_compression(),
+                tdtr.mean_compression()
+            ),
+        );
+        for s in [ndp, tdtr] {
+            let monotone = s
+                .points
+                .windows(2)
+                .all(|w| w[1].compression_pct >= w[0].compression_pct - 1e-9);
+            expect(
+                &mut violations,
+                monotone,
+                format!("fig7: {} compression not monotone", s.label),
+            );
+        }
     }
 
     // Fig. 8.
-    let bopw = fig8.sweep("BOPW").expect("fig8 has BOPW");
-    let nopw = fig8.sweep("NOPW").expect("fig8 has NOPW");
-    expect(
-        bopw.mean_compression() >= nopw.mean_compression(),
-        format!(
-            "fig8: BOPW compression {:.1} below NOPW {:.1}",
-            bopw.mean_compression(),
-            nopw.mean_compression()
-        ),
+    let (bopw, nopw) = (
+        sweep_of(&mut violations, fig8, "fig8", "BOPW"),
+        sweep_of(&mut violations, fig8, "fig8", "NOPW"),
     );
-    expect(
-        bopw.mean_error() >= nopw.mean_error(),
-        format!(
-            "fig8: BOPW error {:.1} below NOPW {:.1}",
-            bopw.mean_error(),
-            nopw.mean_error()
-        ),
-    );
+    if let (Some(bopw), Some(nopw)) = (bopw, nopw) {
+        expect(
+            &mut violations,
+            bopw.mean_compression() >= nopw.mean_compression(),
+            format!(
+                "fig8: BOPW compression {:.1} below NOPW {:.1}",
+                bopw.mean_compression(),
+                nopw.mean_compression()
+            ),
+        );
+        expect(
+            &mut violations,
+            bopw.mean_error() >= nopw.mean_error(),
+            format!(
+                "fig8: BOPW error {:.1} below NOPW {:.1}",
+                bopw.mean_error(),
+                nopw.mean_error()
+            ),
+        );
+    }
 
     // Fig. 9.
-    let nopw9 = fig9.sweep("NOPW").expect("fig9 has NOPW");
-    let opwtr = fig9.sweep("OPW-TR").expect("fig9 has OPW-TR");
-    expect(
-        opwtr.mean_error() < nopw9.mean_error(),
-        format!(
-            "fig9: OPW-TR error {:.1} not below NOPW {:.1}",
-            opwtr.mean_error(),
-            nopw9.mean_error()
-        ),
+    let (nopw9, opwtr) = (
+        sweep_of(&mut violations, fig9, "fig9", "NOPW"),
+        sweep_of(&mut violations, fig9, "fig9", "OPW-TR"),
     );
-    expect(
-        opwtr.error_spread() < nopw9.error_spread(),
-        format!(
-            "fig9: OPW-TR error spread {:.1} not tighter than NOPW {:.1}",
-            opwtr.error_spread(),
-            nopw9.error_spread()
-        ),
-    );
+    if let (Some(nopw9), Some(opwtr)) = (nopw9, opwtr) {
+        expect(
+            &mut violations,
+            opwtr.mean_error() < nopw9.mean_error(),
+            format!(
+                "fig9: OPW-TR error {:.1} not below NOPW {:.1}",
+                opwtr.mean_error(),
+                nopw9.mean_error()
+            ),
+        );
+        expect(
+            &mut violations,
+            opwtr.error_spread() < nopw9.error_spread(),
+            format!(
+                "fig9: OPW-TR error spread {:.1} not tighter than NOPW {:.1}",
+                opwtr.error_spread(),
+                nopw9.error_spread()
+            ),
+        );
+    }
 
     // Fig. 10.
-    let opwtr10 = fig10.sweep("OPW-TR").expect("fig10 has OPW-TR");
-    let sp25 = fig10.sweep("OPW-SP(25m/s)").expect("fig10 has OPW-SP(25m/s)");
-    let sp5 = fig10.sweep("OPW-SP(5m/s)").expect("fig10 has OPW-SP(5m/s)");
-    let coincide = opwtr10
-        .points
-        .iter()
-        .zip(&sp25.points)
-        .all(|(a, b)| (a.compression_pct - b.compression_pct).abs() < 5.0);
-    expect(
-        coincide,
-        "fig10: OPW-SP(25m/s) does not track OPW-TR".to_string(),
+    let (opwtr10, sp25, sp5) = (
+        sweep_of(&mut violations, fig10, "fig10", "OPW-TR"),
+        sweep_of(&mut violations, fig10, "fig10", "OPW-SP(25m/s)"),
+        sweep_of(&mut violations, fig10, "fig10", "OPW-SP(5m/s)"),
     );
-    // "Choosing a speed difference threshold of 5 m/s … results in
-    // improved compression" (§4.3): the earlier cuts the speed criterion
-    // forces re-anchor the window at kinks, which pays off downstream.
-    expect(
-        sp5.mean_compression() >= opwtr10.mean_compression() - 2.0,
-        format!(
-            "fig10: OPW-SP(5m/s) compression {:.1} not at/above OPW-TR {:.1}",
-            sp5.mean_compression(),
-            opwtr10.mean_compression()
-        ),
-    );
+    if let (Some(opwtr10), Some(sp25), Some(sp5)) = (opwtr10, sp25, sp5) {
+        let coincide = opwtr10
+            .points
+            .iter()
+            .zip(&sp25.points)
+            .all(|(a, b)| (a.compression_pct - b.compression_pct).abs() < 5.0);
+        expect(
+            &mut violations,
+            coincide,
+            "fig10: OPW-SP(25m/s) does not track OPW-TR".to_string(),
+        );
+        // "Choosing a speed difference threshold of 5 m/s … results in
+        // improved compression" (§4.3): the earlier cuts the speed criterion
+        // forces re-anchor the window at kinks, which pays off downstream.
+        expect(
+            &mut violations,
+            sp5.mean_compression() >= opwtr10.mean_compression() - 2.0,
+            format!(
+                "fig10: OPW-SP(5m/s) compression {:.1} not at/above OPW-TR {:.1}",
+                sp5.mean_compression(),
+                opwtr10.mean_compression()
+            ),
+        );
+    }
 
     // Fig. 11: spatiotemporal dominance.
-    let ndp11 = fig11.sweep("NDP").expect("fig11 has NDP");
-    let tdtr11 = fig11.sweep("TD-TR").expect("fig11 has TD-TR");
-    let nopw11 = fig11.sweep("NOPW").expect("fig11 has NOPW");
-    let opwtr11 = fig11.sweep("OPW-TR").expect("fig11 has OPW-TR");
-    expect(
-        tdtr11.mean_error() < ndp11.mean_error(),
-        "fig11: TD-TR does not dominate NDP on error".to_string(),
+    let (ndp11, tdtr11, nopw11, opwtr11) = (
+        sweep_of(&mut violations, fig11, "fig11", "NDP"),
+        sweep_of(&mut violations, fig11, "fig11", "TD-TR"),
+        sweep_of(&mut violations, fig11, "fig11", "NOPW"),
+        sweep_of(&mut violations, fig11, "fig11", "OPW-TR"),
     );
-    expect(
-        opwtr11.mean_error() < nopw11.mean_error(),
-        "fig11: OPW-TR does not dominate NOPW on error".to_string(),
-    );
-    expect(
-        tdtr11.mean_compression() >= opwtr11.mean_compression() - 5.0,
-        format!(
-            "fig11: TD-TR compression {:.1} not ranked at/above OPW-TR {:.1}",
-            tdtr11.mean_compression(),
-            opwtr11.mean_compression()
-        ),
-    );
+    if let (Some(ndp11), Some(tdtr11), Some(nopw11), Some(opwtr11)) =
+        (ndp11, tdtr11, nopw11, opwtr11)
+    {
+        expect(
+            &mut violations,
+            tdtr11.mean_error() < ndp11.mean_error(),
+            "fig11: TD-TR does not dominate NDP on error".to_string(),
+        );
+        expect(
+            &mut violations,
+            opwtr11.mean_error() < nopw11.mean_error(),
+            "fig11: OPW-TR does not dominate NOPW on error".to_string(),
+        );
+        expect(
+            &mut violations,
+            tdtr11.mean_compression() >= opwtr11.mean_compression() - 5.0,
+            format!(
+                "fig11: TD-TR compression {:.1} not ranked at/above OPW-TR {:.1}",
+                tdtr11.mean_compression(),
+                opwtr11.mean_compression()
+            ),
+        );
+    }
 
     violations
 }
@@ -299,7 +372,11 @@ mod tests {
     }
 
     fn fig(id: &'static str, sweeps: Vec<AlgoSweep>) -> FigureData {
-        FigureData { id, title: "test", sweeps }
+        FigureData {
+            id,
+            title: "test",
+            sweeps,
+        }
     }
 
     #[test]
@@ -338,7 +415,10 @@ mod tests {
             .filter(|l| l.starts_with('|'))
             .map(|l| l.matches('|').count())
             .collect();
-        assert!(cols.windows(2).all(|w| w[0] == w[1]), "ragged table: {cols:?}");
+        assert!(
+            cols.windows(2).all(|w| w[0] == w[1]),
+            "ragged table: {cols:?}"
+        );
     }
 
     #[test]
@@ -452,17 +532,35 @@ mod tests {
             ],
         );
         let v = check_expectations(&f7, &ok8, &ok9, &ok10, &ok11);
-        assert!(v.iter().any(|m| m.contains("fig7")), "fig7 violation not flagged: {v:?}");
+        assert!(
+            v.iter().any(|m| m.contains("fig7")),
+            "fig7 violation not flagged: {v:?}"
+        );
     }
 
     #[test]
     fn table2_formatting_mentions_paper_values() {
         let stats = traj_model::stats::DatasetStats {
-            duration_s: traj_model::MeanStd { mean: 1800.0, std: 800.0 },
-            speed_kmh: traj_model::MeanStd { mean: 42.0, std: 5.0 },
-            length_km: traj_model::MeanStd { mean: 20.0, std: 9.0 },
-            displacement_km: traj_model::MeanStd { mean: 12.0, std: 6.0 },
-            n_points: traj_model::MeanStd { mean: 180.0, std: 80.0 },
+            duration_s: traj_model::MeanStd {
+                mean: 1800.0,
+                std: 800.0,
+            },
+            speed_kmh: traj_model::MeanStd {
+                mean: 42.0,
+                std: 5.0,
+            },
+            length_km: traj_model::MeanStd {
+                mean: 20.0,
+                std: 9.0,
+            },
+            displacement_km: traj_model::MeanStd {
+                mean: 12.0,
+                std: 6.0,
+            },
+            n_points: traj_model::MeanStd {
+                mean: 180.0,
+                std: 80.0,
+            },
         };
         let text = format_table2(&stats);
         assert!(text.contains("40.85"));

@@ -20,7 +20,10 @@ fn paper_shape_claims_hold_on_calibrated_dataset() {
     let f10 = fig10_with(&dataset, &FAST_THRESHOLDS);
     let f11 = fig11_with(&dataset, &FAST_THRESHOLDS);
     let violations = check_expectations(&f7, &f8, &f9, &f10, &f11);
-    assert!(violations.is_empty(), "paper-shape violations: {violations:#?}");
+    assert!(
+        violations.is_empty(),
+        "paper-shape violations: {violations:#?}"
+    );
 }
 
 #[test]
@@ -44,10 +47,22 @@ fn table2_statistics_match_paper_bands() {
     let s = table2(&dataset);
     // Means within ±50% of the paper's Table 2 values.
     let close = |ours: f64, paper: f64| (ours - paper).abs() <= 0.5 * paper;
-    assert!(close(s.duration_s.mean, 1936.0), "duration {}", s.duration_s.mean);
+    assert!(
+        close(s.duration_s.mean, 1936.0),
+        "duration {}",
+        s.duration_s.mean
+    );
     assert!(close(s.speed_kmh.mean, 40.85), "speed {}", s.speed_kmh.mean);
-    assert!(close(s.length_km.mean, 19.95), "length {}", s.length_km.mean);
-    assert!(close(s.displacement_km.mean, 10.58), "displacement {}", s.displacement_km.mean);
+    assert!(
+        close(s.length_km.mean, 19.95),
+        "length {}",
+        s.length_km.mean
+    );
+    assert!(
+        close(s.displacement_km.mean, 10.58),
+        "displacement {}",
+        s.displacement_km.mean
+    );
     assert!(close(s.n_points.mean, 200.0), "points {}", s.n_points.mean);
 }
 

@@ -98,6 +98,8 @@ pub fn pedestrian_trip<R: Rng>(params: &PedestrianParams, rng: &mut R) -> Trajec
             }
         }
     }
+    // lint: allow(panic) timestamps advance by a strictly positive dt
+    // each step, so monotonicity holds by construction
     Trajectory::new(fixes).expect("monotone time by construction")
 }
 
@@ -177,6 +179,8 @@ pub fn animal_track<R: Rng>(params: &AnimalParams, rng: &mut R) -> Trajectory {
         pos += Vec2::new(heading.cos(), heading.sin()) * step_speed * dt;
         fixes.push(Fix::new(Timestamp::from_secs(i as f64 * dt), pos));
     }
+    // lint: allow(panic) timestamps advance by a strictly positive dt
+    // each step, so monotonicity holds by construction
     Trajectory::new(fixes).expect("monotone time by construction")
 }
 

@@ -57,7 +57,7 @@ impl GpsNoise {
     /// Applies the noise process to every fix, returning the noisy
     /// trajectory (timestamps untouched).
     pub fn apply<R: Rng>(&self, traj: &Trajectory, rng: &mut R) -> Trajectory {
-        if self.sigma == 0.0 {
+        if traj_geom::numeric::approx_zero(self.sigma, 0.0) {
             return traj.clone();
         }
         let innovation = self.sigma * (1.0 - self.rho * self.rho).sqrt();
@@ -77,6 +77,8 @@ impl GpsNoise {
                 fix
             })
             .collect();
+        // lint: allow(panic) noise perturbs positions only; the input
+        // trajectory already validated its timestamps
         Trajectory::new(fixes).expect("noise preserves timestamps")
     }
 }

@@ -76,9 +76,11 @@ pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<
 pub fn path_travel_time(net: &RoadNetwork, path: &[NodeId]) -> f64 {
     path.windows(2)
         .map(|w| {
+            // lint: allow(panic) routes are produced by shortest_path over
+            // this same network; a missing edge is a router bug
             let e = net
                 .edge_between(w[0], w[1])
-                .expect("path must follow network edges");
+                .expect("path must follow network edges"); // lint: allow(panic) router invariant, see above
             e.length / e.class.speed_limit()
         })
         .sum()
@@ -88,7 +90,9 @@ pub fn path_travel_time(net: &RoadNetwork, path: &[NodeId]) -> f64 {
 pub fn path_length(net: &RoadNetwork, path: &[NodeId]) -> f64 {
     path.windows(2)
         .map(|w| {
+            // lint: allow(panic) same invariant as path_travel_time above
             net.edge_between(w[0], w[1])
+                // lint: allow(panic) router invariant, see above
                 .expect("path must follow network edges")
                 .length
         })

@@ -15,6 +15,8 @@ pub fn straight(n: usize, dt: f64, speed: f64) -> Trajectory {
         let t = i as f64 * dt;
         (t, speed * t, 0.0)
     }))
+    // lint: allow(panic) t = i * dt with dt > 0 asserted above, so times
+    // strictly increase by construction
     .expect("strictly increasing times by construction")
 }
 
@@ -29,6 +31,8 @@ pub fn circle(n: usize, dt: f64, radius: f64, angular_speed: f64) -> Trajectory 
         let a = angular_speed * t;
         (t, radius * a.cos(), radius * a.sin())
     }))
+    // lint: allow(panic) t = i * dt with dt > 0 asserted above, so times
+    // strictly increase by construction
     .expect("strictly increasing times by construction")
 }
 
@@ -53,6 +57,8 @@ pub fn random_walk<R: Rng>(rng: &mut R, n: usize, dt: f64, step_sigma: f64) -> T
         }
         (t, x, y)
     }))
+    // lint: allow(panic) t = i * dt with dt > 0 asserted above, so times
+    // strictly increase by construction
     .expect("strictly increasing times by construction")
 }
 
@@ -77,6 +83,8 @@ pub fn stop_and_go(cycles: usize, go_fixes: usize, stop_fixes: usize, dt: f64, s
         }
     }
     triples.push((t, x, 0.0));
+    // lint: allow(panic) t advances by a positive dt every push, so the
+    // triples are strictly increasing by construction
     Trajectory::from_triples(triples).expect("strictly increasing times by construction")
 }
 

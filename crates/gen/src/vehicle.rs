@@ -127,9 +127,11 @@ pub fn drive_route<R: Rng>(
     let edge_target: Vec<f64> = path
         .windows(2)
         .map(|w| {
+            // lint: allow(panic) paths come from shortest_path over this
+            // network; a missing edge is a router bug
             let e = net
                 .edge_between(w[0], w[1])
-                .expect("path must follow network edges");
+                .expect("path must follow network edges"); // lint: allow(panic) router invariant, see above
             e.class.speed_limit() * factor
         })
         .collect();
@@ -173,6 +175,7 @@ pub fn drive_route<R: Rng>(
     let mut samples: Vec<Fix> = Vec::new();
     let mut next_sample = 0.0f64;
     let mut prev_state = (0.0f64, 0.0f64); // (t, s)
+    // lint: allow(panic) the path has >= 2 nodes so points is non-empty
     let pos_at = |s: f64| point_at_length(&points, s).expect("non-empty polyline");
     let emit_until = |t_new: f64, s_new: f64, prev: (f64, f64), next_sample: &mut f64, samples: &mut Vec<Fix>| {
         while *next_sample <= t_new {
@@ -223,7 +226,7 @@ pub fn drive_route<R: Rng>(
         // the discrete tick — if this tick would reach or cross it, the
         // car arrives there exactly and dwells.
         let c = constraints[next_constraint.min(constraints.len() - 1)];
-        if c.cap == 0.0 && s + v * params.tick >= c.at - 0.05 {
+        if traj_geom::numeric::approx_zero(c.cap, 0.0) && s + v * params.tick >= c.at - 0.05 {
             let dist = (c.at - s).max(0.0);
             let dt = if v > 0.5 { (dist / v).min(params.tick * 4.0) } else { params.tick };
             let t_new = t + dt.max(1e-3);

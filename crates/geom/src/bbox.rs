@@ -137,7 +137,7 @@ impl Bbox {
             (d.x, self.min.x - seg.a.x, self.max.x - seg.a.x),
             (d.y, self.min.y - seg.a.y, self.max.y - seg.a.y),
         ] {
-            if p == 0.0 {
+            if crate::numeric::approx_zero(p, 0.0) {
                 // Parallel to the slab: inside it or not at all.
                 if q_min > 0.0 || q_max < 0.0 {
                     return false;

@@ -88,6 +88,22 @@ pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
     (a - b).abs() <= abs_tol + rel_tol * a.abs().max(b.abs())
 }
 
+/// NaN-safe zero guard with absolute tolerance.
+///
+/// True for `±0.0`, any magnitude at or below `abs_tol`, and — crucially
+/// — **NaN**. Degenerate-case guards in the error calculus (zero-length
+/// segments, zero-duration intervals, zero noise) must route a NaN input
+/// into the degenerate branch rather than let it flow through a division;
+/// `v == 0.0` is false for NaN and does the opposite. NaN is
+/// incomparable (`partial_cmp` is `None`), so it falls through to `true`.
+#[inline]
+pub fn approx_zero(v: f64, abs_tol: f64) -> bool {
+    !matches!(
+        v.abs().partial_cmp(&abs_tol),
+        Some(std::cmp::Ordering::Greater)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +162,23 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn rejects_nonpositive_tolerance() {
         let _ = integrate_adaptive(|t| t, 0.0, 1.0, 0.0, 10);
+    }
+
+    #[test]
+    fn approx_zero_exact_and_tolerant() {
+        assert!(approx_zero(0.0, 0.0));
+        assert!(approx_zero(-0.0, 0.0));
+        assert!(approx_zero(1e-15, 1e-12));
+        assert!(!approx_zero(1e-9, 1e-12));
+        assert!(!approx_zero(-3.0, 0.0));
+    }
+
+    #[test]
+    fn approx_zero_treats_nan_as_degenerate() {
+        // The whole point: a NaN length/duration must take the
+        // degenerate branch, not flow through a division.
+        assert!(approx_zero(f64::NAN, 0.0));
+        assert!(approx_zero(f64::NAN, 1e-9));
+        assert!(!approx_zero(f64::INFINITY, 1e-9));
     }
 }

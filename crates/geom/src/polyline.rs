@@ -39,7 +39,7 @@ pub fn point_at_length(points: &[Point2], s: f64) -> Option<Point2> {
     for &p in rest {
         let seg = prev.distance(p);
         if remaining <= seg {
-            if seg == 0.0 {
+            if crate::numeric::approx_zero(seg, 0.0) {
                 return Some(p);
             }
             return Some(prev.lerp(p, remaining / seg));

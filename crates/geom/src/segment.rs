@@ -57,7 +57,7 @@ impl Segment {
     pub fn project_param(&self, p: Point2) -> Option<f64> {
         let d = self.direction();
         let len_sq = d.norm_sq();
-        if len_sq == 0.0 {
+        if crate::numeric::approx_zero(len_sq, 0.0) {
             None
         } else {
             Some((p - self.a).dot(d) / len_sq)
@@ -76,7 +76,7 @@ impl Segment {
     pub fn line_distance(&self, p: Point2) -> f64 {
         let d = self.direction();
         let len = d.norm();
-        if len == 0.0 {
+        if crate::numeric::approx_zero(len, 0.0) {
             self.a.distance(p)
         } else {
             (d.cross(p - self.a)).abs() / len
@@ -149,6 +149,21 @@ mod tests {
         assert_eq!(s.segment_distance(Point2::new(4.0, 5.0)), 5.0);
         assert!(s.project_param(Point2::new(4.0, 5.0)).is_none());
         assert_eq!(s.closest_point(Point2::new(4.0, 5.0)), s.a);
+    }
+
+    #[test]
+    fn nan_endpoints_route_to_the_degenerate_branch() {
+        // A NaN coordinate must fall into the degenerate fallback, not
+        // flow through the division: `NaN == NaN` is false, so the old
+        // `len_sq == 0.0` guard would have missed it and returned NaN
+        // from a well-formed query point's projection.
+        let s = seg(f64::NAN, 0.0, 1.0, 1.0);
+        assert!(s.project_param(Point2::new(4.0, 5.0)).is_none());
+        // The fallback endpoint itself carries the NaN (it IS `a`), so
+        // compare fields: NaN-x propagates, y is untouched.
+        let c = s.closest_point(Point2::new(4.0, 5.0));
+        assert!(c.x.is_nan());
+        assert_eq!(c.y, s.a.y);
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Fix {
     #[inline]
     pub fn speed_to(&self, next: &Fix) -> Option<f64> {
         let dt = (next.t - self.t).as_secs();
-        if dt == 0.0 {
+        if traj_geom::numeric::approx_zero(dt, 0.0) {
             None
         } else {
             Some(self.pos.distance(next.pos) / dt.abs())

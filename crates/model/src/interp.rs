@@ -18,7 +18,7 @@ pub fn position_at(traj: &Trajectory, t: Timestamp) -> Option<Point2> {
     if !traj.covers(t) {
         return None;
     }
-    let i = traj.index_at(t).expect("covers(t) implies an index");
+    let i = traj.index_at(t)?;
     let fixes = traj.fixes();
     if i + 1 == fixes.len() {
         // t equals the final timestamp.

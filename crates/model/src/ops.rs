@@ -26,7 +26,9 @@ pub fn resample(traj: &Trajectory, interval: TimeDelta) -> Result<Trajectory, Mo
     let mut fixes = Vec::new();
     let mut t = start;
     while t < end {
-        let pos = position_at(traj, t).expect("t within span");
+        // `start <= t < end` keeps t inside the span; a NaN interval
+        // cannot reach here (is_positive is false for NaN).
+        let Some(pos) = position_at(traj, t) else { break };
         fixes.push(Fix::new(t, pos));
         t += interval;
     }
@@ -55,18 +57,23 @@ pub fn slice_time(traj: &Trajectory, t0: Timestamp, t1: Timestamp) -> Option<Tra
         }
     }
     fixes.push(Fix::new(hi, position_at(traj, hi)?));
-    Some(Trajectory::new(fixes).expect("slice preserves monotonicity"))
+    Trajectory::new(fixes).ok()
 }
 
 /// The trajectory with all timestamps shifted by `dt`.
 pub fn shift_time(traj: &Trajectory, dt: TimeDelta) -> Trajectory {
     let fixes = traj.fixes().iter().map(|f| Fix::new(f.t + dt, f.pos)).collect();
+    // lint: allow(panic) shifting every timestamp by one finite delta
+    // preserves strict monotonicity; a failure here is a Fix/Trajectory
+    // invariant bug worth aborting on
     Trajectory::new(fixes).expect("shift preserves monotonicity")
 }
 
 /// The trajectory with all positions translated by `v`.
 pub fn translate(traj: &Trajectory, v: Vec2) -> Trajectory {
     let fixes = traj.fixes().iter().map(|f| Fix::new(f.t, f.pos + v)).collect();
+    // lint: allow(panic) timestamps are untouched, so monotonicity is
+    // inherited from the input trajectory
     Trajectory::new(fixes).expect("translation preserves monotonicity")
 }
 

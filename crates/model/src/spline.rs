@@ -64,7 +64,7 @@ pub fn spline_position_at(traj: &Trajectory, t: Timestamp) -> Option<Point2> {
     if f.len() < 3 {
         return crate::interp::position_at(traj, t);
     }
-    let i = traj.index_at(t).expect("covers(t)");
+    let i = traj.index_at(t)?;
     if i + 1 == f.len() {
         return Some(f[i].pos);
     }
@@ -102,7 +102,7 @@ pub fn spline_velocity_at(traj: &Trajectory, t: Timestamp) -> Option<Vec2> {
         let dt = (f[1].t - f[0].t).as_secs();
         return Some((f[1].pos - f[0].pos) / dt);
     }
-    let i = traj.index_at(t).expect("covers(t)");
+    let i = traj.index_at(t)?;
     if i + 1 == f.len() {
         return Some(tangent(traj, i));
     }

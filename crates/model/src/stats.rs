@@ -90,7 +90,9 @@ pub fn heading_change_series(traj: &Trajectory) -> Vec<f64> {
         .map(|w| {
             let v1 = w[1].pos - w[0].pos;
             let v2 = w[2].pos - w[1].pos;
-            if v1.norm_sq() == 0.0 || v2.norm_sq() == 0.0 {
+            if traj_geom::numeric::approx_zero(v1.norm_sq(), 0.0)
+                || traj_geom::numeric::approx_zero(v2.norm_sq(), 0.0)
+            {
                 0.0
             } else {
                 let a = v2.angle() - v1.angle();

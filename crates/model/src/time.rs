@@ -46,16 +46,51 @@ impl Timestamp {
     /// The fraction of the way `self` lies from `a` to `b`, i.e. the
     /// paper's time-interval ratio `Δi / Δe` (§3.2).
     ///
-    /// Returns `None` when `a == b` (zero-length interval).
+    /// Returns `None` when the interval is zero-length — or when its
+    /// span is NaN, which would otherwise poison the ratio.
     #[inline]
     pub fn ratio_within(self, a: Timestamp, b: Timestamp) -> Option<f64> {
         let span = b.0 - a.0;
-        if span == 0.0 {
+        if traj_geom::numeric::approx_zero(span, 0.0) {
             None
         } else {
             Some((self.0 - a.0) / span)
         }
     }
+
+    /// The index of the `width_secs`-wide bucket containing this
+    /// instant, saturating at the `i64` range.
+    ///
+    /// This is *the* checked replacement for the
+    /// `(t.as_secs() / width).floor() as i64` idiom: a bare `as` cast
+    /// of a NaN or out-of-range float is a silent wraparound hazard,
+    /// and bucketing timestamps is exactly where corrupt input (NaN
+    /// fixes, ±∞ from a zero-duration division) would corrupt an index
+    /// key. NaN maps to bucket 0 and a non-positive or NaN width is
+    /// treated as degenerate (everything in bucket 0) rather than
+    /// producing ±∞ indices.
+    #[inline]
+    pub fn bucket_index(self, width_secs: f64) -> i64 {
+        // NaN widths are incomparable and fall into the degenerate arm.
+        if !matches!(
+            width_secs.partial_cmp(&0.0),
+            Some(std::cmp::Ordering::Greater)
+        ) {
+            return 0;
+        }
+        saturating_to_i64((self.0 / width_secs).floor())
+    }
+}
+
+/// Saturating float → `i64`, the conversion primitive behind the
+/// checked time helpers. NaN maps to 0.
+#[inline]
+fn saturating_to_i64(v: f64) -> i64 {
+    // `as` on floats saturates (and maps NaN to 0) since Rust 1.45,
+    // but routing every call through this named, tested function keeps
+    // the intent auditable — and the time_cast lint enforces that
+    // call sites outside this module use it.
+    v as i64
 }
 
 impl TimeDelta {
@@ -102,6 +137,26 @@ impl TimeDelta {
     #[inline]
     pub fn is_positive(self) -> bool {
         self.0 > 0.0
+    }
+
+    /// Number of `width_secs`-wide buckets needed to cover this span
+    /// (ceiling division), saturating into the `usize` range.
+    ///
+    /// The checked replacement for `(d.as_secs() / w).ceil() as usize`:
+    /// NaN and negative spans yield 0 buckets, a non-positive or NaN
+    /// width is degenerate (0 buckets) instead of ∞.
+    #[inline]
+    pub fn bucket_count(self, width_secs: f64) -> usize {
+        // NaN widths are incomparable and fall into the degenerate arm.
+        if !matches!(
+            width_secs.partial_cmp(&0.0),
+            Some(std::cmp::Ordering::Greater)
+        ) {
+            return 0;
+        }
+        // Float → usize `as` saturates ([0, usize::MAX]) and maps NaN
+        // to 0; this module is the audited home for that conversion.
+        (self.0 / width_secs).ceil() as usize
     }
 }
 
@@ -257,6 +312,39 @@ mod tests {
         assert_eq!(TimeDelta::from_secs(1936.0).to_string(), "00:32:16");
         assert_eq!(TimeDelta::from_secs(-61.0).to_string(), "-00:01:01");
         assert_eq!(Timestamp::from_secs(1.5).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn ratio_within_nan_span_is_degenerate() {
+        let nan = Timestamp::from_secs(f64::NAN);
+        let a = Timestamp::from_secs(1.0);
+        assert_eq!(a.ratio_within(a, nan), None);
+        assert_eq!(a.ratio_within(nan, a), None);
+    }
+
+    #[test]
+    fn bucket_index_floors_and_saturates() {
+        assert_eq!(Timestamp::from_secs(0.0).bucket_index(60.0), 0);
+        assert_eq!(Timestamp::from_secs(59.9).bucket_index(60.0), 0);
+        assert_eq!(Timestamp::from_secs(60.0).bucket_index(60.0), 1);
+        assert_eq!(Timestamp::from_secs(-0.1).bucket_index(60.0), -1);
+        assert_eq!(Timestamp::from_secs(f64::INFINITY).bucket_index(60.0), i64::MAX);
+        assert_eq!(Timestamp::from_secs(f64::NEG_INFINITY).bucket_index(60.0), i64::MIN);
+        assert_eq!(Timestamp::from_secs(f64::NAN).bucket_index(60.0), 0);
+        // Degenerate widths collapse to a single bucket.
+        assert_eq!(Timestamp::from_secs(500.0).bucket_index(0.0), 0);
+        assert_eq!(Timestamp::from_secs(500.0).bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bucket_count_ceils_and_saturates() {
+        assert_eq!(TimeDelta::from_secs(0.0).bucket_count(60.0), 0);
+        assert_eq!(TimeDelta::from_secs(1.0).bucket_count(60.0), 1);
+        assert_eq!(TimeDelta::from_secs(60.0).bucket_count(60.0), 1);
+        assert_eq!(TimeDelta::from_secs(61.0).bucket_count(60.0), 2);
+        assert_eq!(TimeDelta::from_secs(-5.0).bucket_count(60.0), 0);
+        assert_eq!(TimeDelta::from_secs(f64::NAN).bucket_count(60.0), 0);
+        assert_eq!(TimeDelta::from_secs(10.0).bucket_count(0.0), 0);
     }
 
     #[test]

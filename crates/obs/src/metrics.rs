@@ -21,6 +21,8 @@ impl Counter {
     /// Adds `n` to the count.
     #[inline]
     pub fn add(&self, n: u64) {
+        // Relaxed ordering: advisory counter, snapshots need no
+        // happens-before with the counted work.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -33,6 +35,7 @@ impl Counter {
     /// Current count.
     #[inline]
     pub fn get(&self) -> u64 {
+        // Relaxed ordering: a point-in-time read of an advisory count.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -49,17 +52,22 @@ impl Gauge {
     /// Sets the level.
     #[inline]
     pub fn set(&self, v: f64) {
+        // Relaxed ordering: last-write-wins level, no reader depends
+        // on seeing it in order with other memory.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Adjusts the level by `delta` (CAS loop; gauges are cold-path).
     pub fn add(&self, delta: f64) {
+        // Relaxed ordering throughout the CAS loop: the cell is the
+        // only shared state, so the CAS's own atomicity is all the
+        // correctness needed; failure reloads carry no dependencies.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
             match self
                 .0
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // ordering: both relaxed, see loop comment
             {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -70,6 +78,7 @@ impl Gauge {
     /// Current level.
     #[inline]
     pub fn get(&self) -> f64 {
+        // Relaxed ordering: advisory point-in-time read.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -118,11 +127,14 @@ impl Histogram {
     /// Records one observation.
     pub fn record(&self, v: u64) {
         let inner = &*self.0;
+        // Relaxed ordering on all five cells: the histogram is advisory
+        // and a snapshot tolerates torn cross-field reads (count/sum/
+        // buckets may disagree transiently); each cell alone is exact.
         inner.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        inner.count.fetch_add(1, Ordering::Relaxed);
-        inner.sum.fetch_add(v, Ordering::Relaxed);
-        inner.min.fetch_min(v, Ordering::Relaxed);
-        inner.max.fetch_max(v, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed, advisory (see above)
+        inner.sum.fetch_add(v, Ordering::Relaxed); // ordering: relaxed, advisory (see above)
+        inner.min.fetch_min(v, Ordering::Relaxed); // ordering: relaxed, advisory (see above)
+        inner.max.fetch_max(v, Ordering::Relaxed); // ordering: relaxed, advisory (see above)
     }
 
     /// Records a duration in nanoseconds (saturating at `u64::MAX`).
@@ -133,23 +145,27 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // Relaxed ordering: advisory point-in-time read.
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// Snapshot summary statistics.
     pub fn summary(&self) -> HistogramSummary {
         let inner = &*self.0;
+        // Relaxed ordering: the summary is a best-effort snapshot; fields
+        // read at slightly different instants may disagree and that is
+        // acceptable by design (documented on the type).
         let count = inner.count.load(Ordering::Relaxed);
         if count == 0 {
             return HistogramSummary { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 };
         }
-        let sum = inner.sum.load(Ordering::Relaxed);
-        let min = inner.min.load(Ordering::Relaxed);
-        let max = inner.max.load(Ordering::Relaxed);
+        let sum = inner.sum.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+        let min = inner.min.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+        let max = inner.max.load(Ordering::Relaxed); // ordering: relaxed snapshot read
         let buckets: Vec<u64> = inner
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // ordering: relaxed snapshot read
             .collect();
         let pct = |q: f64| -> u64 {
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
@@ -177,13 +193,16 @@ impl Histogram {
 
     fn reset(&self) {
         let inner = &*self.0;
+        // Relaxed ordering: reset races with concurrent recording by
+        // design; observations landing mid-reset are simply attributed
+        // to one side or the other.
         for b in &inner.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // ordering: relaxed reset, see above
         }
-        inner.count.store(0, Ordering::Relaxed);
-        inner.sum.store(0, Ordering::Relaxed);
-        inner.min.store(u64::MAX, Ordering::Relaxed);
-        inner.max.store(0, Ordering::Relaxed);
+        inner.count.store(0, Ordering::Relaxed); // ordering: relaxed reset, see above
+        inner.sum.store(0, Ordering::Relaxed); // ordering: relaxed reset, see above
+        inner.min.store(u64::MAX, Ordering::Relaxed); // ordering: relaxed reset, see above
+        inner.max.store(0, Ordering::Relaxed); // ordering: relaxed reset, see above
     }
 }
 
@@ -277,6 +296,8 @@ impl Registry {
         let mut map = self.lock();
         match map.entry(key).or_insert_with(|| Entry::Counter(Counter::new())) {
             Entry::Counter(c) => c.clone(),
+            // lint: allow(panic) registry contract: one kind per metric
+            // name; a kind clash is a programming error worth failing on
             _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
         }
     }
@@ -296,6 +317,8 @@ impl Registry {
         let mut map = self.lock();
         match map.entry(key).or_insert_with(|| Entry::Gauge(Gauge::new())) {
             Entry::Gauge(g) => g.clone(),
+            // lint: allow(panic) registry contract: one kind per metric
+            // name; a kind clash is a programming error worth failing on
             _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
         }
     }
@@ -320,6 +343,8 @@ impl Registry {
         let mut map = self.lock();
         match map.entry(key).or_insert_with(|| Entry::Histogram(Histogram::new())) {
             Entry::Histogram(h) => h.clone(),
+            // lint: allow(panic) registry contract: one kind per metric
+            // name; a kind clash is a programming error worth failing on
             _ => panic!("metric {subsystem}.{name} already registered with a different kind"),
         }
     }
@@ -352,7 +377,8 @@ impl Registry {
         let map = self.lock();
         for entry in map.values() {
             match entry {
-                Entry::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                // Relaxed ordering: advisory reset, races with writers are fine.
+            Entry::Counter(c) => c.0.store(0, Ordering::Relaxed),
                 Entry::Gauge(g) => g.set(0.0),
                 Entry::Histogram(h) => h.reset(),
             }

@@ -171,7 +171,7 @@ impl DurableStore {
         let loaded = persist::load_dir_with(storage.as_ref(), &snap_dir)?;
         let mut store = MovingObjectStore::new(mode);
         for id in loaded.object_ids().collect::<Vec<_>>() {
-            let fixes = loaded.stored_fixes(id).expect("listed id is present");
+            let Some(fixes) = loaded.stored_fixes(id) else { continue };
             report.snapshot_objects += 1;
             report.snapshot_fixes += fixes.len();
             store.restore_trajectory(id, fixes)?;

@@ -71,7 +71,7 @@ impl GridIndex {
             entries: Vec::new(),
         };
         for id in store.object_ids() {
-            let fixes = store.stored_fixes(id).expect("id from iteration");
+            let Some(fixes) = store.stored_fixes(id) else { continue };
             for w in fixes.windows(2) {
                 idx.insert_segment(id, w[0], w[1]);
             }
@@ -96,10 +96,7 @@ impl GridIndex {
             (bbox.min.y / self.cell_size).floor() as i64,
             (bbox.max.y / self.cell_size).floor() as i64,
         );
-        let (ct0, ct1) = (
-            (a.t.as_secs() / self.time_bucket).floor() as i64,
-            (b.t.as_secs() / self.time_bucket).floor() as i64,
-        );
+        let (ct0, ct1) = (a.t.bucket_index(self.time_bucket), b.t.bucket_index(self.time_bucket));
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 for ct in ct0..=ct1 {
@@ -134,8 +131,8 @@ impl GridIndex {
             (window.bbox.max.y / self.cell_size).floor() as i64,
         );
         let (ct0, ct1) = (
-            (window.t0.as_secs() / self.time_bucket).floor() as i64,
-            (window.t1.as_secs() / self.time_bucket).floor() as i64,
+            window.t0.bucket_index(self.time_bucket),
+            window.t1.bucket_index(self.time_bucket),
         );
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
@@ -184,7 +181,7 @@ pub(crate) fn segment_enters_window(a: &Fix, b: &Fix, window: &QueryWindow) -> b
 pub fn scan_objects_in_window(store: &MovingObjectStore, window: &QueryWindow) -> Vec<ObjectId> {
     let mut out = Vec::new();
     for id in store.object_ids() {
-        let fixes = store.stored_fixes(id).expect("id from iteration");
+        let Some(fixes) = store.stored_fixes(id) else { continue };
         let hit = if fixes.len() == 1 {
             window.t0 <= fixes[0].t
                 && fixes[0].t <= window.t1

@@ -187,27 +187,26 @@ mod tests {
         dir
     }
 
-    fn sample_store() -> MovingObjectStore {
+    fn sample_store() -> Result<MovingObjectStore, StoreError> {
         let mut s = MovingObjectStore::new(IngestMode::Raw);
         for id in [3u64, 11, 7] {
             for i in 0..20 {
                 s.append(
                     id,
                     Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0 + id as f64, id as f64),
-                )
-                .unwrap();
+                )?;
             }
         }
-        s
+        Ok(s)
     }
 
     #[test]
-    fn roundtrip_preserves_everything() {
+    fn roundtrip_preserves_everything() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("roundtrip");
-        let store = sample_store();
-        let written = save_dir(&store, &dir).unwrap();
+        let store = sample_store()?;
+        let written = save_dir(&store, &dir)?;
         assert_eq!(written, 3);
-        let loaded = load_dir(&dir).unwrap();
+        let loaded = load_dir(&dir)?;
         assert_eq!(
             loaded.object_ids().collect::<Vec<_>>(),
             store.object_ids().collect::<Vec<_>>()
@@ -216,33 +215,36 @@ mod tests {
             assert_eq!(loaded.trajectory(id), store.trajectory(id), "object {id}");
         }
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn snapshot_bytes_match_the_readme_example() {
+    fn snapshot_bytes_match_the_readme_example() -> Result<(), Box<dyn std::error::Error>> {
         // Pins the worked example in crates/store/README.md: if this
         // breaks, the format changed and the spec must change with it.
-        let traj = Trajectory::from_triples([(0.0, 0.0, 0.0), (10.0, 120.5, -3.25)]).unwrap();
+        let traj = Trajectory::from_triples([(0.0, 0.0, 0.0), (10.0, 120.5, -3.25)])?;
         assert_eq!(
-            String::from_utf8(snapshot_bytes(&traj)).unwrap(),
+            String::from_utf8(snapshot_bytes(&traj))?,
             "t,x,y\n0,0,0\n10,120.5,-3.25\n# crc32:c094cc4d\n"
         );
+        Ok(())
     }
 
     #[test]
-    fn files_carry_a_valid_checksum_trailer() {
+    fn files_carry_a_valid_checksum_trailer() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("trailer");
-        save_dir(&sample_store(), &dir).unwrap();
-        let text = std::fs::read_to_string(dir.join("3.csv")).unwrap();
-        let trailer = text.lines().last().unwrap();
+        save_dir(&sample_store()?, &dir)?;
+        let text = std::fs::read_to_string(dir.join("3.csv"))?;
+        let trailer = text.lines().last().ok_or("empty snapshot")?;
         assert!(trailer.starts_with(TRAILER_PREFIX), "trailer line: {trailer:?}");
         // No temp files are left behind.
         assert!(!dir.join("3.csv.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn compressed_store_persists_its_kept_subset() {
+    fn compressed_store_persists_its_kept_subset() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("compressed");
         let mut s = MovingObjectStore::new(IngestMode::Compressed {
             epsilon: 1000.0,
@@ -250,88 +252,96 @@ mod tests {
             max_window: 64,
         });
         for i in 0..50 {
-            s.append(1, Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0, 0.0)).unwrap();
+            s.append(1, Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0, 0.0))?;
         }
-        save_dir(&s, &dir).unwrap();
-        let loaded = load_dir(&dir).unwrap();
+        save_dir(&s, &dir)?;
+        let loaded = load_dir(&dir)?;
         // The loaded store holds exactly the kept fixes (straight line →
         // endpoints only).
-        assert_eq!(loaded.trajectory(1).unwrap(), s.trajectory(1).unwrap());
-        assert!(loaded.trajectory(1).unwrap().len() < 50);
+        assert_eq!(loaded.trajectory(1).ok_or("missing object 1")?, s.trajectory(1).ok_or("missing object 1")?);
+        assert!(loaded.trajectory(1).ok_or("missing object 1")?.len() < 50);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn load_ignores_foreign_files() {
+    fn load_ignores_foreign_files() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("foreign");
-        save_dir(&sample_store(), &dir).unwrap();
-        std::fs::write(dir.join("README.md"), "not a trajectory").unwrap();
-        std::fs::write(dir.join("not_a_number.csv"), "t,x,y\n0,0,0\n").unwrap();
-        std::fs::write(dir.join("5.csv.tmp"), "t,x,y\n0,0,0\n").unwrap();
-        let loaded = load_dir(&dir).unwrap();
+        save_dir(&sample_store()?, &dir)?;
+        std::fs::write(dir.join("README.md"), "not a trajectory")?;
+        std::fs::write(dir.join("not_a_number.csv"), "t,x,y\n0,0,0\n")?;
+        std::fs::write(dir.join("5.csv.tmp"), "t,x,y\n0,0,0\n")?;
+        let loaded = load_dir(&dir)?;
         assert_eq!(loaded.len(), 3);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn load_surfaces_corruption() {
+    fn load_surfaces_corruption() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("corrupt");
-        save_dir(&sample_store(), &dir).unwrap();
-        std::fs::write(dir.join("3.csv"), "t,x,y\n0,0,0\ngarbage\n").unwrap();
+        save_dir(&sample_store()?, &dir)?;
+        std::fs::write(dir.join("3.csv"), "t,x,y\n0,0,0\ngarbage\n")?;
         assert!(load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn load_detects_bit_rot_via_trailer() {
+    fn load_detects_bit_rot_via_trailer() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("bitrot");
-        save_dir(&sample_store(), &dir).unwrap();
+        save_dir(&sample_store()?, &dir)?;
         let path = dir.join("7.csv");
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = std::fs::read(&path)?;
         // Flip one digit inside the data body (not the trailer line).
-        let pos = bytes.iter().position(|&b| b == b'1').unwrap();
+        let pos = bytes.iter().position(|&b| b == b'1').ok_or("no digit to flip")?;
         bytes[pos] = b'2';
-        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&path, &bytes)?;
         let err = load_dir(&dir).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("7.csv"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn trailerless_legacy_files_still_load() {
+    fn trailerless_legacy_files_still_load() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("legacy");
-        std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("4.csv"), "t,x,y\n0,0,0\n10,5,5\n").unwrap();
-        let loaded = load_dir(&dir).unwrap();
-        assert_eq!(loaded.trajectory(4).unwrap().len(), 2);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("4.csv"), "t,x,y\n0,0,0\n10,5,5\n")?;
+        let loaded = load_dir(&dir)?;
+        assert_eq!(loaded.trajectory(4).ok_or("missing object 4")?.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn missing_directory_is_an_error_with_path_context() {
+    fn missing_directory_is_an_error_with_path_context() -> Result<(), Box<dyn std::error::Error>> {
         let err = load_dir(Path::new("/definitely/not/here")).unwrap_err();
         assert!(matches!(err, StoreError::Storage { .. }), "{err}");
         assert!(err.to_string().contains("/definitely/not/here"), "{err}");
+        Ok(())
     }
 
     #[test]
-    fn empty_directory_loads_empty_store() {
+    fn empty_directory_loads_empty_store() -> Result<(), Box<dyn std::error::Error>> {
         let dir = tmp("empty");
-        std::fs::create_dir_all(&dir).unwrap();
-        let loaded = load_dir(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
+        let loaded = load_dir(&dir)?;
         assert!(loaded.is_empty());
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn verify_snapshot_catches_malformed_trailers() {
+    fn verify_snapshot_catches_malformed_trailers() -> Result<(), Box<dyn std::error::Error>> {
         let p = Path::new("x.csv");
         assert!(verify_snapshot(p, b"t,x,y\n0,0,0\n").is_ok());
         assert!(verify_snapshot(p, b"t,x,y\n0,0,0\n# crc32:zzzz\n").is_err());
         let good = snapshot_bytes(
-            &Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap(),
+            &Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])?,
         );
         assert!(verify_snapshot(p, &good).is_ok());
+        Ok(())
     }
 }

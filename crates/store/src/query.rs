@@ -99,7 +99,7 @@ pub fn knn_at(
         .object_ids()
         .filter_map(|id| position_of(store, id, t).map(|p| (id, p.distance(query))))
         .collect();
-    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
     candidates.truncate(k);
     candidates
 }
@@ -131,7 +131,7 @@ pub fn trajectories_in_window(
 pub fn build_segment_rtree(store: &MovingObjectStore) -> StrTree<(ObjectId, Fix, Fix)> {
     let mut entries = Vec::new();
     for id in store.object_ids() {
-        let fixes = store.stored_fixes(id).expect("id from iteration");
+        let Some(fixes) = store.stored_fixes(id) else { continue };
         if fixes.len() == 1 {
             entries.push((Bbox::from_point(fixes[0].pos), (id, fixes[0], fixes[0])));
         }

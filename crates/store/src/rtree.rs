@@ -75,22 +75,12 @@ impl<T> StrTree<T> {
         let slice_count = (node_count as f64).sqrt().ceil() as usize;
         let slice_size = n.div_ceil(slice_count);
 
-        items.sort_by(|&a, &b| {
-            center(self, a)
-                .x
-                .partial_cmp(&center(self, b).x)
-                .expect("finite coordinates")
-        });
+        items.sort_by(|&a, &b| center(self, a).x.total_cmp(&center(self, b).x));
 
         let mut created = Vec::with_capacity(node_count);
         for slice in items.chunks(slice_size) {
             let mut slice: Vec<u32> = slice.to_vec();
-            slice.sort_by(|&a, &b| {
-                center(self, a)
-                    .y
-                    .partial_cmp(&center(self, b).y)
-                    .expect("finite coordinates")
-            });
+            slice.sort_by(|&a, &b| center(self, a).y.total_cmp(&center(self, b).y));
             for group in slice.chunks(FANOUT) {
                 let bbox = group
                     .iter()

@@ -204,10 +204,21 @@ struct MemFs {
     written: u64,
 }
 
+/// Locks the shared in-memory fs, recovering from poisoning.
+///
+/// A panicking test thread holding the lock poisons it; none of the
+/// short critical sections below can leave the plain data inside (a
+/// map of byte vectors plus three scalars) logically inconsistent, so
+/// stripping the poison is sound and keeps the fault-injection harness
+/// usable after an induced panic.
+fn lock_fs(fs: &Mutex<MemFs>) -> std::sync::MutexGuard<'_, MemFs> {
+    fs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl MemFs {
     fn check_alive(&self) -> io::Result<()> {
         if self.crashed {
-            Err(io::Error::new(io::ErrorKind::Other, "injected crash: storage is down"))
+            Err(io::Error::other("injected crash: storage is down"))
         } else {
             Ok(())
         }
@@ -236,33 +247,33 @@ impl MemStorage {
     /// allowed prefix and fails, and everything after it fails too.
     pub fn with_write_budget(budget: u64) -> Self {
         let s = MemStorage::new();
-        s.fs.lock().unwrap().budget = Some(budget);
+        lock_fs(&s.fs).budget = Some(budget);
         s
     }
 
     /// Clears the crashed flag and the write budget — the simulated
     /// machine restart. On-disk contents are untouched.
     pub fn lift_faults(&self) {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.crashed = false;
         fs.budget = None;
     }
 
     /// Whether the injected crash has fired.
     pub fn crashed(&self) -> bool {
-        self.fs.lock().unwrap().crashed
+        lock_fs(&self.fs).crashed
     }
 
     /// Cumulative bytes successfully written so far (used to size
     /// crash-at-every-offset sweeps).
     pub fn written_bytes(&self) -> u64 {
-        self.fs.lock().unwrap().written
+        lock_fs(&self.fs).written
     }
 
     /// XORs `mask` into byte `offset` of `path` (at-rest bit rot).
     /// Returns `false` if the file or offset does not exist.
     pub fn corrupt_byte(&self, path: &Path, offset: usize, mask: u8) -> bool {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         match fs.files.get_mut(path).and_then(|f| f.get_mut(offset)) {
             Some(b) => {
                 *b ^= mask;
@@ -275,7 +286,7 @@ impl MemStorage {
     /// Truncates `path` to `len` bytes (a short read / lost tail).
     /// Returns `false` if the file does not exist or is already shorter.
     pub fn truncate_file(&self, path: &Path, len: usize) -> bool {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         match fs.files.get_mut(path) {
             Some(f) if f.len() > len => {
                 f.truncate(len);
@@ -287,12 +298,12 @@ impl MemStorage {
 
     /// The current contents of `path`, if it exists.
     pub fn file(&self, path: &Path) -> Option<Vec<u8>> {
-        self.fs.lock().unwrap().files.get(path).cloned()
+        lock_fs(&self.fs).files.get(path).cloned()
     }
 
     /// Paths of all stored files, sorted.
     pub fn file_paths(&self) -> Vec<PathBuf> {
-        self.fs.lock().unwrap().files.keys().cloned().collect()
+        lock_fs(&self.fs).files.keys().cloned().collect()
     }
 }
 
@@ -303,7 +314,7 @@ struct MemWriter {
 
 impl StorageWriter for MemWriter {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         let allowed = match fs.budget {
             Some(b) => (b.min(buf.len() as u64)) as usize,
@@ -317,22 +328,22 @@ impl StorageWriter for MemWriter {
         }
         if allowed < buf.len() {
             fs.crashed = true;
-            return Err(io::Error::new(
-                io::ErrorKind::Other,
-                format!("injected crash: wrote {allowed} of {} bytes", buf.len()),
-            ));
+            return Err(io::Error::other(format!(
+                "injected crash: wrote {allowed} of {} bytes",
+                buf.len()
+            )));
         }
         Ok(())
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        self.fs.lock().unwrap().check_alive()
+        lock_fs(&self.fs).check_alive()
     }
 }
 
 impl Storage for MemStorage {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let fs = self.fs.lock().unwrap();
+        let fs = lock_fs(&self.fs);
         fs.check_alive()?;
         fs.files
             .get(path)
@@ -341,7 +352,7 @@ impl Storage for MemStorage {
     }
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
-        let fs = self.fs.lock().unwrap();
+        let fs = lock_fs(&self.fs);
         fs.check_alive()?;
         if !fs.dirs.iter().any(|d| d == dir) {
             return Err(io::Error::new(
@@ -353,11 +364,11 @@ impl Storage for MemStorage {
     }
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         let mut d = dir.to_path_buf();
         loop {
-            if !fs.dirs.iter().any(|x| *x == d) {
+            if !fs.dirs.contains(&d) {
                 fs.dirs.push(d.clone());
             }
             match d.parent() {
@@ -369,14 +380,14 @@ impl Storage for MemStorage {
     }
 
     fn create(&self, path: &Path) -> io::Result<Box<dyn StorageWriter>> {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         fs.files.insert(path.to_path_buf(), Vec::new());
         Ok(Box::new(MemWriter { fs: Arc::clone(&self.fs), path: path.to_path_buf() }))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         match fs.files.remove(from) {
             Some(data) => {
@@ -391,7 +402,7 @@ impl Storage for MemStorage {
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        let mut fs = self.fs.lock().unwrap();
+        let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         fs.files
             .remove(path)
@@ -400,12 +411,12 @@ impl Storage for MemStorage {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        let fs = self.fs.lock().unwrap();
+        let fs = lock_fs(&self.fs);
         fs.files.contains_key(path) || fs.dirs.iter().any(|d| d == path)
     }
 
     fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
-        self.fs.lock().unwrap().check_alive()
+        lock_fs(&self.fs).check_alive()
     }
 }
 

@@ -131,7 +131,7 @@ impl ObjectState {
         // committed. The float is the freshest position.
         self.stream.as_ref().and_then(|s| {
             if s.window_len() >= 2 {
-                Some(s.last_buffered().expect("window_len >= 2"))
+                s.last_buffered()
             } else {
                 None
             }
@@ -347,8 +347,9 @@ impl MovingObjectStore {
             if state.committed.len() < 3 {
                 continue;
             }
-            let traj = Trajectory::new(state.committed.clone())
-                .expect("committed fixes are monotone");
+            let Ok(traj) = Trajectory::new(state.committed.clone()) else {
+                continue;
+            };
             let result = compressor.compress(&traj);
             removed += result.removed();
             state.committed = result.apply(&traj).into_fixes();

@@ -105,11 +105,11 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     if payload.len() != FIX_PAYLOAD_BYTES || payload[0] != KIND_APPEND_FIX {
         return None;
     }
-    let le8 = |s: &[u8]| -> [u8; 8] { s.try_into().expect("slice is 8 bytes") };
-    let id = ObjectId::from_le_bytes(le8(&payload[1..9]));
-    let t = f64::from_le_bytes(le8(&payload[9..17]));
-    let x = f64::from_le_bytes(le8(&payload[17..25]));
-    let y = f64::from_le_bytes(le8(&payload[25..33]));
+    let le8 = |s: &[u8]| -> Option<[u8; 8]> { s.try_into().ok() };
+    let id = ObjectId::from_le_bytes(le8(&payload[1..9])?);
+    let t = f64::from_le_bytes(le8(&payload[9..17])?);
+    let x = f64::from_le_bytes(le8(&payload[17..25])?);
+    let y = f64::from_le_bytes(le8(&payload[25..33])?);
     Some(WalRecord { id, fix: Fix::from_parts(t, x, y) })
 }
 
@@ -143,7 +143,7 @@ fn scan_segment(bytes: &[u8], out: &mut Vec<WalRecord>, summary: &mut ReplaySumm
             summary.torn_tail = true; // torn mid-header
             return;
         }
-        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
         if len > MAX_PAYLOAD_BYTES {
             // Length framing is implausible: either a torn header or a
             // flipped length byte. Resynchronizing past it is unsafe, so
@@ -151,7 +151,7 @@ fn scan_segment(bytes: &[u8], out: &mut Vec<WalRecord>, summary: &mut ReplaySumm
             summary.torn_tail = true;
             return;
         }
-        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         let end = RECORD_HEADER_BYTES + len as usize;
         if rest.len() < end {
             summary.torn_tail = true; // torn mid-payload
@@ -280,7 +280,12 @@ impl Wal {
             self.writer = Some(w);
             traj_obs::counter!("store", "wal_segments").inc();
         }
-        Ok(self.writer.as_mut().expect("just opened"))
+        match self.writer.as_mut() {
+            Some(w) => Ok(w),
+            // Unreachable (assigned just above); surfaced as an I/O
+            // error rather than a panic to keep the library panic-free.
+            None => Err(io_err(&self.dir, std::io::Error::other("segment writer missing"))),
+        }
     }
 
     /// Appends one fix record; the record is durable per the configured
@@ -299,7 +304,9 @@ impl Wal {
             self.open_segment()?;
             // `next_seq` already points past the segment we just opened.
             let path = segment_path(&self.dir, self.next_seq - 1);
-            let w = self.writer.as_mut().expect("segment is open");
+            let Some(w) = self.writer.as_mut() else {
+                return Err(io_err(&path, std::io::Error::other("segment writer missing")));
+            };
             w.write_all(&buf).map_err(|e| io_err(&path, e))?;
             self.segment_bytes += n;
             self.appends_since_sync += 1;
@@ -385,18 +392,19 @@ mod tests {
     }
 
     #[test]
-    fn append_and_replay_roundtrip() {
+    fn append_and_replay_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
         for i in 0..10 {
-            wal.append(7, &fix(i as f64)).unwrap();
+            wal.append(7, &fix(i as f64))?;
         }
-        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 10);
         assert_eq!(summary.records, 10);
         assert_eq!(summary.segments, 1);
         assert!(!summary.torn_tail);
         assert_eq!(records[3], WalRecord { id: 7, fix: fix(3.0) });
+        Ok(())
     }
 
     #[test]
@@ -417,51 +425,53 @@ mod tests {
     }
 
     #[test]
-    fn rotation_produces_multiple_segments() {
+    fn rotation_produces_multiple_segments() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
         let opts = WalOptions { segment_max_bytes: 128, ..WalOptions::default() };
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), opts).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), opts)?;
         for i in 0..20 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
-        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 20);
         assert!(summary.segments > 1, "expected rotation, got {} segment", summary.segments);
         // Replay preserves append order across segments.
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.fix.t.as_secs(), i as f64);
         }
+        Ok(())
     }
 
     #[test]
-    fn torn_tail_is_detected_and_prefix_survives() {
+    fn torn_tail_is_detected_and_prefix_survives() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
         for i in 0..5 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
         let seg = segment_path(&wal_dir(), 1);
-        let len = storage.file(&seg).unwrap().len();
+        let len = storage.file(&seg).ok_or("missing segment")?.len();
         // Tear at every byte inside the final record.
         for cut in (len - RECORD_HEADER_BYTES - FIX_PAYLOAD_BYTES + 1)..len {
             let s2 = MemStorage::new();
-            s2.create_dir_all(&wal_dir()).unwrap();
-            let mut bytes = storage.file(&seg).unwrap();
+            s2.create_dir_all(&wal_dir())?;
+            let mut bytes = storage.file(&seg).ok_or("missing segment")?;
             bytes.truncate(cut);
-            let mut w = s2.create(&seg).unwrap();
-            w.write_all(&bytes).unwrap();
-            let (records, summary) = replay_dir(&s2, &wal_dir()).unwrap();
+            let mut w = s2.create(&seg)?;
+            w.write_all(&bytes)?;
+            let (records, summary) = replay_dir(&s2, &wal_dir())?;
             assert_eq!(records.len(), 4, "cut at {cut}");
             assert!(summary.torn_tail, "cut at {cut}");
         }
+        Ok(())
     }
 
     #[test]
-    fn bit_flip_in_payload_skips_only_that_record() {
+    fn bit_flip_in_payload_skips_only_that_record() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
         for i in 0..5 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
         let seg = segment_path(&wal_dir(), 1);
         // Flip a byte inside record 2's payload.
@@ -470,84 +480,90 @@ mod tests {
             + RECORD_HEADER_BYTES
             + 10;
         assert!(storage.corrupt_byte(&seg, off, 0x40));
-        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 4);
         assert_eq!(summary.corrupt_skipped, 1);
         assert!(!summary.torn_tail);
         let ts: Vec<f64> = records.iter().map(|r| r.fix.t.as_secs()).collect();
         assert_eq!(ts, vec![0.0, 1.0, 3.0, 4.0]);
+        Ok(())
     }
 
     #[test]
-    fn implausible_length_stops_the_scan() {
+    fn implausible_length_stops_the_scan() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
         for i in 0..3 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
         let seg = segment_path(&wal_dir(), 1);
         // Blow up record 1's length field (offset of its high byte).
         let off = SEGMENT_MAGIC.len() + (RECORD_HEADER_BYTES + FIX_PAYLOAD_BYTES) + 3;
         assert!(storage.corrupt_byte(&seg, off, 0xFF));
-        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 1);
         assert!(summary.torn_tail);
+        Ok(())
     }
 
     #[test]
-    fn reopen_never_appends_to_an_existing_segment() {
+    fn reopen_never_appends_to_an_existing_segment() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
-        wal.append(1, &fix(0.0)).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
+        wal.append(1, &fix(0.0))?;
         drop(wal);
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
-        wal.append(1, &fix(1.0)).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
+        wal.append(1, &fix(1.0))?;
         let paths = storage.file_paths();
         assert_eq!(paths.len(), 2, "two segments expected: {paths:?}");
-        let (records, _) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, _) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn truncate_clears_all_segments() {
+    fn truncate_clears_all_segments() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default()).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), WalOptions::default())?;
         for i in 0..4 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
-        wal.truncate().unwrap();
-        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        wal.truncate()?;
+        let (records, summary) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert!(records.is_empty());
         assert_eq!(summary.segments, 0);
         // The log is still usable after truncation.
-        wal.append(1, &fix(9.0)).unwrap();
-        let (records, _) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        wal.append(1, &fix(9.0))?;
+        let (records, _) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn missing_directory_replays_empty() {
+    fn missing_directory_replays_empty() -> Result<(), Box<dyn std::error::Error>> {
         let (records, summary) =
-            replay_dir(&MemStorage::new(), Path::new("/nope")).unwrap();
+            replay_dir(&MemStorage::new(), Path::new("/nope"))?;
         assert!(records.is_empty());
         assert_eq!(summary, ReplaySummary::default());
+        Ok(())
     }
 
     #[test]
-    fn sync_policy_every_n_batches_fsyncs() {
+    fn sync_policy_every_n_batches_fsyncs() -> Result<(), Box<dyn std::error::Error>> {
         let storage = Arc::new(MemStorage::new());
         let opts = WalOptions { sync: SyncPolicy::EveryN(4), ..WalOptions::default() };
-        let mut wal = Wal::open(storage.clone(), &wal_dir(), opts).unwrap();
+        let mut wal = Wal::open(storage.clone(), &wal_dir(), opts)?;
         let before = traj_obs::counter!("store", "wal_fsyncs").get();
         for i in 0..8 {
-            wal.append(1, &fix(i as f64)).unwrap();
+            wal.append(1, &fix(i as f64))?;
         }
         if traj_obs::metrics_enabled() {
             let after = traj_obs::counter!("store", "wal_fsyncs").get();
             assert!(after - before <= 2 + 1, "fsyncs {before} -> {after}");
         }
         // Data still replays in full.
-        let (records, _) = replay_dir(storage.as_ref(), &wal_dir()).unwrap();
+        let (records, _) = replay_dir(storage.as_ref(), &wal_dir())?;
         assert_eq!(records.len(), 8);
+        Ok(())
     }
 }

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use traj_model::Fix;
-use traj_store::storage::{MemStorage, Storage as _, StorageWriter as _};
+use traj_store::storage::{MemStorage, Storage as _};
 use traj_store::store::StoreError;
 use traj_store::wal::{SyncPolicy, WalOptions};
 use traj_store::{DurableOptions, DurableStore, IngestMode};

@@ -27,7 +27,7 @@ fn main() {
     // Aggregate into one-minute buckets for readability.
     let bucket_s = 60.0;
     let start = trip.start_time().as_secs();
-    let buckets = (trip.duration().as_secs() / bucket_s).ceil() as usize;
+    let buckets = trip.duration().bucket_count(bucket_s);
     let mut ndp_mean = vec![0.0f64; buckets];
     let mut tdtr_mean = vec![0.0f64; buckets];
     let mut weight = vec![0.0f64; buckets];
@@ -48,7 +48,7 @@ fn main() {
     println!("per-minute mean synchronous error, ε = {eps} m\n");
     println!("{:>6} {:>12} {:>12}  NDP profile", "min", "NDP (m)", "TD-TR (m)");
     for b in 0..buckets {
-        if weight[b] == 0.0 {
+        if traj_geom::numeric::approx_zero(weight[b], 0.0) {
             continue;
         }
         let n = ndp_mean[b] / weight[b];

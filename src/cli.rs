@@ -305,6 +305,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 let _phase = traj_obs::span!("cli.read_input");
                 load(file)?
             };
+            if t.len() < 2 {
+                return Err(format!(
+                    "{}: needs at least 2 fixes to compress, got {}",
+                    file.display(),
+                    t.len()
+                ));
+            }
             let compressor = make_compressor(algo, *eps, *speed_eps)?;
             let result = {
                 let _phase = traj_obs::span!("cli.compress", points = t.len() as u64);
@@ -364,7 +371,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let t = traj_gen::paper_dataset(*seed)
                 .into_iter()
                 .nth(*trip)
-                .expect("trip index validated at parse time");
+                .ok_or_else(|| format!("trip index {trip} out of range (dataset has 10 trips)"))?;
             io::write_csv(&t, out).map_err(|e| format!("{}: {e}", out.display()))?;
             let s = TrajectoryStats::of(&t);
             let _ = writeln!(

@@ -1,0 +1,99 @@
+//! Error-path tests that drive the real `trajc` binary.
+//!
+//! The compiled binary (not the library) is what users see, so these
+//! tests assert on its exit status and stderr: corrupt input must name
+//! the offending file and line, and never panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn trajc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trajc"))
+        .args(args)
+        .output()
+        .expect("spawn trajc binary")
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("trajc_cli_error_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[test]
+fn corrupt_csv_reports_path_and_line() {
+    let path = tmp_file("corrupt.csv", "t,x,y\n0,0,0\n5,oops,0\n10,3,4\n");
+    let out = trajc(&["info", path.to_str().expect("utf-8 temp path")]);
+    assert!(!out.status.success(), "corrupt input must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt.csv"),
+        "stderr must name the file: {stderr}"
+    );
+    assert!(
+        stderr.contains("line 3"),
+        "stderr must name the offending line: {stderr}"
+    );
+}
+
+#[test]
+fn non_monotone_timestamps_fail_with_context() {
+    let path = tmp_file("backwards.csv", "t,x,y\n10,0,0\n5,1,1\n");
+    let out = trajc(&["info", path.to_str().expect("utf-8 temp path")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("backwards.csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_file_reports_the_path() {
+    let out = trajc(&["info", "/definitely/not/here.csv"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("/definitely/not/here.csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn compress_surfaces_parse_errors_from_either_input() {
+    let path = tmp_file("short.csv", "t,x,y\n0,0,0\n");
+    let out = trajc(&[
+        "compress",
+        path.to_str().expect("utf-8 temp path"),
+        "--algo",
+        "td-tr",
+        "--eps",
+        "50",
+    ]);
+    assert!(!out.status.success(), "a 1-fix input cannot be compressed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("short.csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn store_recover_rejects_a_non_directory_with_its_path() {
+    let path = tmp_file("not_a_dir.csv", "t,x,y\n0,0,0\n");
+    let out = trajc(&["store", "recover", path.to_str().expect("utf-8 temp path")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not_a_dir.csv"), "stderr: {stderr}");
+    assert!(stderr.contains("not a directory"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_algorithm_is_a_clean_error_not_a_panic() {
+    let path = tmp_file("ok.csv", "t,x,y\n0,0,0\n10,5,5\n20,9,9\n");
+    let out = trajc(&[
+        "compress",
+        path.to_str().expect("utf-8 temp path"),
+        "--algo",
+        "warp-drive",
+        "--eps",
+        "50",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warp-drive"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}

@@ -1,0 +1,585 @@
+//! `lint.toml`: configuration, per-lint budgets, and the ratcheting
+//! allowlist.
+//!
+//! The file has three parts:
+//!
+//! * `[config]` — tunable patterns and path exemptions ([`Config`]).
+//! * `[budget]` — one integer per lint: the maximum total number of
+//!   allowlisted findings. `--fix-allowlist` refuses to raise a budget;
+//!   lowering it (or deleting entries) is always fine. This is the
+//!   ratchet: debt goes down, never up.
+//! * `[[allow]]` — one entry per (lint, file) pair with the *exact*
+//!   number of findings being grandfathered. A count that no longer
+//!   matches reality — higher or lower — is an error, so stale entries
+//!   cannot linger and new violations cannot hide behind old ones.
+//!
+//! The parser below handles exactly the TOML subset this file uses
+//! (comments, `[section]` / `[[section]]` headers, `key = "string"`,
+//! `key = integer`, `key = [ "string", ... ]` possibly spanning lines).
+//! Zero dependencies, same philosophy as the rest of the workspace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::lints::{Config, Lint, Violation, ALL_LINTS};
+
+/// One grandfathered (lint, file) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name, e.g. `"panic"`.
+    pub lint: String,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Exact number of findings being allowed in that file.
+    pub count: u64,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct LintFile {
+    /// The `[config]` section.
+    pub config: Config,
+    /// The `[budget]` section: lint name → max allowlisted findings.
+    pub budget: BTreeMap<String, u64>,
+    /// The `[[allow]]` entries, in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// A raw `key = value` read by the parser.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Int(u64),
+    List(Vec<String>),
+}
+
+/// Parses `lint.toml`. Errors carry the 1-based line number.
+pub fn parse(source: &str) -> Result<LintFile, String> {
+    let mut config = Config::default();
+    let mut budget = BTreeMap::new();
+    let mut allows: Vec<AllowEntry> = Vec::new();
+    let mut section = String::new();
+
+    // Join multi-line arrays first so the main loop sees one logical
+    // line per key.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (no, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw);
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(line.trim());
+                if balanced(&acc) {
+                    logical.push((start, acc));
+                } else {
+                    pending = Some((start, acc));
+                }
+            }
+            None => {
+                let t = line.trim();
+                if t.is_empty() {
+                    continue;
+                }
+                if balanced(t) {
+                    logical.push((no + 1, t.to_string()));
+                } else {
+                    pending = Some((no + 1, t.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, _)) = pending {
+        return Err(format!("lint.toml:{start}: unterminated array"));
+    }
+
+    for (no, line) in logical {
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if name != "allow" {
+                return Err(format!("lint.toml:{no}: unknown table array [[{name}]]"));
+            }
+            section = "allow".into();
+            allows.push(AllowEntry { lint: String::new(), path: String::new(), count: 0 });
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            if !matches!(name, "config" | "budget") {
+                return Err(format!("lint.toml:{no}: unknown section [{name}]"));
+            }
+            section = name.into();
+            continue;
+        }
+        let (key, value) = parse_kv(&line).map_err(|e| format!("lint.toml:{no}: {e}"))?;
+        match (section.as_str(), key.as_str()) {
+            ("config", "exclude") => config.exclude = want_list(value, no)?,
+            ("config", "panic_exempt") => config.panic_exempt = want_list(value, no)?,
+            ("config", "float_eq_allow") => config.float_eq_allow = want_list(value, no)?,
+            ("config", "time_cast_allow") => config.time_cast_allow = want_list(value, no)?,
+            ("config", "float_methods") => config.float_methods = want_list(value, no)?,
+            ("config", "time_patterns") => config.time_patterns = want_list(value, no)?,
+            ("config", other) => {
+                return Err(format!("lint.toml:{no}: unknown config key `{other}`"));
+            }
+            ("budget", lint) => {
+                if Lint::from_name(lint).is_none() {
+                    return Err(format!("lint.toml:{no}: unknown lint `{lint}` in [budget]"));
+                }
+                budget.insert(lint.to_string(), want_int(value, no)?);
+            }
+            ("allow", "lint") => {
+                let name = want_str(value, no)?;
+                if Lint::from_name(&name).is_none() {
+                    return Err(format!("lint.toml:{no}: unknown lint `{name}` in [[allow]]"));
+                }
+                last_mut(&mut allows, no)?.lint = name;
+            }
+            ("allow", "path") => last_mut(&mut allows, no)?.path = want_str(value, no)?,
+            ("allow", "count") => last_mut(&mut allows, no)?.count = want_int(value, no)?,
+            ("allow", other) => {
+                return Err(format!("lint.toml:{no}: unknown allow key `{other}`"));
+            }
+            (_, _) => return Err(format!("lint.toml:{no}: key `{key}` outside any section")),
+        }
+    }
+
+    for (i, a) in allows.iter().enumerate() {
+        if a.lint.is_empty() || a.path.is_empty() {
+            return Err(format!("lint.toml: [[allow]] entry #{} is missing lint or path", i + 1));
+        }
+        if a.count == 0 {
+            return Err(format!(
+                "lint.toml: [[allow]] entry for {} / {} has count 0 — delete it instead",
+                a.lint, a.path
+            ));
+        }
+    }
+    for l in ALL_LINTS {
+        if !budget.contains_key(l.name()) {
+            return Err(format!("lint.toml: [budget] is missing an entry for `{}`", l.name()));
+        }
+    }
+    Ok(LintFile { config, budget, allows })
+}
+
+fn last_mut(allows: &mut [AllowEntry], no: usize) -> Result<&mut AllowEntry, String> {
+    allows.last_mut().ok_or_else(|| format!("lint.toml:{no}: key before any [[allow]] header"))
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether brackets and quotes are balanced (logical line complete).
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+fn parse_kv(line: &str) -> Result<(String, Value), String> {
+    let (key, rest) =
+        line.split_once('=').ok_or_else(|| format!("expected `key = value`, got `{line}`"))?;
+    let key = key.trim().to_string();
+    let rest = rest.trim();
+    if let Some(body) = rest.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("array is not closed on its logical line")?;
+        let mut items = Vec::new();
+        for part in split_top(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(unquote(part)?);
+        }
+        return Ok((key, Value::List(items)));
+    }
+    if rest.starts_with('"') {
+        return Ok((key, Value::Str(unquote(rest)?)));
+    }
+    let n: u64 = rest.parse().map_err(|_| format!("expected integer or string, got `{rest}`"))?;
+    Ok((key, Value::Int(n)))
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_top(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got `{s}`"))
+}
+
+fn want_list(v: Value, no: usize) -> Result<Vec<String>, String> {
+    match v {
+        Value::List(l) => Ok(l),
+        _ => Err(format!("lint.toml:{no}: expected an array of strings")),
+    }
+}
+
+fn want_str(v: Value, no: usize) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("lint.toml:{no}: expected a string")),
+    }
+}
+
+fn want_int(v: Value, no: usize) -> Result<u64, String> {
+    match v {
+        Value::Int(n) => Ok(n),
+        _ => Err(format!("lint.toml:{no}: expected an integer")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reconciliation
+// ---------------------------------------------------------------------
+
+/// The verdict of comparing current findings against the allowlist.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by any allowlist entry (or in excess of an
+    /// entry's count). These are *new* violations.
+    pub new: Vec<Violation>,
+    /// Structural problems: stale entries, shrunken files whose counts
+    /// no longer match, exceeded budgets. Each is one printable line.
+    pub problems: Vec<String>,
+}
+
+impl Report {
+    /// Gate outcome.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.problems.is_empty()
+    }
+}
+
+/// Compares findings against the allowlist and budgets.
+pub fn reconcile(file: &LintFile, violations: &[Violation]) -> Report {
+    let mut report = Report::default();
+
+    // Group findings by (lint, path).
+    let mut actual: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        actual.entry((v.lint.name().to_string(), v.path.clone())).or_default().push(v);
+    }
+
+    let mut allowed: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for a in &file.allows {
+        let key = (a.lint.clone(), a.path.clone());
+        if allowed.insert(key, a.count).is_some() {
+            report
+                .problems
+                .push(format!("duplicate [[allow]] entry for {} / {}", a.lint, a.path));
+        }
+    }
+
+    for ((lint, path), found) in &actual {
+        let have = found.len() as u64;
+        match allowed.get(&(lint.clone(), path.clone())) {
+            None => report.new.extend(found.iter().map(|v| (*v).clone())),
+            Some(&cap) if have > cap => {
+                report.problems.push(format!(
+                    "{path}: {lint} findings grew from {cap} to {have} — fix the new ones \
+                     (the allowlist never grows)"
+                ));
+                report.new.extend(found.iter().skip(cap as usize).map(|v| (*v).clone()));
+            }
+            Some(&cap) if have < cap => {
+                report.problems.push(format!(
+                    "{path}: stale allowlist count for {lint} ({cap} listed, {have} present) — \
+                     run `cargo xtask lint --fix-allowlist` to ratchet down"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    for ((lint, path), &cap) in &allowed {
+        if !actual.contains_key(&(lint.clone(), path.clone())) {
+            report.problems.push(format!(
+                "{path}: stale allowlist entry for {lint} ({cap} listed, 0 present) — \
+                 delete it or run `cargo xtask lint --fix-allowlist`"
+            ));
+        }
+    }
+
+    // Budgets bound the *total* findings per lint (allowlisted or not),
+    // so even a regenerated allowlist cannot mask growth.
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for v in violations {
+        *totals.entry(v.lint.name()).or_default() += 1;
+    }
+    for l in ALL_LINTS {
+        let total = totals.get(l.name()).copied().unwrap_or(0);
+        let cap = file.budget.get(l.name()).copied().unwrap_or(0);
+        if total > cap {
+            report.problems.push(format!(
+                "budget exceeded for {}: {} findings, budget {}",
+                l.name(),
+                total,
+                cap
+            ));
+        }
+    }
+
+    report
+}
+
+/// Regenerates the `[budget]` and `[[allow]]` sections from current
+/// findings, keeping `[config]` as parsed. Budgets only ratchet down;
+/// if current findings exceed a budget the regeneration *fails* — the
+/// debt must be fixed, or the budget raised by hand in review.
+pub fn regenerate(file: &LintFile, violations: &[Violation]) -> Result<String, String> {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut per_file: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for v in violations {
+        *totals.entry(v.lint.name()).or_default() += 1;
+        *per_file.entry((v.lint.name().to_string(), v.path.clone())).or_default() += 1;
+    }
+
+    let mut over = Vec::new();
+    for l in ALL_LINTS {
+        let total = totals.get(l.name()).copied().unwrap_or(0);
+        let cap = file.budget.get(l.name()).copied().unwrap_or(0);
+        if total > cap {
+            over.push(format!("{} ({} findings, budget {})", l.name(), total, cap));
+        }
+    }
+    if !over.is_empty() {
+        return Err(format!(
+            "refusing to regenerate: the allowlist never grows. Over budget: {}. \
+             Fix the new findings, or raise [budget] by hand and defend it in review.",
+            over.join(", ")
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push_str("\n[config]\n");
+    write_list(&mut out, "exclude", &file.config.exclude);
+    write_list(&mut out, "panic_exempt", &file.config.panic_exempt);
+    write_list(&mut out, "float_eq_allow", &file.config.float_eq_allow);
+    write_list(&mut out, "time_cast_allow", &file.config.time_cast_allow);
+    write_list(&mut out, "float_methods", &file.config.float_methods);
+    write_list(&mut out, "time_patterns", &file.config.time_patterns);
+
+    out.push_str("\n# Ratchet: max total findings per lint. Down is progress; up is a review.\n");
+    out.push_str("[budget]\n");
+    for l in ALL_LINTS {
+        let total = totals.get(l.name()).copied().unwrap_or(0);
+        let old = file.budget.get(l.name()).copied().unwrap_or(0);
+        let _ = writeln!(out, "{} = {}", l.name(), total.min(old));
+    }
+
+    out.push_str("\n# Grandfathered findings, exact counts. Regenerate with\n");
+    out.push_str("# `cargo xtask lint --fix-allowlist` after paying debt down.\n");
+    for ((lint, path), count) in &per_file {
+        out.push('\n');
+        out.push_str("[[allow]]\n");
+        let _ = writeln!(out, "lint = \"{lint}\"");
+        let _ = writeln!(out, "path = \"{path}\"");
+        let _ = writeln!(out, "count = {count}");
+    }
+    Ok(out)
+}
+
+const HEADER: &str = "\
+# Static-analysis gate configuration for `cargo xtask lint`.
+# See tools/xtask/README.md for the lint catalog and escape hatch.
+";
+
+fn write_list(out: &mut String, key: &str, items: &[String]) {
+    let _ = write!(out, "{key} = [");
+    if items.is_empty() {
+        out.push_str("]\n");
+        return;
+    }
+    out.push('\n');
+    for item in items {
+        let _ = writeln!(out, "    \"{item}\",");
+    }
+    out.push_str("]\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    const SAMPLE: &str = r#"
+# comment
+[config]
+exclude = ["vendor/", "target/"]
+panic_exempt = []
+float_eq_allow = ["crates/geom/src/numeric.rs"]
+time_cast_allow = []
+float_methods = [
+    ".as_secs()",
+    ".norm()",
+]
+time_patterns = [".as_secs()"]
+
+[budget]
+float_eq = 0
+panic = 3
+safety = 0
+ordering = 0
+time_cast = 1
+
+[[allow]]
+lint = "panic"
+path = "crates/core/src/parallel.rs"
+count = 2
+
+[[allow]]
+lint = "panic"
+path = "crates/store/src/wal.rs"
+count = 1
+"#;
+
+    fn v(lint: Lint, path: &str, line: usize) -> Violation {
+        Violation { lint, path: path.into(), line, excerpt: String::new(), note: None }
+    }
+
+    #[test]
+    fn parses_sample() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.config.exclude, vec!["vendor/", "target/"]);
+        assert_eq!(f.config.float_methods, vec![".as_secs()", ".norm()"]);
+        assert_eq!(f.budget["panic"], 3);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].count, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_lint_and_missing_budget() {
+        let bad = SAMPLE.replace("lint = \"panic\"", "lint = \"pancakes\"");
+        assert!(parse(&bad).unwrap_err().contains("unknown lint"));
+        let bad = SAMPLE.replace("safety = 0\n", "");
+        assert!(parse(&bad).unwrap_err().contains("missing an entry for `safety`"));
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let f = parse(SAMPLE).unwrap();
+        let found = vec![
+            v(Lint::Panic, "crates/core/src/parallel.rs", 10),
+            v(Lint::Panic, "crates/core/src/parallel.rs", 20),
+            v(Lint::Panic, "crates/store/src/wal.rs", 5),
+        ];
+        assert!(reconcile(&f, &found).is_clean());
+    }
+
+    #[test]
+    fn new_violation_fails() {
+        let f = parse(SAMPLE).unwrap();
+        let found = vec![v(Lint::FloatEq, "crates/eval/src/lib.rs", 3)];
+        let r = reconcile(&f, &found);
+        assert_eq!(r.new.len(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn growth_within_file_fails() {
+        let f = parse(SAMPLE).unwrap();
+        let found = vec![
+            v(Lint::Panic, "crates/store/src/wal.rs", 5),
+            v(Lint::Panic, "crates/store/src/wal.rs", 9),
+        ];
+        let r = reconcile(&f, &found);
+        assert!(r.problems.iter().any(|p| p.contains("grew")));
+    }
+
+    #[test]
+    fn stale_entry_fails() {
+        let f = parse(SAMPLE).unwrap();
+        // wal.rs entry lists 1 but nothing is present.
+        let found = vec![
+            v(Lint::Panic, "crates/core/src/parallel.rs", 10),
+            v(Lint::Panic, "crates/core/src/parallel.rs", 20),
+        ];
+        let r = reconcile(&f, &found);
+        assert!(r.problems.iter().any(|p| p.contains("stale allowlist entry")));
+    }
+
+    #[test]
+    fn stale_count_fails() {
+        let f = parse(SAMPLE).unwrap();
+        let found = vec![
+            v(Lint::Panic, "crates/core/src/parallel.rs", 10),
+            v(Lint::Panic, "crates/store/src/wal.rs", 5),
+        ];
+        let r = reconcile(&f, &found);
+        assert!(r.problems.iter().any(|p| p.contains("stale allowlist count")));
+    }
+
+    #[test]
+    fn budget_bounds_total_even_if_allowlisted() {
+        let mut f = parse(SAMPLE).unwrap();
+        f.budget.insert("panic".into(), 1);
+        let found = vec![
+            v(Lint::Panic, "crates/core/src/parallel.rs", 10),
+            v(Lint::Panic, "crates/core/src/parallel.rs", 20),
+        ];
+        let r = reconcile(&f, &found);
+        assert!(r.problems.iter().any(|p| p.contains("budget exceeded")));
+    }
+
+    #[test]
+    fn regenerate_ratchets_down_and_refuses_growth() {
+        let f = parse(SAMPLE).unwrap();
+        // One finding left: budget must drop to 1, entries collapse.
+        let found = vec![v(Lint::Panic, "crates/store/src/wal.rs", 5)];
+        let text = regenerate(&f, &found).unwrap();
+        let again = parse(&text).unwrap();
+        assert_eq!(again.budget["panic"], 1);
+        assert_eq!(again.allows.len(), 1);
+        assert!(reconcile(&again, &found).is_clean());
+
+        // Over budget: refuse.
+        let many: Vec<_> = (0..5).map(|i| v(Lint::Panic, "crates/store/src/wal.rs", i)).collect();
+        assert!(regenerate(&f, &many).unwrap_err().contains("never grows"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_config() {
+        let f = parse(SAMPLE).unwrap();
+        let text = regenerate(&f, &[]).unwrap();
+        let again = parse(&text).unwrap();
+        assert_eq!(again.config.float_methods, f.config.float_methods);
+        assert_eq!(again.config.exclude, f.config.exclude);
+    }
+}

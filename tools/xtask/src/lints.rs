@@ -1,0 +1,670 @@
+//! The custom lints behind `cargo xtask lint`.
+//!
+//! All four lints are *textual* analyses over the comment/string-aware
+//! code view produced by [`crate::scan`] — deliberately so: they run in
+//! milliseconds with zero dependencies, and the patterns they police
+//! (NaN-unsafe `==`, panicking calls, missing `SAFETY:`/ordering
+//! comments, truncating time casts) are all lexically visible. The
+//! price is that type-driven cases (`a == b` where both sides are `f64`
+//! variables with no literal or known float method in sight) are out of
+//! reach; `clippy::float_cmp`-style type analysis is explicitly not a
+//! goal. Fixture tests under `tests/fixtures/` pin exactly what each
+//! lint catches.
+//!
+//! Every lint honours the escape hatch — a comment
+//! `// lint: allow(<name>) <reason>` on the offending line or in the
+//! contiguous comment block directly above it. The reason is mandatory:
+//! an escape without one is itself reported.
+
+use crate::scan::{lex, Line};
+
+/// The lints, in the order they are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// NaN-unsafe `==`/`!=` on floating-point expressions.
+    FloatEq,
+    /// Panicking calls (`unwrap`, `expect`, `panic!`, `todo!`,
+    /// `unimplemented!`) in library code.
+    Panic,
+    /// `unsafe` without a `// SAFETY:` justification.
+    Safety,
+    /// Atomic `Ordering::*` without an ordering justification comment.
+    Ordering,
+    /// Bare `as` cast from a timestamp/duration expression to an
+    /// integer type.
+    TimeCast,
+}
+
+/// Every lint, for iteration and budget bookkeeping.
+pub const ALL_LINTS: [Lint; 5] =
+    [Lint::FloatEq, Lint::Panic, Lint::Safety, Lint::Ordering, Lint::TimeCast];
+
+impl Lint {
+    /// The stable machine-readable name used in `lint.toml` and the
+    /// escape hatch.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::FloatEq => "float_eq",
+            Lint::Panic => "panic",
+            Lint::Safety => "safety",
+            Lint::Ordering => "ordering",
+            Lint::TimeCast => "time_cast",
+        }
+    }
+
+    /// Parses a lint name.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        ALL_LINTS.into_iter().find(|l| l.name() == name)
+    }
+
+    /// Whether `#[cfg(test)]` regions are exempt from this lint.
+    ///
+    /// Test code may compare exact expected floats, `unwrap()` freely
+    /// and cast loop counters; missing `SAFETY:`/ordering comments are
+    /// *not* excused anywhere.
+    pub fn exempts_tests(self) -> bool {
+        matches!(self, Lint::FloatEq | Lint::Panic | Lint::TimeCast)
+    }
+}
+
+/// One finding: `lint` fired at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Extra context (e.g. "escape hatch is missing its reason").
+    pub note: Option<String>,
+}
+
+/// Tunable patterns, loaded from the `[config]` section of `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes excluded from every lint (vendored shims, fixture
+    /// trees, generated output).
+    pub exclude: Vec<String>,
+    /// Extra path prefixes exempt from the `panic` lint only
+    /// (benchmarks, examples, integration-test trees).
+    pub panic_exempt: Vec<String>,
+    /// Files allowed to use raw float `==` (the approx-comparison
+    /// module itself).
+    pub float_eq_allow: Vec<String>,
+    /// Files allowed to use bare time casts (the checked-conversion
+    /// module itself).
+    pub time_cast_allow: Vec<String>,
+    /// Method-call suffixes treated as float-valued for `float_eq`.
+    pub float_methods: Vec<String>,
+    /// Substrings marking an expression as a timestamp/duration for
+    /// `time_cast`.
+    pub time_patterns: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            exclude: vec!["target/".into(), "vendor/".into()],
+            panic_exempt: vec!["tests/".into(), "examples/".into(), "benches/".into()],
+            float_eq_allow: vec![],
+            time_cast_allow: vec![],
+            float_methods: vec![
+                ".as_secs()".into(),
+                ".as_mins()".into(),
+                ".norm()".into(),
+                ".norm_sq()".into(),
+            ],
+            time_patterns: vec![
+                ".as_secs()".into(),
+                ".as_mins()".into(),
+                "time_bucket".into(),
+                "elapsed_ns()".into(),
+            ],
+        }
+    }
+}
+
+/// Runs every applicable lint over one file.
+pub fn check_file(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let lines = lex(source);
+    let mut out = Vec::new();
+    let panic_exempt = cfg.panic_exempt.iter().any(|p| path.starts_with(p.as_str()))
+        || path_component_exempt(path);
+    let float_allowed = cfg.float_eq_allow.iter().any(|p| path == p);
+    let cast_allowed = cfg.time_cast_allow.iter().any(|p| path == p);
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !float_allowed && !line.in_test {
+            float_eq_line(&line.code, cfg).then(|| {
+                push(&mut out, Lint::FloatEq, path, lineno, &lines, idx);
+            });
+        }
+        if !panic_exempt && !line.in_test {
+            for _ in 0..panic_calls(&line.code) {
+                push(&mut out, Lint::Panic, path, lineno, &lines, idx);
+            }
+        }
+        if has_unsafe_token(&line.code) && !has_justification(&lines, idx, "SAFETY:") {
+            push(&mut out, Lint::Safety, path, lineno, &lines, idx);
+        }
+        if has_atomic_ordering(&line.code) && !has_justification_ci(&lines, idx, "ordering") {
+            push(&mut out, Lint::Ordering, path, lineno, &lines, idx);
+        }
+        if !cast_allowed && !line.in_test && time_cast_line(&line.code, cfg) {
+            push(&mut out, Lint::TimeCast, path, lineno, &lines, idx);
+        }
+    }
+    out
+}
+
+/// `tests/`, `examples/` or `benches/` anywhere in the path exempts the
+/// panic lint (crate-local `crates/foo/tests/…` trees).
+fn path_component_exempt(path: &str) -> bool {
+    path.split('/').any(|c| matches!(c, "tests" | "examples" | "benches"))
+}
+
+/// Records a violation unless the escape hatch suppresses it; an escape
+/// hatch without a reason is recorded *with a note* instead.
+fn push(out: &mut Vec<Violation>, lint: Lint, path: &str, lineno: usize, lines: &[Line], idx: usize) {
+    match escape_hatch(lines, idx, lint) {
+        Escape::Allowed => {}
+        Escape::MissingReason => out.push(Violation {
+            lint,
+            path: path.to_string(),
+            line: lineno,
+            excerpt: lines[idx].raw.trim().to_string(),
+            note: Some(format!(
+                "`lint: allow({})` needs a reason after the closing parenthesis",
+                lint.name()
+            )),
+        }),
+        Escape::None => out.push(Violation {
+            lint,
+            path: path.to_string(),
+            line: lineno,
+            excerpt: lines[idx].raw.trim().to_string(),
+            note: None,
+        }),
+    }
+}
+
+enum Escape {
+    None,
+    Allowed,
+    MissingReason,
+}
+
+/// Looks for `lint: allow(<name>)` in the line's own comment or the
+/// contiguous comment block immediately above it.
+fn escape_hatch(lines: &[Line], idx: usize, lint: Lint) -> Escape {
+    let needle = format!("lint: allow({})", lint.name());
+    let mut best = Escape::None;
+    let mut check = |comment: &str| {
+        if let Some(pos) = comment.find(&needle) {
+            let rest = comment[pos + needle.len()..].trim();
+            if rest.is_empty() {
+                best = Escape::MissingReason;
+            } else {
+                best = Escape::Allowed;
+            }
+            true
+        } else {
+            false
+        }
+    };
+    if check(&lines[idx].comment) {
+        return best;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let comment_only = l.code.trim().is_empty() && !l.comment.trim().is_empty();
+        if !comment_only {
+            break;
+        }
+        if check(&l.comment) {
+            return best;
+        }
+    }
+    Escape::None
+}
+
+/// Same-line or contiguous-comment-block-above justification search
+/// (exact substring).
+fn has_justification(lines: &[Line], idx: usize, needle: &str) -> bool {
+    justified_by(lines, idx, |c| c.contains(needle))
+}
+
+/// Case-insensitive variant for the ordering lint.
+fn has_justification_ci(lines: &[Line], idx: usize, needle: &str) -> bool {
+    let lower = needle.to_ascii_lowercase();
+    justified_by(lines, idx, |c| c.to_ascii_lowercase().contains(&lower))
+}
+
+fn justified_by(lines: &[Line], idx: usize, pred: impl Fn(&str) -> bool) -> bool {
+    if pred(&lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let comment_only = l.code.trim().is_empty() && !l.comment.trim().is_empty();
+        if !comment_only {
+            return false;
+        }
+        if pred(&l.comment) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// float_eq
+// ---------------------------------------------------------------------
+
+/// Whether the line contains a NaN-unsafe float comparison.
+fn float_eq_line(code: &str, cfg: &Config) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i + 1 < chars.len() {
+        let is_eq = chars[i] == '=' && chars[i + 1] == '=';
+        let is_ne = chars[i] == '!' && chars[i + 1] == '=';
+        if (is_eq || is_ne)
+            && chars.get(i + 2) != Some(&'=')
+            && (i == 0 || !matches!(chars[i - 1], '=' | '!' | '<' | '>'))
+        {
+            let left = operand_left(&chars, i);
+            let right = operand_right(&chars, i + 2);
+            if is_floaty(&left, cfg) || is_floaty(&right, cfg) {
+                return true;
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The token run ending just before position `end` (exclusive):
+/// identifiers, field/method chains, balanced call parentheses and
+/// index brackets, `::` paths, and a leading unary minus.
+fn operand_left(chars: &[char], end: usize) -> String {
+    let mut i = end;
+    while i > 0 && chars[i - 1] == ' ' {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 {
+        let c = chars[i - 1];
+        match c {
+            ')' | ']' => {
+                let open = if c == ')' { '(' } else { '[' };
+                let mut depth = 1;
+                i -= 1;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    if chars[i] == c {
+                        depth += 1;
+                    } else if chars[i] == open {
+                        depth -= 1;
+                    }
+                }
+            }
+            _ if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') => i -= 1,
+            // Exponent sign inside a float literal: `1e-9`.
+            '-' | '+'
+                if i >= 2
+                    && matches!(chars[i - 2], 'e' | 'E')
+                    && i >= 3
+                    && chars[i - 3].is_ascii_digit() =>
+            {
+                i -= 1
+            }
+            _ => break,
+        }
+    }
+    // A single leading `-` binds to a literal.
+    if i > 0 && chars[i - 1] == '-' {
+        i -= 1;
+    }
+    chars[i..stop].iter().collect()
+}
+
+/// The token run starting at `start`: mirror image of [`operand_left`].
+fn operand_right(chars: &[char], start: usize) -> String {
+    let mut i = start;
+    while i < chars.len() && chars[i] == ' ' {
+        i += 1;
+    }
+    let begin = i;
+    if i < chars.len() && chars[i] == '-' {
+        i += 1;
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '(' | '[' => {
+                let close = if c == '(' { ')' } else { ']' };
+                let mut depth = 1;
+                i += 1;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == c {
+                        depth += 1;
+                    } else if chars[i] == close {
+                        depth -= 1;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') => i += 1,
+            // Exponent sign inside a float literal: `1e-9`.
+            '-' | '+'
+                if i >= 1
+                    && matches!(chars[i - 1], 'e' | 'E')
+                    && i >= 2
+                    && chars[i - 2].is_ascii_digit() =>
+            {
+                i += 1
+            }
+            _ => break,
+        }
+    }
+    chars[begin..i].iter().collect()
+}
+
+/// Whether an operand is lexically float-valued: a float literal, an
+/// `f64::`/`f32::` associated constant, or a configured float method.
+fn is_floaty(operand: &str, cfg: &Config) -> bool {
+    if operand.contains("f64::") || operand.contains("f32::") {
+        return true;
+    }
+    if cfg.float_methods.iter().any(|m| operand.ends_with(m.as_str())) {
+        return true;
+    }
+    has_float_literal(operand)
+}
+
+/// Detects `1.0`, `.5`? (no — Rust has no leading-dot floats), `1e-3`,
+/// `1f64`, `2.5f32` inside a token run.
+fn has_float_literal(s: &str) -> bool {
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        if chars[i].is_ascii_digit() {
+            // A literal must not be the tail of an identifier.
+            if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+            // `1.5`, `1.` followed by non-identifier; exclude `1..2`
+            // ranges and `2.method()` calls.
+            if i < n && chars[i] == '.' {
+                if i + 1 < n && chars[i + 1].is_ascii_digit() {
+                    return true;
+                }
+                if i + 1 == n || !(chars[i + 1].is_alphabetic() || chars[i + 1] == '.') {
+                    return true;
+                }
+            }
+            // Exponent or typed suffix: `1e9`, `3f64`, `7f32`.
+            let rest: String = chars[i..].iter().collect();
+            if rest.starts_with('e') || rest.starts_with('E') {
+                let tail = &rest[1..];
+                let tail = tail.strip_prefix(['+', '-']).unwrap_or(tail);
+                if tail.starts_with(|c: char| c.is_ascii_digit()) {
+                    return true;
+                }
+            }
+            if rest.starts_with("f64") || rest.starts_with("f32") {
+                return true;
+            }
+            let _ = start;
+        }
+        i += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// panic
+// ---------------------------------------------------------------------
+
+/// Counts panicking calls on the line.
+fn panic_calls(code: &str) -> usize {
+    let mut count = 0;
+    for pat in [".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("] {
+        count += occurrences(code, pat, false);
+    }
+    for pat in ["panic!", "todo!", "unimplemented!"] {
+        count += occurrences(code, pat, true);
+    }
+    count
+}
+
+/// Occurrences of `pat`; with `word_start`, the match must not be
+/// preceded by an identifier character (so `my_panic!` does not count).
+fn occurrences(code: &str, pat: &str, word_start: bool) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let at = from + pos;
+        let ok = !word_start
+            || at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok {
+            count += 1;
+        }
+        from = at + pat.len();
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// safety
+// ---------------------------------------------------------------------
+
+/// Whether the line contains the `unsafe` keyword as a token.
+fn has_unsafe_token(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let at = from + pos;
+        let before_ok =
+            at == 0 || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + 6..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 6;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// ordering
+// ---------------------------------------------------------------------
+
+/// Whether the line uses an atomic memory ordering. `std::cmp::Ordering`
+/// variants (`Less`/`Equal`/`Greater`) do not match.
+fn has_atomic_ordering(code: &str) -> bool {
+    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .any(|v| code.contains(&format!("Ordering::{v}")))
+}
+
+// ---------------------------------------------------------------------
+// time_cast
+// ---------------------------------------------------------------------
+
+/// Whether the line casts a timestamp/duration expression to an integer
+/// with bare `as`.
+fn time_cast_line(code: &str, cfg: &Config) -> bool {
+    const INT_TYPES: [&str; 12] = [
+        "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(" as ") {
+        let at = from + pos;
+        let target: String = code[at + 4..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if INT_TYPES.contains(&target.as_str()) {
+            let source = operand_left(&chars, at);
+            if cfg.time_patterns.iter().any(|p| source.contains(p.as_str())) {
+                return true;
+            }
+        }
+        from = at + 4;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_file("crates/x/src/lib.rs", src, &Config::default())
+    }
+
+    fn count(src: &str, lint: Lint) -> usize {
+        check(src).into_iter().filter(|v| v.lint == lint).count()
+    }
+
+    #[test]
+    fn float_eq_catches_literals_and_methods() {
+        assert_eq!(count("if x == 0.0 { }", Lint::FloatEq), 1);
+        assert_eq!(count("if 1.5 != y { }", Lint::FloatEq), 1);
+        assert_eq!(count("if d.norm_sq() == 0.0 { }", Lint::FloatEq), 1);
+        assert_eq!(count("if t.as_secs() == u { }", Lint::FloatEq), 1);
+        assert_eq!(count("if x == f64::NAN { }", Lint::FloatEq), 1);
+        assert_eq!(count("if x == 1e-9 { }", Lint::FloatEq), 1);
+        assert_eq!(count("if x == 3f64 { }", Lint::FloatEq), 1);
+    }
+
+    #[test]
+    fn float_eq_ignores_ints_ranges_and_strings() {
+        assert_eq!(count("if x == 1 { }", Lint::FloatEq), 0);
+        assert_eq!(count("for i in 0..10 { }", Lint::FloatEq), 0);
+        assert_eq!(count("if n == len - 1 { }", Lint::FloatEq), 0);
+        assert_eq!(count(r#"let s = "x == 0.0";"#, Lint::FloatEq), 0);
+        assert_eq!(count("// x == 0.0", Lint::FloatEq), 0);
+        assert_eq!(count("if a <= 0.5 { }", Lint::FloatEq), 0);
+        assert_eq!(count("x += 1.0;", Lint::FloatEq), 0);
+        assert_eq!(count("let c = v2.max(1);", Lint::FloatEq), 0);
+    }
+
+    #[test]
+    fn panic_catches_each_call_once() {
+        let src = "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\ntodo!()\nunimplemented!()";
+        assert_eq!(count(src, Lint::Panic), 5);
+        // Two on one line are two findings.
+        assert_eq!(count("a.unwrap(); b.unwrap();", Lint::Panic), 2);
+    }
+
+    #[test]
+    fn panic_ignores_nonpanicking_relatives() {
+        assert_eq!(count("x.unwrap_or(0);", Lint::Panic), 0);
+        assert_eq!(count("x.unwrap_or_else(|| 0);", Lint::Panic), 0);
+        assert_eq!(count("x.unwrap_or_default();", Lint::Panic), 0);
+        assert_eq!(count("my_panic!(x);", Lint::Panic), 0);
+        assert_eq!(count("core::panic!(\"x\");", Lint::Panic), 1);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_for_panic_and_float() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); assert!(a == 0.0); }\n}";
+        assert_eq!(count(src, Lint::Panic), 0);
+        assert_eq!(count(src, Lint::FloatEq), 0);
+    }
+
+    #[test]
+    fn safety_requires_comment() {
+        assert_eq!(count("unsafe { do_it() }", Lint::Safety), 1);
+        assert_eq!(count("// SAFETY: checked above\nunsafe { do_it() }", Lint::Safety), 0);
+        assert_eq!(count("unsafe { do_it() } // SAFETY: inline", Lint::Safety), 0);
+        // A non-SAFETY comment does not count.
+        assert_eq!(count("// fast path\nunsafe { do_it() }", Lint::Safety), 1);
+        // Identifier containing "unsafe" is not the keyword.
+        assert_eq!(count("let unsafe_count = 1;", Lint::Safety), 0);
+    }
+
+    #[test]
+    fn ordering_requires_comment_and_skips_cmp() {
+        assert_eq!(count("x.load(Ordering::Relaxed);", Lint::Ordering), 1);
+        assert_eq!(
+            count("// ordering: advisory counter\nx.load(Ordering::Relaxed);", Lint::Ordering),
+            0
+        );
+        assert_eq!(count("x.store(1, Ordering::SeqCst); // Ordering: handoff", Lint::Ordering), 0);
+        assert_eq!(count("match o { Ordering::Less => {} _ => {} }", Lint::Ordering), 0);
+    }
+
+    #[test]
+    fn time_cast_flags_int_targets_only() {
+        assert_eq!(count("let b = t.as_secs() as i64;", Lint::TimeCast), 1);
+        assert_eq!(count("let b = (a.t.as_secs() / self.time_bucket).floor() as i64;", Lint::TimeCast), 1);
+        assert_eq!(count("let s = d.as_mins() as u32;", Lint::TimeCast), 1);
+        // Int → float is construction, not truncation.
+        assert_eq!(count("let t = i as f64;", Lint::TimeCast), 0);
+        // Non-time expressions cast freely.
+        assert_eq!(count("let n = buf.len() as u64;", Lint::TimeCast), 0);
+    }
+
+    #[test]
+    fn escape_hatch_with_reason_suppresses() {
+        let src = "// lint: allow(panic) worker panics are propagated deliberately\nh.join().expect(\"worker\");";
+        assert_eq!(count(src, Lint::Panic), 0);
+        let inline = "h.join().expect(\"worker\"); // lint: allow(panic) propagated deliberately";
+        assert_eq!(count(inline, Lint::Panic), 0);
+    }
+
+    #[test]
+    fn escape_hatch_without_reason_is_flagged_with_note() {
+        let src = "// lint: allow(panic)\nx.unwrap();";
+        let v = check(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].note.as_deref().is_some_and(|n| n.contains("reason")));
+    }
+
+    #[test]
+    fn escape_hatch_is_lint_specific() {
+        let src = "// lint: allow(float_eq) exact sentinel\nlet b = x == 0.0 && y.unwrap();";
+        assert_eq!(count(src, Lint::FloatEq), 0);
+        assert_eq!(count(src, Lint::Panic), 1);
+    }
+
+    #[test]
+    fn allowlisted_module_may_use_raw_compares() {
+        let cfg = Config {
+            float_eq_allow: vec!["crates/geom/src/numeric.rs".into()],
+            ..Config::default()
+        };
+        let v = check_file("crates/geom/src/numeric.rs", "if a == b * 1.0 { }", &cfg);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn panic_exempt_paths() {
+        let cfg = Config::default();
+        let v = check_file("crates/core/tests/props.rs", "x.unwrap();", &cfg);
+        assert!(v.is_empty());
+        let v = check_file("examples/quickstart.rs", "x.unwrap();", &cfg);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,363 @@
+//! Comment- and string-aware source scanning.
+//!
+//! The lints in [`crate::lints`] are textual, but naive text matching
+//! would flag `unwrap()` inside a string literal or a doc comment. This
+//! module lexes a Rust source file line by line into a [`Line`] triple:
+//! the raw text, the *code* content (comments removed, string/char
+//! literal bodies blanked) and the *comment* content (everything the
+//! code view dropped). Lints match against the code view and consult the
+//! comment view for `// SAFETY:` / ordering justifications and the
+//! `// lint: allow(...)` escape hatch.
+//!
+//! The lexer handles line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth, also `br`/`cr` forms), char literals and lifetimes (`'a` is
+//! not a char literal). Strings and block comments may span lines.
+//!
+//! On top of the lexed lines, [`mark_test_regions`] flags every line
+//! that belongs to an item annotated `#[cfg(test)]` — the panic and
+//! float-equality lints exempt those regions.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line exactly as it appears in the file.
+    pub raw: String,
+    /// Code content: comments stripped, literal bodies blanked with
+    /// spaces (so column positions survive).
+    pub code: String,
+    /// Comment content of the line (line + block comments, doc
+    /// comments), concatenated.
+    pub comment: String,
+    /// Whether the line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a block comment, with the current nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string with the given number of `#`s.
+    RawStr(u32),
+}
+
+/// Lexes a whole file into [`Line`]s and marks `#[cfg(test)]` regions.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let (line, next) = lex_line(raw, state);
+        state = next;
+        lines.push(line);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Lexes one line starting in `state`; returns the line and the state
+/// the next line starts in.
+fn lex_line(raw: &str, mut state: State) -> (Line, State) {
+    let chars: Vec<char> = raw.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(n);
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        match state {
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if i + 1 < n {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment (incl. doc comments) to end of line.
+                    comment.push_str(&chars[i..].iter().collect::<String>());
+                    i = n;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(1);
+                } else if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                } else if let Some(hashes) = raw_string_start(&chars, i) {
+                    // r"…" / r#"…"# / br#"…"# / cr"…": emit the prefix
+                    // as spaces, enter the raw-string state.
+                    let prefix = prefix_len(&chars, i) + 1 + hashes as usize;
+                    code.push('r');
+                    for _ in 1..prefix {
+                        code.push(' ');
+                    }
+                    i += prefix;
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'a` followed by a
+                    // non-quote is a lifetime; `'x'`, `'\n'` are chars.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        code.push('\'');
+                        for _ in 1..len {
+                            code.push(' ');
+                        }
+                        i += len;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A `"` string literal does not span lines unless escaped; an
+    // unterminated plain string at EOL only happens with `\` continuation,
+    // which we conservatively keep as Str state.
+    (Line { raw: raw.to_string(), code, comment, in_test: false }, state)
+}
+
+/// Number of chars in the `r`/`br`/`cr` prefix at `i`, 0 if none.
+fn prefix_len(chars: &[char], i: usize) -> usize {
+    match chars.get(i) {
+        Some('r') => 1,
+        Some('b' | 'c') if chars.get(i + 1) == Some(&'r') => 2,
+        _ => 0,
+    }
+}
+
+/// If a raw string starts at `i`, the number of `#`s it uses.
+fn raw_string_start(chars: &[char], i: usize) -> Option<u32> {
+    let p = prefix_len(chars, i);
+    if p == 0 {
+        return None;
+    }
+    // An identifier character before `r` means this is the tail of an
+    // identifier (e.g. `foo_r"`, impossible) — guard anyway.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i + p;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether `hashes` `#`s follow position `i` (closing a raw string).
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Length of the char literal starting at `i`, or `None` for a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(chars.get(i), Some(&'\''));
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            (j < chars.len()).then_some(j - i + 1)
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        // `'a` with no closing quote: a lifetime (or `'static`).
+        _ => None,
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item.
+///
+/// After the attribute, the item extends to the matching `}` of its
+/// first `{` (module, fn) or to the first `;` seen before any brace
+/// (e.g. `#[cfg(test)] use …;`). Nested attributes between the cfg and
+/// the item body are handled by simply scanning forward for the first
+/// brace/semicolon.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("cfg(test") {
+            i += 1;
+            continue;
+        }
+        // Scan forward from the attribute for the item extent.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'scan: while j < lines.len() {
+            lines[j].in_test = true;
+            // Work through this line's code chars.
+            let code: Vec<char> = lines[j].code.chars().collect();
+            let start = if j == i {
+                // Skip past the `cfg(test…)` attribute itself so its
+                // parentheses do not confuse the brace scan.
+                lines[j].code.find("cfg(test").map_or(0, |p| p + 8)
+            } else {
+                0
+            };
+            for &c in code.iter().skip(start) {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened => break 'scan,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let c = code_of("let x = 1; // unwrap()\n/// docs with unwrap()\nlet y = 2;");
+        assert_eq!(c[0].trim_end(), "let x = 1;");
+        assert_eq!(c[1].trim_end(), "");
+        assert_eq!(c[2], "let y = 2;");
+    }
+
+    #[test]
+    fn blanks_string_bodies_but_keeps_quotes() {
+        let c = code_of(r#"let s = "a == 0.0 unwrap()"; let t = 1;"#);
+        assert!(!c[0].contains("unwrap"));
+        assert!(!c[0].contains("=="));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn handles_nested_block_comments_across_lines() {
+        let c = code_of("a /* one /* two */ still */ b\nc");
+        assert!(c[0].starts_with("a "));
+        assert!(c[0].ends_with(" b"));
+        assert_eq!(c[1], "c");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let c = code_of(r###"let s = r#"x == 0.0 "inner" unwrap()"#; done()"###);
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("done()"));
+    }
+
+    #[test]
+    fn multiline_raw_string() {
+        let c = code_of("let s = r#\"line one == 0.0\nline two unwrap()\"#;\nnext");
+        assert!(!c[0].contains("=="));
+        assert!(!c[1].contains("unwrap"));
+        assert_eq!(c[2], "next");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code_of("fn f<'a>(x: &'a str, c: char) { let y = 'y'; }");
+        assert!(c[0].contains("fn f<'a>(x: &'a str"));
+        assert!(!c[0].contains("'y'"), "char body blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let c = code_of(r"let nl = '\n'; let q = '\''; after()");
+        assert!(c[0].contains("after()"));
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let l = lex("unsafe { x } // SAFETY: justified");
+        assert!(l[0].comment.contains("SAFETY: justified"));
+        assert!(l[0].code.contains("unsafe {"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}";
+        let l = lex(src);
+        assert!(!l[0].in_test);
+        assert!(l[1].in_test && l[2].in_test && l[3].in_test && l[4].in_test);
+        assert!(!l[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_single_item_and_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}";
+        let l = lex(src);
+        assert!(l[0].in_test && l[1].in_test);
+        assert!(!l[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_fn_with_more_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n    body();\n}\nfn real() {}";
+        let l = lex(src);
+        assert!(l[0].in_test && l[2].in_test && l[3].in_test && l[4].in_test);
+        assert!(!l[5].in_test);
+    }
+}

@@ -1,0 +1,80 @@
+//! Repository walker: every `.rs` file under the workspace root, minus
+//! exclusions.
+//!
+//! Always skipped: `.git`, any directory named `target`, and the
+//! xtask fixture tree (fixtures are deliberately-bad code, exercised
+//! directly by the fixture tests). Further prefixes come from
+//! `[config] exclude` in `lint.toml` — notably `vendor/`, whose shims
+//! are API stand-ins, not production code.
+
+use std::fs;
+use std::path::Path;
+
+/// Collects repo-relative (forward-slash) paths of all lintable `.rs`
+/// files under `root`, sorted for stable output.
+pub fn rust_files(root: &Path, exclude: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let rel = relative(root, &path);
+            if excluded(&rel, exclude) {
+                continue;
+            }
+            let ty = entry
+                .file_type()
+                .map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+            if ty.is_dir() {
+                let name = entry.file_name();
+                if name == ".git" || name == "target" {
+                    continue;
+                }
+                stack.push(path);
+            } else if ty.is_file() && rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Root-relative path with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Prefix match against the exclude list, plus the built-in fixture
+/// exclusion.
+fn excluded(rel: &str, exclude: &[String]) -> bool {
+    if rel.starts_with("tools/xtask/tests/fixtures/") {
+        return true;
+    }
+    exclude.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_tree_is_always_excluded() {
+        assert!(excluded("tools/xtask/tests/fixtures/fail/panic.rs", &[]));
+        assert!(!excluded("tools/xtask/src/main.rs", &[]));
+    }
+
+    #[test]
+    fn exclude_prefixes_apply() {
+        let ex = vec!["vendor/".to_string()];
+        assert!(excluded("vendor/rand/src/lib.rs", &ex));
+        assert!(!excluded("crates/geom/src/lib.rs", &ex));
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad float comparisons. Expected findings: exactly 4.
+
+fn bad(x: f64, span: f64, d: Vec2) -> bool {
+    let a = x == 0.0; // finding 1: literal RHS
+    let b = 1.5 != span; // finding 2: literal LHS
+    let c = d.norm_sq() == 0.0; // finding 3: float method
+    let e = x == f64::EPSILON; // finding 4: f64:: constant
+    a && b && c && e
+}

@@ -1,0 +1,11 @@
+//! Known-bad atomic orderings without justification. Expected
+//! findings: exactly 3.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bad(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed); // finding 1
+    let v = c.load(Ordering::Acquire); // finding 2
+    c.store(v, Ordering::SeqCst); // finding 3
+    v
+}

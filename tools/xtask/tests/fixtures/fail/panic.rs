@@ -1,0 +1,18 @@
+//! Known-bad panicking calls in library code. Expected findings:
+//! exactly 6 (two on the `both` line).
+
+fn bad(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // finding 1
+    let b = r.expect("present"); // finding 2
+    let both = x.unwrap() + r.unwrap(); // findings 3 and 4
+    if a == 0 {
+        panic!("zero"); // finding 5
+    }
+    if b == 1 {
+        todo!() // finding 6
+    }
+    both
+}
+
+// An escape hatch without a reason is still a finding — covered by the
+// unit tests, not this fixture, to keep the count here stable.

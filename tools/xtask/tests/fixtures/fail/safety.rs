@@ -1,0 +1,9 @@
+//! Known-bad `unsafe` without justification. Expected findings:
+//! exactly 2.
+
+fn bad(ptr: *const u8) -> u8 {
+    let a = unsafe { *ptr }; // finding 1: missing justification
+    // A nearby comment that is not a justification does not count.
+    let b = unsafe { *ptr.add(1) }; // finding 2
+    a + b
+}

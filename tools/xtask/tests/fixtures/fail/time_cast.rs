@@ -1,0 +1,8 @@
+//! Known-bad timestamp/duration casts. Expected findings: exactly 3.
+
+fn bad(t: Timestamp, d: TimeDelta, bucket: f64) -> i64 {
+    let a = t.as_secs() as i64; // finding 1: silent truncation
+    let b = d.as_mins() as u32; // finding 2
+    let c = (t.as_secs() / bucket).floor() as i64; // finding 3: bucketing
+    a + i64::from(b) + c
+}

@@ -1,0 +1,12 @@
+//! Known-good float handling. Expected findings: 0.
+
+fn good(x: f64, span: f64, d: Vec2, n: usize) -> bool {
+    let a = approx_zero(x, 1e-12); // epsilon-aware helper
+    let b = approx_eq(span, 1.5, 1e-9, 1e-9);
+    let c = !(d.norm_sq() > 0.0); // NaN-safe zero guard, no `==`
+    let e = n == 0; // integer equality is fine
+    let f = x <= 0.5; // ordered comparison is fine
+    let s = "x == 0.0"; // inside a string
+    // x == 0.0 inside a comment
+    a && b && c && e && f && !s.is_empty()
+}

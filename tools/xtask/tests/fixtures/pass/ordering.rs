@@ -1,0 +1,16 @@
+//! Known-good atomic orderings with justification. Expected
+//! findings: 0. `std::cmp::Ordering` never matches.
+
+use std::cmp::Ordering as Cmp;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn good(c: &AtomicU64, a: u64, b: u64) -> u64 {
+    // Relaxed ordering: advisory counter, no happens-before needed.
+    c.fetch_add(1, Ordering::Relaxed);
+    let v = c.load(Ordering::Acquire); // ordering: pairs with the Release store below
+    c.store(v, Ordering::Release); // Ordering: publishes v to the reader above
+    match a.cmp(&b) {
+        Cmp::Less | Cmp::Greater => v,
+        Cmp::Equal => 0,
+    }
+}

@@ -1,0 +1,22 @@
+//! Known-good panic handling. Expected findings: 0.
+
+fn good(x: Option<u32>, r: Result<u32, ()>) -> Result<u32, ()> {
+    let a = x.ok_or(())?; // propagation, not panic
+    let b = r.unwrap_or(0); // non-panicking relative
+    let c = r.unwrap_or_else(|_| 1);
+    // lint: allow(panic) invariant: caller checked is_some() above
+    let d = x.unwrap();
+    let e = x.expect("checked"); // lint: allow(panic) same-line escape
+    Ok(a + b + c + d + e)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("test code is exempt");
+        panic!("even this is fine in tests");
+    }
+}

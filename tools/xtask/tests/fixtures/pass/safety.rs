@@ -1,0 +1,10 @@
+//! Known-good `unsafe` with justification. Expected findings: 0.
+
+fn good(ptr: *const u8, len: usize) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for `len` bytes and
+    // `len >= 2`; both indices below are in bounds.
+    let a = unsafe { *ptr };
+    let b = unsafe { *ptr.add(1) }; // SAFETY: in bounds, len >= 2 checked by caller
+    let _ = len;
+    a + b
+}

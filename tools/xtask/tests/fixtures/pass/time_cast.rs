@@ -1,0 +1,9 @@
+//! Known-good time conversions. Expected findings: 0.
+
+fn good(t: Timestamp, d: TimeDelta, i: usize, buf: &[u8]) -> Result<i64, TimeError> {
+    let a = t.whole_secs()?; // checked conversion from model::time
+    let b = d.whole_mins()?;
+    let c = i as f64; // int -> float is construction, not truncation
+    let n = buf.len() as u64; // non-time expressions cast freely
+    Ok(a + b + c as i64 + n as i64)
+}

@@ -1,0 +1,243 @@
+//! Fixture self-tests for the lint gate.
+//!
+//! Every file under `tests/fixtures/fail/` must produce *exactly* the
+//! advertised number of findings for its lint and zero for the others;
+//! every file under `tests/fixtures/pass/` must be clean. On top of the
+//! per-file checks, an end-to-end suite builds a miniature repo in a
+//! temp directory and exercises the allowlist semantics: exact-match
+//! suppression, failure on removed entries, failure on stale entries,
+//! the budget ratchet, and `--fix-allowlist` regeneration.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::allowlist::parse;
+use xtask::lints::{check_file, Lint};
+use xtask::{fix_allowlist, load_config, run};
+
+/// The lint config as committed — fixtures are checked against the
+/// real configuration, so config drift shows up here.
+fn repo_config() -> xtask::lints::Config {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(manifest.join("lint.toml")).expect("read lint.toml");
+    parse(&text).expect("parse lint.toml").config
+}
+
+fn fixture(kind: &str, name: &str) -> String {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let path = manifest.join("tests/fixtures").join(kind).join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Counts findings per lint for a fixture, under a library-crate path
+/// (so no path-based exemption applies).
+fn counts(kind: &str, name: &str) -> [usize; 5] {
+    let source = fixture(kind, name);
+    let cfg = repo_config();
+    let violations = check_file("crates/fixture/src/lib.rs", &source, &cfg);
+    let mut out = [0usize; 5];
+    for v in violations {
+        let idx = match v.lint {
+            Lint::FloatEq => 0,
+            Lint::Panic => 1,
+            Lint::Safety => 2,
+            Lint::Ordering => 3,
+            Lint::TimeCast => 4,
+        };
+        out[idx] += 1;
+    }
+    out
+}
+
+#[test]
+fn fail_fixtures_produce_exact_counts() {
+    assert_eq!(counts("fail", "float_eq.rs"), [4, 0, 0, 0, 0]);
+    assert_eq!(counts("fail", "panic.rs"), [0, 6, 0, 0, 0]);
+    assert_eq!(counts("fail", "safety.rs"), [0, 0, 2, 0, 0]);
+    assert_eq!(counts("fail", "ordering.rs"), [0, 0, 0, 3, 0]);
+    assert_eq!(counts("fail", "time_cast.rs"), [0, 0, 0, 0, 3]);
+}
+
+#[test]
+fn pass_fixtures_are_clean() {
+    for name in ["float_eq.rs", "panic.rs", "safety.rs", "ordering.rs", "time_cast.rs"] {
+        assert_eq!(counts("pass", name), [0; 5], "pass fixture {name} is not clean");
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end allowlist semantics over a miniature repo
+// ---------------------------------------------------------------------
+
+/// A throwaway repo containing one library file with two panic findings
+/// and one float_eq finding.
+struct MiniRepo {
+    root: PathBuf,
+}
+
+const MINI_LIB: &str = "\
+fn lib(x: Option<u32>, y: f64) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"present\");
+    if y == 0.0 {
+        return 0;
+    }
+    a + b
+}
+";
+
+const MINI_TOML: &str = r#"
+[config]
+exclude = ["vendor/"]
+panic_exempt = []
+float_eq_allow = []
+time_cast_allow = []
+float_methods = [".as_secs()"]
+time_patterns = [".as_secs()"]
+
+[budget]
+float_eq = 1
+panic = 2
+safety = 0
+ordering = 0
+time_cast = 0
+
+[[allow]]
+lint = "float_eq"
+path = "crates/mini/src/lib.rs"
+count = 1
+
+[[allow]]
+lint = "panic"
+path = "crates/mini/src/lib.rs"
+count = 2
+"#;
+
+impl MiniRepo {
+    fn new(test_name: &str) -> MiniRepo {
+        let root = std::env::temp_dir()
+            .join(format!("xtask-e2e-{}-{test_name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/mini/src")).expect("mkdir src");
+        fs::create_dir_all(root.join("tools/xtask")).expect("mkdir xtask");
+        fs::write(root.join("crates/mini/src/lib.rs"), MINI_LIB).expect("write lib");
+        fs::write(root.join("tools/xtask/lint.toml"), MINI_TOML).expect("write toml");
+        MiniRepo { root }
+    }
+
+    fn with_toml(test_name: &str, toml: &str) -> MiniRepo {
+        let repo = MiniRepo::new(test_name);
+        fs::write(repo.root.join("tools/xtask/lint.toml"), toml).expect("write toml");
+        repo
+    }
+
+    fn lint(&self) -> xtask::Outcome {
+        let file = load_config(&self.root).expect("load config");
+        run(&self.root, &file).expect("run lint")
+    }
+}
+
+impl Drop for MiniRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn exact_allowlist_is_clean() {
+    let repo = MiniRepo::new("clean");
+    let out = repo.lint();
+    assert_eq!(out.violations.len(), 3);
+    assert!(out.report.is_clean(), "problems: {:?}", out.report.problems);
+}
+
+#[test]
+fn removing_an_entry_for_a_live_violation_fails() {
+    // Drop the float_eq entry while the comparison is still present.
+    let toml = {
+        let start = MINI_TOML.find("[[allow]]").expect("entry");
+        let end = MINI_TOML[start..].find("\n\n").expect("gap") + start;
+        format!("{}{}", &MINI_TOML[..start], &MINI_TOML[end + 2..])
+    };
+    assert!(!toml.contains("float_eq\"\npath"), "float_eq entry removed");
+    let repo = MiniRepo::with_toml("removed-entry", &toml);
+    let out = repo.lint();
+    assert!(!out.report.is_clean());
+    assert_eq!(out.report.new.len(), 1, "the un-allowlisted finding resurfaces");
+    assert_eq!(out.report.new[0].lint, Lint::FloatEq);
+}
+
+#[test]
+fn stale_entry_for_fixed_violation_fails() {
+    let repo = MiniRepo::new("stale");
+    // Fix the float comparison; its allowlist entry is now stale.
+    let lib = MINI_LIB.replace("y == 0.0", "y.abs() < 1e-12");
+    fs::write(repo.root.join("crates/mini/src/lib.rs"), lib).expect("rewrite lib");
+    let out = repo.lint();
+    assert!(!out.report.is_clean());
+    assert!(out.report.problems.iter().any(|p| p.contains("stale allowlist entry")));
+}
+
+#[test]
+fn new_violation_fails_even_under_budget_slack() {
+    let repo = MiniRepo::with_toml(
+        "new-violation",
+        &MINI_TOML.replace("panic = 2", "panic = 10"),
+    );
+    let extra = format!("{MINI_LIB}\nfn more(z: Option<u32>) -> u32 {{ z.unwrap() }}\n");
+    fs::write(repo.root.join("crates/mini/src/lib.rs"), extra).expect("rewrite lib");
+    let out = repo.lint();
+    assert!(!out.report.is_clean());
+    assert!(out.report.problems.iter().any(|p| p.contains("grew")));
+}
+
+#[test]
+fn fix_allowlist_ratchets_down_after_paying_debt() {
+    let repo = MiniRepo::new("ratchet");
+    // Pay off the two panics; keep the float comparison.
+    let lib = MINI_LIB
+        .replace("x.unwrap()", "x.ok_or(0u32).unwrap_or(0)")
+        .replace("x.expect(\"present\")", "x.unwrap_or(1)");
+    fs::write(repo.root.join("crates/mini/src/lib.rs"), lib).expect("rewrite lib");
+
+    let file = load_config(&repo.root).expect("load");
+    let out = run(&repo.root, &file).expect("run");
+    fix_allowlist(&repo.root, &file, &out.violations).expect("regenerate");
+
+    let regenerated = load_config(&repo.root).expect("reload");
+    assert_eq!(regenerated.budget["panic"], 0, "panic budget ratcheted to zero");
+    assert_eq!(regenerated.budget["float_eq"], 1);
+    assert_eq!(regenerated.allows.len(), 1);
+    assert!(run(&repo.root, &regenerated).expect("rerun").report.is_clean());
+}
+
+#[test]
+fn fix_allowlist_refuses_to_grow() {
+    let repo = MiniRepo::new("refuse-growth");
+    let extra = format!("{MINI_LIB}\nfn more(z: Option<u32>) -> u32 {{ z.unwrap() }}\n");
+    fs::write(repo.root.join("crates/mini/src/lib.rs"), extra).expect("rewrite lib");
+    let file = load_config(&repo.root).expect("load");
+    let out = run(&repo.root, &file).expect("run");
+    let err = fix_allowlist(&repo.root, &file, &out.violations).unwrap_err();
+    assert!(err.contains("never grows"), "got: {err}");
+}
+
+// ---------------------------------------------------------------------
+// The real repository must satisfy its own gate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn repo_gate_is_clean() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root: &Path = manifest.parent().and_then(Path::parent).expect("workspace root");
+    let file = load_config(root).expect("load repo lint.toml");
+    let out = run(root, &file).expect("lint the repo");
+    let mut msg = String::new();
+    for v in out.report.new.iter().take(20) {
+        msg.push_str(&format!("\n  {}:{} [{}] {}", v.path, v.line, v.lint.name(), v.excerpt));
+    }
+    for p in out.report.problems.iter().take(20) {
+        msg.push_str(&format!("\n  allowlist: {p}"));
+    }
+    assert!(out.report.is_clean(), "the repo fails its own lint gate:{msg}");
+}
