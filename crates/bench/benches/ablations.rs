@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use traj_compress::error::{average_synchronous_error, average_synchronous_error_numeric};
 use traj_compress::streaming::OwStream;
-use traj_compress::{Compressor, Metric, OpeningWindow, TdTr, TopDown};
+use traj_compress::{Compressor, OpeningWindow, TdTr, TopDown};
 
 fn bench(c: &mut Criterion) {
     let dataset = traj_gen::paper_dataset(42);
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_dp_variants");
     g.sample_size(30);
-    let td = TopDown::new(Metric::TimeRatio, 50.0);
+    let td = TopDown::time_ratio(50.0);
     g.bench_function("iterative", |b| b.iter(|| black_box(td.compress(black_box(trip)))));
     g.bench_function("recursive", |b| {
         b.iter(|| black_box(td.compress_recursive(black_box(trip))))

@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
             ("bottom_up_tr", Box::new(BottomUp::time_ratio(60.0))),
             (
                 "sliding_window_tr",
-                Box::new(SlidingWindow::new(traj_compress::Metric::TimeRatio, 60.0, 32)),
+                Box::new(SlidingWindow::time_ratio(60.0, 32)),
             ),
         ];
         for (name, algo) in algos {

@@ -1,0 +1,106 @@
+//! One-pass sweep vs per-threshold compression — the PR 4 headline.
+//!
+//! Both sides produce byte-identical results (pinned by
+//! `crates/eval/tests/sweep_equivalence.rs`); this bench measures the
+//! work saved by answering all fifteen paper thresholds from a single
+//! split-tree pass per trajectory instead of fifteen independent runs.
+//! The committed baseline lives at `BENCH_PR4.json` in the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traj_compress::{Compressor, TdSp, TdTr, TopDown, Workspace};
+use traj_eval::PAPER_THRESHOLDS;
+
+fn bench(c: &mut Criterion) {
+    let dataset = traj_gen::paper_dataset(42);
+
+    let mut g = c.benchmark_group("sweep_vs_per_threshold");
+    g.sample_size(20);
+
+    // TD-TR over the paper grid: the protocol behind Figs. 7 and 11.
+    g.bench_function("td_tr/per_threshold", |b| {
+        b.iter(|| {
+            for t in &dataset {
+                for &eps in &PAPER_THRESHOLDS {
+                    black_box(TdTr::new(eps).compress(black_box(t)));
+                }
+            }
+        })
+    });
+    g.bench_function("td_tr/one_pass_sweep", |b| {
+        let td = TopDown::time_ratio(0.0);
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            for t in &dataset {
+                black_box(td.sweep_with(black_box(t), &PAPER_THRESHOLDS, &mut ws));
+            }
+        })
+    });
+
+    // NDP (perpendicular): same tree trick, cheaper distance.
+    g.bench_function("ndp/per_threshold", |b| {
+        b.iter(|| {
+            for t in &dataset {
+                for &eps in &PAPER_THRESHOLDS {
+                    black_box(traj_compress::DouglasPeucker::new(eps).compress(black_box(t)));
+                }
+            }
+        })
+    });
+    g.bench_function("ndp/one_pass_sweep", |b| {
+        let td = TopDown::perpendicular(0.0);
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            for t in &dataset {
+                black_box(td.sweep_with(black_box(t), &PAPER_THRESHOLDS, &mut ws));
+            }
+        })
+    });
+
+    // TD-SP: the memoized interval-stats path (blended criterion).
+    g.bench_function("td_sp_5ms/per_threshold", |b| {
+        b.iter(|| {
+            for t in &dataset {
+                for &eps in &PAPER_THRESHOLDS {
+                    black_box(TdSp::new(eps, 5.0).compress(black_box(t)));
+                }
+            }
+        })
+    });
+    g.bench_function("td_sp_5ms/one_pass_sweep", |b| {
+        let td = TopDown::time_ratio_speed(0.0, 5.0);
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            for t in &dataset {
+                black_box(td.sweep_with(black_box(t), &PAPER_THRESHOLDS, &mut ws));
+            }
+        })
+    });
+
+    // The full experiment runner, slow path vs registry fast path.
+    g.sample_size(10);
+    g.bench_function("experiment/factory_sweep", |b| {
+        b.iter(|| {
+            black_box(traj_eval::sweep(
+                "TD-TR",
+                black_box(&dataset),
+                &PAPER_THRESHOLDS,
+                |e| Box::new(TdTr::new(e)),
+            ))
+        })
+    });
+    g.bench_function("experiment/registry_sweep_algo", |b| {
+        let algo = traj_eval::Algo::top_down("TD-TR", TopDown::time_ratio(0.0));
+        b.iter(|| {
+            black_box(traj_eval::sweep_algo(
+                black_box(&algo),
+                black_box(&dataset),
+                &PAPER_THRESHOLDS,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,97 +7,145 @@
 //!
 //! The implementation starts with every point kept and repeatedly removes
 //! the point whose removal is *cheapest* — where the cost of removing an
-//! interior point is the worst metric deviation, over all original points
-//! it would leave uncovered, from the segment joining its kept
+//! interior point is the worst criterion deviation, over all original
+//! points it would leave uncovered, from the segment joining its kept
 //! neighbours. Removal continues while the cheapest cost stays within the
 //! threshold. A lazy max-heap over candidates with a doubly linked list
 //! of surviving indices keeps the loop `O(N log N)` heap operations with
-//! `O(span)` cost re-evaluation.
+//! `O(span)` cost re-evaluation; all of that state is borrowed from the
+//! shared [`Workspace`] on the `compress_into` path.
 //!
 //! Being a batch algorithm with global choice of merge order, bottom-up
 //! typically produces better error/compression trade-offs than the online
 //! opening-window family at the same threshold — it is included both for
 //! taxonomy completeness and as an ablation point.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::distance::Metric;
+use crate::criterion::{Criterion, SegmentCriterion};
 use crate::obs::AlgoRun;
-use crate::result::{CompressionResult, Compressor};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::{MergeCand, Workspace};
 use traj_model::{Fix, Trajectory};
 
-/// Bottom-up merging compressor over a pluggable [`Metric`].
+/// Bottom-up merging compressor over a pluggable [`Criterion`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BottomUp {
-    metric: Metric,
-    epsilon: f64,
-}
-
-/// Min-heap candidate: removing `idx` (currently flanked by kept `left`
-/// and `right`) costs `cost`.
-struct Cand {
-    cost: f64,
-    idx: usize,
-    left: usize,
-    right: usize,
-}
-
-impl PartialEq for Cand {
-    fn eq(&self, o: &Self) -> bool {
-        self.cost == o.cost
-    }
-}
-impl Eq for Cand {}
-impl PartialOrd for Cand {
-    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for Cand {
-    fn cmp(&self, o: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
-        o.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
-    }
+    criterion: Criterion,
 }
 
 impl BottomUp {
-    /// Creates a bottom-up compressor with deviation threshold `epsilon`
-    /// metres under `metric`.
+    /// Creates a bottom-up compressor over `criterion`; points are
+    /// removed while the removal cost (worst split value of the merged
+    /// segment) stays within the criterion's split threshold.
     ///
     /// # Panics
-    /// Panics unless `epsilon` is finite and non-negative.
-    pub fn new(metric: Metric, epsilon: f64) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "epsilon must be finite and >= 0"
-        );
-        BottomUp { metric, epsilon }
+    /// Panics unless the criterion's thresholds are valid.
+    pub fn new(criterion: Criterion) -> Self {
+        criterion.validate();
+        BottomUp { criterion }
     }
 
     /// Bottom-up with the synchronized time-ratio metric — the
     /// spatiotemporally sound configuration.
     pub fn time_ratio(epsilon: f64) -> Self {
-        BottomUp::new(Metric::TimeRatio, epsilon)
+        BottomUp::new(Criterion::TimeRatio { epsilon })
+    }
+
+    /// Bottom-up with the classic perpendicular metric.
+    pub fn perpendicular(epsilon: f64) -> Self {
+        BottomUp::new(Criterion::Perpendicular { epsilon })
+    }
+
+    /// The active criterion.
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
     }
 
     /// Worst deviation of the original interior points `left+1..right`
-    /// from the `left`–`right` approximation.
+    /// from the `left`–`right` approximation, in split-value units.
     fn merge_cost(&self, fixes: &[Fix], left: usize, right: usize) -> f64 {
-        let (a, b) = (&fixes[left], &fixes[right]);
         let mut worst = 0.0f64;
-        for f in &fixes[left + 1..right] {
-            worst = worst.max(self.metric.distance(a, b, f));
+        for i in left + 1..right {
+            worst = worst.max(self.criterion.split_value(fixes, left, right, i));
         }
         worst
     }
 
-    /// [`BottomUp::merge_cost`] plus metric-evaluation accounting
+    /// [`BottomUp::merge_cost`] plus criterion-evaluation accounting
     /// (`right - left - 1` distance evaluations per call).
     #[inline]
     fn merge_cost_counted(&self, fixes: &[Fix], left: usize, right: usize, run: &mut AlgoRun) -> f64 {
         run.sed_evals((right - left).saturating_sub(1) as u64);
         self.merge_cost(fixes, left, right)
+    }
+
+    /// The merge loop shared by `compress` and `compress_into`: pops the
+    /// cheapest candidate, removes it while `halt` allows, and repairs
+    /// the neighbour candidates.
+    fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        let n = traj.len();
+        ws.begin(n);
+        if n <= 2 {
+            out.set_identity(n);
+            return;
+        }
+        let _span = traj_obs::span!("bottom_up.compress", points = n);
+        let fixes = traj.fixes();
+        let mut run = AlgoRun::new();
+        let threshold = self.criterion.split_threshold();
+        // Doubly linked list over surviving indices.
+        ws.prev.extend((0..n).map(|i| i.wrapping_sub(1)));
+        ws.next.extend(1..=n);
+        ws.keep.resize(n, true); // alive mask
+
+        for i in 1..n - 1 {
+            ws.merge_heap.push(MergeCand {
+                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
+                idx: i,
+                left: i - 1,
+                right: i + 1,
+            });
+        }
+
+        while let Some(c) = ws.merge_heap.pop() {
+            run.heap_pop();
+            // Lazy invalidation: skip stale entries.
+            if !ws.keep[c.idx] || ws.prev[c.idx] != c.left || ws.next[c.idx] != c.right {
+                continue;
+            }
+            if c.cost > threshold {
+                break; // cheapest removal already violates: done.
+            }
+            // Remove c.idx.
+            run.merge_step();
+            ws.keep[c.idx] = false;
+            ws.next[c.left] = c.right;
+            ws.prev[c.right] = c.left;
+            // Re-evaluate the neighbours' removal costs.
+            if c.left > 0 {
+                let (l, r) = (ws.prev[c.left], ws.next[c.left]);
+                ws.merge_heap.push(MergeCand {
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    idx: c.left,
+                    left: l,
+                    right: r,
+                });
+            }
+            if c.right < n - 1 {
+                let (l, r) = (ws.prev[c.right], ws.next[c.right]);
+                ws.merge_heap.push(MergeCand {
+                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    idx: c.right,
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+
+        out.reset(n);
+        out.kept.extend((0..n).filter(|&i| ws.keep[i]));
+        run.flush("bottom-up", n, out.kept.len());
     }
 }
 
@@ -105,8 +153,9 @@ impl BottomUp {
     /// Bottom-up merging under the paper's third halting condition (§2):
     /// "the sum of the errors of all segments exceeds a user-defined
     /// threshold". Merges cheapest-first while the *total* of
-    /// per-segment worst deviations stays within `total_budget` metres;
-    /// the per-point `epsilon` of `self` is ignored.
+    /// per-segment worst deviations (in the criterion's split-value
+    /// units) stays within `total_budget`; the per-point threshold of
+    /// `self` is ignored.
     ///
     /// # Panics
     /// Panics unless `total_budget` is finite and non-negative.
@@ -132,7 +181,7 @@ impl BottomUp {
 
         let mut heap = BinaryHeap::with_capacity(n);
         for i in 1..n - 1 {
-            heap.push(Cand {
+            heap.push(MergeCand {
                 cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
                 idx: i,
                 left: i - 1,
@@ -161,7 +210,7 @@ impl BottomUp {
             prev[c.right] = c.left;
             if c.left > 0 {
                 let (l, r) = (prev[c.left], next[c.left]);
-                heap.push(Cand {
+                heap.push(MergeCand {
                     cost: self.merge_cost_counted(fixes, l, r, &mut run),
                     idx: c.left,
                     left: l,
@@ -170,7 +219,7 @@ impl BottomUp {
             }
             if c.right < n - 1 {
                 let (l, r) = (prev[c.right], next[c.right]);
-                heap.push(Cand {
+                heap.push(MergeCand {
                     cost: self.merge_cost_counted(fixes, l, r, &mut run),
                     idx: c.right,
                     left: l,
@@ -187,71 +236,18 @@ impl BottomUp {
 
 impl Compressor for BottomUp {
     fn name(&self) -> String {
-        format!("bottom-up({},{}m)", self.metric.label(), self.epsilon)
+        format!("bottom-up({})", self.criterion.label())
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
-        let n = traj.len();
-        if n <= 2 {
-            return CompressionResult::identity(n);
-        }
-        let _span = traj_obs::span!("bottom_up.compress", points = n);
-        let fixes = traj.fixes();
-        let mut run = AlgoRun::new();
-        // Doubly linked list over surviving indices.
-        let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
-        let mut next: Vec<usize> = (1..=n).collect();
-        let mut alive = vec![true; n];
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        self.kernel(traj, &mut ws, &mut out);
+        out.take()
+    }
 
-        let mut heap = BinaryHeap::with_capacity(n);
-        for i in 1..n - 1 {
-            heap.push(Cand {
-                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
-                idx: i,
-                left: i - 1,
-                right: i + 1,
-            });
-        }
-
-        while let Some(c) = heap.pop() {
-            run.heap_pop();
-            // Lazy invalidation: skip stale entries.
-            if !alive[c.idx] || prev[c.idx] != c.left || next[c.idx] != c.right {
-                continue;
-            }
-            if c.cost > self.epsilon {
-                break; // cheapest removal already violates: done.
-            }
-            // Remove c.idx.
-            run.merge_step();
-            alive[c.idx] = false;
-            next[c.left] = c.right;
-            prev[c.right] = c.left;
-            // Re-evaluate the neighbours' removal costs.
-            if c.left > 0 {
-                let (l, r) = (prev[c.left], next[c.left]);
-                heap.push(Cand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
-                    idx: c.left,
-                    left: l,
-                    right: r,
-                });
-            }
-            if c.right < n - 1 {
-                let (l, r) = (prev[c.right], next[c.right]);
-                heap.push(Cand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
-                    idx: c.right,
-                    left: l,
-                    right: r,
-                });
-            }
-        }
-
-        let kept = (0..n).filter(|&i| alive[i]).collect();
-        let result = CompressionResult::new(kept, n);
-        run.flush("bottom-up", n, result.kept_len());
-        result
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.kernel(traj, ws, out);
     }
 }
 
@@ -313,7 +309,7 @@ mod tests {
     #[test]
     fn perpendicular_metric_variant_works() {
         let t = wiggle();
-        let r = BottomUp::new(Metric::Perpendicular, 20.0).compress(&t);
+        let r = BottomUp::perpendicular(20.0).compress(&t);
         assert!(r.kept_len() < t.len());
         assert!(r.kept_len() >= 2);
     }
@@ -325,6 +321,18 @@ mod tests {
         assert!(r.kept_len() <= t.len());
         assert_eq!(r.kept()[0], 0);
         assert_eq!(*r.kept().last().unwrap(), t.len() - 1);
+    }
+
+    #[test]
+    fn compress_into_matches_compress_and_reuses_buffers() {
+        let t = wiggle();
+        let bu = BottomUp::time_ratio(10.0);
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        for _ in 0..2 {
+            bu.compress_into(&t, &mut ws, &mut out);
+            assert_eq!(out.take(), bu.compress(&t));
+        }
     }
 
     #[test]
@@ -381,9 +389,6 @@ mod tests {
     #[test]
     fn name_lists_metric_and_threshold() {
         assert_eq!(BottomUp::time_ratio(25.0).name(), "bottom-up(tr,25m)");
-        assert_eq!(
-            BottomUp::new(Metric::Perpendicular, 25.0).name(),
-            "bottom-up(perp,25m)"
-        );
+        assert_eq!(BottomUp::perpendicular(25.0).name(), "bottom-up(perp,25m)");
     }
 }

@@ -1,0 +1,443 @@
+//! The unified discarding-criterion layer.
+//!
+//! Every compressor in this crate answers the same two questions about a
+//! candidate approximation segment `anchor → float`:
+//!
+//! 1. **Violation** — does intermediate point `i` deviate beyond the
+//!    configured threshold(s)? (The opening-window, sliding-window and
+//!    streaming families stop growing a segment on the first violation.)
+//! 2. **Split ranking** — *how badly* does point `i` deviate, on a scale
+//!    where exceeding [`SegmentCriterion::split_threshold`] means the
+//!    point must be kept? (The top-down and bottom-up families pick the
+//!    worst-ranked point.)
+//!
+//! [`SegmentCriterion`] captures both; the three implementations —
+//! [`Perpendicular`], [`TimeRatio`] and [`TimeRatioSpeed`] — cover the
+//! paper's whole algorithm matrix (§2 line-generalization baselines, §3.2
+//! time-ratio, §3.3 spatiotemporal). The [`Criterion`] enum is the
+//! value-level form carried by compressor structs and dispatches to the
+//! same implementations, so there is exactly one copy of each distance
+//! decision in the crate.
+//!
+//! All methods take a *slice* of fixes with indices relative to that
+//! slice: batch compressors pass the full trajectory, while
+//! [`crate::streaming::OwStream`] passes its buffered window — the
+//! decisions are identical because a window always contains the anchor
+//! and the scanned point's immediate neighbours.
+
+use crate::distance::{perpendicular_distance, sed};
+use traj_model::Fix;
+
+/// Absolute derived-speed difference `‖vᵢ − vᵢ₋₁‖` at slice index `i`
+/// (paper §3.3), or `None` when `i` has no two adjacent segments.
+#[inline]
+pub(crate) fn speed_difference_at(fixes: &[Fix], i: usize) -> Option<f64> {
+    if i == 0 || i + 1 >= fixes.len() {
+        return None;
+    }
+    let v_prev = fixes[i - 1].speed_to(&fixes[i])?;
+    let v_next = fixes[i].speed_to(&fixes[i + 1])?;
+    Some((v_next - v_prev).abs())
+}
+
+/// A discarding criterion for one approximation segment.
+///
+/// Implementations decide whether intermediate points of a candidate
+/// segment `fixes[anchor] → fixes[float]` are representable by that
+/// segment. See the [module docs](self) for the two query families.
+///
+/// ```
+/// use traj_compress::criterion::{SegmentCriterion, TimeRatio};
+/// use traj_model::Fix;
+///
+/// // A straight constant-speed run: no point violates a 1 m SED budget.
+/// let fixes: Vec<Fix> = (0..5)
+///     .map(|i| Fix::from_parts(i as f64 * 10.0, i as f64 * 100.0, 0.0))
+///     .collect();
+/// let c = TimeRatio { epsilon: 1.0 };
+/// assert_eq!(c.first_violation(&fixes, 0, 4), None);
+/// assert!(c.split_value(&fixes, 0, 4, 2) <= c.split_threshold());
+/// ```
+pub trait SegmentCriterion {
+    /// Report label fragment, e.g. `"tr,30m"`.
+    fn label(&self) -> String;
+
+    /// Whether intermediate point `i` of the window `anchor..float`
+    /// violates the criterion.
+    fn violates(&self, fixes: &[Fix], anchor: usize, float: usize, i: usize) -> bool;
+
+    /// Split-ranking value of interior point `i` for the segment
+    /// `lo → hi`: comparable across points, in the units fixed by
+    /// [`SegmentCriterion::split_threshold`]. A value strictly above the
+    /// threshold means the point violates.
+    fn split_value(&self, fixes: &[Fix], lo: usize, hi: usize, i: usize) -> f64;
+
+    /// The threshold [`SegmentCriterion::split_value`] is compared
+    /// against (the distance epsilon for single-threshold criteria, `1`
+    /// for the dimensionless blended score of [`TimeRatioSpeed`]).
+    fn split_threshold(&self) -> f64;
+
+    /// First intermediate index violating the criterion for the window
+    /// `anchor..float`, scanning forward (the paper's inner loop order).
+    #[inline]
+    fn first_violation(&self, fixes: &[Fix], anchor: usize, float: usize) -> Option<usize> {
+        (anchor + 1..float).find(|&i| self.violates(fixes, anchor, float, i))
+    }
+}
+
+/// Perpendicular distance to the anchor–float line — the classic
+/// line-generalization criterion (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perpendicular {
+    /// Distance threshold, metres.
+    pub epsilon: f64,
+}
+
+impl SegmentCriterion for Perpendicular {
+    fn label(&self) -> String {
+        format!("perp,{}m", self.epsilon)
+    }
+
+    #[inline]
+    fn violates(&self, fixes: &[Fix], anchor: usize, float: usize, i: usize) -> bool {
+        debug_assert!(anchor < i && i < float);
+        perpendicular_distance(&fixes[anchor], &fixes[float], &fixes[i]) > self.epsilon
+    }
+
+    #[inline]
+    fn split_value(&self, fixes: &[Fix], lo: usize, hi: usize, i: usize) -> f64 {
+        perpendicular_distance(&fixes[lo], &fixes[hi], &fixes[i])
+    }
+
+    #[inline]
+    fn split_threshold(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Synchronized (time-ratio) Euclidean distance — the spatiotemporal
+/// criterion of §3.2, equations (1)–(2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeRatio {
+    /// Distance threshold, metres.
+    pub epsilon: f64,
+}
+
+impl SegmentCriterion for TimeRatio {
+    fn label(&self) -> String {
+        format!("tr,{}m", self.epsilon)
+    }
+
+    #[inline]
+    fn violates(&self, fixes: &[Fix], anchor: usize, float: usize, i: usize) -> bool {
+        debug_assert!(anchor < i && i < float);
+        sed(&fixes[anchor], &fixes[float], &fixes[i]) > self.epsilon
+    }
+
+    #[inline]
+    fn split_value(&self, fixes: &[Fix], lo: usize, hi: usize, i: usize) -> f64 {
+        sed(&fixes[lo], &fixes[hi], &fixes[i])
+    }
+
+    #[inline]
+    fn split_threshold(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Synchronized distance **or** derived speed difference — the paper's
+/// §3.3 spatiotemporal criteria (SPT / OPW-SP / TD-SP).
+///
+/// A point violates when its SED exceeds `epsilon` or its derived speed
+/// difference exceeds `speed_epsilon`. The split-ranking value is the
+/// dimensionless blend `max(sed/epsilon, |Δv|/speed_epsilon)` (threshold
+/// `1`), which reduces to plain time-ratio ranking when `speed_epsilon`
+/// is infinite; the design rationale is recorded in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeRatioSpeed {
+    /// Distance threshold, metres.
+    pub epsilon: f64,
+    /// Speed-difference threshold, metres/second.
+    pub speed_epsilon: f64,
+}
+
+impl SegmentCriterion for TimeRatioSpeed {
+    fn label(&self) -> String {
+        format!("tr,{}m,{}m/s", self.epsilon, self.speed_epsilon)
+    }
+
+    #[inline]
+    fn violates(&self, fixes: &[Fix], anchor: usize, float: usize, i: usize) -> bool {
+        debug_assert!(anchor < i && i < float);
+        sed(&fixes[anchor], &fixes[float], &fixes[i]) > self.epsilon
+            || speed_difference_at(fixes, i).is_some_and(|dv| dv > self.speed_epsilon)
+    }
+
+    #[inline]
+    fn split_value(&self, fixes: &[Fix], lo: usize, hi: usize, i: usize) -> f64 {
+        let d = sed(&fixes[lo], &fixes[hi], &fixes[i]);
+        let ds = if self.epsilon > 0.0 {
+            d / self.epsilon
+        } else if d > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let vs = speed_difference_at(fixes, i)
+            .map(|dv| dv / self.speed_epsilon)
+            .unwrap_or(0.0);
+        ds.max(vs)
+    }
+
+    #[inline]
+    fn split_threshold(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The discarding criterion carried by the compressor structs, evaluated
+/// for every intermediate point of a candidate segment.
+///
+/// This is the value-level (enum) form of the three
+/// [`SegmentCriterion`] implementations; it implements the trait by
+/// dispatch, so enum-carrying compressors and trait-generic code share
+/// the same distance decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Criterion {
+    /// Perpendicular distance to the anchor–float line exceeds `epsilon`
+    /// (classic line generalization; NOPW/BOPW baselines).
+    Perpendicular {
+        /// Distance threshold, metres.
+        epsilon: f64,
+    },
+    /// Synchronized (time-ratio) distance exceeds `epsilon` (OPW-TR).
+    TimeRatio {
+        /// Distance threshold, metres.
+        epsilon: f64,
+    },
+    /// Synchronized distance exceeds `epsilon` **or** the derived speed
+    /// difference at the point exceeds `speed_epsilon` (OPW-SP / SPT).
+    TimeRatioSpeed {
+        /// Distance threshold, metres.
+        epsilon: f64,
+        /// Speed-difference threshold, metres/second.
+        speed_epsilon: f64,
+    },
+}
+
+impl Criterion {
+    /// Asserts the thresholds are usable: the distance threshold must be
+    /// finite and non-negative; the speed threshold must be non-negative
+    /// and not NaN (`+∞` is allowed and disables the speed check).
+    pub(crate) fn validate(&self) {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        match *self {
+            Criterion::Perpendicular { epsilon } | Criterion::TimeRatio { epsilon } => {
+                assert!(ok(epsilon), "epsilon must be finite and >= 0");
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                assert!(ok(epsilon), "epsilon must be finite and >= 0");
+                assert!(
+                    speed_epsilon >= 0.0 && !speed_epsilon.is_nan(),
+                    "speed_epsilon must be >= 0"
+                );
+            }
+        }
+    }
+
+    /// The distance threshold, metres.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        match *self {
+            Criterion::Perpendicular { epsilon }
+            | Criterion::TimeRatio { epsilon }
+            | Criterion::TimeRatioSpeed { epsilon, .. } => epsilon,
+        }
+    }
+
+    /// The speed-difference threshold (m/s), if this criterion has one.
+    #[inline]
+    pub fn speed_epsilon(&self) -> Option<f64> {
+        match *self {
+            Criterion::TimeRatioSpeed { speed_epsilon, .. } => Some(speed_epsilon),
+            _ => None,
+        }
+    }
+
+    /// The same criterion with the distance threshold replaced (the
+    /// speed threshold, if any, is preserved) — how a threshold sweep
+    /// derives its per-threshold compressors.
+    #[must_use]
+    pub fn with_epsilon(self, epsilon: f64) -> Self {
+        match self {
+            Criterion::Perpendicular { .. } => Criterion::Perpendicular { epsilon },
+            Criterion::TimeRatio { .. } => Criterion::TimeRatio { epsilon },
+            Criterion::TimeRatioSpeed { speed_epsilon, .. } => {
+                Criterion::TimeRatioSpeed { epsilon, speed_epsilon }
+            }
+        }
+    }
+}
+
+impl SegmentCriterion for Criterion {
+    fn label(&self) -> String {
+        match *self {
+            Criterion::Perpendicular { epsilon } => Perpendicular { epsilon }.label(),
+            Criterion::TimeRatio { epsilon } => TimeRatio { epsilon }.label(),
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                TimeRatioSpeed { epsilon, speed_epsilon }.label()
+            }
+        }
+    }
+
+    #[inline]
+    fn violates(&self, fixes: &[Fix], anchor: usize, float: usize, i: usize) -> bool {
+        match *self {
+            Criterion::Perpendicular { epsilon } => {
+                Perpendicular { epsilon }.violates(fixes, anchor, float, i)
+            }
+            Criterion::TimeRatio { epsilon } => {
+                TimeRatio { epsilon }.violates(fixes, anchor, float, i)
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                TimeRatioSpeed { epsilon, speed_epsilon }.violates(fixes, anchor, float, i)
+            }
+        }
+    }
+
+    #[inline]
+    fn split_value(&self, fixes: &[Fix], lo: usize, hi: usize, i: usize) -> f64 {
+        match *self {
+            Criterion::Perpendicular { epsilon } => {
+                Perpendicular { epsilon }.split_value(fixes, lo, hi, i)
+            }
+            Criterion::TimeRatio { epsilon } => {
+                TimeRatio { epsilon }.split_value(fixes, lo, hi, i)
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                TimeRatioSpeed { epsilon, speed_epsilon }.split_value(fixes, lo, hi, i)
+            }
+        }
+    }
+
+    #[inline]
+    fn split_threshold(&self) -> f64 {
+        match *self {
+            Criterion::Perpendicular { epsilon } | Criterion::TimeRatio { epsilon } => epsilon,
+            Criterion::TimeRatioSpeed { .. } => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(t: f64, x: f64, y: f64) -> Fix {
+        Fix::from_parts(t, x, y)
+    }
+
+    /// Straight in space, early in time: perp sees nothing, SED does.
+    fn temporal_outlier() -> Vec<Fix> {
+        vec![
+            fix(0.0, 0.0, 0.0),
+            fix(2.0, 8.0, 0.0),
+            fix(10.0, 10.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn perpendicular_ignores_time_time_ratio_does_not() {
+        let f = temporal_outlier();
+        assert!(!Perpendicular { epsilon: 1.0 }.violates(&f, 0, 2, 1));
+        assert!(TimeRatio { epsilon: 1.0 }.violates(&f, 0, 2, 1));
+        assert_eq!(TimeRatio { epsilon: 1.0 }.split_value(&f, 0, 2, 1), 6.0);
+    }
+
+    #[test]
+    fn enum_dispatch_matches_struct_impls() {
+        let f = temporal_outlier();
+        let cases: [(Criterion, bool); 3] = [
+            (Criterion::Perpendicular { epsilon: 1.0 }, false),
+            (Criterion::TimeRatio { epsilon: 1.0 }, true),
+            (
+                Criterion::TimeRatioSpeed { epsilon: 1.0, speed_epsilon: 1e9 },
+                true,
+            ),
+        ];
+        for (c, expect) in cases {
+            assert_eq!(c.violates(&f, 0, 2, 1), expect, "{c:?}");
+        }
+        assert_eq!(
+            Criterion::TimeRatio { epsilon: 1.0 }.split_value(&f, 0, 2, 1),
+            TimeRatio { epsilon: 1.0 }.split_value(&f, 0, 2, 1),
+        );
+    }
+
+    #[test]
+    fn speed_blend_reduces_to_time_ratio_at_infinite_speed_threshold() {
+        let f = temporal_outlier();
+        let trs = TimeRatioSpeed { epsilon: 3.0, speed_epsilon: f64::INFINITY };
+        let tr = TimeRatio { epsilon: 3.0 };
+        assert_eq!(
+            trs.split_value(&f, 0, 2, 1),
+            tr.split_value(&f, 0, 2, 1) / 3.0,
+        );
+        assert_eq!(trs.violates(&f, 0, 2, 1), tr.violates(&f, 0, 2, 1));
+    }
+
+    #[test]
+    fn speed_difference_slice_matches_trajectory_form() {
+        let f = vec![
+            fix(0.0, 0.0, 0.0),
+            fix(10.0, 10.0, 0.0),
+            fix(20.0, 40.0, 0.0),
+        ];
+        assert_eq!(speed_difference_at(&f, 1), Some(2.0));
+        assert_eq!(speed_difference_at(&f, 0), None);
+        assert_eq!(speed_difference_at(&f, 2), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Criterion::Perpendicular { epsilon: 30.0 }.label(), "perp,30m");
+        assert_eq!(Criterion::TimeRatio { epsilon: 30.0 }.label(), "tr,30m");
+        assert_eq!(
+            Criterion::TimeRatioSpeed { epsilon: 30.0, speed_epsilon: 5.0 }.label(),
+            "tr,30m,5m/s"
+        );
+    }
+
+    #[test]
+    fn with_epsilon_preserves_shape_and_speed() {
+        let c = Criterion::TimeRatioSpeed { epsilon: 30.0, speed_epsilon: 5.0 };
+        assert_eq!(
+            c.with_epsilon(60.0),
+            Criterion::TimeRatioSpeed { epsilon: 60.0, speed_epsilon: 5.0 }
+        );
+        assert_eq!(
+            Criterion::Perpendicular { epsilon: 1.0 }.with_epsilon(2.0).epsilon(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn split_thresholds() {
+        assert_eq!(Criterion::TimeRatio { epsilon: 30.0 }.split_threshold(), 30.0);
+        assert_eq!(
+            Criterion::TimeRatioSpeed { epsilon: 30.0, speed_epsilon: 5.0 }.split_threshold(),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn validate_rejects_nan() {
+        Criterion::TimeRatio { epsilon: f64::NAN }.validate();
+    }
+
+    #[test]
+    fn validate_allows_infinite_speed_threshold() {
+        Criterion::TimeRatioSpeed { epsilon: 1.0, speed_epsilon: f64::INFINITY }.validate();
+    }
+}

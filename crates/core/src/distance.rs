@@ -7,41 +7,11 @@
 //! *synchronized Euclidean distance* (SED) compares the original point
 //! with where the approximated object would be *at the same instant*
 //! (§3.2, Fig. 4).
+//!
+//! This module holds only the raw distance functions; the thresholded
+//! *decisions* built on them live in [`crate::criterion`].
 
 use traj_model::{Fix, Trajectory};
-
-/// Which distance a top-down or opening-window algorithm uses to decide
-/// whether a data point is representable by the current anchor–float
-/// segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Metric {
-    /// Perpendicular distance from the point to the anchor–float line —
-    /// the classic line-generalization criterion (paper §2).
-    Perpendicular,
-    /// Synchronized (time-ratio) Euclidean distance — the spatiotemporal
-    /// criterion of §3.2, equations (1)–(2).
-    TimeRatio,
-}
-
-impl Metric {
-    /// Distance of `point` from the `anchor`–`float` approximation under
-    /// this metric.
-    #[inline]
-    pub fn distance(self, anchor: &Fix, float: &Fix, point: &Fix) -> f64 {
-        match self {
-            Metric::Perpendicular => perpendicular_distance(anchor, float, point),
-            Metric::TimeRatio => sed(anchor, float, point),
-        }
-    }
-
-    /// Report name used in experiment tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            Metric::Perpendicular => "perp",
-            Metric::TimeRatio => "tr",
-        }
-    }
-}
 
 /// Perpendicular distance from `point` to the infinite line through
 /// `anchor` and `float` (spatial projection; time ignored).
@@ -69,13 +39,7 @@ pub fn sed(anchor: &Fix, float: &Fix, point: &Fix) -> f64 {
 /// validated [`Trajectory`]).
 #[inline]
 pub fn speed_difference(traj: &Trajectory, i: usize) -> Option<f64> {
-    if i == 0 || i + 1 >= traj.len() {
-        return None;
-    }
-    let f = traj.fixes();
-    let v_prev = f[i - 1].speed_to(&f[i])?;
-    let v_next = f[i].speed_to(&f[i + 1])?;
-    Some((v_next - v_prev).abs())
+    crate::criterion::speed_difference_at(traj.fixes(), i)
 }
 
 #[cfg(test)]
@@ -129,17 +93,6 @@ mod tests {
         // Fix::interpolate handles the endpoints.
         assert_eq!(sed(&a, &b, &a), 0.0);
         assert_eq!(sed(&a, &b, &b), 0.0);
-    }
-
-    #[test]
-    fn metric_dispatch() {
-        let a = fix(0.0, 0.0, 0.0);
-        let b = fix(10.0, 10.0, 0.0);
-        let p = fix(2.0, 8.0, 0.0);
-        assert_eq!(Metric::Perpendicular.distance(&a, &b, &p), 0.0);
-        assert_eq!(Metric::TimeRatio.distance(&a, &b, &p), 6.0);
-        assert_eq!(Metric::Perpendicular.label(), "perp");
-        assert_eq!(Metric::TimeRatio.label(), "tr");
     }
 
     #[test]

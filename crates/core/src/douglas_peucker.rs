@@ -1,16 +1,19 @@
-//! Top-down splitting algorithms: Douglas–Peucker and TD-TR.
+//! Top-down splitting algorithms: Douglas–Peucker, TD-TR and TD-SP.
 //!
 //! The top-down class (paper §2.1) recursively partitions the series at
 //! the data point farthest from the current anchor–float approximation
 //! until every point is within the threshold. With the perpendicular
-//! metric this is the classic Douglas–Peucker ("NDP" in the paper's
-//! experiments, Fig. 7); with the synchronized time-ratio metric it is
-//! the paper's **TD-TR** (§3.2).
+//! criterion this is the classic Douglas–Peucker ("NDP" in the paper's
+//! experiments, Fig. 7); with the synchronized time-ratio criterion it is
+//! the paper's **TD-TR** (§3.2); with the blended spatiotemporal
+//! criterion it is **TD-SP** (§3.3, see [`crate::TdSp`]).
 //!
 //! Three engines are provided:
 //!
-//! * [`TopDown::compress`] — iterative with an explicit stack (no
-//!   recursion-depth hazard on pathological inputs); the production path;
+//! * [`TopDown::compress`] / [`Compressor::compress_into`] — iterative
+//!   with an explicit stack borrowed from a [`Workspace`] (no
+//!   recursion-depth hazard, no per-call allocation when warm); the
+//!   production path;
 //! * [`TopDown::compress_recursive`] — direct transcription of the
 //!   textbook recursion, kept as an executable specification and used by
 //!   equivalence tests and the ablation bench;
@@ -21,22 +24,24 @@
 //! Complexity: `O(N²)` worst case, `O(N log N)` typical, matching the
 //! paper's statement for the original algorithm. (Hershberger & Snoeyink's
 //! `O(N log N)` path-hull variant applies only to the perpendicular
-//! metric; the SED metric has no such convexity structure, so we keep the
-//! uniform implementation for both.)
+//! criterion; the SED criterion has no such convexity structure, so we
+//! keep the uniform implementation for all three.) For multi-threshold
+//! evaluation see [`TopDown::sweep`], which exploits the
+//! threshold-independence of the split tree.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::distance::Metric;
+use crate::criterion::{Criterion, SegmentCriterion};
 use crate::obs::AlgoRun;
-use crate::result::{CompressionResult, Compressor};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
 use traj_model::{Fix, Trajectory};
 
-/// Generic top-down splitter over a [`Metric`].
+/// Generic top-down splitter over a [`Criterion`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopDown {
-    metric: Metric,
-    epsilon: f64,
+    criterion: Criterion,
 }
 
 /// Classic Douglas–Peucker on perpendicular distance — the paper's NDP
@@ -49,57 +54,76 @@ pub struct DouglasPeucker(TopDown);
 pub struct TdTr(TopDown);
 
 impl TopDown {
-    /// Creates a top-down splitter with distance threshold `epsilon`
-    /// metres under `metric`.
+    /// Creates a top-down splitter over `criterion`.
     ///
     /// # Panics
-    /// Panics unless `epsilon` is finite and non-negative.
-    pub fn new(metric: Metric, epsilon: f64) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "epsilon must be finite and >= 0"
-        );
-        TopDown { metric, epsilon }
+    /// Panics unless the criterion's thresholds are valid (finite
+    /// non-negative distance epsilon; non-NaN non-negative speed
+    /// epsilon).
+    pub fn new(criterion: Criterion) -> Self {
+        criterion.validate();
+        TopDown { criterion }
+    }
+
+    /// Top-down splitting on perpendicular distance (NDP) with threshold
+    /// `epsilon` metres.
+    pub fn perpendicular(epsilon: f64) -> Self {
+        TopDown::new(Criterion::Perpendicular { epsilon })
+    }
+
+    /// Top-down splitting on synchronized distance (TD-TR) with
+    /// threshold `epsilon` metres.
+    pub fn time_ratio(epsilon: f64) -> Self {
+        TopDown::new(Criterion::TimeRatio { epsilon })
+    }
+
+    /// Top-down splitting on the blended spatiotemporal criterion
+    /// (TD-SP) with SED threshold `epsilon` metres and speed threshold
+    /// `speed_epsilon` m/s.
+    pub fn time_ratio_speed(epsilon: f64, speed_epsilon: f64) -> Self {
+        TopDown::new(Criterion::TimeRatioSpeed { epsilon, speed_epsilon })
     }
 
     /// The distance threshold, metres.
     #[inline]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.criterion.epsilon()
     }
 
-    /// The splitting metric.
+    /// The splitting criterion.
     #[inline]
-    pub fn metric(&self) -> Metric {
-        self.metric
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
     }
 
-    /// Static metric-family name for metric labels (threshold-free, so
+    /// Static algorithm-family name for metric labels (threshold-free, so
     /// label cardinality stays bounded).
-    fn family(&self) -> &'static str {
-        match self.metric {
-            Metric::Perpendicular => "ndp",
-            Metric::TimeRatio => "td-tr",
+    pub(crate) fn family(&self) -> &'static str {
+        match self.criterion {
+            Criterion::Perpendicular { .. } => "ndp",
+            Criterion::TimeRatio { .. } => "td-tr",
+            Criterion::TimeRatioSpeed { .. } => "td-sp",
         }
     }
 
-    /// Number of metric evaluations one `farthest(lo, hi)` call performs.
+    /// Number of criterion evaluations one `farthest(lo, hi)` call
+    /// performs.
     #[inline]
-    fn evals(lo: usize, hi: usize) -> u64 {
+    pub(crate) fn evals(lo: usize, hi: usize) -> u64 {
         (hi - lo).saturating_sub(1) as u64
     }
 
-    /// Interior point of `fixes[lo..=hi]` with the maximum metric
-    /// distance from the `lo`–`hi` approximation, or `None` when there is
-    /// no interior point.
-    fn farthest(&self, fixes: &[Fix], lo: usize, hi: usize) -> Option<(usize, f64)> {
+    /// Interior point of `fixes[lo..=hi]` with the maximum split-ranking
+    /// value relative to the `lo`–`hi` approximation, or `None` when
+    /// there is no interior point. Ties resolve to the first (lowest
+    /// index) maximum.
+    pub(crate) fn farthest(&self, fixes: &[Fix], lo: usize, hi: usize) -> Option<(usize, f64)> {
         if hi <= lo + 1 {
             return None;
         }
-        let (anchor, float) = (&fixes[lo], &fixes[hi]);
         let mut best = (lo + 1, f64::NEG_INFINITY);
-        for (i, f) in fixes.iter().enumerate().take(hi).skip(lo + 1) {
-            let d = self.metric.distance(anchor, float, f);
+        for i in lo + 1..hi {
+            let d = self.criterion.split_value(fixes, lo, hi, i);
             if d > best.1 {
                 best = (i, d);
             }
@@ -107,44 +131,45 @@ impl TopDown {
         Some(best)
     }
 
-    /// Iterative (explicit stack) compression — the production engine.
-    fn compress_impl(&self, traj: &Trajectory) -> CompressionResult {
+    /// Iterative (explicit stack) kernel — the production engine behind
+    /// both `compress` and `compress_into`.
+    fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
         let n = traj.len();
+        ws.begin(n);
         if n <= 2 {
-            return CompressionResult::identity(n);
+            out.set_identity(n);
+            return;
         }
-        let _span = match self.metric {
-            Metric::Perpendicular => traj_obs::span!("ndp.compress", points = n),
-            Metric::TimeRatio => traj_obs::span!("td_tr.compress", points = n),
+        let _span = match self.criterion {
+            Criterion::Perpendicular { .. } => traj_obs::span!("ndp.compress", points = n),
+            Criterion::TimeRatio { .. } => traj_obs::span!("td_tr.compress", points = n),
+            Criterion::TimeRatioSpeed { .. } => traj_obs::span!("td_sp.compress", points = n),
         };
         let mut run = AlgoRun::new();
         let fixes = traj.fixes();
-        let mut keep = vec![false; n];
-        keep[0] = true;
-        keep[n - 1] = true;
+        let threshold = self.criterion.split_threshold();
+        ws.keep.resize(n, false);
+        ws.keep[0] = true;
+        ws.keep[n - 1] = true;
         // The third element is the split depth, fed to the `dp_depth`
         // histogram (max over the run ≙ the recursion depth the textbook
         // formulation would reach).
-        let mut stack = vec![(0usize, n - 1, 1u32)];
-        while let Some((lo, hi, depth)) = stack.pop() {
+        ws.stack.push((0, n - 1, 1));
+        while let Some((lo, hi, depth)) = ws.stack.pop() {
             run.depth(u64::from(depth));
             run.sed_evals(Self::evals(lo, hi));
             if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
-                if dist > self.epsilon {
-                    keep[split] = true;
-                    stack.push((lo, split, depth + 1));
-                    stack.push((split, hi, depth + 1));
+                if dist > threshold {
+                    ws.keep[split] = true;
+                    ws.stack.push((lo, split, depth + 1));
+                    ws.stack.push((split, hi, depth + 1));
                 }
             }
         }
-        let kept = keep
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &k)| k.then_some(i))
-            .collect();
-        let result = CompressionResult::new(kept, n);
-        run.flush(self.family(), n, result.kept_len());
-        result
+        out.reset(n);
+        out.kept
+            .extend(ws.keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)));
+        run.flush(self.family(), n, out.kept.len());
     }
 
     /// Reference recursion, equivalent to [`TopDown::compress`]; exposed
@@ -176,7 +201,7 @@ impl TopDown {
         run.depth(u64::from(depth));
         run.sed_evals(Self::evals(lo, hi));
         if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
-            if dist > self.epsilon {
+            if dist > self.criterion.split_threshold() {
                 self.recurse(fixes, lo, split, kept, depth + 1, run);
                 kept.push(split);
                 self.recurse(fixes, split, hi, kept, depth + 1, run);
@@ -258,21 +283,31 @@ impl TopDown {
 
 impl Compressor for TopDown {
     fn name(&self) -> String {
-        match self.metric {
-            Metric::Perpendicular => format!("ndp({}m)", self.epsilon),
-            Metric::TimeRatio => format!("td-tr({}m)", self.epsilon),
+        match self.criterion {
+            Criterion::Perpendicular { epsilon } => format!("ndp({epsilon}m)"),
+            Criterion::TimeRatio { epsilon } => format!("td-tr({epsilon}m)"),
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                format!("td-sp({epsilon}m,{speed_epsilon}m/s)")
+            }
         }
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
-        self.compress_impl(traj)
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        self.kernel(traj, &mut ws, &mut out);
+        out.take()
+    }
+
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.kernel(traj, ws, out);
     }
 }
 
 impl DouglasPeucker {
     /// Douglas–Peucker with perpendicular threshold `epsilon` metres.
     pub fn new(epsilon: f64) -> Self {
-        DouglasPeucker(TopDown::new(Metric::Perpendicular, epsilon))
+        DouglasPeucker(TopDown::perpendicular(epsilon))
     }
 
     /// The underlying generic splitter.
@@ -284,7 +319,7 @@ impl DouglasPeucker {
 impl TdTr {
     /// TD-TR with synchronized-distance threshold `epsilon` metres.
     pub fn new(epsilon: f64) -> Self {
-        TdTr(TopDown::new(Metric::TimeRatio, epsilon))
+        TdTr(TopDown::time_ratio(epsilon))
     }
 
     /// The underlying generic splitter.
@@ -300,6 +335,9 @@ impl Compressor for DouglasPeucker {
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
         self.0.compress(traj)
     }
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.0.compress_into(traj, ws, out)
+    }
 }
 
 impl Compressor for TdTr {
@@ -308,6 +346,9 @@ impl Compressor for TdTr {
     }
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
         self.0.compress(traj)
+    }
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.0.compress_into(traj, ws, out)
     }
 }
 
@@ -372,14 +413,26 @@ mod tests {
     #[test]
     fn iterative_equals_recursive() {
         for eps in [0.0, 1.0, 5.0, 50.0] {
-            for metric in [Metric::Perpendicular, Metric::TimeRatio] {
-                let td = TopDown::new(metric, eps);
+            for td in [TopDown::perpendicular(eps), TopDown::time_ratio(eps)] {
                 assert_eq!(
                     td.compress(&spike()).kept(),
                     td.compress_recursive(&spike()).kept(),
-                    "eps={eps} metric={metric:?}"
+                    "eps={eps} criterion={:?}",
+                    td.criterion()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn compress_into_reuses_workspace() {
+        let t = spike();
+        let td = TopDown::time_ratio(3.0);
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        for _ in 0..3 {
+            td.compress_into(&t, &mut ws, &mut out);
+            assert_eq!(out.to_result(), td.compress(&t));
         }
     }
 
@@ -404,21 +457,21 @@ mod tests {
     fn compress_to_count_hits_target() {
         let t = spike();
         for target in 2..=7 {
-            let r = TopDown::new(Metric::TimeRatio, 0.0).compress_to_count(&t, target);
+            let r = TopDown::time_ratio(0.0).compress_to_count(&t, target);
             assert_eq!(r.kept_len(), target, "target {target}");
         }
     }
 
     #[test]
     fn compress_to_count_keeps_worst_point_first() {
-        let r = TopDown::new(Metric::Perpendicular, 0.0).compress_to_count(&spike(), 3);
+        let r = TopDown::perpendicular(0.0).compress_to_count(&spike(), 3);
         assert_eq!(r.kept(), &[0, 3, 6], "the spike is the worst deviation");
     }
 
     #[test]
     fn compress_to_count_degenerate_targets() {
         let t = spike();
-        let td = TopDown::new(Metric::Perpendicular, 0.0);
+        let td = TopDown::perpendicular(0.0);
         assert_eq!(td.compress_to_count(&t, 0).kept(), &[0, 6]);
         assert_eq!(td.compress_to_count(&t, 100).kept_len(), 7);
     }
@@ -440,7 +493,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "epsilon")]
     fn rejects_negative_epsilon() {
-        let _ = TopDown::new(Metric::Perpendicular, -1.0);
+        let _ = TopDown::perpendicular(-1.0);
     }
 
     /// Deltas only (the registry is global and tests run in parallel).
@@ -460,6 +513,24 @@ mod tests {
         assert!(points_in.get() >= i0 + 7);
         assert!(points_out.get() >= o0 + result.kept_len() as u64);
         assert!(depth.count() > d0, "one dp_depth observation per run");
+    }
+
+    /// Deltas only (the registry is global and tests run in parallel).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn warm_workspace_reuse_is_counted() {
+        let r = traj_obs::registry();
+        let reuse = r.counter("ws", "reuse");
+        let bytes = r.counter("ws", "bytes_saved");
+        let td = TopDown::time_ratio(3.0);
+        let t = spike();
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        td.compress_into(&t, &mut ws, &mut out); // cold: buffers empty
+        let (r0, b0) = (reuse.get(), bytes.get());
+        td.compress_into(&t, &mut ws, &mut out); // warm
+        assert!(reuse.get() > r0, "warm run must count a reuse");
+        assert!(bytes.get() > b0, "warm run must credit bytes");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! path-hull structure with its split/undo machinery, which guarantees
 //! `O(N log N)` but is substantially more code; the honest trade-off is
 //! recorded here and measured in the `ablation_dp_variants` bench.
+//! Per-node point and hull buffers are borrowed from the shared
+//! [`Workspace`] on the `compress_into` path, so a warm workspace makes
+//! the whole run allocation-free.
 //!
 //! Only the **perpendicular** metric has this hull structure: the
 //! synchronized distance of TD-TR couples space with time and its
@@ -28,7 +31,8 @@
 //! under exact ties the split choice may differ while both outputs
 //! satisfy the same ε-postcondition.
 
-use crate::result::{CompressionResult, Compressor};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
 use traj_geom::Point2;
 use traj_model::{Fix, Trajectory};
 
@@ -56,22 +60,51 @@ impl HullDouglasPeucker {
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        let n = traj.len();
+        ws.begin(n);
+        if n <= 2 {
+            out.set_identity(n);
+            return;
+        }
+        let fixes = traj.fixes();
+        ws.keep.resize(n, false);
+        ws.keep[0] = true;
+        ws.keep[n - 1] = true;
+        ws.stack.push((0, n - 1, 0));
+        while let Some((lo, hi, _)) = ws.stack.pop() {
+            if let Some((split, dist)) = farthest_via_hull(fixes, lo, hi, &mut ws.pts, &mut ws.hull)
+            {
+                if dist > self.epsilon {
+                    ws.keep[split] = true;
+                    ws.stack.push((lo, split, 0));
+                    ws.stack.push((split, hi, 0));
+                }
+            }
+        }
+        out.reset(n);
+        out.kept
+            .extend(ws.keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)));
+    }
 }
 
-/// Monotone-chain convex hull over `(original_index, position)` pairs.
-/// Returns hull members (indices into `pts`), counter-clockwise,
-/// collinear points excluded. Input is sorted in place.
-fn convex_hull(pts: &mut Vec<(usize, Point2)>) -> Vec<usize> {
+/// Monotone-chain convex hull over `(original_index, position)` pairs,
+/// written into `hull` as original indices, counter-clockwise, collinear
+/// points excluded. Input is sorted in place; `hull` is cleared first.
+fn convex_hull(pts: &mut Vec<(usize, Point2)>, hull: &mut Vec<usize>) {
+    hull.clear();
     pts.sort_unstable_by(|a, b| {
         a.1.x.total_cmp(&b.1.x).then_with(|| a.1.y.total_cmp(&b.1.y))
     });
     pts.dedup_by(|a, b| a.1 == b.1);
     let n = pts.len();
     if n <= 2 {
-        return pts.iter().map(|&(i, _)| i).collect();
+        hull.extend(pts.iter().map(|&(i, _)| i));
+        return;
     }
     let cross = |o: Point2, a: Point2, b: Point2| (a - o).cross(b - o);
-    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Build with indices into `pts`, remap to original indices at the end.
     // Lower hull.
     for (k, &(_, p)) in pts.iter().enumerate() {
         while hull.len() >= 2
@@ -92,21 +125,30 @@ fn convex_hull(pts: &mut Vec<(usize, Point2)>) -> Vec<usize> {
         hull.push(k);
     }
     hull.pop(); // first point repeated
-    hull.into_iter().map(|k| pts[k].0).collect()
+    for h in hull.iter_mut() {
+        *h = pts[*h].0;
+    }
 }
 
 /// Farthest interior point (by perpendicular distance to the `lo`–`hi`
-/// line) among `fixes[lo+1..hi]`, via the convex hull.
-fn farthest_via_hull(fixes: &[Fix], lo: usize, hi: usize) -> Option<(usize, f64)> {
+/// line) among `fixes[lo+1..hi]`, via the convex hull. `pts` and `hull`
+/// are scratch buffers; their contents on entry are ignored.
+fn farthest_via_hull(
+    fixes: &[Fix],
+    lo: usize,
+    hi: usize,
+    pts: &mut Vec<(usize, Point2)>,
+    hull: &mut Vec<usize>,
+) -> Option<(usize, f64)> {
     if hi <= lo + 1 {
         return None;
     }
     let seg = traj_geom::Segment::new(fixes[lo].pos, fixes[hi].pos);
-    let mut pts: Vec<(usize, Point2)> =
-        (lo + 1..hi).map(|i| (i, fixes[i].pos)).collect();
-    let hull = convex_hull(&mut pts);
+    pts.clear();
+    pts.extend((lo + 1..hi).map(|i| (i, fixes[i].pos)));
+    convex_hull(pts, hull);
     let mut best: Option<(usize, f64)> = None;
-    for i in hull {
+    for &i in hull.iter() {
         let d = seg.line_distance(fixes[i].pos);
         match best {
             Some((_, bd)) if d <= bd => {}
@@ -123,30 +165,14 @@ impl Compressor for HullDouglasPeucker {
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
-        let n = traj.len();
-        if n <= 2 {
-            return CompressionResult::identity(n);
-        }
-        let fixes = traj.fixes();
-        let mut keep = vec![false; n];
-        keep[0] = true;
-        keep[n - 1] = true;
-        let mut stack = vec![(0usize, n - 1)];
-        while let Some((lo, hi)) = stack.pop() {
-            if let Some((split, dist)) = farthest_via_hull(fixes, lo, hi) {
-                if dist > self.epsilon {
-                    keep[split] = true;
-                    stack.push((lo, split));
-                    stack.push((split, hi));
-                }
-            }
-        }
-        let kept = keep
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &k)| k.then_some(i))
-            .collect();
-        CompressionResult::new(kept, n)
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        self.kernel(traj, &mut ws, &mut out);
+        out.take()
+    }
+
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.kernel(traj, ws, out);
     }
 }
 
@@ -235,9 +261,22 @@ mod tests {
             (2, Point2::new(5.0, 8.0)),
             (3, Point2::new(5.0, 2.0)), // interior
         ];
-        let hull = convex_hull(&mut pts);
+        let mut hull = Vec::new();
+        convex_hull(&mut pts, &mut hull);
         assert_eq!(hull.len(), 3);
         assert!(!hull.contains(&3), "interior point must be excluded");
+    }
+
+    #[test]
+    fn compress_into_matches_compress_with_warm_workspace() {
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        for seed in [7, 8] {
+            let t = noisy(200, seed);
+            let dp = HullDouglasPeucker::new(15.0);
+            dp.compress_into(&t, &mut ws, &mut out);
+            assert_eq!(out.take(), dp.compress(&t));
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //! ```
 
 pub mod bottom_up;
+pub mod criterion;
 pub mod dead_reckoning;
 pub(crate) mod obs;
 pub mod distance;
@@ -84,19 +85,23 @@ pub mod simple;
 pub mod sliding_window;
 pub mod spt;
 pub mod streaming;
+pub mod sweep;
 pub mod td_sp;
+pub mod workspace;
 
 pub use bottom_up::BottomUp;
+pub use criterion::{Criterion, Perpendicular, SegmentCriterion, TimeRatio, TimeRatioSpeed};
 pub use dead_reckoning::DeadReckoning;
-pub use distance::{perpendicular_distance, sed, speed_difference, Metric};
+pub use distance::{perpendicular_distance, sed, speed_difference};
 pub use douglas_peucker::{DouglasPeucker, TdTr, TopDown};
 pub use error::{average_synchronous_error, evaluate, Evaluation};
 pub use hull_dp::HullDouglasPeucker;
-pub use opening_window::{BreakStrategy, Criterion, OpeningWindow};
+pub use opening_window::{BreakStrategy, OpeningWindow};
 pub use parallel::compress_all;
-pub use result::{CompressionResult, Compressor};
+pub use result::{CompressionResult, CompressionResultBuf, Compressor, InvalidResult};
 pub use segmentation::{detect_stops, segment_stops_moves, stop_ratio, Episode, Stop};
 pub use simple::{DistanceThreshold, UniformSample};
 pub use sliding_window::SlidingWindow;
 pub use spt::spt;
 pub use td_sp::TdSp;
+pub use workspace::Workspace;

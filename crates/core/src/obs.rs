@@ -25,11 +25,26 @@
 //! | `forced_cuts`    | counter   | stream cuts forced by `max_window` |
 //! | `merge_steps`    | counter   | bottom-up merges executed |
 //! | `heap_pops`      | counter   | candidate-heap pops |
+//!
+//! The workspace layer flushes two more (subsystem `ws`, unlabeled):
+//! `ws.reuse` counts `compress_into` calls served by a warm
+//! [`crate::Workspace`], and `ws.bytes_saved` the approximate scratch
+//! bytes those calls did not have to allocate.
 
 #[cfg(not(feature = "obs"))]
 pub(crate) use disabled::AlgoRun;
 #[cfg(feature = "obs")]
 pub(crate) use enabled::AlgoRun;
+
+/// Credits one warm-workspace run to the `ws.reuse` / `ws.bytes_saved`
+/// counters. Called once per `compress_into` on a non-cold workspace —
+/// the same flush-once discipline as [`AlgoRun`].
+#[cfg(feature = "obs")]
+pub(crate) fn note_workspace_reuse(bytes: u64) {
+    let r = traj_obs::registry();
+    r.counter("ws", "reuse").inc();
+    r.counter("ws", "bytes_saved").add(bytes);
+}
 
 #[cfg(feature = "obs")]
 mod enabled {

@@ -13,11 +13,12 @@
 //!   ([`BreakStrategy::BeforeFloat`], BOPW, which the paper finds
 //!   compresses more but errs more, Fig. 8).
 //!
-//! The criterion is pluggable ([`Criterion`]): perpendicular distance
-//! yields the classic baselines, the synchronized time-ratio distance
-//! yields **OPW-TR** (§3.2), and time-ratio plus the derived
-//! speed-difference threshold yields **OPW-SP**, the opening-window form
-//! of the paper's SPT algorithm (§3.3).
+//! The criterion is pluggable ([`Criterion`], re-exported from
+//! [`crate::criterion`]): perpendicular distance yields the classic
+//! baselines, the synchronized time-ratio distance yields **OPW-TR**
+//! (§3.2), and time-ratio plus the derived speed-difference threshold
+//! yields **OPW-SP**, the opening-window form of the paper's SPT
+//! algorithm (§3.3).
 //!
 //! OW algorithms are *online*: they never look past the current float.
 //! [`crate::streaming::OwStream`] exposes exactly this engine
@@ -27,9 +28,11 @@
 //! The paper notes OW algorithms "may lose the last few data points";
 //! as countermeasure the final data point is always emitted.
 
-use crate::distance::{sed, speed_difference, Metric};
+pub use crate::criterion::Criterion;
+use crate::criterion::SegmentCriterion;
 use crate::obs::AlgoRun;
-use crate::result::{CompressionResult, Compressor};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
 use traj_model::Trajectory;
 
 /// What becomes the break point when the window can no longer be opened.
@@ -40,88 +43,6 @@ pub enum BreakStrategy {
     /// Break at the data point just before the float — the last float
     /// position for which the window was still valid (BOPW; paper Fig. 3).
     BeforeFloat,
-}
-
-/// The discarding criterion evaluated for every intermediate point of the
-/// open window.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Criterion {
-    /// Perpendicular distance to the anchor–float line exceeds `epsilon`
-    /// (classic line generalization; NOPW/BOPW baselines).
-    Perpendicular {
-        /// Distance threshold, metres.
-        epsilon: f64,
-    },
-    /// Synchronized (time-ratio) distance exceeds `epsilon` (OPW-TR).
-    TimeRatio {
-        /// Distance threshold, metres.
-        epsilon: f64,
-    },
-    /// Synchronized distance exceeds `epsilon` **or** the derived speed
-    /// difference at the point exceeds `speed_epsilon` (OPW-SP / SPT).
-    TimeRatioSpeed {
-        /// Distance threshold, metres.
-        epsilon: f64,
-        /// Speed-difference threshold, metres/second.
-        speed_epsilon: f64,
-    },
-}
-
-impl Criterion {
-    fn validate(&self) {
-        let ok = |v: f64| v.is_finite() && v >= 0.0;
-        match *self {
-            Criterion::Perpendicular { epsilon } | Criterion::TimeRatio { epsilon } => {
-                assert!(ok(epsilon), "epsilon must be finite and >= 0");
-            }
-            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
-                assert!(ok(epsilon), "epsilon must be finite and >= 0");
-                assert!(ok(speed_epsilon), "speed_epsilon must be finite and >= 0");
-            }
-        }
-    }
-
-    /// Whether intermediate point `i` of the window `anchor..float`
-    /// violates the criterion.
-    #[inline]
-    pub(crate) fn violates(
-        &self,
-        traj: &Trajectory,
-        anchor: usize,
-        float: usize,
-        i: usize,
-    ) -> bool {
-        debug_assert!(anchor < i && i < float);
-        let f = traj.fixes();
-        match *self {
-            Criterion::Perpendicular { epsilon } => {
-                Metric::Perpendicular.distance(&f[anchor], &f[float], &f[i]) > epsilon
-            }
-            Criterion::TimeRatio { epsilon } => sed(&f[anchor], &f[float], &f[i]) > epsilon,
-            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
-                sed(&f[anchor], &f[float], &f[i]) > epsilon
-                    || speed_difference(traj, i).is_some_and(|dv| dv > speed_epsilon)
-            }
-        }
-    }
-
-    /// First intermediate index violating the criterion for the window
-    /// `anchor..float`, scanning forward (the paper's inner loop order).
-    #[inline]
-    fn first_violation(&self, traj: &Trajectory, anchor: usize, float: usize) -> Option<usize> {
-        (anchor + 1..float).find(|&i| self.violates(traj, anchor, float, i))
-    }
-
-    /// Report label fragment.
-    fn label(&self) -> String {
-        match *self {
-            Criterion::Perpendicular { epsilon } => format!("perp,{epsilon}m"),
-            Criterion::TimeRatio { epsilon } => format!("tr,{epsilon}m"),
-            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
-                format!("tr,{epsilon}m,{speed_epsilon}m/s")
-            }
-        }
-    }
 }
 
 /// Generic opening-window compressor.
@@ -187,26 +108,26 @@ impl OpeningWindow {
             (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "bopw-sp",
         }
     }
-}
 
-impl Compressor for OpeningWindow {
-    fn name(&self) -> String {
-        format!("{}({})", self.family(), self.criterion.label())
-    }
-
-    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+    /// The shared kernel: grows windows over `traj`, appending break
+    /// points directly to `out`.
+    fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
         let n = traj.len();
+        ws.begin(n);
         if n <= 2 {
-            return CompressionResult::identity(n);
+            out.set_identity(n);
+            return;
         }
         let _span = traj_obs::span!("ow.compress", points = n);
         let mut run = AlgoRun::new();
-        let mut kept = vec![0usize];
+        let fixes = traj.fixes();
+        out.reset(n);
+        out.kept.push(0);
         let mut anchor = 0usize;
         let mut float = anchor + 2;
         run.window_opened();
         while float < n {
-            match self.criterion.first_violation(traj, anchor, float) {
+            match self.criterion.first_violation(fixes, anchor, float) {
                 Some(i) => {
                     // `first_violation` evaluated anchor+1..=i.
                     run.sed_evals((i - anchor) as u64);
@@ -215,7 +136,7 @@ impl Compressor for OpeningWindow {
                         BreakStrategy::BeforeFloat => float - 1,
                     };
                     debug_assert!(cut > anchor, "opening window must make progress");
-                    kept.push(cut);
+                    out.kept.push(cut);
                     anchor = cut;
                     float = anchor + 2;
                     run.window_closed();
@@ -228,13 +149,28 @@ impl Compressor for OpeningWindow {
             }
         }
         run.window_closed();
-        // `kept` starts with the anchor 0, so last() always exists.
-        if kept.last() != Some(&(n - 1)) {
-            kept.push(n - 1);
+        // `out.kept` starts with the anchor 0, so last() always exists.
+        if out.kept.last() != Some(&(n - 1)) {
+            out.kept.push(n - 1);
         }
-        let result = CompressionResult::new(kept, n);
-        run.flush(self.family(), n, result.kept_len());
-        result
+        run.flush(self.family(), n, out.kept.len());
+    }
+}
+
+impl Compressor for OpeningWindow {
+    fn name(&self) -> String {
+        format!("{}({})", self.family(), self.criterion.label())
+    }
+
+    fn compress(&self, traj: &Trajectory) -> CompressionResult {
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        self.kernel(traj, &mut ws, &mut out);
+        out.take()
+    }
+
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.kernel(traj, ws, out);
     }
 }
 
@@ -352,6 +288,22 @@ mod tests {
             let sp = OpeningWindow::opw_sp(eps, f64::MAX).compress(&t);
             let tr = OpeningWindow::opw_tr(eps).compress(&t);
             assert_eq!(sp.kept(), tr.kept(), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn compress_into_matches_compress() {
+        let t = zigzag();
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        for c in [
+            OpeningWindow::nopw(30.0),
+            OpeningWindow::bopw(30.0),
+            OpeningWindow::opw_tr(25.0),
+            OpeningWindow::opw_sp(25.0, 5.0),
+        ] {
+            c.compress_into(&t, &mut ws, &mut out);
+            assert_eq!(out.take(), c.compress(&t), "{}", c.name());
         }
     }
 

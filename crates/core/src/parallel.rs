@@ -6,18 +6,23 @@
 //! dataset over `std::thread::scope` workers with a simple striped
 //! partition (no work stealing — compression cost per trajectory is
 //! roughly proportional to its length, and striping balances mixed
-//! lengths well in practice).
+//! lengths well in practice). Each worker owns one [`Workspace`] and one
+//! [`CompressionResultBuf`] for its whole stripe, so scratch allocations
+//! amortise across trajectories instead of repeating per call.
 
-use crate::result::{CompressionResult, Compressor};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
 use traj_model::Trajectory;
 
 /// Compresses every trajectory with `compressor`, using up to
 /// `threads` worker threads. Results are returned in input order.
 ///
-/// `threads == 1` (or a single-trajectory input) runs inline with no
-/// thread overhead. The order and content of each result are identical
-/// to sequential compression — parallelism is observable only in wall
-/// time.
+/// `threads == 0` means "use all available parallelism": it resolves to
+/// [`std::thread::available_parallelism`] (falling back to 1 if that is
+/// unknown). `threads == 1` (or a single-trajectory input) runs inline
+/// with no thread overhead. The order and content of each result are
+/// identical to sequential compression — parallelism is observable only
+/// in wall time.
 ///
 /// ```
 /// use traj_compress::{compress_all, Compressor, TdTr};
@@ -36,10 +41,12 @@ use traj_model::Trajectory;
 /// // Same results as the sequential path, in input order.
 /// let sequential: Vec<_> = fleet.iter().map(|t| compressor.compress(t)).collect();
 /// assert_eq!(parallel, sequential);
+/// // threads == 0 auto-sizes to the machine and changes nothing else.
+/// assert_eq!(compress_all(&fleet, &compressor, 0), sequential);
 /// ```
 ///
 /// # Panics
-/// Panics if `threads == 0` or a worker panics (propagated).
+/// Panics if a worker panics (propagated).
 pub fn compress_all<C>(
     trajectories: &[Trajectory],
     compressor: &C,
@@ -48,10 +55,22 @@ pub fn compress_all<C>(
 where
     C: Compressor + Sync + ?Sized,
 {
-    assert!(threads >= 1, "need at least one thread");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
     let n = trajectories.len();
     if threads == 1 || n <= 1 {
-        return trajectories.iter().map(|t| compressor.compress(t)).collect();
+        let mut ws = Workspace::new();
+        let mut buf = CompressionResultBuf::new();
+        return trajectories
+            .iter()
+            .map(|t| {
+                compressor.compress_into(t, &mut ws, &mut buf);
+                buf.take()
+            })
+            .collect();
     }
     let workers = threads.min(n);
     let mut slots: Vec<Option<CompressionResult>> = vec![None; n];
@@ -60,10 +79,13 @@ where
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
+                let mut ws = Workspace::new();
+                let mut buf = CompressionResultBuf::new();
                 let mut out = Vec::new();
                 let mut i = w;
                 while i < n {
-                    out.push((i, compressor.compress(&trajectories[i])));
+                    compressor.compress_into(&trajectories[i], &mut ws, &mut buf);
+                    out.push((i, buf.take()));
                     i += workers;
                 }
                 out
@@ -134,10 +156,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_rejected() {
+    fn threads_zero_uses_available_parallelism() {
+        let ds = dataset(11);
         let c = TdTr::new(25.0);
-        let _ = compress_all(&dataset(1), &c, 0);
+        assert_eq!(compress_all(&ds, &c, 0), compress_all(&ds, &c, 1));
     }
 
     #[test]

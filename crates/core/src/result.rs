@@ -1,6 +1,60 @@
 //! Compression results and the batch compressor interface.
 
+use std::fmt;
+
+use crate::workspace::Workspace;
 use traj_model::Trajectory;
+
+/// Why a kept-index set is not a valid [`CompressionResult`].
+///
+/// Returned by [`CompressionResult::try_new`]; the panicking
+/// [`CompressionResult::new`] formats the same variants into its panic
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidResult {
+    /// No kept indices although the original trajectory was non-empty.
+    Empty,
+    /// Kept indices are not strictly increasing.
+    NotIncreasing,
+    /// A kept index is `>=` the original length.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The original trajectory length.
+        len: usize,
+    },
+    /// Index `0` is missing although the original has `>= 2` points.
+    MissingFirst,
+    /// The final index is missing although the original has `>= 2` points.
+    MissingLast {
+        /// The required final index (`original_len - 1`).
+        last: usize,
+    },
+}
+
+impl fmt::Display for InvalidResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InvalidResult::Empty => {
+                write!(f, "a compression result keeps at least one point")
+            }
+            InvalidResult::NotIncreasing => {
+                write!(f, "kept indices must be strictly increasing")
+            }
+            InvalidResult::OutOfRange { index, len } => {
+                write!(f, "kept index out of range: {index} >= original length {len}")
+            }
+            InvalidResult::MissingFirst => {
+                write!(f, "first sample must be kept (index 0 missing)")
+            }
+            InvalidResult::MissingLast { last } => {
+                write!(f, "last sample must be kept (index {last} missing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidResult {}
 
 /// The outcome of compressing a trajectory: the strictly increasing set of
 /// *original sample indices* that were kept.
@@ -10,7 +64,8 @@ use traj_model::Trajectory;
 /// stamps", §4.2). Keeping indices rather than fixes lets the error
 /// calculus compare original and approximation without re-association.
 ///
-/// Invariants (upheld by [`CompressionResult::new`]):
+/// Invariants (upheld by [`CompressionResult::new`] and checked fallibly
+/// by [`CompressionResult::try_new`]):
 /// * at least one index, unless the original itself was empty (the only
 ///   lossless representation of zero input points is zero kept points);
 /// * strictly increasing;
@@ -27,27 +82,59 @@ pub struct CompressionResult {
 impl CompressionResult {
     /// Wraps a kept-index set, checking the invariants.
     ///
+    /// The library's own kernels construct their index sets to satisfy
+    /// the invariants, so a violation is a bug in the algorithm, not a
+    /// data error; external constructions with untrusted indices should
+    /// prefer [`CompressionResult::try_new`].
+    ///
     /// # Panics
-    /// Panics if the invariants are violated; compressors construct their
-    /// index sets to satisfy them, so a violation is a bug in the
-    /// algorithm, not a data error.
+    /// Panics if the invariants are violated.
     pub fn new(kept: Vec<usize>, original_len: usize) -> Self {
-        assert!(
-            !kept.is_empty() || original_len == 0,
-            "a compression result keeps at least one point"
-        );
-        assert!(
-            kept.windows(2).all(|w| w[0] < w[1]),
-            "kept indices must be strictly increasing"
-        );
+        match Self::try_new(kept, original_len) {
+            Ok(r) => r,
+            // lint: allow(panic) the panicking constructor is the documented
+            // contract: invariant violations are compressor bugs
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Wraps a kept-index set, returning the violated invariant instead
+    /// of panicking.
+    ///
+    /// # Errors
+    /// The first violated [`InvalidResult`] invariant, in the order the
+    /// invariants are documented on [`CompressionResult`].
+    ///
+    /// ```
+    /// use traj_compress::{CompressionResult, InvalidResult};
+    ///
+    /// assert!(CompressionResult::try_new(vec![0, 3, 9], 10).is_ok());
+    /// assert_eq!(
+    ///     CompressionResult::try_new(vec![0, 2], 5),
+    ///     Err(InvalidResult::MissingLast { last: 4 }),
+    /// );
+    /// ```
+    pub fn try_new(kept: Vec<usize>, original_len: usize) -> Result<Self, InvalidResult> {
+        if kept.is_empty() && original_len != 0 {
+            return Err(InvalidResult::Empty);
+        }
+        if !kept.windows(2).all(|w| w[0] < w[1]) {
+            return Err(InvalidResult::NotIncreasing);
+        }
         if let Some(&last) = kept.last() {
-            assert!(last < original_len, "kept index out of range");
+            if last >= original_len {
+                return Err(InvalidResult::OutOfRange { index: last, len: original_len });
+            }
         }
         if original_len >= 2 {
-            assert_eq!(kept[0], 0, "first sample must be kept");
-            assert_eq!(kept.last(), Some(&(original_len - 1)), "last sample must be kept");
+            if kept.first() != Some(&0) {
+                return Err(InvalidResult::MissingFirst);
+            }
+            if kept.last() != Some(&(original_len - 1)) {
+                return Err(InvalidResult::MissingLast { last: original_len - 1 });
+            }
         }
-        CompressionResult { kept, original_len }
+        Ok(CompressionResult { kept, original_len })
     }
 
     /// The identity result: every point kept.
@@ -112,6 +199,76 @@ impl CompressionResult {
     }
 }
 
+/// A reusable output buffer for [`Compressor::compress_into`].
+///
+/// Kernels write kept indices directly into the buffer's backing `Vec`,
+/// so a buffer reused across calls amortizes the output allocation the
+/// same way a [`Workspace`] amortizes scratch. Convert to an owned
+/// [`CompressionResult`] with [`CompressionResultBuf::take`] (moves the
+/// indices out) or [`CompressionResultBuf::to_result`] (clones, keeping
+/// the buffer warm).
+#[derive(Debug, Clone, Default)]
+pub struct CompressionResultBuf {
+    pub(crate) kept: Vec<usize>,
+    pub(crate) original_len: usize,
+}
+
+impl CompressionResultBuf {
+    /// An empty buffer; kernels size it on first use.
+    pub fn new() -> Self {
+        CompressionResultBuf::default()
+    }
+
+    /// Kept original indices written by the last `compress_into` call.
+    #[inline]
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Original length recorded by the last `compress_into` call.
+    #[inline]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Clears the buffer (keeping its allocation) and records the
+    /// original length of the trajectory about to be compressed.
+    #[inline]
+    pub(crate) fn reset(&mut self, original_len: usize) {
+        self.kept.clear();
+        self.original_len = original_len;
+    }
+
+    /// Fills the buffer with the identity result over `n` points.
+    #[inline]
+    pub(crate) fn set_identity(&mut self, n: usize) {
+        self.reset(n);
+        self.kept.extend(0..n);
+    }
+
+    /// Moves the indices out as a checked [`CompressionResult`], leaving
+    /// the buffer empty (its allocation moves with the result).
+    ///
+    /// # Panics
+    /// Panics if the buffered indices violate the [`CompressionResult`]
+    /// invariants — a kernel bug, same contract as
+    /// [`CompressionResult::new`].
+    pub fn take(&mut self) -> CompressionResult {
+        let kept = std::mem::take(&mut self.kept);
+        CompressionResult::new(kept, self.original_len)
+    }
+
+    /// Clones the buffered indices into a checked [`CompressionResult`],
+    /// keeping the buffer (and its allocation) intact.
+    ///
+    /// # Panics
+    /// Panics if the buffered indices violate the [`CompressionResult`]
+    /// invariants, same contract as [`CompressionResultBuf::take`].
+    pub fn to_result(&self) -> CompressionResult {
+        CompressionResult::new(self.kept.clone(), self.original_len)
+    }
+}
+
 /// A batch trajectory compressor (the paper's "batch algorithms" need the
 /// full series up front; §2).
 pub trait Compressor {
@@ -125,6 +282,23 @@ pub trait Compressor {
     /// for every valid trajectory, including the degenerate 1- and
     /// 2-point inputs (which are returned unchanged).
     fn compress(&self, traj: &Trajectory) -> CompressionResult;
+
+    /// Compresses `traj` into a reusable output buffer, borrowing
+    /// scratch from `ws` — the allocation-free form of
+    /// [`Compressor::compress`].
+    ///
+    /// `out` is overwritten (its previous contents are discarded); on
+    /// return it holds exactly the indices `compress` would have
+    /// returned. The default implementation delegates to `compress` and
+    /// copies, so exotic implementors get the API for free; the kernels
+    /// in this crate override it to run allocation-free once `ws` and
+    /// `out` are warm.
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        let _ = ws;
+        let r = self.compress(traj);
+        out.reset(r.original_len());
+        out.kept.extend_from_slice(r.kept());
+    }
 }
 
 impl<C: Compressor + ?Sized> Compressor for &C {
@@ -134,6 +308,9 @@ impl<C: Compressor + ?Sized> Compressor for &C {
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
         (**self).compress(traj)
     }
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        (**self).compress_into(traj, ws, out)
+    }
 }
 
 impl<C: Compressor + ?Sized> Compressor for Box<C> {
@@ -142,6 +319,9 @@ impl<C: Compressor + ?Sized> Compressor for Box<C> {
     }
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
         (**self).compress(traj)
+    }
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        (**self).compress_into(traj, ws, out)
     }
 }
 
@@ -190,6 +370,38 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_each_invariant() {
+        assert_eq!(CompressionResult::try_new(vec![], 5), Err(InvalidResult::Empty));
+        assert_eq!(
+            CompressionResult::try_new(vec![0, 2, 2, 4], 5),
+            Err(InvalidResult::NotIncreasing)
+        );
+        assert_eq!(
+            CompressionResult::try_new(vec![0, 7], 5),
+            Err(InvalidResult::OutOfRange { index: 7, len: 5 })
+        );
+        assert_eq!(
+            CompressionResult::try_new(vec![1, 4], 5),
+            Err(InvalidResult::MissingFirst)
+        );
+        assert_eq!(
+            CompressionResult::try_new(vec![0, 2], 5),
+            Err(InvalidResult::MissingLast { last: 4 })
+        );
+        assert!(CompressionResult::try_new(vec![], 0).is_ok());
+        assert!(CompressionResult::try_new(vec![0], 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_result_displays_are_actionable() {
+        let msg = InvalidResult::OutOfRange { index: 7, len: 5 }.to_string();
+        assert!(msg.contains('7') && msg.contains('5'), "{msg}");
+        // std::error::Error is implemented for ? ergonomics downstream.
+        let e: Box<dyn std::error::Error> = Box::new(InvalidResult::Empty);
+        assert!(e.to_string().contains("at least one point"));
+    }
+
+    #[test]
     fn identity_keeps_everything() {
         let r = CompressionResult::identity(4);
         assert_eq!(r.kept(), &[0, 1, 2, 3]);
@@ -234,5 +446,46 @@ mod tests {
         let r = CompressionResult::new(vec![0, 1, 2, 3, 4], 5);
         assert_eq!(r.kept_len(), r.original_len());
         assert_eq!(r.compression_pct(), 0.0);
+    }
+
+    #[test]
+    fn buf_take_and_to_result_round_trip() {
+        let mut buf = CompressionResultBuf::new();
+        buf.set_identity(3);
+        assert_eq!(buf.kept(), &[0, 1, 2]);
+        assert_eq!(buf.original_len(), 3);
+        let cloned = buf.to_result();
+        assert_eq!(cloned.kept(), &[0, 1, 2]);
+        assert_eq!(buf.kept(), &[0, 1, 2], "to_result leaves the buffer intact");
+        let taken = buf.take();
+        assert_eq!(taken, cloned);
+        assert!(buf.kept().is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn buf_take_checks_invariants() {
+        let mut buf = CompressionResultBuf::new();
+        buf.reset(5);
+        buf.kept.extend_from_slice(&[0, 3, 1, 4]);
+        let _ = buf.take();
+    }
+
+    #[test]
+    fn default_compress_into_matches_compress() {
+        struct KeepEnds;
+        impl Compressor for KeepEnds {
+            fn name(&self) -> String {
+                "keep-ends".into()
+            }
+            fn compress(&self, traj: &Trajectory) -> CompressionResult {
+                CompressionResult::new(vec![0, traj.len() - 1], traj.len())
+            }
+        }
+        let t = Trajectory::from_triples((0..5).map(|i| (i as f64, i as f64, 0.0))).unwrap();
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        KeepEnds.compress_into(&t, &mut ws, &mut out);
+        assert_eq!(out.take(), KeepEnds.compress(&t));
     }
 }

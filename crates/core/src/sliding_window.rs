@@ -14,77 +14,99 @@
 //! is fixed — the trade-off being that no segment can ever span more than
 //! `window` points, capping the achievable compression.
 
-use crate::distance::Metric;
-use crate::result::{CompressionResult, Compressor};
-use traj_model::Trajectory;
+use crate::criterion::{Criterion, SegmentCriterion};
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
+use traj_model::{Fix, Trajectory};
 
-/// Fixed-size sliding-window compressor over a pluggable [`Metric`].
+/// Fixed-size sliding-window compressor over a pluggable [`Criterion`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlidingWindow {
-    metric: Metric,
-    epsilon: f64,
+    criterion: Criterion,
     window: usize,
 }
 
 impl SlidingWindow {
-    /// Creates a sliding-window compressor: deviation threshold `epsilon`
-    /// metres, at most `window` points spanned by one output segment.
+    /// Creates a sliding-window compressor: segments satisfy `criterion`
+    /// and span at most `window` points.
     ///
     /// # Panics
-    /// Panics unless `epsilon` is finite and non-negative and
+    /// Panics unless the criterion's thresholds are valid and
     /// `window >= 2`.
-    pub fn new(metric: Metric, epsilon: f64, window: usize) -> Self {
-        assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "epsilon must be finite and >= 0"
-        );
+    pub fn new(criterion: Criterion, window: usize) -> Self {
+        criterion.validate();
         assert!(window >= 2, "window must span at least 2 points");
-        SlidingWindow { metric, epsilon, window }
+        SlidingWindow { criterion, window }
+    }
+
+    /// Sliding window over the synchronized time-ratio distance.
+    pub fn time_ratio(epsilon: f64, window: usize) -> Self {
+        SlidingWindow::new(Criterion::TimeRatio { epsilon }, window)
+    }
+
+    /// Sliding window over the perpendicular distance.
+    pub fn perpendicular(epsilon: f64, window: usize) -> Self {
+        SlidingWindow::new(Criterion::Perpendicular { epsilon }, window)
+    }
+
+    /// The active criterion.
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
+    }
+
+    /// The maximum number of points one output segment may span.
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// The farthest float in `(anchor, limit]` such that no intermediate
     /// point violates; falls back to `anchor + 1` (always valid: no
     /// intermediates).
-    fn best_float(&self, traj: &Trajectory, anchor: usize, limit: usize) -> usize {
-        let fixes = traj.fixes();
+    fn best_float(&self, fixes: &[Fix], anchor: usize, limit: usize) -> usize {
         let mut float = anchor + 1;
-        'grow: for cand in anchor + 2..=limit {
-            let (a, b) = (&fixes[anchor], &fixes[cand]);
-            for f in &fixes[anchor + 1..cand] {
-                if self.metric.distance(a, b, f) > self.epsilon {
-                    break 'grow;
-                }
+        for cand in anchor + 2..=limit {
+            if self.criterion.first_violation(fixes, anchor, cand).is_some() {
+                break;
             }
             float = cand;
         }
         float
     }
+
+    fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        let n = traj.len();
+        ws.begin(n);
+        if n <= 2 {
+            out.set_identity(n);
+            return;
+        }
+        let fixes = traj.fixes();
+        out.reset(n);
+        out.kept.push(0);
+        let mut anchor = 0usize;
+        while anchor < n - 1 {
+            let limit = (anchor + self.window).min(n - 1);
+            let float = self.best_float(fixes, anchor, limit);
+            out.kept.push(float);
+            anchor = float;
+        }
+    }
 }
 
 impl Compressor for SlidingWindow {
     fn name(&self) -> String {
-        format!(
-            "sliding-window({},{}m,w={})",
-            self.metric.label(),
-            self.epsilon,
-            self.window
-        )
+        format!("sliding-window({},w={})", self.criterion.label(), self.window)
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
-        let n = traj.len();
-        if n <= 2 {
-            return CompressionResult::identity(n);
-        }
-        let mut kept = vec![0usize];
-        let mut anchor = 0usize;
-        while anchor < n - 1 {
-            let limit = (anchor + self.window).min(n - 1);
-            let float = self.best_float(traj, anchor, limit);
-            kept.push(float);
-            anchor = float;
-        }
-        CompressionResult::new(kept, n)
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        self.kernel(traj, &mut ws, &mut out);
+        out.take()
+    }
+
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.kernel(traj, ws, out);
     }
 }
 
@@ -108,7 +130,7 @@ mod tests {
     fn segments_never_exceed_window() {
         let t = noisy_line(50);
         let w = 6;
-        let r = SlidingWindow::new(Metric::TimeRatio, 1e9, w).compress(&t);
+        let r = SlidingWindow::time_ratio(1e9, w).compress(&t);
         for pair in r.kept().windows(2) {
             assert!(pair[1] - pair[0] <= w, "segment {pair:?} exceeds window");
         }
@@ -118,7 +140,7 @@ mod tests {
     fn respects_threshold_postcondition() {
         let t = noisy_line(50);
         let eps = 8.0;
-        let r = SlidingWindow::new(Metric::TimeRatio, eps, 10).compress(&t);
+        let r = SlidingWindow::time_ratio(eps, 10).compress(&t);
         let f = t.fixes();
         for w in r.kept().windows(2) {
             for i in w[0] + 1..w[1] {
@@ -131,14 +153,14 @@ mod tests {
     fn straight_line_compresses_to_window_strides() {
         let t =
             Trajectory::from_triples((0..21).map(|i| (i as f64, i as f64 * 5.0, 0.0))).unwrap();
-        let r = SlidingWindow::new(Metric::TimeRatio, 1.0, 5).compress(&t);
+        let r = SlidingWindow::time_ratio(1.0, 5).compress(&t);
         assert_eq!(r.kept(), &[0, 5, 10, 15, 20]);
     }
 
     #[test]
     fn window_two_keeps_everything() {
         let t = noisy_line(10);
-        let r = SlidingWindow::new(Metric::Perpendicular, 1e9, 2).compress(&t);
+        let r = SlidingWindow::perpendicular(1e9, 2).compress(&t);
         // Window of 2 → every segment spans at most 2 points, but valid
         // 2-spans have one intermediate... a 2-span anchor..anchor+2 has
         // one intermediate; with huge eps it is always taken.
@@ -150,20 +172,38 @@ mod tests {
     #[test]
     fn progress_is_guaranteed_even_at_zero_epsilon() {
         let t = noisy_line(30);
-        let r = SlidingWindow::new(Metric::TimeRatio, 0.0, 8).compress(&t);
+        let r = SlidingWindow::time_ratio(0.0, 8).compress(&t);
         assert_eq!(*r.kept().last().unwrap(), 29);
+    }
+
+    #[test]
+    fn compress_into_matches_compress() {
+        let t = noisy_line(40);
+        let sw = SlidingWindow::time_ratio(8.0, 12);
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        sw.compress_into(&t, &mut ws, &mut out);
+        assert_eq!(out.take(), sw.compress(&t));
     }
 
     #[test]
     fn degenerate_inputs() {
         let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
-        let r = SlidingWindow::new(Metric::TimeRatio, 1.0, 4).compress(&two);
+        let r = SlidingWindow::time_ratio(1.0, 4).compress(&two);
         assert_eq!(r.kept_len(), 2);
+    }
+
+    #[test]
+    fn name_lists_criterion_and_window() {
+        assert_eq!(
+            SlidingWindow::time_ratio(30.0, 32).name(),
+            "sliding-window(tr,30m,w=32)"
+        );
     }
 
     #[test]
     #[should_panic(expected = "window")]
     fn rejects_tiny_window() {
-        let _ = SlidingWindow::new(Metric::TimeRatio, 1.0, 1);
+        let _ = SlidingWindow::time_ratio(1.0, 1);
     }
 }

@@ -16,6 +16,7 @@
 //! little compression for bounded memory (used by `traj-store`'s ingest
 //! path).
 
+use crate::criterion::SegmentCriterion;
 use crate::obs::AlgoRun;
 use crate::opening_window::{BreakStrategy, Criterion};
 use traj_model::{Fix, ModelError};
@@ -232,30 +233,12 @@ impl OwStream {
     }
 
     /// First intermediate (window-relative) index violating the criterion
-    /// for float `e`.
+    /// for float `e` — the shared [`SegmentCriterion`] scan with the
+    /// buffered window as the slice and the anchor at relative index 0.
+    /// (For the speed criterion, `i + 1 <= e` keeps both derived-speed
+    /// neighbours inside the window.)
     fn first_violation(&self, e: usize) -> Option<usize> {
-        let w = &self.window;
-        (1..e).find(|&i| match self.criterion {
-            Criterion::Perpendicular { epsilon } => {
-                crate::distance::perpendicular_distance(&w[0], &w[e], &w[i]) > epsilon
-            }
-            Criterion::TimeRatio { epsilon } => {
-                crate::distance::sed(&w[0], &w[e], &w[i]) > epsilon
-            }
-            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
-                if crate::distance::sed(&w[0], &w[e], &w[i]) > epsilon {
-                    return true;
-                }
-                // Derived speed difference at i uses its buffered
-                // neighbours; i ≥ 1 and i + 1 ≤ e keep both in window.
-                let v_prev = w[i - 1].speed_to(&w[i]);
-                let v_next = w[i].speed_to(&w[i + 1]);
-                match (v_prev, v_next) {
-                    (Some(a), Some(b)) => (b - a).abs() > speed_epsilon,
-                    _ => false,
-                }
-            }
-        })
+        self.criterion.first_violation(&self.window, 0, e)
     }
 
     /// Flushes the stream: the final fix (if any besides the anchor) is

@@ -15,21 +15,23 @@
 //!   threshold is infinite;
 //! * the recursion stops when no interior point violates.
 //!
+//! Both rules live in [`crate::criterion::TimeRatioSpeed`]; this type is
+//! a thin wrapper over the shared [`TopDown`] kernel, exactly like
+//! [`crate::DouglasPeucker`] and [`crate::TdTr`].
+//!
 //! Like TD-TR this is a batch algorithm; the paper observes TD-SP is
 //! highly sensitive to the speed threshold (only 5 m/s gave reasonable
 //! results on their data), which the reproduction in `traj-eval`
 //! confirms.
 
-use crate::distance::{sed, speed_difference};
-use crate::result::{CompressionResult, Compressor};
+use crate::douglas_peucker::TopDown;
+use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
+use crate::workspace::Workspace;
 use traj_model::Trajectory;
 
 /// Top-down spatiotemporal splitter.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TdSp {
-    epsilon: f64,
-    speed_epsilon: f64,
-}
+pub struct TdSp(TopDown);
 
 impl TdSp {
     /// Creates a TD-SP compressor with synchronized-distance threshold
@@ -43,93 +45,49 @@ impl TdSp {
     /// violation score unbounded).
     pub fn new(epsilon: f64, speed_epsilon: f64) -> Self {
         assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "epsilon must be finite and >= 0"
-        );
-        assert!(
             speed_epsilon > 0.0 && !speed_epsilon.is_nan(),
             "speed_epsilon must be > 0"
         );
-        TdSp { epsilon, speed_epsilon }
+        TdSp(TopDown::time_ratio_speed(epsilon, speed_epsilon))
     }
 
     /// The synchronized-distance threshold, metres.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.0.epsilon()
     }
 
     /// The speed-difference threshold, m/s.
     pub fn speed_epsilon(&self) -> f64 {
-        self.speed_epsilon
+        // TdSp::new only ever constructs the blended criterion; the
+        // fallback is unreachable but keeps this accessor panic-free.
+        self.0.criterion().speed_epsilon().unwrap_or(f64::INFINITY)
     }
 
-    /// Violation score of interior point `i` for window `lo..hi`:
-    /// `max(sed/eps_d, |Δv|/eps_v)`; `> 1` means the point violates.
-    ///
-    /// With `epsilon == 0`, any positive SED is an infinite score (the
-    /// point must be kept), mirroring the threshold semantics `sed > 0`.
-    fn score(&self, traj: &Trajectory, lo: usize, hi: usize, i: usize) -> f64 {
-        let f = traj.fixes();
-        let d = sed(&f[lo], &f[hi], &f[i]);
-        let ds = if self.epsilon > 0.0 {
-            d / self.epsilon
-        } else if d > 0.0 {
-            f64::INFINITY
-        } else {
-            0.0
-        };
-        let vs = speed_difference(traj, i)
-            .map(|dv| dv / self.speed_epsilon)
-            .unwrap_or(0.0);
-        ds.max(vs)
+    /// The underlying generic splitter.
+    pub fn inner(&self) -> &TopDown {
+        &self.0
     }
 }
 
 impl Compressor for TdSp {
     fn name(&self) -> String {
-        format!("td-sp({}m,{}m/s)", self.epsilon, self.speed_epsilon)
+        self.0.name()
     }
 
     fn compress(&self, traj: &Trajectory) -> CompressionResult {
-        let n = traj.len();
-        if n <= 2 {
-            return CompressionResult::identity(n);
-        }
-        let mut keep = vec![false; n];
-        keep[0] = true;
-        keep[n - 1] = true;
-        let mut stack = vec![(0usize, n - 1)];
-        while let Some((lo, hi)) = stack.pop() {
-            if hi <= lo + 1 {
-                continue;
-            }
-            let mut best = (lo + 1, f64::NEG_INFINITY);
-            for i in lo + 1..hi {
-                let s = self.score(traj, lo, hi, i);
-                if s > best.1 {
-                    best = (i, s);
-                }
-            }
-            if best.1 > 1.0 {
-                keep[best.0] = true;
-                stack.push((lo, best.0));
-                stack.push((best.0, hi));
-            }
-        }
-        let kept = keep
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &k)| k.then_some(i))
-            .collect();
-        CompressionResult::new(kept, n)
+        self.0.compress(traj)
+    }
+
+    fn compress_into(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
+        self.0.compress_into(traj, ws, out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::{sed as sed_dist, speed_difference};
     use crate::douglas_peucker::TdTr;
-    use crate::distance::sed as sed_dist;
 
     fn kinked() -> Trajectory {
         // Straight in space, two abrupt speed regimes (10 m/s → 40 m/s),
@@ -192,6 +150,13 @@ mod tests {
         let loose = TdSp::new(30.0, 25.0).compress(&t).kept_len();
         let tight = TdSp::new(30.0, 1.0).compress(&t).kept_len();
         assert!(tight >= loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let sp = TdSp::new(30.0, 5.0);
+        assert_eq!(sp.epsilon(), 30.0);
+        assert_eq!(sp.speed_epsilon(), 5.0);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Reusable scratch memory for the compression kernels.
+//!
+//! Every kernel in this crate is an explicit-stack loop whose working
+//! state — keep masks, split stacks, linked lists, merge heaps, hull
+//! buffers — is borrowed from a [`Workspace`] instead of allocated per
+//! call. A workspace that has processed one trajectory re-serves its
+//! buffers to the next [`crate::Compressor::compress_into`] call at zero
+//! allocation cost; the convenience [`crate::Compressor::compress`]
+//! methods simply run against a fresh workspace.
+//!
+//! With the `obs` feature enabled, each warm reuse is counted in the
+//! `ws.reuse` / `ws.bytes_saved` metrics (see `crates/obs/README.md`),
+//! where `bytes_saved` is the *approximate* number of scratch bytes the
+//! call did not have to allocate because capacity was already present.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use traj_geom::Point2;
+
+/// Min-heap candidate for bottom-up merging: removing `idx` (currently
+/// flanked by kept `left` and `right`) costs `cost`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MergeCand {
+    pub(crate) cost: f64,
+    pub(crate) idx: usize,
+    pub(crate) left: usize,
+    pub(crate) right: usize,
+}
+
+impl PartialEq for MergeCand {
+    fn eq(&self, o: &Self) -> bool {
+        self.cost == o.cost
+    }
+}
+impl Eq for MergeCand {}
+impl PartialOrd for MergeCand {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for MergeCand {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
+        o.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Per-interval split statistics memoized by the TD-SP one-pass sweep
+/// (see `crate::sweep`): enough to re-derive the blended split decision
+/// for any threshold without rescanning the interval.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpStats {
+    /// First argmax of the synchronized distance over the interior.
+    pub(crate) i_s: usize,
+    /// Maximum synchronized distance over the interior.
+    pub(crate) s: f64,
+    /// First interior index with strictly positive synchronized
+    /// distance, if any (the argmax under the `epsilon == 0` transform).
+    pub(crate) i_pos: Option<usize>,
+    /// First argmax of the derived-speed difference over the interior.
+    pub(crate) i_v: usize,
+    /// Maximum derived-speed difference over the interior.
+    pub(crate) v: f64,
+}
+
+/// Reusable scratch for the compression kernels.
+///
+/// A `Workspace` owns every buffer the kernels need and hands them out
+/// through [`crate::Compressor::compress_into`]. Reusing one workspace
+/// across a batch of trajectories (or across repeated compressions of a
+/// stream) keeps the hot path allocation-free once the buffers are warm:
+///
+/// ```
+/// use traj_compress::{Compressor, CompressionResultBuf, TdTr, Workspace};
+/// use traj_model::Trajectory;
+///
+/// let trajs: Vec<Trajectory> = (0..3)
+///     .map(|k| {
+///         Trajectory::from_triples((0..60).map(|i| {
+///             let t = f64::from(i) * 10.0;
+///             (t, t * 3.0, f64::from((i + k) % 5) * 20.0)
+///         }))
+///         .unwrap()
+///     })
+///     .collect();
+///
+/// let tdtr = TdTr::new(30.0);
+/// let mut ws = Workspace::new();
+/// let mut out = CompressionResultBuf::new();
+/// for traj in &trajs {
+///     tdtr.compress_into(traj, &mut ws, &mut out);
+///     assert_eq!(out.take(), tdtr.compress(traj));
+/// }
+/// ```
+///
+/// The workspace is intentionally dumb: it carries no algorithm state
+/// between calls, only capacity. Any kernel may use any subset of the
+/// buffers; the crate-internal `begin` method clears them all before a
+/// run.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Keep mask (top-down) / alive mask (bottom-up) over `0..n`.
+    pub(crate) keep: Vec<bool>,
+    /// Split stack for the top-down kernels: `(lo, hi, depth)`.
+    pub(crate) stack: Vec<(usize, usize, u32)>,
+    /// Split stack for the sweep tree walk: `(lo, hi, path_min)`.
+    pub(crate) fstack: Vec<(usize, usize, f64)>,
+    /// Sweep split-tree records: `(path_min, split_index)`.
+    pub(crate) nodes: Vec<(f64, usize)>,
+    /// Doubly linked list (bottom-up): previous surviving index.
+    pub(crate) prev: Vec<usize>,
+    /// Doubly linked list (bottom-up): next surviving index.
+    pub(crate) next: Vec<usize>,
+    /// Lazy merge-candidate heap (bottom-up).
+    pub(crate) merge_heap: BinaryHeap<MergeCand>,
+    /// `(original_index, position)` pairs for hull construction.
+    pub(crate) pts: Vec<(usize, Point2)>,
+    /// Hull vertex output buffer (original indices).
+    pub(crate) hull: Vec<usize>,
+    /// Memoized per-interval statistics for the TD-SP sweep.
+    pub(crate) sp_stats: HashMap<(usize, usize), SpStats>,
+}
+
+impl Workspace {
+    /// An empty workspace; kernels size the buffers on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Prepares the workspace for a run over an `n`-point trajectory:
+    /// clears every buffer (retaining capacity) and, when the `obs`
+    /// feature is on, credits the warm capacity to the `ws.reuse` /
+    /// `ws.bytes_saved` metrics.
+    pub(crate) fn begin(&mut self, n: usize) {
+        #[cfg(feature = "obs")]
+        {
+            let saved = self.warm_bytes(n);
+            if saved > 0 {
+                crate::obs::note_workspace_reuse(saved);
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+        self.keep.clear();
+        self.stack.clear();
+        self.fstack.clear();
+        self.nodes.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.merge_heap.clear();
+        self.pts.clear();
+        self.hull.clear();
+        self.sp_stats.clear();
+    }
+
+    /// Approximate scratch bytes an `n`-point run can serve from warm
+    /// capacity. Each buffer contributes `min(capacity, n)` elements —
+    /// a deliberate *estimate* (heaps and stacks rarely reach `n`
+    /// simultaneously) that is cheap, deterministic, and monotone in
+    /// both capacity and input size.
+    #[cfg(feature = "obs")]
+    fn warm_bytes(&self, n: usize) -> u64 {
+        fn warm<T>(capacity: usize, n: usize) -> u64 {
+            (capacity.min(n) * std::mem::size_of::<T>()) as u64
+        }
+        warm::<bool>(self.keep.capacity(), n)
+            + warm::<(usize, usize, u32)>(self.stack.capacity(), n)
+            + warm::<(usize, usize, f64)>(self.fstack.capacity(), n)
+            + warm::<(f64, usize)>(self.nodes.capacity(), n)
+            + warm::<usize>(self.prev.capacity(), n)
+            + warm::<usize>(self.next.capacity(), n)
+            + warm::<MergeCand>(self.merge_heap.capacity(), n)
+            + warm::<(usize, Point2)>(self.pts.capacity(), n)
+            + warm::<usize>(self.hull.capacity(), n)
+            + warm::<((usize, usize), SpStats)>(self.sp_stats.capacity(), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_clears_all_buffers() {
+        let mut ws = Workspace::new();
+        ws.keep.resize(8, true);
+        ws.stack.push((0, 7, 1));
+        ws.fstack.push((0, 7, f64::INFINITY));
+        ws.nodes.push((1.0, 3));
+        ws.prev.extend(0..8);
+        ws.next.extend(0..8);
+        ws.merge_heap.push(MergeCand { cost: 1.0, idx: 1, left: 0, right: 2 });
+        ws.pts.push((0, Point2::new(0.0, 0.0)));
+        ws.hull.push(0);
+        ws.sp_stats.insert(
+            (0, 7),
+            SpStats { i_s: 1, s: 2.0, i_pos: Some(1), i_v: 1, v: 0.5 },
+        );
+        ws.begin(8);
+        assert!(ws.keep.is_empty());
+        assert!(ws.stack.is_empty());
+        assert!(ws.fstack.is_empty());
+        assert!(ws.nodes.is_empty());
+        assert!(ws.prev.is_empty());
+        assert!(ws.next.is_empty());
+        assert!(ws.merge_heap.is_empty());
+        assert!(ws.pts.is_empty());
+        assert!(ws.hull.is_empty());
+        assert!(ws.sp_stats.is_empty());
+        assert!(ws.keep.capacity() >= 8, "begin retains capacity");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn warm_bytes_grows_with_warm_capacity() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.warm_bytes(100), 0, "cold workspace saves nothing");
+        ws.keep.resize(100, false);
+        ws.prev.extend(0..100);
+        let warm = ws.warm_bytes(100);
+        assert_eq!(warm, 100 + 100 * 8);
+        assert!(ws.warm_bytes(10) < warm, "small runs credit only what they use");
+    }
+
+    #[test]
+    fn merge_cand_orders_cheapest_first() {
+        let mut heap = BinaryHeap::new();
+        for (cost, idx) in [(3.0, 1), (1.0, 2), (2.0, 3)] {
+            heap.push(MergeCand { cost, idx, left: 0, right: 4 });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|c| c.idx)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+}

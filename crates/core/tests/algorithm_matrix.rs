@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use traj_compress::{
-    evaluate, BottomUp, Compressor, DeadReckoning, DouglasPeucker, HullDouglasPeucker, Metric,
+    evaluate, BottomUp, Compressor, DeadReckoning, DouglasPeucker, HullDouglasPeucker,
     OpeningWindow, SlidingWindow, TdSp, TdTr,
 };
 use traj_gen::simple::{circle, random_walk, stop_and_go, straight};
@@ -27,7 +27,7 @@ fn algorithms(eps: f64) -> Vec<Box<dyn Compressor>> {
         Box::new(OpeningWindow::opw_tr(eps)),
         Box::new(OpeningWindow::opw_sp(eps, 5.0)),
         Box::new(BottomUp::time_ratio(eps)),
-        Box::new(SlidingWindow::new(Metric::TimeRatio, eps, 16)),
+        Box::new(SlidingWindow::time_ratio(eps, 16)),
         Box::new(DeadReckoning::new(eps)),
     ]
 }
@@ -139,7 +139,7 @@ fn compression_ranking_on_random_walk_is_sane() {
     let eps = 40.0;
     let td = TdTr::new(eps).compress(&traj).compression_pct();
     let ow = OpeningWindow::opw_tr(eps).compress(&traj).compression_pct();
-    let sw = SlidingWindow::new(Metric::TimeRatio, eps, 8).compress(&traj).compression_pct();
+    let sw = SlidingWindow::time_ratio(eps, 8).compress(&traj).compression_pct();
     assert!(td + 1e-9 >= ow, "td {td} < ow {ow}");
     assert!(ow + 15.0 >= sw, "ow {ow} ≪ sw {sw} — window cap should not win big");
 }

@@ -8,8 +8,9 @@ use traj_compress::error::{
 };
 use traj_compress::streaming::OwStream;
 use traj_compress::{
-    sed, spt, BottomUp, BreakStrategy, Compressor, Criterion, DouglasPeucker, Metric,
-    OpeningWindow, SlidingWindow, TdSp, TdTr, TopDown, UniformSample,
+    sed, spt, BottomUp, BreakStrategy, CompressionResultBuf, Compressor, Criterion,
+    DouglasPeucker, HullDouglasPeucker, OpeningWindow, SegmentCriterion, SlidingWindow, TdSp,
+    TdTr, TopDown, UniformSample, Workspace,
 };
 use traj_model::{Fix, Trajectory};
 
@@ -48,7 +49,9 @@ fn all_compressors(eps: f64, veps: f64) -> Vec<Box<dyn Compressor>> {
         Box::new(OpeningWindow::opw_tr(eps)),
         Box::new(OpeningWindow::opw_sp(eps, veps)),
         Box::new(BottomUp::time_ratio(eps)),
-        Box::new(SlidingWindow::new(Metric::TimeRatio, eps, 12)),
+        Box::new(BottomUp::perpendicular(eps)),
+        Box::new(SlidingWindow::time_ratio(eps, 12)),
+        Box::new(HullDouglasPeucker::new(eps)),
     ]
 }
 
@@ -72,13 +75,16 @@ proptest! {
     /// its covering segment under their own metric.
     #[test]
     fn top_down_epsilon_postcondition(t in trajectory(), eps in 1.0..150.0f64) {
-        for metric in [Metric::Perpendicular, Metric::TimeRatio] {
-            let r = TopDown::new(metric, eps).compress(&t);
+        for criterion in [
+            Criterion::Perpendicular { epsilon: eps },
+            Criterion::TimeRatio { epsilon: eps },
+        ] {
+            let r = TopDown::new(criterion).compress(&t);
             let f = t.fixes();
             for w in r.kept().windows(2) {
                 for i in w[0] + 1..w[1] {
-                    let d = metric.distance(&f[w[0]], &f[w[1]], &f[i]);
-                    prop_assert!(d <= eps + 1e-9, "{metric:?} point {i}: {d} > {eps}");
+                    let d = criterion.split_value(f, w[0], w[1], i);
+                    prop_assert!(d <= eps + 1e-9, "{criterion:?} point {i}: {d} > {eps}");
                 }
             }
         }
@@ -176,8 +182,11 @@ proptest! {
     /// DP iterative == DP recursive on arbitrary input.
     #[test]
     fn dp_engines_agree(t in trajectory(), eps in 0.0..150.0f64) {
-        for metric in [Metric::Perpendicular, Metric::TimeRatio] {
-            let td = TopDown::new(metric, eps);
+        for criterion in [
+            Criterion::Perpendicular { epsilon: eps },
+            Criterion::TimeRatio { epsilon: eps },
+        ] {
+            let td = TopDown::new(criterion);
             let iterative = td.compress(&t);
             let recursive = td.compress_recursive(&t);
             prop_assert_eq!(iterative.kept(), recursive.kept());
@@ -252,5 +261,56 @@ proptest! {
         let expect = n.div_ceil(step);
         let got = r.kept_len();
         prop_assert!(got == expect || got == expect + 1, "n={n} step={step} got={got}");
+    }
+
+    /// `compress_into` with a single shared (dirty, reused) workspace is
+    /// observationally identical to `compress` for every registered
+    /// compressor — the allocation-free kernels change nothing but wall
+    /// time.
+    #[test]
+    fn compress_into_equals_compress_for_all(t in trajectory(), eps in 0.0..200.0f64, veps in 0.5..30.0f64) {
+        let mut ws = Workspace::new();
+        let mut out = CompressionResultBuf::new();
+        for c in all_compressors(eps, veps) {
+            c.compress_into(&t, &mut ws, &mut out);
+            prop_assert_eq!(out.take(), c.compress(&t), "{}", c.name());
+        }
+    }
+
+    /// The one-pass sweep is byte-identical to per-threshold compression
+    /// for the whole top-down family, on arbitrary inputs and grids.
+    #[test]
+    fn sweep_equals_per_threshold_compress(
+        t in trajectory(),
+        grid in proptest::collection::vec(0.0..250.0f64, 1..6),
+        veps in 0.5..30.0f64,
+    ) {
+        let tds = [
+            TopDown::perpendicular(0.0),
+            TopDown::time_ratio(0.0),
+            TopDown::time_ratio_speed(0.0, veps),
+        ];
+        for td in tds {
+            let swept = td.sweep(&t, &grid);
+            for (r, &eps) in swept.iter().zip(&grid) {
+                let single = TopDown::new(td.criterion().with_epsilon(eps)).compress(&t);
+                prop_assert_eq!(r, &single, "{} eps={}", td.name(), eps);
+            }
+        }
+    }
+
+    /// Degenerate trajectories (1 and 2 fixes) sweep to identities for
+    /// every grid.
+    #[test]
+    fn sweep_degenerate_inputs(grid in proptest::collection::vec(0.0..100.0f64, 0..4)) {
+        let one = Trajectory::from_triples([(0.0, 0.0, 0.0)]).unwrap();
+        let two = Trajectory::from_triples([(0.0, 0.0, 0.0), (1.0, 3.0, 4.0)]).unwrap();
+        for t in [&one, &two] {
+            let swept = TopDown::time_ratio(0.0).sweep(t, &grid);
+            prop_assert_eq!(swept.len(), grid.len());
+            for r in swept {
+                prop_assert_eq!(r.kept_len(), t.len());
+            }
+        }
     }
 }

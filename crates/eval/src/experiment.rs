@@ -1,6 +1,7 @@
 //! The experiment runner: threshold sweeps averaged over the dataset.
 
-use traj_compress::{evaluate, Compressor};
+use crate::registry::Algo;
+use traj_compress::{evaluate, CompressionResult, Compressor, Workspace};
 use traj_model::Trajectory;
 
 /// The paper's fifteen spatial thresholds: 30–100 m in 5 m steps (§4.3).
@@ -81,34 +82,70 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// threshold, averaging compression and error per threshold — the
 /// protocol behind each curve of Figs. 7–11 ("figures given are averages
 /// over ten different trajectories").
+///
+/// Prefer [`sweep_algo`] for registered algorithms: top-down entries
+/// then share one split-tree pass across all thresholds. The per-point
+/// numbers are bit-identical either way.
 pub fn sweep<F>(label: &str, dataset: &[Trajectory], thresholds: &[f64], make: F) -> AlgoSweep
 where
     F: Fn(f64) -> Box<dyn Compressor>,
 {
+    sweep_results(label, dataset, thresholds, |traj| {
+        thresholds.iter().map(|&eps| make(eps).compress(traj)).collect()
+    })
+}
+
+/// Runs a registered [`Algo`] over the dataset × threshold grid: one
+/// [`Algo::run`] call per trajectory (a single split-tree pass for
+/// top-down entries), averaged per threshold exactly like [`sweep`].
+pub fn sweep_algo(algo: &Algo, dataset: &[Trajectory], thresholds: &[f64]) -> AlgoSweep {
+    let mut ws = Workspace::new();
+    sweep_results(algo.label(), dataset, thresholds, |traj| {
+        algo.run(traj, thresholds, &mut ws)
+    })
+}
+
+/// Shared aggregation: `run` produces one result per threshold for a
+/// trajectory; per-threshold statistics accumulate in dataset order, so
+/// any two `run`s producing identical results yield bit-identical
+/// sweeps.
+fn sweep_results<R>(
+    label: &str,
+    dataset: &[Trajectory],
+    thresholds: &[f64],
+    mut run: R,
+) -> AlgoSweep
+where
+    R: FnMut(&Trajectory) -> Vec<CompressionResult>,
+{
     assert!(!dataset.is_empty(), "sweep needs a non-empty dataset");
+    let nt = thresholds.len();
+    let mut comps = vec![Vec::with_capacity(dataset.len()); nt];
+    let mut errs = vec![Vec::with_capacity(dataset.len()); nt];
+    let mut perp = vec![0.0f64; nt];
+    for traj in dataset {
+        let results = run(traj);
+        debug_assert_eq!(results.len(), nt, "one result per threshold");
+        for (j, result) in results.iter().enumerate() {
+            let e = evaluate(traj, result);
+            comps[j].push(e.compression_pct);
+            errs[j].push(e.avg_sync_err_m);
+            perp[j] += e.mean_perp_m;
+        }
+    }
     let points = thresholds
         .iter()
-        .map(|&eps| {
-            let compressor = make(eps);
-            let mut comps = Vec::with_capacity(dataset.len());
-            let mut errs = Vec::with_capacity(dataset.len());
-            let mut perp = 0.0;
-            for traj in dataset {
-                let result = compressor.compress(traj);
-                let e = evaluate(traj, &result);
-                comps.push(e.compression_pct);
-                errs.push(e.avg_sync_err_m);
-                perp += e.mean_perp_m;
-            }
-            let comp = traj_model::MeanStd::of(&comps);
-            let err = traj_model::MeanStd::of(&errs);
+        .enumerate()
+        .map(|(j, &eps)| {
+            let comp = traj_model::MeanStd::of(&comps[j]);
+            let err = traj_model::MeanStd::of(&errs[j]);
             SweepPoint {
                 threshold_m: eps,
                 compression_pct: comp.mean,
                 compression_std: comp.std,
                 error_m: err.mean,
                 error_std: err.std,
-                perp_error_m: perp / dataset.len() as f64,
+                perp_error_m: perp[j] / dataset.len() as f64,
             }
         })
         .collect();

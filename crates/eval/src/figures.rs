@@ -1,10 +1,11 @@
 //! One constructor per table/figure of the paper's evaluation.
 
-use traj_compress::{DouglasPeucker, OpeningWindow, TdSp, TdTr};
+use traj_compress::{OpeningWindow, TopDown};
 use traj_model::stats::DatasetStats;
 use traj_model::Trajectory;
 
-use crate::experiment::{sweep, AlgoSweep, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+use crate::experiment::{sweep_algo, AlgoSweep, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+use crate::registry::Algo;
 
 /// The data behind one figure: a set of per-algorithm threshold sweeps.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,10 +42,8 @@ pub fn fig7_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
         id: "fig7",
         title: "NDP vs TD-TR: compression and error per distance threshold",
         sweeps: vec![
-            sweep("NDP", dataset, thresholds, |e| {
-                Box::new(DouglasPeucker::new(e))
-            }),
-            sweep("TD-TR", dataset, thresholds, |e| Box::new(TdTr::new(e))),
+            sweep_algo(&Algo::top_down("NDP", TopDown::perpendicular(0.0)), dataset, thresholds),
+            sweep_algo(&Algo::top_down("TD-TR", TopDown::time_ratio(0.0)), dataset, thresholds),
         ],
     }
 }
@@ -60,12 +59,16 @@ pub fn fig8_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
         id: "fig8",
         title: "BOPW vs NOPW: error and compression per distance threshold",
         sweeps: vec![
-            sweep("BOPW", dataset, thresholds, |e| {
-                Box::new(OpeningWindow::bopw(e))
-            }),
-            sweep("NOPW", dataset, thresholds, |e| {
-                Box::new(OpeningWindow::nopw(e))
-            }),
+            sweep_algo(
+                &Algo::factory("BOPW", |e| Box::new(OpeningWindow::bopw(e))),
+                dataset,
+                thresholds,
+            ),
+            sweep_algo(
+                &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
+                dataset,
+                thresholds,
+            ),
         ],
     }
 }
@@ -81,12 +84,16 @@ pub fn fig9_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
         id: "fig9",
         title: "NOPW vs OPW-TR: error and compression per distance threshold",
         sweeps: vec![
-            sweep("NOPW", dataset, thresholds, |e| {
-                Box::new(OpeningWindow::nopw(e))
-            }),
-            sweep("OPW-TR", dataset, thresholds, |e| {
-                Box::new(OpeningWindow::opw_tr(e))
-            }),
+            sweep_algo(
+                &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
+                dataset,
+                thresholds,
+            ),
+            sweep_algo(
+                &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
+                dataset,
+                thresholds,
+            ),
         ],
     }
 }
@@ -100,19 +107,24 @@ pub fn fig10(dataset: &[Trajectory]) -> FigureData {
 /// [`fig10`] over custom thresholds.
 pub fn fig10_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
     let mut sweeps = vec![
-        sweep("OPW-TR", dataset, thresholds, |e| {
-            Box::new(OpeningWindow::opw_tr(e))
-        }),
-        sweep("TD-SP(5m/s)", dataset, thresholds, |e| {
-            Box::new(TdSp::new(e, 5.0))
-        }),
-    ];
-    for v in PAPER_SPEED_THRESHOLDS {
-        sweeps.push(sweep(
-            &format!("OPW-SP({v}m/s)"),
+        sweep_algo(
+            &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
             dataset,
             thresholds,
-            move |e| Box::new(OpeningWindow::opw_sp(e, v)),
+        ),
+        sweep_algo(
+            &Algo::top_down("TD-SP(5m/s)", TopDown::time_ratio_speed(0.0, 5.0)),
+            dataset,
+            thresholds,
+        ),
+    ];
+    for v in PAPER_SPEED_THRESHOLDS {
+        sweeps.push(sweep_algo(
+            &Algo::factory(format!("OPW-SP({v}m/s)"), move |e| {
+                Box::new(OpeningWindow::opw_sp(e, v))
+            }),
+            dataset,
+            thresholds,
         ));
     }
     FigureData {
@@ -131,23 +143,26 @@ pub fn fig11(dataset: &[Trajectory]) -> FigureData {
 /// [`fig11`] over custom thresholds.
 pub fn fig11_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
     let mut sweeps = vec![
-        sweep("NDP", dataset, thresholds, |e| {
-            Box::new(DouglasPeucker::new(e))
-        }),
-        sweep("TD-TR", dataset, thresholds, |e| Box::new(TdTr::new(e))),
-        sweep("NOPW", dataset, thresholds, |e| {
-            Box::new(OpeningWindow::nopw(e))
-        }),
-        sweep("OPW-TR", dataset, thresholds, |e| {
-            Box::new(OpeningWindow::opw_tr(e))
-        }),
-    ];
-    for v in PAPER_SPEED_THRESHOLDS {
-        sweeps.push(sweep(
-            &format!("OPW-SP({v}m/s)"),
+        sweep_algo(&Algo::top_down("NDP", TopDown::perpendicular(0.0)), dataset, thresholds),
+        sweep_algo(&Algo::top_down("TD-TR", TopDown::time_ratio(0.0)), dataset, thresholds),
+        sweep_algo(
+            &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
             dataset,
             thresholds,
-            move |e| Box::new(OpeningWindow::opw_sp(e, v)),
+        ),
+        sweep_algo(
+            &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
+            dataset,
+            thresholds,
+        ),
+    ];
+    for v in PAPER_SPEED_THRESHOLDS {
+        sweeps.push(sweep_algo(
+            &Algo::factory(format!("OPW-SP({v}m/s)"), move |e| {
+                Box::new(OpeningWindow::opw_sp(e, v))
+            }),
+            dataset,
+            thresholds,
         ));
     }
     FigureData {

@@ -25,9 +25,13 @@
 pub mod experiment;
 pub mod extensions;
 pub mod figures;
+pub mod registry;
 pub mod report;
 
-pub use experiment::{sweep, AlgoSweep, SweepPoint, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+pub use experiment::{
+    sweep, sweep_algo, AlgoSweep, SweepPoint, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS,
+};
+pub use registry::Algo;
 pub use extensions::{
     class_datasets, class_signatures, interpolation_gap, noise_ablation, object_classes,
     online_spectrum, sampling_ablation,

@@ -1,0 +1,60 @@
+//! Pins the one-pass sweep's byte-identical contract on the *actual
+//! reproduction protocol*: the calibrated ten-trajectory dataset and the
+//! paper's 30–100 m threshold grid. If the sweep and the per-threshold
+//! compressors ever disagree — on any trajectory, threshold, or
+//! speed-threshold — the figures silently change meaning; this test
+//! makes that a hard failure.
+
+use traj_compress::{Compressor, TdSp, TopDown, Workspace};
+use traj_eval::{sweep, sweep_algo, Algo, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+
+#[test]
+fn sweep_is_byte_identical_to_per_threshold_compress_on_paper_grid() {
+    let dataset = traj_gen::paper_dataset(42);
+    let mut ws = Workspace::new();
+    let tds = [
+        ("NDP", TopDown::perpendicular(0.0)),
+        ("TD-TR", TopDown::time_ratio(0.0)),
+        ("TD-SP(5m/s)", TopDown::time_ratio_speed(0.0, 5.0)),
+        ("TD-SP(15m/s)", TopDown::time_ratio_speed(0.0, 15.0)),
+        ("TD-SP(25m/s)", TopDown::time_ratio_speed(0.0, 25.0)),
+    ];
+    for (label, td) in tds {
+        for traj in &dataset {
+            let swept = td.sweep_with(traj, &PAPER_THRESHOLDS, &mut ws);
+            for (r, &eps) in swept.iter().zip(&PAPER_THRESHOLDS) {
+                let single = TopDown::new(td.criterion().with_epsilon(eps)).compress(traj);
+                assert_eq!(r, &single, "{label} eps={eps}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tdsp_wrapper_sweep_matches_on_paper_grid() {
+    let dataset = traj_gen::paper_dataset(42);
+    for &veps in &PAPER_SPEED_THRESHOLDS {
+        let sp = TdSp::new(30.0, veps);
+        for traj in &dataset {
+            let swept = sp.sweep(traj, &PAPER_THRESHOLDS);
+            for (r, &eps) in swept.iter().zip(&PAPER_THRESHOLDS) {
+                assert_eq!(r, &TdSp::new(eps, veps).compress(traj), "veps={veps} eps={eps}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_algo_aggregates_bit_identically_to_factory_sweep() {
+    // The registry path must not change a single float in the figures.
+    let dataset = traj_gen::paper_dataset(42);
+    let fast = sweep_algo(
+        &Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+        &dataset,
+        &PAPER_THRESHOLDS,
+    );
+    let slow = sweep("TD-TR", &dataset, &PAPER_THRESHOLDS, |e| {
+        Box::new(traj_compress::TdTr::new(e))
+    });
+    assert_eq!(fast, slow);
+}

@@ -18,8 +18,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use traj_compress::{
-    evaluate, BottomUp, Compressor, DeadReckoning, DistanceThreshold, DouglasPeucker, Metric,
-    OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
+    compress_all, evaluate, BottomUp, Compressor, DeadReckoning, DistanceThreshold,
+    DouglasPeucker, OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
 };
 use traj_model::stats::TrajectoryStats;
 use traj_model::{io, Trajectory};
@@ -61,6 +61,9 @@ pub enum Command {
         metrics_out: Option<PathBuf>,
         /// Sidecar format (`--metrics-format`), default JSON lines.
         metrics_format: MetricsFormat,
+        /// Worker threads for batch compression (`--threads`);
+        /// `0` = one per available core.
+        threads: usize,
     },
     /// `evaluate <original> <approx>` — error figures between two files.
     Evaluate {
@@ -98,6 +101,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         \n  trajc info <file.csv>\
         \n  trajc compress <file.csv> --algo <name> --eps <m> [--speed-eps <m/s>] [-o out.csv]\
         \n                 [--stats] [--metrics-out FILE] [--metrics-format json|csv]\
+        \n                 [--threads N]  (0 = one worker per available core)\
         \n  trajc evaluate <original.csv> <approx.csv>\
         \n  trajc generate [--seed N] [--trip 0..9] -o <file.csv>\
         \n  trajc store recover <dir> [--snapshot]\
@@ -122,6 +126,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut stats = false;
             let mut metrics_out = None;
             let mut metrics_format = MetricsFormat::Json;
+            let mut threads = 0usize;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, String> {
                     it.next().ok_or(format!("compress: {name} needs a value"))
@@ -138,6 +143,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--stats" => stats = true,
                     "--metrics-out" => {
                         metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+                    }
+                    "--threads" => {
+                        let v = value("--threads")?;
+                        threads = v
+                            .parse()
+                            .map_err(|e| format!("compress: bad --threads {v:?}: {e}"))?;
                     }
                     "--metrics-format" => {
                         metrics_format = match value("--metrics-format")?.as_str() {
@@ -162,6 +173,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 stats,
                 metrics_out,
                 metrics_format,
+                threads,
             })
         }
         "evaluate" => {
@@ -237,7 +249,7 @@ pub fn make_compressor(
     algo: &str,
     eps: f64,
     speed_eps: Option<f64>,
-) -> Result<Box<dyn Compressor>, String> {
+) -> Result<Box<dyn Compressor + Sync>, String> {
     let need_speed = || {
         speed_eps.ok_or_else(|| format!("algorithm {algo:?} needs --speed-eps"))
     };
@@ -263,7 +275,7 @@ pub fn make_compressor(
         "opw-sp" => Box::new(OpeningWindow::opw_sp(eps, need_speed()?)),
         "dead-reckoning" | "dr" => Box::new(DeadReckoning::new(eps)),
         "bottom-up" => Box::new(BottomUp::time_ratio(eps)),
-        "sliding-window" => Box::new(SlidingWindow::new(Metric::TimeRatio, eps, 32)),
+        "sliding-window" => Box::new(SlidingWindow::time_ratio(eps, 32)),
         other => return Err(format!("unknown algorithm {other:?}")),
     })
 }
@@ -299,6 +311,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             stats,
             metrics_out,
             metrics_format,
+            threads,
         } => {
             let total = traj_obs::Timer::start();
             let t = {
@@ -315,7 +328,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let compressor = make_compressor(algo, *eps, *speed_eps)?;
             let result = {
                 let _phase = traj_obs::span!("cli.compress", points = t.len() as u64);
-                compressor.compress(&t)
+                // Route through the fleet path so --threads (0 = auto)
+                // applies; a single trajectory runs inline regardless.
+                let mut results = compress_all(std::slice::from_ref(&t), &compressor, *threads);
+                match results.pop() {
+                    Some(r) => r,
+                    None => return Err("internal: compression produced no result".into()),
+                }
             };
             let e = {
                 let _phase = traj_obs::span!("cli.evaluate");
@@ -449,8 +468,29 @@ mod tests {
                 stats: false,
                 metrics_out: None,
                 metrics_format: MetricsFormat::Json,
+                threads: 0,
             }
         );
+    }
+
+    #[test]
+    fn parse_compress_threads_flag() {
+        // Explicit worker count.
+        let c = parse(&args("compress a.csv --algo td-tr --eps 30 --threads 4")).unwrap();
+        match c {
+            Command::Compress { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("parsed {other:?}"),
+        }
+        // 0 (= one worker per available core) is the default and is
+        // also accepted explicitly.
+        let c = parse(&args("compress a.csv --algo td-tr --eps 30 --threads 0")).unwrap();
+        match c {
+            Command::Compress { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("compress a.csv --algo td-tr --eps 30 --threads four"))
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]
@@ -544,6 +584,7 @@ mod tests {
             stats: false,
             metrics_out: None,
             metrics_format: MetricsFormat::Json,
+            threads: 0,
         };
         let report = run(&compress).unwrap();
         assert!(report.contains("td-tr(30m)"));
@@ -575,6 +616,7 @@ mod tests {
             stats: true,
             metrics_out: Some(metrics_json.clone()),
             metrics_format: MetricsFormat::Json,
+            threads: 0,
         })
         .unwrap();
         // The acceptance surface: points in/out, SED evaluations,
@@ -600,6 +642,7 @@ mod tests {
             stats: false,
             metrics_out: Some(metrics_csv.clone()),
             metrics_format: MetricsFormat::Csv,
+            threads: 0,
         })
         .unwrap();
         let body = std::fs::read_to_string(&metrics_csv).unwrap();

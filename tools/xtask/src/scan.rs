@@ -14,7 +14,8 @@
 //! depth, also `br`/`cr` forms), char literals and lifetimes (`'a` is
 //! not a char literal). Strings and block comments may span lines.
 //!
-//! On top of the lexed lines, [`mark_test_regions`] flags every line
+//! On top of the lexed lines, the internal `mark_test_regions` pass
+//! flags every line
 //! that belongs to an item annotated `#[cfg(test)]` — the panic and
 //! float-equality lints exempt those regions.
 
