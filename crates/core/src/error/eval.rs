@@ -1,0 +1,538 @@
+//! The one-pass evaluation engine: every error notion from a single
+//! linear merge, with cross-threshold memoization.
+//!
+//! [`super::evaluate`] is the *reference* implementation: it materializes
+//! the approximation (`CompressionResult::apply`), then computes each
+//! notion independently — rebuilding and re-sorting the elementary-time
+//! list per notion and binary-searching positions per instant. Correct,
+//! but the experiment harness calls it for every (algorithm × threshold
+//! × trajectory) cell of the paper's figures, where it dominates the run
+//! time now that compression itself answers a whole threshold grid in
+//! one pass (`DESIGN.md` §2b).
+//!
+//! This module exploits the structural fact the reference path ignores:
+//! a [`CompressionResult`] keeps a **subsequence** of the original's
+//! fixes. Consequences, for original `p` and approximation
+//! `a = p.select(kept)`:
+//!
+//! * the merged elementary instants of `(p, a)` are exactly `p`'s own
+//!   vertex instants — no merge, no sort, no dedup;
+//! * `a`'s synchronized position at an original instant `t` inside the
+//!   kept anchor pair `(lo, hi)` is `Fix::interpolate(p[lo], p[hi], t)`
+//!   — no binary search, no materialized trajectory;
+//! * therefore *all* notions — the `α` integral (eq. 3), the max
+//!   synchronous error, the SED mean/max/quantile samples and the
+//!   perpendicular errors — fall out of one O(n + m) cursor merge of the
+//!   original fixes against the kept-anchor segments.
+//!
+//! [`ErrorEval`] is that merge; scratch lives in a reusable
+//! [`EvalWorkspace`] so a warm evaluation allocates nothing.
+//!
+//! **Cross-threshold memoization.** Nested top-down results share
+//! anchor segments: tightening the threshold only *splits* segments, so
+//! most `(lo, hi)` pairs recur across the paper's fifteen thresholds.
+//! The workspace caches, per anchor segment, the per-interval
+//! contribution terms (the α integrand, the SED sample, the
+//! perpendicular distance — the same pattern as the TD-SP sweep memo of
+//! `crate::workspace::SpStats`); evaluating another threshold then only
+//! re-sums cached terms. Terms — not partial sums — are cached so the
+//! flat, in-order summation of the reference path is reproduced exactly:
+//! every field of the returned [`Evaluation`] equals
+//! [`super::evaluate`]'s, bit for bit (pinned by the proptests in
+//! `tests/eval_engine.rs`).
+
+use std::collections::HashMap;
+
+use crate::error::synchronized::mean_linear_displacement;
+use crate::error::Evaluation;
+use crate::result::CompressionResult;
+use traj_geom::{Segment, Vec2};
+use traj_model::{Fix, Trajectory};
+
+/// Contributions of one elementary interval `[i, i+1]` inside a kept
+/// anchor segment, cached per `(lo, hi)` anchor pair.
+#[derive(Debug, Clone, Copy)]
+struct SegTerm {
+    /// `Δt · ∫₀¹|δ|` — this interval's term of the α numerator (eq. 3).
+    alpha: f64,
+    /// Synchronous distance at the interval's end vertex — the SED
+    /// sample at that original instant, and the candidate for the max
+    /// synchronous error (|δ| is convex per interval, so vertex maxima
+    /// are exact).
+    d_end: f64,
+    /// Perpendicular distance of the end vertex to the anchor chord;
+    /// 0 when the end vertex is the anchor end itself (kept points are
+    /// never "removed", so the value is unused there).
+    perp: f64,
+}
+
+/// Identity of the trajectory a segment cache was built for. Anchor
+/// indices are only meaningful per trajectory, so the workspace
+/// self-invalidates when bound to a different one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TrajKey {
+    ptr: usize,
+    len: usize,
+    t0: u64,
+    t1: u64,
+}
+
+impl TrajKey {
+    fn of(traj: &Trajectory) -> TrajKey {
+        let fixes = traj.fixes();
+        TrajKey {
+            ptr: fixes.as_ptr() as usize,
+            len: fixes.len(),
+            t0: fixes[0].t.as_secs().to_bits(),
+            t1: fixes[fixes.len() - 1].t.as_secs().to_bits(),
+        }
+    }
+}
+
+/// Reusable scratch for the one-pass evaluation engine — the evaluation
+/// twin of [`crate::Workspace`].
+///
+/// Holds the per-trajectory segment-contribution cache and the SED
+/// sample buffer. Reuse one workspace across a sweep (or a whole
+/// dataset) to keep evaluation allocation-free once warm; the cache
+/// automatically resets when a different trajectory is evaluated.
+///
+/// With the `obs` feature enabled, warm rebinds are counted in the
+/// `eval.ws_reuse` metric, evaluated cells in `eval.cells` and anchor
+/// segments served from the cache in `eval.cache_hits` (see
+/// `crates/obs/README.md`).
+#[derive(Debug, Default)]
+pub struct EvalWorkspace {
+    /// Anchor segment `(lo, hi)` → offset of its `hi - lo` terms in
+    /// `terms`.
+    seg_at: HashMap<(usize, usize), usize>,
+    /// Arena of cached per-interval terms, in discovery order.
+    terms: Vec<SegTerm>,
+    /// SED sample scratch for the quantile queries.
+    seds: Vec<f64>,
+    /// Which trajectory `seg_at`/`terms` belong to.
+    key: Option<TrajKey>,
+}
+
+impl EvalWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        EvalWorkspace::default()
+    }
+
+    /// Points the cache at `traj`, clearing it if it belonged to a
+    /// different trajectory (capacity is retained either way).
+    fn bind(&mut self, traj: &Trajectory) {
+        let key = TrajKey::of(traj);
+        if self.key == Some(key) {
+            return;
+        }
+        #[cfg(feature = "obs")]
+        if self.terms.capacity() > 0 {
+            traj_obs::registry().counter("eval", "ws_reuse").inc();
+        }
+        self.key = Some(key);
+        self.seg_at.clear();
+        self.terms.clear();
+    }
+}
+
+/// The one-pass error evaluator for one original trajectory.
+///
+/// Construct once per trajectory, then [`evaluate`](ErrorEval::evaluate)
+/// any number of [`CompressionResult`]s against it — each evaluation is
+/// a single forward merge of the original fixes with the result's kept
+/// anchors, and anchor segments shared between results (ubiquitous
+/// across a threshold sweep) are computed once.
+///
+/// Every field of the returned [`Evaluation`] is exactly equal to the
+/// reference [`super::evaluate`] — same operands, same summation order.
+///
+/// ```
+/// use traj_compress::{Compressor, ErrorEval, EvalWorkspace, TdTr, evaluate};
+/// use traj_model::Trajectory;
+///
+/// let trip = Trajectory::from_triples(
+///     (0..50).map(|i| (f64::from(i) * 10.0, f64::from(i * i), 0.0)),
+/// )
+/// .unwrap();
+/// let result = TdTr::new(25.0).compress(&trip);
+///
+/// let mut ws = EvalWorkspace::new();
+/// let fast = ErrorEval::new(&trip, &mut ws).evaluate(&result);
+/// assert_eq!(fast, evaluate(&trip, &result));
+/// ```
+#[derive(Debug)]
+pub struct ErrorEval<'a> {
+    fixes: &'a [Fix],
+    /// Observation span in seconds — the α denominator.
+    span_s: f64,
+    ws: &'a mut EvalWorkspace,
+    #[cfg(feature = "obs")]
+    cells: u64,
+    #[cfg(feature = "obs")]
+    cache_hits: u64,
+}
+
+impl<'a> ErrorEval<'a> {
+    /// Binds the engine (and the workspace cache) to `traj`.
+    ///
+    /// # Panics
+    /// Panics if `traj` has fewer than two fixes — such a trajectory has
+    /// no observation interval to average over (the reference path
+    /// rejects it for the same reason).
+    pub fn new(traj: &'a Trajectory, ws: &'a mut EvalWorkspace) -> Self {
+        assert!(traj.len() >= 2, "evaluation requires at least two fixes");
+        ws.bind(traj);
+        let fixes = traj.fixes();
+        let span_s = fixes[fixes.len() - 1].t.as_secs() - fixes[0].t.as_secs();
+        ErrorEval {
+            fixes,
+            span_s,
+            ws,
+            #[cfg(feature = "obs")]
+            cells: 0,
+            #[cfg(feature = "obs")]
+            cache_hits: 0,
+        }
+    }
+
+    /// Evaluates one compression result under every error notion — the
+    /// one-pass equivalent of [`super::evaluate`].
+    ///
+    /// # Panics
+    /// Panics if `result` does not belong to the bound trajectory
+    /// (length mismatch).
+    pub fn evaluate(&mut self, result: &CompressionResult) -> Evaluation {
+        assert_eq!(
+            self.fixes.len(),
+            result.original_len(),
+            "result/trajectory mismatch"
+        );
+        #[cfg(feature = "obs")]
+        {
+            self.cells += 1;
+        }
+        let n = self.fixes.len();
+        // Flat accumulators, updated in original-fix order across anchor
+        // segments — the exact summation order of the reference path.
+        let mut alpha_num = 0.0;
+        let mut sed_sum = 0.0;
+        let mut d_max = 0.0f64;
+        let mut perp_sum = 0.0;
+        let mut perp_max = 0.0f64;
+        for w in result.kept().windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let off = self.seg_terms(lo, hi);
+            for (k, term) in self.ws.terms[off..off + (hi - lo)].iter().enumerate() {
+                alpha_num += term.alpha;
+                sed_sum += term.d_end;
+                d_max = d_max.max(term.d_end);
+                if lo + k + 1 < hi {
+                    perp_sum += term.perp;
+                    perp_max = perp_max.max(term.perp);
+                }
+            }
+        }
+        let removed = n - result.kept_len();
+        Evaluation {
+            compression_pct: result.compression_pct(),
+            avg_sync_err_m: alpha_num / self.span_s,
+            // The elementary instants are the sample instants, so the
+            // continuous max (attained at an interval endpoint — |δ| is
+            // convex per interval) coincides with the max SED sample.
+            max_sync_err_m: d_max,
+            mean_sed_m: sed_sum / n as f64,
+            max_sed_m: d_max,
+            mean_perp_m: if removed == 0 {
+                0.0
+            } else {
+                perp_sum / removed as f64
+            },
+            max_perp_m: perp_max,
+        }
+    }
+
+    /// SED quantiles of `result` at the original sample instants —
+    /// nearest-rank, one value per entry of `quantiles`, semantics
+    /// identical to [`super::sed_quantiles`] on the materialized
+    /// approximation. The samples come from the same cached terms as
+    /// [`evaluate`](ErrorEval::evaluate); only the sort is extra.
+    ///
+    /// # Panics
+    /// Panics if any quantile is outside `[0, 1]`, or on a
+    /// result/trajectory length mismatch.
+    pub fn sed_quantiles(&mut self, result: &CompressionResult, quantiles: &[f64]) -> Vec<f64> {
+        assert!(
+            quantiles.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quantiles must lie in [0, 1]"
+        );
+        assert_eq!(
+            self.fixes.len(),
+            result.original_len(),
+            "result/trajectory mismatch"
+        );
+        let mut seds = std::mem::take(&mut self.ws.seds);
+        seds.clear();
+        // The first vertex is always kept: its SED sample is exactly 0.
+        seds.push(0.0);
+        for w in result.kept().windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let off = self.seg_terms(lo, hi);
+            seds.extend(self.ws.terms[off..off + (hi - lo)].iter().map(|t| t.d_end));
+        }
+        seds.sort_unstable_by(f64::total_cmp);
+        let n = seds.len();
+        let out = quantiles
+            .iter()
+            .map(|&q| {
+                // Nearest-rank quantile, as in the reference path.
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                seds[rank - 1]
+            })
+            .collect();
+        self.ws.seds = seds;
+        out
+    }
+
+    /// The terms of anchor segment `(lo, hi)`: cached offset if seen
+    /// before, else one linear walk over the covered elementary
+    /// intervals.
+    fn seg_terms(&mut self, lo: usize, hi: usize) -> usize {
+        if let Some(&off) = self.ws.seg_at.get(&(lo, hi)) {
+            #[cfg(feature = "obs")]
+            {
+                self.cache_hits += 1;
+            }
+            return off;
+        }
+        let fixes = self.fixes;
+        let a_fix = &fixes[lo];
+        let b_fix = &fixes[hi];
+        let chord = Segment::new(a_fix.pos, b_fix.pos);
+        let off = self.ws.terms.len();
+        self.ws.terms.reserve(hi - lo);
+        // Displacement δ at the anchor start: the approximation passes
+        // through the kept fix, so δ is exactly zero — bit-identical to
+        // the reference path's `p - p` subtraction of finite coordinates.
+        let mut d0 = Vec2::ZERO;
+        for i in lo..hi {
+            let p1 = &fixes[i + 1];
+            // The approximation's synchronized position at p1's instant:
+            // the kept vertex itself at the anchor end, else the linear
+            // interpolation along the anchor — the same operands
+            // `position_at` would reach through its binary search.
+            let a1 = if i + 1 == hi {
+                b_fix.pos
+            } else {
+                Fix::interpolate(a_fix, b_fix, p1.t)
+            };
+            let d1 = p1.pos - a1;
+            let dt = (p1.t - fixes[i].t).as_secs();
+            self.ws.terms.push(SegTerm {
+                alpha: dt * mean_linear_displacement(d0, d1),
+                d_end: a1.distance(p1.pos),
+                perp: if i + 1 == hi {
+                    0.0
+                } else {
+                    chord.line_distance(p1.pos)
+                },
+            });
+            d0 = d1;
+        }
+        self.ws.seg_at.insert((lo, hi), off);
+        off
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for ErrorEval<'_> {
+    /// Flushes the per-engine counters into the registry exactly once —
+    /// the same accumulate-then-flush discipline as `crate::obs::AlgoRun`.
+    fn drop(&mut self) {
+        if self.cells > 0 {
+            let r = traj_obs::registry();
+            r.counter("eval", "cells").add(self.cells);
+            r.counter("eval", "cache_hits").add(self.cache_hits);
+        }
+    }
+}
+
+/// Evaluates every result of a threshold sweep against `original` in one
+/// engine pass: anchor segments shared between thresholds (the common
+/// case for nested top-down results) are computed once and re-summed per
+/// threshold. Each returned [`Evaluation`] is exactly equal — bit for
+/// bit — to [`super::evaluate`] on the same cell.
+///
+/// # Panics
+/// Panics if `original` has fewer than two fixes or any result does not
+/// belong to it.
+pub fn evaluate_sweep(
+    original: &Trajectory,
+    results: &[CompressionResult],
+    ws: &mut EvalWorkspace,
+) -> Vec<Evaluation> {
+    let mut ev = ErrorEval::new(original, ws);
+    results.iter().map(|r| ev.evaluate(r)).collect()
+}
+
+/// One-pass, workspace-borrowing form of [`super::evaluate`]: same
+/// result (exactly), no approximation materialized, scratch served from
+/// `ws`.
+///
+/// # Panics
+/// Panics if `original` has fewer than two fixes or `result` does not
+/// belong to it.
+pub fn evaluate_with(
+    original: &Trajectory,
+    result: &CompressionResult,
+    ws: &mut EvalWorkspace,
+) -> Evaluation {
+    ErrorEval::new(original, ws).evaluate(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{evaluate, sed_quantiles};
+    use crate::result::Compressor;
+
+    fn t(triples: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_triples(triples.iter().copied()).unwrap()
+    }
+
+    fn zigzag(n: usize) -> Trajectory {
+        Trajectory::from_triples((0..n).map(|i| {
+            let s = i as f64 * 10.0;
+            (s, s * 7.0, ((i * 13) % 9) as f64 * 21.0)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_result_has_zero_errors() {
+        let p = zigzag(12);
+        let mut ws = EvalWorkspace::new();
+        let e = evaluate_with(&p, &CompressionResult::identity(12), &mut ws);
+        assert_eq!(e.compression_pct, 0.0);
+        assert_eq!(e.avg_sync_err_m, 0.0);
+        assert_eq!(e.max_sync_err_m, 0.0);
+        assert_eq!(e.mean_sed_m, 0.0);
+        assert_eq!(e.mean_perp_m, 0.0);
+        assert_eq!(e.max_perp_m, 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_detour() {
+        let p = t(&[(0.0, 0.0, 0.0), (10.0, 100.0, 0.0), (20.0, 100.0, 100.0)]);
+        let r = CompressionResult::new(vec![0, 2], 3);
+        let mut ws = EvalWorkspace::new();
+        assert_eq!(evaluate_with(&p, &r, &mut ws), evaluate(&p, &r));
+    }
+
+    #[test]
+    fn matches_reference_across_compressors() {
+        let p = zigzag(60);
+        let mut ws = EvalWorkspace::new();
+        for eps in [5.0, 20.0, 60.0, 150.0] {
+            for r in [
+                crate::douglas_peucker::TdTr::new(eps).compress(&p),
+                crate::douglas_peucker::DouglasPeucker::new(eps).compress(&p),
+                crate::opening_window::OpeningWindow::opw_tr(eps).compress(&p),
+            ] {
+                assert_eq!(
+                    evaluate_with(&p, &r, &mut ws),
+                    evaluate(&p, &r),
+                    "eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_cell_and_caches_shared_segments() {
+        let p = zigzag(80);
+        let td = crate::douglas_peucker::TopDown::time_ratio(0.0);
+        let grid = [10.0, 20.0, 40.0, 80.0, 160.0];
+        let mut cws = crate::workspace::Workspace::new();
+        let results = td.sweep_with(&p, &grid, &mut cws);
+        let mut ws = EvalWorkspace::new();
+        let evals = evaluate_sweep(&p, &results, &mut ws);
+        assert_eq!(evals.len(), grid.len());
+        for (e, r) in evals.iter().zip(&results) {
+            assert_eq!(*e, evaluate(&p, r));
+        }
+        // Nested results cover each elementary interval once per
+        // *distinct* segment; far fewer terms than intervals × thresholds.
+        assert!(
+            ws.terms.len() < (p.len() - 1) * grid.len(),
+            "cache failed to share segments: {} terms",
+            ws.terms.len()
+        );
+    }
+
+    #[test]
+    fn workspace_rebinds_between_trajectories() {
+        let p1 = zigzag(20);
+        let p2 = zigzag(25);
+        let mut ws = EvalWorkspace::new();
+        let r1 = CompressionResult::new(vec![0, 19], 20);
+        let r2 = CompressionResult::new(vec![0, 24], 25);
+        let a = evaluate_with(&p1, &r1, &mut ws);
+        let b = evaluate_with(&p2, &r2, &mut ws);
+        assert_eq!(a, evaluate(&p1, &r1));
+        assert_eq!(b, evaluate(&p2, &r2));
+        // Re-evaluating the first trajectory after rebinding stays right.
+        assert_eq!(evaluate_with(&p1, &r1, &mut ws), a);
+    }
+
+    #[test]
+    fn quantiles_match_reference_path() {
+        let p = zigzag(40);
+        let r = crate::douglas_peucker::TdTr::new(30.0).compress(&p);
+        let approx = r.apply(&p);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.95, 1.0];
+        let mut ws = EvalWorkspace::new();
+        let fast = ErrorEval::new(&p, &mut ws).sed_quantiles(&r, &qs);
+        assert_eq!(fast, sed_quantiles(&p, &approx, &qs));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_result_panics() {
+        let p = zigzag(10);
+        let r = CompressionResult::new(vec![0, 4], 5);
+        let mut ws = EvalWorkspace::new();
+        let _ = evaluate_with(&p, &r, &mut ws);
+    }
+
+    #[test]
+    #[should_panic(expected = "two fixes")]
+    fn single_fix_trajectory_rejected() {
+        let p = Trajectory::from_triples([(0.0, 1.0, 2.0)]).unwrap();
+        let mut ws = EvalWorkspace::new();
+        let _ = ErrorEval::new(&p, &mut ws);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counters_track_cells_and_cache_hits() {
+        let reg = traj_obs::registry();
+        let cells = reg.counter("eval", "cells");
+        let hits = reg.counter("eval", "cache_hits");
+        let c0 = cells.get();
+        let h0 = hits.get();
+        let p = zigzag(50);
+        let td = crate::douglas_peucker::TopDown::time_ratio(0.0);
+        let grid = [20.0, 20.0, 20.0]; // identical thresholds: maximal sharing
+        let mut cws = crate::workspace::Workspace::new();
+        let results = td.sweep_with(&p, &grid, &mut cws);
+        let mut ws = EvalWorkspace::new();
+        let _ = evaluate_sweep(&p, &results, &mut ws);
+        assert!(cells.get() >= c0 + 3, "three cells evaluated");
+        assert!(
+            hits.get() > h0,
+            "repeat thresholds must hit the segment cache"
+        );
+    }
+}

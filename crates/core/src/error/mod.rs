@@ -11,10 +11,13 @@
 //! [`evaluate`] bundles everything into one [`Evaluation`] per
 //! compression result — the record behind every figure of the paper.
 
+pub mod eval;
 pub mod perpendicular;
 pub mod spline;
 pub mod synchronized;
+mod times;
 
+pub use eval::{evaluate_sweep, evaluate_with, ErrorEval, EvalWorkspace};
 pub use perpendicular::{
     area_perpendicular_error, max_perpendicular_error, mean_perpendicular_error,
 };

@@ -22,24 +22,11 @@ use traj_model::spline::spline_position_at;
 use traj_model::{Timestamp, Trajectory};
 
 /// Merged, deduplicated vertex instants of both trajectories over the
-/// overlap of their spans (same construction as the linear calculus).
+/// overlap of their spans (the shared construction of [`super::times`],
+/// identical to the linear calculus).
 fn elementary_times(p: &Trajectory, a: &Trajectory) -> Vec<f64> {
-    let lo = p.start_time().as_secs().max(a.start_time().as_secs());
-    let hi = p.end_time().as_secs().min(a.end_time().as_secs());
-    if hi <= lo {
-        return Vec::new();
-    }
-    let mut ts: Vec<f64> = Vec::with_capacity(p.len() + a.len());
-    ts.push(lo);
-    for f in p.fixes().iter().chain(a.fixes()) {
-        let s = f.t.as_secs();
-        if s > lo && s < hi {
-            ts.push(s);
-        }
-    }
-    ts.push(hi);
-    ts.sort_unstable_by(f64::total_cmp);
-    ts.dedup();
+    let mut ts = Vec::new();
+    super::times::elementary_times_into(p, a, &mut ts);
     ts
 }
 

@@ -39,7 +39,10 @@ use traj_model::{Timestamp, Trajectory};
 
 /// `∫₀¹ |δ₀ + s·w| ds` — the exact mean length of a linearly varying
 /// displacement, via the paper's case analysis (documented above).
-fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
+///
+/// Crate-visible: the one-pass evaluation engine ([`super::eval`])
+/// reuses this kernel per elementary interval.
+pub(crate) fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
     let w = d1 - d0;
     let a = w.norm_sq();
     // Paper case c₁ = 0: the displacement is constant (translation).
@@ -77,24 +80,11 @@ fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
 }
 
 /// Elementary time intervals: the merged, deduplicated vertex instants of
-/// both trajectories restricted to the overlap of their spans.
+/// both trajectories restricted to the overlap of their spans (shared
+/// construction in [`super::times`]).
 fn elementary_times(p: &Trajectory, a: &Trajectory) -> Vec<Timestamp> {
-    let lo = if p.start_time() > a.start_time() { p.start_time() } else { a.start_time() };
-    let hi = if p.end_time() < a.end_time() { p.end_time() } else { a.end_time() };
-    if hi <= lo {
-        return Vec::new();
-    }
-    let mut ts: Vec<f64> = Vec::with_capacity(p.len() + a.len());
-    ts.push(lo.as_secs());
-    for f in p.fixes().iter().chain(a.fixes()) {
-        let s = f.t.as_secs();
-        if s > lo.as_secs() && s < hi.as_secs() {
-            ts.push(s);
-        }
-    }
-    ts.push(hi.as_secs());
-    ts.sort_unstable_by(f64::total_cmp);
-    ts.dedup();
+    let mut ts = Vec::new();
+    super::times::elementary_times_into(p, a, &mut ts);
     ts.into_iter().map(Timestamp::from_secs).collect()
 }
 

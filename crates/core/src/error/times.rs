@@ -1,0 +1,93 @@
+//! Shared elementary-time construction for the error calculus.
+//!
+//! Both the linear calculus ([`super::synchronized`]) and the spline
+//! calculus ([`super::spline`]) integrate piecewise over the *elementary
+//! intervals* — the merged, deduplicated vertex instants of the two
+//! trajectories restricted to the overlap of their spans. The two
+//! modules used to carry near-identical private copies of this merge;
+//! this is the single shared routine.
+//!
+//! The routine is workspace-aware: it fills a caller-supplied buffer
+//! (clearing it first) so hot paths can reuse one allocation across
+//! calls instead of building a fresh `Vec` per evaluation.
+
+use traj_model::Trajectory;
+
+/// Fills `out` with the elementary instants of the pair `(p, a)` in
+/// seconds: the overlap endpoints plus every interior vertex instant of
+/// either trajectory, sorted ascending and deduplicated. Leaves `out`
+/// empty when the spans do not overlap in an interval of positive
+/// length.
+pub(crate) fn elementary_times_into(p: &Trajectory, a: &Trajectory, out: &mut Vec<f64>) {
+    out.clear();
+    let lo = p.start_time().as_secs().max(a.start_time().as_secs());
+    let hi = p.end_time().as_secs().min(a.end_time().as_secs());
+    if hi <= lo {
+        return;
+    }
+    out.reserve(p.len() + a.len());
+    out.push(lo);
+    for f in p.fixes().iter().chain(a.fixes()) {
+        let s = f.t.as_secs();
+        if s > lo && s < hi {
+            out.push(s);
+        }
+    }
+    out.push(hi);
+    // Timestamps are finite by construction (`Trajectory::new` validates
+    // them), so total order == numeric order here.
+    out.sort_unstable_by(f64::total_cmp);
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(triples: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_triples(triples.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn merges_sorts_and_dedups_interior_vertices() {
+        let p = t(&[(0.0, 0.0, 0.0), (10.0, 1.0, 0.0), (20.0, 2.0, 0.0)]);
+        let a = t(&[
+            (0.0, 0.0, 0.0),
+            (5.0, 1.0, 1.0),
+            (10.0, 1.0, 0.0),
+            (20.0, 2.0, 0.0),
+        ]);
+        let mut ts = Vec::new();
+        elementary_times_into(&p, &a, &mut ts);
+        assert_eq!(ts, vec![0.0, 5.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn restricts_to_overlap() {
+        let p = t(&[(0.0, 0.0, 0.0), (10.0, 1.0, 0.0), (20.0, 2.0, 0.0)]);
+        let a = t(&[(5.0, 0.0, 0.0), (15.0, 1.0, 0.0)]);
+        let mut ts = Vec::new();
+        elementary_times_into(&p, &a, &mut ts);
+        assert_eq!(ts, vec![5.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn disjoint_spans_leave_buffer_empty() {
+        let p = t(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.0)]);
+        let a = t(&[(5.0, 0.0, 0.0), (6.0, 1.0, 0.0)]);
+        let mut ts = vec![99.0];
+        elementary_times_into(&p, &a, &mut ts);
+        assert!(ts.is_empty(), "stale contents must be cleared");
+    }
+
+    #[test]
+    fn buffer_is_reusable_across_calls() {
+        let p = t(&[(0.0, 0.0, 0.0), (10.0, 1.0, 0.0)]);
+        let a = t(&[(0.0, 0.0, 0.0), (4.0, 1.0, 1.0), (10.0, 1.0, 0.0)]);
+        let mut ts = Vec::new();
+        elementary_times_into(&p, &a, &mut ts);
+        let first = ts.clone();
+        elementary_times_into(&p, &a, &mut ts);
+        assert_eq!(ts, first);
+    }
+}

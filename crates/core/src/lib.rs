@@ -94,7 +94,10 @@ pub use criterion::{Criterion, Perpendicular, SegmentCriterion, TimeRatio, TimeR
 pub use dead_reckoning::DeadReckoning;
 pub use distance::{perpendicular_distance, sed, speed_difference};
 pub use douglas_peucker::{DouglasPeucker, TdTr, TopDown};
-pub use error::{average_synchronous_error, evaluate, Evaluation};
+pub use error::{
+    average_synchronous_error, evaluate, evaluate_sweep, evaluate_with, ErrorEval, EvalWorkspace,
+    Evaluation,
+};
 pub use hull_dp::HullDouglasPeucker;
 pub use opening_window::{BreakStrategy, OpeningWindow};
 pub use parallel::compress_all;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table2|fig7|fig8|fig9|fig10|fig11|check|ext] [--seed N] [--csv DIR]
-//!       [--metrics-out FILE]
+//!       [--metrics-out FILE] [--threads N] [--fast]
 //! ```
 //!
 //! With no arguments, runs `all`: prints Table 2 and Figures 7–11 as
@@ -11,13 +11,20 @@
 //! one CSV per figure into `DIR`, plus a `metrics.csv` sidecar with the
 //! instrumentation snapshot of the whole run; `--metrics-out FILE`
 //! redirects the sidecar (JSON lines for `.json` paths, CSV otherwise).
+//!
+//! `--threads N` fans each figure's sweeps over N worker threads
+//! (`0` = all cores; default 1). The aggregates are bit-identical to the
+//! serial run — parallelism is observable only in wall time. `--fast`
+//! shrinks the protocol (three trajectories, four thresholds) for smoke
+//! runs; figures lose their paper meaning, so `check`/`all` refuse it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use traj_eval::{
-    check_expectations, fig10, fig11, fig7, fig8, fig9, figure_to_csv, format_figure,
-    format_table2, table2, FigureData,
+    check_expectations, fig10_threaded, fig11_threaded, fig7_threaded, fig8_threaded,
+    fig9_threaded, figure_to_csv, format_figure, format_table2, table2, FigureData,
+    PAPER_THRESHOLDS,
 };
 
 struct Args {
@@ -25,6 +32,8 @@ struct Args {
     seed: u64,
     csv_dir: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    threads: usize,
+    fast: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut csv_dir = None;
     let mut metrics_out = None;
+    let mut threads = 1usize;
+    let mut fast = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,10 +58,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics-out needs a path")?;
                 metrics_out = Some(PathBuf::from(v));
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value (0 = all cores)")?;
+                threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+            }
+            "--fast" => fast = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [all|table2|fig7..fig11|check] [--seed N] [--csv DIR] \
-                            [--metrics-out FILE]"
+                    "usage: repro [all|table2|fig7..fig11|check|ext] [--seed N] [--csv DIR] \
+                            [--metrics-out FILE] [--threads N] [--fast]"
                         .to_string(),
                 )
             }
@@ -63,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         seed,
         csv_dir,
         metrics_out,
+        threads,
+        fast,
     })
 }
 
@@ -182,23 +202,40 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("generating dataset (seed {}) ...", args.seed);
-    let dataset = traj_gen::paper_dataset(args.seed);
+    let mut dataset = traj_gen::paper_dataset(args.seed);
+    // Reduced smoke protocol: fewer trajectories and a coarse grid. The
+    // figures lose their paper meaning, so the shape check refuses it.
+    let fast_grid = [30.0, 50.0, 70.0, 100.0];
+    let grid: &[f64] = if args.fast {
+        dataset.truncate(3);
+        eprintln!("(--fast: 3 trajectories, {} thresholds)", fast_grid.len());
+        &fast_grid
+    } else {
+        &PAPER_THRESHOLDS
+    };
+    let threads = args.threads;
 
     let run_table2 = || println!("{}", format_table2(&table2(&dataset)));
 
     match args.what.as_str() {
         "table2" => run_table2(),
-        "fig7" => emit(&fig7(&dataset), &args.csv_dir),
-        "fig8" => emit(&fig8(&dataset), &args.csv_dir),
-        "fig9" => emit(&fig9(&dataset), &args.csv_dir),
-        "fig10" => emit(&fig10(&dataset), &args.csv_dir),
-        "fig11" => emit(&fig11(&dataset), &args.csv_dir),
+        "fig7" => emit(&fig7_threaded(&dataset, grid, threads), &args.csv_dir),
+        "fig8" => emit(&fig8_threaded(&dataset, grid, threads), &args.csv_dir),
+        "fig9" => emit(&fig9_threaded(&dataset, grid, threads), &args.csv_dir),
+        "fig10" => emit(&fig10_threaded(&dataset, grid, threads), &args.csv_dir),
+        "fig11" => emit(&fig11_threaded(&dataset, grid, threads), &args.csv_dir),
         "check" | "all" => {
-            let f7 = fig7(&dataset);
-            let f8 = fig8(&dataset);
-            let f9 = fig9(&dataset);
-            let f10 = fig10(&dataset);
-            let f11 = fig11(&dataset);
+            if args.fast {
+                eprintln!(
+                    "--fast changes the protocol; the paper-shape check would be meaningless"
+                );
+                return ExitCode::FAILURE;
+            }
+            let f7 = fig7_threaded(&dataset, grid, threads);
+            let f8 = fig8_threaded(&dataset, grid, threads);
+            let f9 = fig9_threaded(&dataset, grid, threads);
+            let f10 = fig10_threaded(&dataset, grid, threads);
+            let f11 = fig11_threaded(&dataset, grid, threads);
             if args.what == "all" {
                 run_table2();
                 for f in [&f7, &f8, &f9, &f10, &f11] {

@@ -1,7 +1,7 @@
 //! The experiment runner: threshold sweeps averaged over the dataset.
 
 use crate::registry::Algo;
-use traj_compress::{evaluate, CompressionResult, Compressor, Workspace};
+use traj_compress::{evaluate, evaluate_sweep, Compressor, EvalWorkspace, Evaluation, Workspace};
 use traj_model::Trajectory;
 
 /// The paper's fifteen spatial thresholds: 30–100 m in 5 m steps (§4.3).
@@ -53,7 +53,12 @@ impl AlgoSweep {
 
     /// Error spread: max − min across thresholds (the paper's
     /// "threshold-insensitivity" observation for OPW-TR, Fig. 9).
+    /// An empty sweep has no spread: 0 (the folds' seeds would
+    /// otherwise produce `0 − ∞ = -inf`).
     pub fn error_spread(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
         let lo = self
             .points
             .iter()
@@ -90,44 +95,116 @@ pub fn sweep<F>(label: &str, dataset: &[Trajectory], thresholds: &[f64], make: F
 where
     F: Fn(f64) -> Box<dyn Compressor>,
 {
-    sweep_results(label, dataset, thresholds, |traj| {
-        thresholds.iter().map(|&eps| make(eps).compress(traj)).collect()
-    })
+    // Stays on the reference `evaluate()` path deliberately: the factory
+    // sweep is the independent cross-check for the one-pass engine used
+    // by `sweep_algo` (see `tests/sweep_equivalence.rs`).
+    aggregate(
+        label,
+        dataset.len(),
+        thresholds,
+        dataset.iter().map(|traj| {
+            thresholds
+                .iter()
+                .map(|&eps| evaluate(traj, &make(eps).compress(traj)))
+                .collect()
+        }),
+    )
 }
 
 /// Runs a registered [`Algo`] over the dataset × threshold grid: one
 /// [`Algo::run`] call per trajectory (a single split-tree pass for
-/// top-down entries), averaged per threshold exactly like [`sweep`].
+/// top-down entries) and one [`evaluate_sweep`] engine pass per
+/// trajectory (anchor segments shared across thresholds are evaluated
+/// once), averaged per threshold exactly like [`sweep`].
 pub fn sweep_algo(algo: &Algo, dataset: &[Trajectory], thresholds: &[f64]) -> AlgoSweep {
     let mut ws = Workspace::new();
-    sweep_results(algo.label(), dataset, thresholds, |traj| {
-        algo.run(traj, thresholds, &mut ws)
-    })
+    let mut ews = EvalWorkspace::new();
+    aggregate(
+        algo.label(),
+        dataset.len(),
+        thresholds,
+        dataset.iter().map(|traj| {
+            let results = algo.run(traj, thresholds, &mut ws);
+            evaluate_sweep(traj, &results, &mut ews)
+        }),
+    )
 }
 
-/// Shared aggregation: `run` produces one result per threshold for a
-/// trajectory; per-threshold statistics accumulate in dataset order, so
-/// any two `run`s producing identical results yield bit-identical
-/// sweeps.
-fn sweep_results<R>(
-    label: &str,
+/// [`sweep_algo`] with the dataset fanned across up to `threads` scoped
+/// worker threads (`0` = all available parallelism, `1` = inline with no
+/// thread overhead). Each worker owns one compression [`Workspace`] and
+/// one [`EvalWorkspace`] for its whole stripe; per-trajectory rows are
+/// merged back in input order before aggregation, so the returned sweep
+/// is **bit-identical** to the serial path — parallelism is observable
+/// only in wall time.
+///
+/// # Panics
+/// Panics on an empty dataset, or if a worker panics (propagated).
+pub fn sweep_algo_parallel(
+    algo: &Algo,
     dataset: &[Trajectory],
     thresholds: &[f64],
-    mut run: R,
-) -> AlgoSweep
-where
-    R: FnMut(&Trajectory) -> Vec<CompressionResult>,
-{
-    assert!(!dataset.is_empty(), "sweep needs a non-empty dataset");
+    threads: usize,
+) -> AlgoSweep {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let n = dataset.len();
+    if threads == 1 || n <= 1 {
+        return sweep_algo(algo, dataset, thresholds);
+    }
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<Vec<Evaluation>>> = vec![None; n];
+    std::thread::scope(|scope| {
+        // Striped partition, as in `traj_compress::compress_all`.
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut ws = Workspace::new();
+                let mut ews = EvalWorkspace::new();
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < n {
+                    let traj = &dataset[i];
+                    let results = algo.run(traj, thresholds, &mut ws);
+                    out.push((i, evaluate_sweep(traj, &results, &mut ews)));
+                    i += workers;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            // lint: allow(panic) a worker panic is an algorithm bug; re-raising
+            // it on the caller thread is deliberate panic propagation
+            for (i, row) in h.join().expect("worker panicked") {
+                slots[i] = Some(row);
+            }
+        }
+    });
+    aggregate(algo.label(), n, thresholds, slots.into_iter().flatten())
+}
+
+/// Shared aggregation: one row of per-threshold [`Evaluation`]s per
+/// trajectory, consumed in dataset order. Per-threshold statistics
+/// accumulate in that order, so any two producers of identical rows
+/// yield bit-identical sweeps — the hinge of the parallel/serial
+/// equivalence guarantee.
+fn aggregate(
+    label: &str,
+    dataset_len: usize,
+    thresholds: &[f64],
+    rows: impl IntoIterator<Item = Vec<Evaluation>>,
+) -> AlgoSweep {
+    assert!(dataset_len > 0, "sweep needs a non-empty dataset");
     let nt = thresholds.len();
-    let mut comps = vec![Vec::with_capacity(dataset.len()); nt];
-    let mut errs = vec![Vec::with_capacity(dataset.len()); nt];
+    let mut comps = vec![Vec::with_capacity(dataset_len); nt];
+    let mut errs = vec![Vec::with_capacity(dataset_len); nt];
     let mut perp = vec![0.0f64; nt];
-    for traj in dataset {
-        let results = run(traj);
-        debug_assert_eq!(results.len(), nt, "one result per threshold");
-        for (j, result) in results.iter().enumerate() {
-            let e = evaluate(traj, result);
+    for row in rows {
+        debug_assert_eq!(row.len(), nt, "one evaluation per threshold");
+        for (j, e) in row.iter().enumerate() {
             comps[j].push(e.compression_pct);
             errs[j].push(e.avg_sync_err_m);
             perp[j] += e.mean_perp_m;
@@ -145,7 +222,7 @@ where
                 compression_std: comp.std,
                 error_m: err.mean,
                 error_std: err.std,
-                perp_error_m: perp[j] / dataset.len() as f64,
+                perp_error_m: perp[j] / dataset_len as f64,
             }
         })
         .collect();
@@ -206,6 +283,27 @@ mod tests {
         assert!(s.mean_error() >= 0.0);
         assert!(s.mean_compression() > 0.0);
         assert!(s.error_spread() >= 0.0);
+    }
+
+    #[test]
+    fn error_spread_of_empty_sweep_is_zero() {
+        let s = AlgoSweep {
+            label: "empty".into(),
+            points: Vec::new(),
+        };
+        assert_eq!(s.error_spread(), 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let ds = tiny_dataset();
+        let algo =
+            crate::registry::Algo::top_down("TD-TR", traj_compress::TopDown::time_ratio(0.0));
+        let serial = sweep_algo(&algo, &ds, &PAPER_THRESHOLDS);
+        for threads in [0, 2, 8] {
+            let par = sweep_algo_parallel(&algo, &ds, &PAPER_THRESHOLDS, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

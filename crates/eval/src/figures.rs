@@ -4,7 +4,7 @@ use traj_compress::{OpeningWindow, TopDown};
 use traj_model::stats::DatasetStats;
 use traj_model::Trajectory;
 
-use crate::experiment::{sweep_algo, AlgoSweep, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+use crate::experiment::{sweep_algo_parallel, AlgoSweep, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
 use crate::registry::Algo;
 
 /// The data behind one figure: a set of per-algorithm threshold sweeps.
@@ -38,12 +38,28 @@ pub fn fig7(dataset: &[Trajectory]) -> FigureData {
 
 /// [`fig7`] over custom thresholds (reduced sweeps for fast CI runs).
 pub fn fig7_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig7_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig7_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig7_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize) -> FigureData {
     FigureData {
         id: "fig7",
         title: "NDP vs TD-TR: compression and error per distance threshold",
         sweeps: vec![
-            sweep_algo(&Algo::top_down("NDP", TopDown::perpendicular(0.0)), dataset, thresholds),
-            sweep_algo(&Algo::top_down("TD-TR", TopDown::time_ratio(0.0)), dataset, thresholds),
+            sweep_algo_parallel(
+                &Algo::top_down("NDP", TopDown::perpendicular(0.0)),
+                dataset,
+                thresholds,
+                threads,
+            ),
+            sweep_algo_parallel(
+                &Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+                dataset,
+                thresholds,
+                threads,
+            ),
         ],
     }
 }
@@ -55,19 +71,27 @@ pub fn fig8(dataset: &[Trajectory]) -> FigureData {
 
 /// [`fig8`] over custom thresholds.
 pub fn fig8_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig8_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig8_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig8_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize) -> FigureData {
     FigureData {
         id: "fig8",
         title: "BOPW vs NOPW: error and compression per distance threshold",
         sweeps: vec![
-            sweep_algo(
+            sweep_algo_parallel(
                 &Algo::factory("BOPW", |e| Box::new(OpeningWindow::bopw(e))),
                 dataset,
                 thresholds,
+                threads,
             ),
-            sweep_algo(
+            sweep_algo_parallel(
                 &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
                 dataset,
                 thresholds,
+                threads,
             ),
         ],
     }
@@ -80,19 +104,27 @@ pub fn fig9(dataset: &[Trajectory]) -> FigureData {
 
 /// [`fig9`] over custom thresholds.
 pub fn fig9_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig9_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig9_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig9_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize) -> FigureData {
     FigureData {
         id: "fig9",
         title: "NOPW vs OPW-TR: error and compression per distance threshold",
         sweeps: vec![
-            sweep_algo(
+            sweep_algo_parallel(
                 &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
                 dataset,
                 thresholds,
+                threads,
             ),
-            sweep_algo(
+            sweep_algo_parallel(
                 &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
                 dataset,
                 thresholds,
+                threads,
             ),
         ],
     }
@@ -106,25 +138,34 @@ pub fn fig10(dataset: &[Trajectory]) -> FigureData {
 
 /// [`fig10`] over custom thresholds.
 pub fn fig10_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig10_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig10_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig10_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize) -> FigureData {
     let mut sweeps = vec![
-        sweep_algo(
+        sweep_algo_parallel(
             &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
             dataset,
             thresholds,
+            threads,
         ),
-        sweep_algo(
+        sweep_algo_parallel(
             &Algo::top_down("TD-SP(5m/s)", TopDown::time_ratio_speed(0.0, 5.0)),
             dataset,
             thresholds,
+            threads,
         ),
     ];
     for v in PAPER_SPEED_THRESHOLDS {
-        sweeps.push(sweep_algo(
+        sweeps.push(sweep_algo_parallel(
             &Algo::factory(format!("OPW-SP({v}m/s)"), move |e| {
                 Box::new(OpeningWindow::opw_sp(e, v))
             }),
             dataset,
             thresholds,
+            threads,
         ));
     }
     FigureData {
@@ -142,27 +183,46 @@ pub fn fig11(dataset: &[Trajectory]) -> FigureData {
 
 /// [`fig11`] over custom thresholds.
 pub fn fig11_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig11_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig11_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig11_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize) -> FigureData {
     let mut sweeps = vec![
-        sweep_algo(&Algo::top_down("NDP", TopDown::perpendicular(0.0)), dataset, thresholds),
-        sweep_algo(&Algo::top_down("TD-TR", TopDown::time_ratio(0.0)), dataset, thresholds),
-        sweep_algo(
+        sweep_algo_parallel(
+            &Algo::top_down("NDP", TopDown::perpendicular(0.0)),
+            dataset,
+            thresholds,
+            threads,
+        ),
+        sweep_algo_parallel(
+            &Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+            dataset,
+            thresholds,
+            threads,
+        ),
+        sweep_algo_parallel(
             &Algo::factory("NOPW", |e| Box::new(OpeningWindow::nopw(e))),
             dataset,
             thresholds,
+            threads,
         ),
-        sweep_algo(
+        sweep_algo_parallel(
             &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
             dataset,
             thresholds,
+            threads,
         ),
     ];
     for v in PAPER_SPEED_THRESHOLDS {
-        sweeps.push(sweep_algo(
+        sweeps.push(sweep_algo_parallel(
             &Algo::factory(format!("OPW-SP({v}m/s)"), move |e| {
                 Box::new(OpeningWindow::opw_sp(e, v))
             }),
             dataset,
             thresholds,
+            threads,
         ));
     }
     FigureData {

@@ -29,7 +29,8 @@ pub mod registry;
 pub mod report;
 
 pub use experiment::{
-    sweep, sweep_algo, AlgoSweep, SweepPoint, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS,
+    sweep, sweep_algo, sweep_algo_parallel, AlgoSweep, SweepPoint, PAPER_SPEED_THRESHOLDS,
+    PAPER_THRESHOLDS,
 };
 pub use registry::Algo;
 pub use extensions::{
@@ -37,8 +38,8 @@ pub use extensions::{
     online_spectrum, sampling_ablation,
 };
 pub use figures::{
-    fig10, fig10_with, fig11, fig11_with, fig7, fig7_with, fig8, fig8_with, fig9, fig9_with,
-    table2, FigureData,
+    fig10, fig10_threaded, fig10_with, fig11, fig11_threaded, fig11_with, fig7, fig7_threaded,
+    fig7_with, fig8, fig8_threaded, fig8_with, fig9, fig9_threaded, fig9_with, table2, FigureData,
 };
 pub use report::{
     check_expectations, figure_to_csv, figure_to_markdown, format_figure, format_table2,

@@ -5,8 +5,12 @@
 //! speed-threshold — the figures silently change meaning; this test
 //! makes that a hard failure.
 
-use traj_compress::{Compressor, TdSp, TopDown, Workspace};
-use traj_eval::{sweep, sweep_algo, Algo, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS};
+use traj_compress::{
+    evaluate, evaluate_sweep, Compressor, EvalWorkspace, OpeningWindow, TdSp, TopDown, Workspace,
+};
+use traj_eval::{
+    sweep, sweep_algo, sweep_algo_parallel, Algo, PAPER_SPEED_THRESHOLDS, PAPER_THRESHOLDS,
+};
 
 #[test]
 fn sweep_is_byte_identical_to_per_threshold_compress_on_paper_grid() {
@@ -57,4 +61,40 @@ fn sweep_algo_aggregates_bit_identically_to_factory_sweep() {
         Box::new(traj_compress::TdTr::new(e))
     });
     assert_eq!(fast, slow);
+}
+
+#[test]
+fn evaluate_sweep_matches_per_cell_evaluate_on_paper_grid() {
+    // The memoized engine pass behind `sweep_algo` must reproduce the
+    // reference per-cell evaluation exactly on the real protocol.
+    let dataset = traj_gen::paper_dataset(42);
+    let td = TopDown::time_ratio(0.0);
+    let mut ws = Workspace::new();
+    let mut ews = EvalWorkspace::new();
+    for traj in &dataset {
+        let results = td.sweep_with(traj, &PAPER_THRESHOLDS, &mut ws);
+        let swept = evaluate_sweep(traj, &results, &mut ews);
+        for ((e, r), &eps) in swept.iter().zip(&results).zip(&PAPER_THRESHOLDS) {
+            assert_eq!(*e, evaluate(traj, r), "eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_on_paper_grid() {
+    // The acceptance pin: fanning the reproduction grid across workers
+    // must not change a single float in the aggregates, for both the
+    // one-pass top-down path and the per-threshold factory path.
+    let dataset = traj_gen::paper_dataset(42);
+    let algos = [
+        Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+        Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
+    ];
+    for algo in &algos {
+        let serial = sweep_algo(algo, &dataset, &PAPER_THRESHOLDS);
+        for threads in [0, 2, 3, 8] {
+            let par = sweep_algo_parallel(algo, &dataset, &PAPER_THRESHOLDS, threads);
+            assert_eq!(par, serial, "{} threads={threads}", algo.label());
+        }
+    }
 }

@@ -18,8 +18,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use traj_compress::{
-    compress_all, evaluate, BottomUp, Compressor, DeadReckoning, DistanceThreshold,
-    DouglasPeucker, OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
+    compress_all, evaluate_with, BottomUp, Compressor, DeadReckoning, DistanceThreshold,
+    DouglasPeucker, EvalWorkspace, OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
 };
 use traj_model::stats::TrajectoryStats;
 use traj_model::{io, Trajectory};
@@ -326,6 +326,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 ));
             }
             let compressor = make_compressor(algo, *eps, *speed_eps)?;
+            let compress_timer = traj_obs::Timer::start();
             let result = {
                 let _phase = traj_obs::span!("cli.compress", points = t.len() as u64);
                 // Route through the fleet path so --threads (0 = auto)
@@ -336,10 +337,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     None => return Err("internal: compression produced no result".into()),
                 }
             };
+            let compress_ns = compress_timer.elapsed_ns();
+            let evaluate_timer = traj_obs::Timer::start();
             let e = {
                 let _phase = traj_obs::span!("cli.evaluate");
-                evaluate(&t, &result)
+                let mut ews = EvalWorkspace::new();
+                evaluate_with(&t, &result, &mut ews)
             };
+            let evaluate_ns = evaluate_timer.elapsed_ns();
             let _ = writeln!(report, "algorithm:        {}", compressor.name());
             let _ = writeln!(report, "kept points:      {} of {}", result.kept_len(), t.len());
             let _ = writeln!(report, "compression:      {:.2} %", e.compression_pct);
@@ -355,6 +360,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             traj_obs::histogram!("cli", "total_ns").record(total.elapsed_ns());
             if *stats {
+                // Compression vs evaluation cost per run, at a glance
+                // (the full span table below has the same data per phase).
+                let _ = writeln!(
+                    report,
+                    "timing:           compress {:.3} ms · evaluate {:.3} ms",
+                    compress_ns as f64 / 1e6,
+                    evaluate_ns as f64 / 1e6,
+                );
                 let _ = writeln!(report);
                 report.push_str(&traj_obs::sink::render_table(
                     &traj_obs::registry().snapshot(),
