@@ -364,6 +364,12 @@ impl Drop for ErrorEval<'_> {
 /// threshold. Each returned [`Evaluation`] is exactly equal — bit for
 /// bit — to [`super::evaluate`] on the same cell.
 ///
+/// With the `obs` feature and an active [`traj_obs::trace`] session,
+/// each evaluated result emits `eval.cache_hits` / `eval.cache_misses`
+/// instant events (anchor segments served from vs. added to the
+/// workspace cache), so threshold-sweep memoization is visible on the
+/// timeline.
+///
 /// # Panics
 /// Panics if `original` has fewer than two fixes or any result does not
 /// belong to it.
@@ -373,7 +379,22 @@ pub fn evaluate_sweep(
     ws: &mut EvalWorkspace,
 ) -> Vec<Evaluation> {
     let mut ev = ErrorEval::new(original, ws);
-    results.iter().map(|r| ev.evaluate(r)).collect()
+    results
+        .iter()
+        .map(|r| {
+            #[cfg(feature = "obs")]
+            let hits_before = ev.cache_hits;
+            let e = ev.evaluate(r);
+            #[cfg(feature = "obs")]
+            {
+                let hits = ev.cache_hits - hits_before;
+                let segments = (r.kept().len() as u64).saturating_sub(1);
+                traj_obs::trace_instant!("eval.cache_hits", hits);
+                traj_obs::trace_instant!("eval.cache_misses", segments - hits);
+            }
+            e
+        })
+        .collect()
 }
 
 /// One-pass, workspace-borrowing form of [`super::evaluate`]: same

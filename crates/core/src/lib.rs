@@ -100,7 +100,7 @@ pub use error::{
 };
 pub use hull_dp::HullDouglasPeucker;
 pub use opening_window::{BreakStrategy, OpeningWindow};
-pub use parallel::compress_all;
+pub use parallel::{auto_workers, compress_all, MIN_AUTO_PARALLEL_WORK};
 pub use result::{CompressionResult, CompressionResultBuf, Compressor, InvalidResult};
 pub use segmentation::{detect_stops, segment_stops_moves, stop_ratio, Episode, Stop};
 pub use simple::{DistanceThreshold, UniformSample};

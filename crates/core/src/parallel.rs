@@ -14,15 +14,57 @@ use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::Workspace;
 use traj_model::Trajectory;
 
+/// Minimum total work (input points) below which `threads == 0`
+/// auto-sizing stays serial.
+///
+/// Spawning scoped workers and giving each its own [`Workspace`] costs
+/// on the order of a hundred microseconds; a batch this small
+/// compresses in less. Benchmarks on the paper grid showed the parallel
+/// path *losing* to serial for small batches (and on single-core hosts
+/// at any size), so `auto_workers` refuses to fan out beneath this
+/// floor. An explicit `threads >= 1` request always overrides it.
+pub const MIN_AUTO_PARALLEL_WORK: usize = 16_384;
+
+/// Resolves a requested thread count into the worker count to actually
+/// spawn for `items` independent tasks totalling `work_units` of work
+/// (input points, or points × thresholds for sweeps).
+///
+/// - `requested >= 1` is honored (clamped to `items` — more workers
+///   than tasks would idle).
+/// - `requested == 0` means "auto": all available cores, but *serial*
+///   when the machine has a single core or `work_units` is below
+///   [`MIN_AUTO_PARALLEL_WORK`], where thread startup dominates.
+///
+/// Returns at least 1; a return of 1 means "run inline, spawn nothing".
+pub fn auto_workers(requested: usize, items: usize, work_units: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    if requested >= 1 {
+        return requested.min(items);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores <= 1 || work_units < MIN_AUTO_PARALLEL_WORK {
+        1
+    } else {
+        cores.min(items)
+    }
+}
+
 /// Compresses every trajectory with `compressor`, using up to
 /// `threads` worker threads. Results are returned in input order.
 ///
-/// `threads == 0` means "use all available parallelism": it resolves to
-/// [`std::thread::available_parallelism`] (falling back to 1 if that is
-/// unknown). `threads == 1` (or a single-trajectory input) runs inline
-/// with no thread overhead. The order and content of each result are
-/// identical to sequential compression — parallelism is observable only
-/// in wall time.
+/// `threads == 0` means "auto": up to
+/// [`std::thread::available_parallelism`] workers, falling back to the
+/// inline path on single-core hosts or when the batch is too small to
+/// amortise thread startup (see [`auto_workers`]). `threads == 1` (or a
+/// single-trajectory input) runs inline with no thread overhead. The
+/// order and content of each result are identical to sequential
+/// compression — parallelism is observable only in wall time.
+///
+/// When a [`traj_obs::trace`] session is active, each worker labels its
+/// own timeline track (`compress-worker-{w}`) and brackets its stripe
+/// in a `parallel.stripe` span whose value is the stripe's item count.
 ///
 /// ```
 /// use traj_compress::{compress_all, Compressor, TdTr};
@@ -55,13 +97,11 @@ pub fn compress_all<C>(
 where
     C: Compressor + Sync + ?Sized,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
-    };
     let n = trajectories.len();
-    if threads == 1 || n <= 1 {
+    let total_points: usize = trajectories.iter().map(Trajectory::len).sum();
+    let workers = auto_workers(threads, n, total_points);
+    if workers == 1 {
+        let _stripe = traj_obs::trace_span!("parallel.stripe", n);
         let mut ws = Workspace::new();
         let mut buf = CompressionResultBuf::new();
         return trajectories
@@ -72,13 +112,16 @@ where
             })
             .collect();
     }
-    let workers = threads.min(n);
     let mut slots: Vec<Option<CompressionResult>> = vec![None; n];
     std::thread::scope(|scope| {
         // Striped partition: worker w takes items w, w+workers, …
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
+                if traj_obs::trace::is_active() {
+                    traj_obs::trace::set_track_label(&format!("compress-worker-{w}"));
+                }
+                let _stripe = traj_obs::trace_span!("parallel.stripe", (n - w).div_ceil(workers));
                 let mut ws = Workspace::new();
                 let mut buf = CompressionResultBuf::new();
                 let mut out = Vec::new();
@@ -160,6 +203,29 @@ mod tests {
         let ds = dataset(11);
         let c = TdTr::new(25.0);
         assert_eq!(compress_all(&ds, &c, 0), compress_all(&ds, &c, 1));
+    }
+
+    #[test]
+    fn auto_workers_honors_explicit_requests() {
+        // An explicit request is clamped to the item count only.
+        assert_eq!(auto_workers(4, 100, 10), 4);
+        assert_eq!(auto_workers(4, 2, 10), 2);
+        assert_eq!(auto_workers(1, 100, usize::MAX), 1);
+    }
+
+    #[test]
+    fn auto_workers_stays_serial_below_the_work_floor() {
+        assert_eq!(auto_workers(0, 100, MIN_AUTO_PARALLEL_WORK - 1), 1);
+        assert_eq!(auto_workers(0, 1, usize::MAX), 1);
+        assert_eq!(auto_workers(0, 0, usize::MAX), 1);
+    }
+
+    #[test]
+    fn auto_workers_scales_with_cores_for_big_work() {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(auto_workers(0, 1000, MIN_AUTO_PARALLEL_WORK), cores.min(1000));
+        // Never more workers than items, whatever the machine.
+        assert!(auto_workers(0, 2, usize::MAX) <= 2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table2|fig7|fig8|fig9|fig10|fig11|check|ext] [--seed N] [--csv DIR]
-//!       [--metrics-out FILE] [--threads N] [--fast]
+//!       [--metrics-out FILE] [--trace-out FILE] [--threads N] [--fast]
 //! ```
 //!
 //! With no arguments, runs `all`: prints Table 2 and Figures 7–11 as
@@ -13,10 +13,18 @@
 //! redirects the sidecar (JSON lines for `.json` paths, CSV otherwise).
 //!
 //! `--threads N` fans each figure's sweeps over N worker threads
-//! (`0` = all cores; default 1). The aggregates are bit-identical to the
-//! serial run — parallelism is observable only in wall time. `--fast`
-//! shrinks the protocol (three trajectories, four thresholds) for smoke
-//! runs; figures lose their paper meaning, so `check`/`all` refuse it.
+//! (`0` = auto: all cores, or serial when the grid is too small to
+//! amortise thread startup; default 1). The aggregates are bit-identical
+//! to the serial run — parallelism is observable only in wall time.
+//! `--fast` shrinks the protocol (three trajectories, four thresholds)
+//! for smoke runs; figures lose their paper meaning, so `check`/`all`
+//! refuse it.
+//!
+//! `--trace-out FILE` records a timeline of the whole run (one track
+//! per worker thread) and writes it on exit: flamegraph folded stacks
+//! for `.folded` paths, Chrome Trace Event JSON otherwise (load it at
+//! `ui.perfetto.dev` or `chrome://tracing`). Requires the `obs`
+//! feature; without it the file holds an empty trace.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +40,7 @@ struct Args {
     seed: u64,
     csv_dir: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     threads: usize,
     fast: bool,
 }
@@ -41,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut csv_dir = None;
     let mut metrics_out = None;
+    let mut trace_out = None;
     let mut threads = 1usize;
     let mut fast = false;
     let mut it = std::env::args().skip(1);
@@ -58,6 +68,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics-out needs a path")?;
                 metrics_out = Some(PathBuf::from(v));
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                trace_out = Some(PathBuf::from(v));
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value (0 = all cores)")?;
                 threads = v
@@ -68,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [all|table2|fig7..fig11|check|ext] [--seed N] [--csv DIR] \
-                            [--metrics-out FILE] [--threads N] [--fast]"
+                            [--metrics-out FILE] [--trace-out FILE] [--threads N] [--fast]"
                         .to_string(),
                 )
             }
@@ -81,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         csv_dir,
         metrics_out,
+        trace_out,
         threads,
         fast,
     })
@@ -110,6 +125,31 @@ fn write_metrics(args: &Args) {
             "warning: could not write metrics to {}: {e}",
             path.display()
         ),
+    }
+}
+
+/// Stops the trace session and writes it to `--trace-out`: folded
+/// stacks for `.folded` paths, Chrome Trace Event JSON otherwise.
+fn write_trace(args: &Args) {
+    let Some(path) = &args.trace_out else { return };
+    let trace = traj_obs::trace::stop();
+    let body = if path.extension().is_some_and(|e| e == "folded") {
+        trace.to_folded()
+    } else {
+        trace.to_chrome_json()
+    };
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => eprintln!(
+            "(trace → {}: {} events on {} tracks, {} dropped)",
+            path.display(),
+            trace.event_count(),
+            trace.tracks.len(),
+            trace.dropped_total()
+        ),
+        Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
     }
 }
 
@@ -201,8 +241,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace_out.is_some() {
+        traj_obs::trace::start();
+        traj_obs::trace::set_track_label("main");
+    }
     eprintln!("generating dataset (seed {}) ...", args.seed);
-    let mut dataset = traj_gen::paper_dataset(args.seed);
+    let mut dataset = {
+        let _gen = traj_obs::trace_span!("repro.generate_dataset");
+        traj_gen::paper_dataset(args.seed)
+    };
     // Reduced smoke protocol: fewer trajectories and a coarse grid. The
     // figures lose their paper meaning, so the shape check refuses it.
     let fast_grid = [30.0, 50.0, 70.0, 100.0];
@@ -260,5 +307,6 @@ fn main() -> ExitCode {
         }
     }
     write_metrics(&args);
+    write_trace(&args);
     ExitCode::SUCCESS
 }

@@ -131,12 +131,18 @@ pub fn sweep_algo(algo: &Algo, dataset: &[Trajectory], thresholds: &[f64]) -> Al
 }
 
 /// [`sweep_algo`] with the dataset fanned across up to `threads` scoped
-/// worker threads (`0` = all available parallelism, `1` = inline with no
-/// thread overhead). Each worker owns one compression [`Workspace`] and
-/// one [`EvalWorkspace`] for its whole stripe; per-trajectory rows are
-/// merged back in input order before aggregation, so the returned sweep
-/// is **bit-identical** to the serial path — parallelism is observable
-/// only in wall time.
+/// worker threads (`0` = auto: all available cores, falling back to the
+/// inline path on single-core hosts or when the grid is too small to
+/// amortise thread startup — see [`traj_compress::auto_workers`];
+/// `1` = inline with no thread overhead). Each worker owns one
+/// compression [`Workspace`] and one [`EvalWorkspace`] for its whole
+/// stripe; per-trajectory rows are merged back in input order before
+/// aggregation, so the returned sweep is **bit-identical** to the
+/// serial path — parallelism is observable only in wall time.
+///
+/// When a [`traj_obs::trace`] session is active, each worker labels its
+/// own timeline track (`sweep-worker-{w}`) and brackets its stripe in a
+/// `parallel.stripe` span whose value is the stripe's trajectory count.
 ///
 /// # Panics
 /// Panics on an empty dataset, or if a worker panics (propagated).
@@ -146,22 +152,24 @@ pub fn sweep_algo_parallel(
     thresholds: &[f64],
     threads: usize,
 ) -> AlgoSweep {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
-    };
     let n = dataset.len();
-    if threads == 1 || n <= 1 {
+    // Grid work: every input point is visited once per threshold.
+    let total_points: usize = dataset.iter().map(Trajectory::len).sum();
+    let grid_work = total_points.saturating_mul(thresholds.len().max(1));
+    let workers = traj_compress::auto_workers(threads, n, grid_work);
+    if workers == 1 {
         return sweep_algo(algo, dataset, thresholds);
     }
-    let workers = threads.min(n);
     let mut slots: Vec<Option<Vec<Evaluation>>> = vec![None; n];
     std::thread::scope(|scope| {
         // Striped partition, as in `traj_compress::compress_all`.
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
+                if traj_obs::trace::is_active() {
+                    traj_obs::trace::set_track_label(&format!("sweep-worker-{w}"));
+                }
+                let _stripe = traj_obs::trace_span!("parallel.stripe", (n - w).div_ceil(workers));
                 let mut ws = Workspace::new();
                 let mut ews = EvalWorkspace::new();
                 let mut out = Vec::new();

@@ -1,0 +1,124 @@
+//! Drives the `repro` binary with `--trace-out` and validates the
+//! Chrome Trace Event export end to end: the file parses as JSON, the
+//! `--threads 2` sweep produces at least two distinct `sweep-worker-*`
+//! tracks with `parallel.stripe` spans, and every track's begin/end
+//! events balance.
+//!
+//! Requires the `obs` feature — without it the recorder compiles to
+//! no-ops and the export is legitimately empty.
+
+#![cfg(feature = "obs")]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::Command;
+
+use traj_obs::json::{self, Json};
+
+#[test]
+fn repro_trace_out_has_per_worker_tracks() {
+    let dir = std::env::temp_dir().join("repro_trace_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig7", "--fast", "--threads", "2", "--trace-out"])
+        .arg(&trace_path)
+        .output()
+        .expect("repro must run");
+    assert!(
+        output.status.success(),
+        "repro failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let body = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = json::parse(&body).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+
+    // Track labels arrive as thread_name metadata events.
+    let mut labels = BTreeSet::new();
+    for e in events {
+        if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+            if let Some(n) = e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str) {
+                labels.insert(n.to_string());
+            }
+        }
+    }
+    let workers = labels.iter().filter(|n| n.starts_with("sweep-worker-")).count();
+    assert!(
+        workers >= 2,
+        "--threads 2 must yield >= 2 sweep worker tracks, got {labels:?}"
+    );
+    assert!(labels.contains("main"), "main track labeled, got {labels:?}");
+
+    // The stripe spans bracket each worker's share of the dataset.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("parallel.stripe")),
+        "stripe spans must be recorded"
+    );
+
+    // Well-formedness: per track, begins balance ends and timestamps
+    // never go backwards.
+    let mut balance: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for e in events {
+        let Some(ph) = e.get("ph").and_then(Json::as_str) else { continue };
+        let Some(tid) = e.get("tid").and_then(Json::as_u64) else { continue };
+        match ph {
+            "B" => *balance.entry(tid).or_insert(0) += 1,
+            "E" => *balance.entry(tid).or_insert(0) -= 1,
+            _ => {}
+        }
+        if let Some(ts) = e.get("ts").and_then(Json::as_f64) {
+            let prev = last_ts.entry(tid).or_insert(ts);
+            assert!(ts >= *prev, "timestamps regress on tid {tid}");
+            *prev = ts;
+        }
+    }
+    for (tid, b) in balance {
+        assert_eq!(b, 0, "unbalanced begin/end on tid {tid}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_trace_out_folded_is_flamegraph_input() {
+    let dir = std::env::temp_dir().join("repro_trace_folded_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.folded");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig8", "--fast", "--threads", "1", "--trace-out"])
+        .arg(&trace_path)
+        .output()
+        .expect("repro must run");
+    assert!(
+        output.status.success(),
+        "repro failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let body = std::fs::read_to_string(&trace_path).expect("folded file written");
+    assert!(!body.trim().is_empty(), "folded output must not be empty");
+    // Every line is `frame;frame;... self_ns` — flamegraph.pl's input.
+    for line in body.lines() {
+        let (stack, self_ns) = line.rsplit_once(' ').expect("stack and self time");
+        assert!(!stack.is_empty());
+        self_ns.parse::<u64>().expect("integral self time");
+    }
+    assert!(
+        body.lines().any(|l| l.contains("compress")),
+        "compression spans must appear:\n{body}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

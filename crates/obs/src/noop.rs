@@ -110,6 +110,12 @@ impl Span {
     pub fn enter(_name: &'static str, _fields: &[(&'static str, u64)]) -> SpanGuard {
         SpanGuard
     }
+
+    /// Always 0 (no cache when compiled out).
+    #[inline(always)]
+    pub fn thread_cache_len() -> usize {
+        0
+    }
 }
 
 /// Inert guard; dropping it does nothing.

@@ -25,7 +25,8 @@
 //! {"subsystem":"span","name":"cli.compress","kind":"histogram","count":1,"sum":51234,"min":51234,"max":51234,"p50":51234,"p90":51234,"p99":51234}
 //! ```
 
-use crate::sample::{MetricKind, MetricSample};
+use crate::json::Json;
+use crate::sample::{HistogramSummary, MetricKind, MetricSample};
 
 /// Renders a left-aligned human-readable table of the snapshot.
 ///
@@ -202,6 +203,176 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
+fn kind_from_str(s: &str) -> Result<MetricKind, String> {
+    match s {
+        "counter" => Ok(MetricKind::Counter),
+        "gauge" => Ok(MetricKind::Gauge),
+        "histogram" => Ok(MetricKind::Histogram),
+        other => Err(format!("unknown metric kind '{other}'")),
+    }
+}
+
+/// Parses the output of [`to_json_lines`] back into samples — the
+/// inverse used by `trajc obs merge` to combine `--metrics-out`
+/// sidecars. Blank lines are skipped; a non-finite `value` serialized
+/// as `null` reads back as NaN.
+pub fn parse_json_lines(input: &str) -> Result<Vec<MetricSample>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed =
+            crate::json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        out.push(sample_from_json(&parsed).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+fn json_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn sample_from_json(v: &Json) -> Result<MetricSample, String> {
+    let field_str = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field '{key}'"))
+    };
+    let subsystem = field_str("subsystem")?;
+    let name = field_str("name")?;
+    let labels = match v.get("labels") {
+        Some(Json::Object(pairs)) => pairs
+            .iter()
+            .map(|(k, val)| {
+                val.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("label '{k}' must be a string"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => Vec::new(),
+    };
+    let kind = kind_from_str(v.get("kind").and_then(Json::as_str).unwrap_or(""))?;
+    let (value, histogram) = match kind {
+        MetricKind::Histogram => (
+            0.0,
+            Some(HistogramSummary {
+                count: json_u64(v, "count"),
+                sum: json_u64(v, "sum"),
+                min: json_u64(v, "min"),
+                max: json_u64(v, "max"),
+                p50: json_u64(v, "p50"),
+                p90: json_u64(v, "p90"),
+                p99: json_u64(v, "p99"),
+            }),
+        ),
+        _ => (
+            v.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            None,
+        ),
+    };
+    Ok(MetricSample { subsystem, name, labels, kind, value, histogram })
+}
+
+/// Parses the output of [`to_csv`] back into samples — the CSV inverse
+/// of [`parse_json_lines`]. The header must match [`CSV_HEADER`]
+/// exactly; RFC-4180 quoting (embedded commas, quotes and line breaks)
+/// is honored.
+pub fn parse_csv(input: &str) -> Result<Vec<MetricSample>, String> {
+    let mut rows = split_csv(input).into_iter();
+    let header = rows.next().ok_or_else(|| "empty CSV".to_string())?;
+    if header.join(",") != CSV_HEADER {
+        return Err(format!("unexpected CSV header '{}'", header.join(",")));
+    }
+    let mut out = Vec::new();
+    for (idx, row) in rows.enumerate() {
+        if row.len() == 1 && row[0].is_empty() {
+            continue; // trailing newline
+        }
+        if row.len() != 12 {
+            return Err(format!("row {}: expected 12 fields, got {}", idx + 2, row.len()));
+        }
+        let labels = row[2]
+            .split(';')
+            .filter(|part| !part.is_empty())
+            .map(|part| match part.split_once('=') {
+                Some((k, v)) => Ok((k.to_string(), v.to_string())),
+                None => Err(format!("row {}: malformed label '{part}'", idx + 2)),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let kind = kind_from_str(&row[3]).map_err(|e| format!("row {}: {e}", idx + 2))?;
+        let parse_u64 = |field: &str| -> u64 { field.parse::<u64>().unwrap_or(0) };
+        let (value, histogram) = match kind {
+            MetricKind::Histogram => (
+                0.0,
+                Some(HistogramSummary {
+                    count: parse_u64(&row[5]),
+                    sum: parse_u64(&row[6]),
+                    min: parse_u64(&row[7]),
+                    max: parse_u64(&row[8]),
+                    p50: parse_u64(&row[9]),
+                    p90: parse_u64(&row[10]),
+                    p99: parse_u64(&row[11]),
+                }),
+            ),
+            _ => (row[4].parse::<f64>().unwrap_or(f64::NAN), None),
+        };
+        out.push(MetricSample {
+            subsystem: row[0].clone(),
+            name: row[1].clone(),
+            labels,
+            kind,
+            value,
+            histogram,
+        });
+    }
+    Ok(out)
+}
+
+/// Splits RFC-4180 CSV text into records of unquoted fields. Quoted
+/// fields may contain commas, doubled quotes and line breaks; `\r\n`
+/// and `\n` record separators are both accepted.
+fn split_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => record.push(std::mem::take(&mut field)),
+                '\r' => {} // part of \r\n; the \n ends the record
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut record));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        rows.push(record);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +440,59 @@ mod tests {
         assert!(render_table(&[]).contains("no metrics recorded"));
         assert_eq!(to_json_lines(&[]), "");
         assert_eq!(to_csv(&[]).lines().count(), 1);
+    }
+
+    fn awkward_samples() -> Vec<MetricSample> {
+        vec![
+            counter("compress", "sed_evals", &[("algo", "td-tr(\"30,5m\")")], 841.0),
+            MetricSample {
+                subsystem: "cli".into(),
+                name: "threads".into(),
+                labels: vec![],
+                kind: MetricKind::Gauge,
+                value: 2.5,
+                histogram: None,
+            },
+            MetricSample {
+                subsystem: "span".into(),
+                name: "cli.compress".into(),
+                labels: vec![("run".into(), "a;b=c".into())],
+                kind: MetricKind::Histogram,
+                value: 0.0,
+                histogram: Some(HistogramSummary {
+                    count: 3,
+                    sum: 300,
+                    min: 50,
+                    max: 200,
+                    p50: 100,
+                    p90: 200,
+                    p99: 200,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let samples = awkward_samples();
+        let parsed = parse_json_lines(&to_json_lines(&samples)).unwrap();
+        assert_eq!(parsed, samples);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        // The label value "a;b=c" is ambiguous in the k=v;k2=v2 CSV label
+        // encoding, so the CSV round-trip uses a clean label set.
+        let mut samples = awkward_samples();
+        samples[2].labels = vec![("run".into(), "a".into())];
+        let parsed = parse_csv(&to_csv(&samples)).unwrap();
+        assert_eq!(parsed, samples);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_sidecars() {
+        assert!(parse_json_lines("{\"name\":\"x\"}\n").is_err());
+        assert!(parse_csv("not,the,header\n1,2,3\n").is_err());
+        assert!(parse_csv(&format!("{CSV_HEADER}\r\na,b,,counter\r\n")).is_err());
     }
 }

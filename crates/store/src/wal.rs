@@ -188,6 +188,7 @@ pub fn replay_dir(
     storage: &dyn Storage,
     dir: &Path,
 ) -> Result<(Vec<WalRecord>, ReplaySummary), StoreError> {
+    let _span = traj_obs::trace_span!("wal.replay");
     let mut records = Vec::new();
     let mut summary = ReplaySummary::default();
     let mut segments: Vec<(u64, PathBuf)> = match storage.list(dir) {
@@ -296,6 +297,7 @@ impl Wal {
     /// is abandoned (the next append starts a new one), so a torn tail
     /// never precedes good records within one segment.
     pub fn append(&mut self, id: ObjectId, fix: &Fix) -> Result<(), StoreError> {
+        let _span = traj_obs::trace_span!("wal.append");
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
         encode_record(&mut buf, id, fix);
@@ -339,6 +341,7 @@ impl Wal {
     /// Backend sync failures.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         if let Some(w) = &mut self.writer {
+            let _span = traj_obs::trace_span!("wal.fsync");
             w.sync().map_err(|e| io_err(&self.dir, e))?;
             traj_obs::counter!("store", "wal_fsyncs").inc();
         }

@@ -64,6 +64,10 @@ pub enum Command {
         /// Worker threads for batch compression (`--threads`);
         /// `0` = one per available core.
         threads: usize,
+        /// Write a trace timeline of the run (`--trace-out`); `.folded`
+        /// extension selects flamegraph folded stacks, anything else
+        /// Chrome Trace Event JSON.
+        trace_out: Option<PathBuf>,
     },
     /// `evaluate <original> <approx>` — error figures between two files.
     Evaluate {
@@ -81,6 +85,15 @@ pub enum Command {
         /// Output path.
         out: PathBuf,
     },
+    /// `obs merge <sidecar>... [-o OUT]` — merge metrics sidecars
+    /// (JSON lines or CSV, as written by `compress --metrics-out`) into
+    /// one side-by-side comparison table, optionally written as CSV.
+    ObsMerge {
+        /// Sidecar files to merge (format auto-detected per file).
+        files: Vec<PathBuf>,
+        /// Output CSV path; the table always goes to the report.
+        out: Option<PathBuf>,
+    },
     /// `store recover <dir> [--snapshot]` — replay a durable store's
     /// write-ahead log over its latest snapshot and report what was
     /// found (torn tails, corrupt records, replayed fixes).
@@ -97,19 +110,22 @@ pub enum Command {
 /// # Errors
 /// Returns a usage/diagnostic string on malformed input.
 pub fn parse(args: &[String]) -> Result<Command, String> {
-    const USAGE: &str = "usage: trajc <info|compress|evaluate|generate|store> ...\n\
+    const USAGE: &str = "usage: trajc <info|compress|evaluate|generate|obs|store> ...\n\
         \n  trajc info <file.csv>\
         \n  trajc compress <file.csv> --algo <name> --eps <m> [--speed-eps <m/s>] [-o out.csv]\
         \n                 [--stats] [--metrics-out FILE] [--metrics-format json|csv]\
         \n                 [--threads N]  (0 = one worker per available core)\
+        \n                 [--trace-out FILE]  (.folded = flamegraph stacks, else Chrome trace JSON)\
         \n  trajc evaluate <original.csv> <approx.csv>\
         \n  trajc generate [--seed N] [--trip 0..9] -o <file.csv>\
+        \n  trajc obs merge <sidecar>... [-o merged.csv]\
         \n  trajc store recover <dir> [--snapshot]\
         \n\nalgorithms: uniform dist ndp ndp-hull td-tr td-sp nopw bopw opw-tr opw-sp \
         dead-reckoning bottom-up sliding-window\
         \n\n--stats prints the instrumentation table (points in/out, SED evaluations,\
         \nrecursion depth, per-phase wall time); --metrics-out writes the same snapshot\
-        \nto FILE as JSON lines (default) or CSV.";
+        \nto FILE as JSON lines (default) or CSV; obs merge reads those sidecars back\
+        \ninto one side-by-side table.";
     let mut it = args.iter();
     let sub = it.next().ok_or(USAGE)?;
     match sub.as_str() {
@@ -127,6 +143,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut metrics_out = None;
             let mut metrics_format = MetricsFormat::Json;
             let mut threads = 0usize;
+            let mut trace_out = None;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, String> {
                     it.next().ok_or(format!("compress: {name} needs a value"))
@@ -143,6 +160,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--stats" => stats = true,
                     "--metrics-out" => {
                         metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(value("--trace-out")?));
                     }
                     "--threads" => {
                         let v = value("--threads")?;
@@ -174,6 +194,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_out,
                 metrics_format,
                 threads,
+                trace_out,
             })
         }
         "evaluate" => {
@@ -209,6 +230,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Generate { seed, trip, out: out.ok_or("generate: -o is required")? })
         }
+        "obs" => {
+            match it.next().map(String::as_str) {
+                Some("merge") => {}
+                Some(other) => {
+                    return Err(format!("obs: unknown action {other:?} (expected merge)"))
+                }
+                None => return Err("obs: missing action (expected merge)".into()),
+            }
+            let mut files = Vec::new();
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "-o" | "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or("obs merge: -o needs a value")?,
+                        ));
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("obs merge: unknown flag {other:?}"));
+                    }
+                    file => files.push(PathBuf::from(file)),
+                }
+            }
+            if files.is_empty() {
+                return Err("obs merge: needs at least one sidecar file".into());
+            }
+            Ok(Command::ObsMerge { files, out })
+        }
         "store" => {
             match it.next().map(String::as_str) {
                 Some("recover") => {}
@@ -229,6 +278,100 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "--help" | "-h" => Err(USAGE.to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+/// Parses one metrics sidecar, auto-detecting the format: bodies
+/// opening with `{` are JSON lines, anything else is the CSV layout of
+/// [`traj_obs::sink::to_csv`].
+///
+/// # Errors
+/// Propagates the underlying parser's diagnostic.
+pub fn parse_sidecar(body: &str) -> Result<Vec<traj_obs::MetricSample>, String> {
+    if body.trim().is_empty() {
+        // A sidecar from a no-instrumentation build is legitimately empty.
+        Ok(Vec::new())
+    } else if body.trim_start().starts_with('{') {
+        traj_obs::sink::parse_json_lines(body)
+    } else {
+        traj_obs::sink::parse_csv(body)
+    }
+}
+
+/// Quotes `field` per RFC 4180 when it contains a comma, quote or
+/// newline.
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders parsed sidecars side by side as long-format CSV: one row per
+/// `(metric, stat)` with one value column per input file. Counters and
+/// gauges contribute a single `value` row; histograms contribute
+/// `count`/`sum`/`min`/`max`/`p50`/`p90`/`p99` rows. Metrics missing
+/// from a file leave that cell empty.
+pub fn merged_sidecar_csv(columns: &[(String, Vec<traj_obs::MetricSample>)]) -> String {
+    // Histogram stats after the scalar `value`, in summary order.
+    const STATS: [&str; 8] = ["value", "count", "sum", "min", "max", "p50", "p90", "p99"];
+    let stat_index = |stat: &str| STATS.iter().position(|s| *s == stat).unwrap_or(STATS.len());
+    // (metric path, kind, stat rank, stat) → one cell per column.
+    let mut rows: std::collections::BTreeMap<(String, &str, usize, &str), Vec<String>> =
+        std::collections::BTreeMap::new();
+    for (j, (_, samples)) in columns.iter().enumerate() {
+        for s in samples {
+            let stats: Vec<(&str, String)> = match &s.histogram {
+                Some(h) => vec![
+                    ("count", h.count.to_string()),
+                    ("sum", h.sum.to_string()),
+                    ("min", h.min.to_string()),
+                    ("max", h.max.to_string()),
+                    ("p50", h.p50.to_string()),
+                    ("p90", h.p90.to_string()),
+                    ("p99", h.p99.to_string()),
+                ],
+                None => vec![("value", s.value.to_string())],
+            };
+            for (stat, cell) in stats {
+                rows.entry((s.path(), s.kind.as_str(), stat_index(stat), stat))
+                    .or_insert_with(|| vec![String::new(); columns.len()])[j] = cell;
+            }
+        }
+    }
+    let mut out = String::from("metric,kind,stat");
+    for (label, _) in columns {
+        out.push(',');
+        out.push_str(&csv_field(label));
+    }
+    out.push('\n');
+    for ((metric, kind, _, stat), cells) in rows {
+        out.push_str(&csv_field(&metric));
+        out.push(',');
+        out.push_str(kind);
+        out.push(',');
+        out.push_str(stat);
+        for cell in cells {
+            out.push(',');
+            out.push_str(&csv_field(&cell));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Stops an armed trace session on scope exit, discarding the trace.
+/// The success path disarms it and exports the trace instead.
+struct TraceSessionGuard {
+    armed: bool,
+}
+
+impl Drop for TraceSessionGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = traj_obs::trace::stop();
+        }
     }
 }
 
@@ -312,7 +455,15 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             metrics_out,
             metrics_format,
             threads,
+            trace_out,
         } => {
+            // Stop the recorder even on early error returns, so a failed
+            // run never leaks an active session into the next command.
+            let mut trace_session = TraceSessionGuard { armed: trace_out.is_some() };
+            if trace_session.armed {
+                traj_obs::trace::start();
+                traj_obs::trace::set_track_label("main");
+            }
             let total = traj_obs::Timer::start();
             let t = {
                 let _phase = traj_obs::span!("cli.read_input");
@@ -382,6 +533,23 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
                 let _ = writeln!(report, "metrics:          {}", path.display());
             }
+            if let Some(path) = trace_out {
+                trace_session.armed = false;
+                let trace = traj_obs::trace::stop();
+                let body = if path.extension().is_some_and(|e| e == "folded") {
+                    trace.to_folded()
+                } else {
+                    trace.to_chrome_json()
+                };
+                std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+                let _ = writeln!(
+                    report,
+                    "trace:            {} ({} events, {} dropped)",
+                    path.display(),
+                    trace.event_count(),
+                    trace.dropped_total()
+                );
+            }
         }
         Command::Evaluate { original, approx } => {
             let p = load(original)?;
@@ -414,6 +582,25 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 s.duration,
                 out.display()
             );
+        }
+        Command::ObsMerge { files, out } => {
+            let mut columns = Vec::with_capacity(files.len());
+            for path in files {
+                let body = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let samples = parse_sidecar(&body)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let label = path
+                    .file_name()
+                    .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+                columns.push((label, samples));
+            }
+            let csv = merged_sidecar_csv(&columns);
+            if let Some(path) = out {
+                std::fs::write(path, &csv).map_err(|e| format!("{}: {e}", path.display()))?;
+                let _ = writeln!(report, "wrote: {}", path.display());
+            }
+            report.push_str(&csv);
         }
         Command::StoreRecover { dir, snapshot } => {
             if !dir.is_dir() {
@@ -482,6 +669,7 @@ mod tests {
                 metrics_out: None,
                 metrics_format: MetricsFormat::Json,
                 threads: 0,
+                trace_out: None,
             }
         );
     }
@@ -598,6 +786,7 @@ mod tests {
             metrics_out: None,
             metrics_format: MetricsFormat::Json,
             threads: 0,
+            trace_out: None,
         };
         let report = run(&compress).unwrap();
         assert!(report.contains("td-tr(30m)"));
@@ -630,6 +819,7 @@ mod tests {
             metrics_out: Some(metrics_json.clone()),
             metrics_format: MetricsFormat::Json,
             threads: 0,
+            trace_out: None,
         })
         .unwrap();
         // The acceptance surface: points in/out, SED evaluations,
@@ -656,11 +846,203 @@ mod tests {
             metrics_out: Some(metrics_csv.clone()),
             metrics_format: MetricsFormat::Csv,
             threads: 0,
+            trace_out: None,
         })
         .unwrap();
         let body = std::fs::read_to_string(&metrics_csv).unwrap();
         assert!(body.starts_with(traj_obs::sink::CSV_HEADER));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_compress_trace_out() {
+        let c = parse(&args("compress a.csv --algo td-tr --eps 30 --trace-out t.json")).unwrap();
+        match c {
+            Command::Compress { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.json")));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("compress a.csv --algo td-tr --eps 30 --trace-out"))
+            .unwrap_err()
+            .contains("--trace-out"));
+    }
+
+    #[test]
+    fn parse_obs_merge() {
+        assert_eq!(
+            parse(&args("obs merge a.json b.csv -o merged.csv")).unwrap(),
+            Command::ObsMerge {
+                files: vec![PathBuf::from("a.json"), PathBuf::from("b.csv")],
+                out: Some(PathBuf::from("merged.csv")),
+            }
+        );
+        assert_eq!(
+            parse(&args("obs merge one.json")).unwrap(),
+            Command::ObsMerge { files: vec![PathBuf::from("one.json")], out: None }
+        );
+        assert!(parse(&args("obs merge")).is_err());
+        assert!(parse(&args("obs merge a.json --wat")).is_err());
+        assert!(parse(&args("obs split a.json")).is_err());
+        assert!(parse(&args("obs")).is_err());
+    }
+
+    #[test]
+    fn merged_sidecar_csv_lines_up_columns() {
+        use traj_obs::{HistogramSummary, MetricKind, MetricSample};
+        let counter = |v: f64| MetricSample {
+            subsystem: "compress".into(),
+            name: "sed_evals".into(),
+            labels: vec![("algo".into(), "td-tr".into())],
+            kind: MetricKind::Counter,
+            value: v,
+            histogram: None,
+        };
+        let hist = MetricSample {
+            subsystem: "span".into(),
+            name: "cli.compress".into(),
+            labels: vec![],
+            kind: MetricKind::Histogram,
+            value: 0.0,
+            histogram: Some(HistogramSummary {
+                count: 2,
+                sum: 10,
+                min: 3,
+                max: 7,
+                p50: 4,
+                p90: 7,
+                p99: 7,
+            }),
+        };
+        let merged = merged_sidecar_csv(&[
+            ("a.json".into(), vec![counter(841.0), hist]),
+            ("b.csv".into(), vec![counter(900.0)]),
+        ]);
+        let mut lines = merged.lines();
+        assert_eq!(lines.next(), Some("metric,kind,stat,a.json,b.csv"));
+        // The labeled metric path contains commas-free label syntax here,
+        // but the `{algo=td-tr}` braces must survive verbatim.
+        assert!(merged.contains("compress.sed_evals{algo=td-tr},counter,value,841,900"));
+        // Histogram rows: one per stat, empty cell for the file without it.
+        assert!(merged.contains("span.cli.compress,histogram,count,2,"));
+        assert!(merged.contains("span.cli.compress,histogram,p50,4,"));
+    }
+
+    #[test]
+    fn run_obs_merge_round_trips_sidecars() {
+        let dir = std::env::temp_dir().join("trajc_cli_merge_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        run(&Command::Generate { seed: 42, trip: 2, out: input.clone() }).unwrap();
+        let json_sidecar = dir.join("a.json");
+        let csv_sidecar = dir.join("b.csv");
+        for (path, format) in
+            [(&json_sidecar, MetricsFormat::Json), (&csv_sidecar, MetricsFormat::Csv)]
+        {
+            run(&Command::Compress {
+                file: input.clone(),
+                algo: "td-tr".into(),
+                eps: 30.0,
+                speed_eps: None,
+                out: None,
+                stats: false,
+                metrics_out: Some(path.clone()),
+                metrics_format: format,
+                threads: 0,
+                trace_out: None,
+            })
+            .unwrap();
+        }
+        let merged_out = dir.join("merged.csv");
+        let report = run(&Command::ObsMerge {
+            files: vec![json_sidecar, csv_sidecar],
+            out: Some(merged_out.clone()),
+        })
+        .unwrap();
+        assert!(report.contains("metric,kind,stat,a.json,b.csv"), "{report}");
+        let written = std::fs::read_to_string(&merged_out).unwrap();
+        assert!(written.starts_with("metric,kind,stat,a.json,b.csv"));
+        if cfg!(feature = "obs") {
+            // Both runs recorded the same counters; the merged rows carry
+            // one cell per sidecar.
+            let sed_row = written
+                .lines()
+                .find(|l| l.starts_with("compress.sed_evals"))
+                .expect("sed_evals row");
+            assert!(sed_row.contains("counter,value"), "{sed_row}");
+            assert_eq!(sed_row.split(',').count(), 5, "{sed_row}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn run_compress_trace_out_exports_chrome_json_and_folded() {
+        use traj_obs::json::{self, Json};
+        let dir = std::env::temp_dir().join("trajc_cli_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        run(&Command::Generate { seed: 42, trip: 3, out: input.clone() }).unwrap();
+
+        let trace_json = dir.join("trace.json");
+        let report = run(&Command::Compress {
+            file: input.clone(),
+            algo: "td-tr".into(),
+            eps: 30.0,
+            speed_eps: None,
+            out: None,
+            stats: false,
+            metrics_out: None,
+            metrics_format: MetricsFormat::Json,
+            threads: 0,
+            trace_out: Some(trace_json.clone()),
+        })
+        .unwrap();
+        assert!(report.contains("trace:"), "{report}");
+        let body = std::fs::read_to_string(&trace_json).unwrap();
+        let doc = json::parse(&body).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+        assert!(!events.is_empty());
+        // The run's phases appear as complete begin/end pairs on a track
+        // labeled by the thread-name metadata event.
+        let has = |ph: &str, name: &str| {
+            events.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some(ph)
+                    && e.get("name").and_then(Json::as_str) == Some(name)
+            })
+        };
+        assert!(has("B", "cli.compress"), "begin event");
+        assert!(has("E", "cli.compress"), "end event");
+        let main_track = events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str) == Some("main")
+        });
+        assert!(main_track, "main track metadata");
+
+        let trace_folded = dir.join("trace.folded");
+        run(&Command::Compress {
+            file: input.clone(),
+            algo: "td-tr".into(),
+            eps: 30.0,
+            speed_eps: None,
+            out: None,
+            stats: false,
+            metrics_out: None,
+            metrics_format: MetricsFormat::Json,
+            threads: 0,
+            trace_out: Some(trace_folded.clone()),
+        })
+        .unwrap();
+        let folded = std::fs::read_to_string(&trace_folded).unwrap();
+        assert!(folded.lines().any(|l| l.contains("cli.compress")), "{folded}");
+        // Folded stacks: every line is `frames self_ns`.
+        for line in folded.lines() {
+            let (_, last) = line.rsplit_once(' ').expect("stack and self time");
+            last.parse::<u64>().expect("self time is integral ns");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
