@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use traj_compress::error::{average_synchronous_error, average_synchronous_error_numeric};
-use traj_compress::streaming::OwStream;
+use traj_compress::streaming::{OwStream, StreamingCompressor};
 use traj_compress::{Compressor, OpeningWindow, TdTr, TopDown};
 
 fn bench(c: &mut Criterion) {

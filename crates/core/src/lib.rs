@@ -29,11 +29,21 @@
 //! * [`TdSp`] — top-down variant of the spatiotemporal criteria (named in
 //!   the paper's §4.3; split rule documented in `DESIGN.md`).
 //!
+//! Beyond the paper, the one-pass SED family (Lin et al., arXiv
+//! 1801.05360) removes the OW family's O(n²) worst case:
+//!
+//! * [`OnePassFit`] — OPERB-style rectangular fitting region, O(n) with
+//!   a *strict* SED bound;
+//! * [`OnePassCone`] — CISED-style inscribed-polygon region, tighter fit
+//!   at O(m) state (see `DESIGN.md` §2e).
+//!
 //! All batch algorithms implement [`Compressor`] and return a
 //! [`CompressionResult`] — the *subset of original sample indices kept* —
 //! so that any error notion can be evaluated against the original series.
-//! The opening-window family is also available in a true online form via
-//! [`streaming::OwStream`].
+//! The opening-window and one-pass families are also available in true
+//! online form via [`streaming::OwStream`] and
+//! [`streaming::OnePassStream`], which share the
+//! [`streaming::StreamingCompressor`] lifecycle.
 //!
 //! ## Error calculus
 //!
@@ -69,6 +79,8 @@
 //! assert!(result.kept_len() > 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bottom_up;
 pub mod criterion;
 pub mod dead_reckoning;
@@ -77,6 +89,7 @@ pub mod distance;
 pub mod douglas_peucker;
 pub mod error;
 pub mod hull_dp;
+pub mod one_pass;
 pub mod opening_window;
 pub mod parallel;
 pub mod result;
@@ -99,6 +112,7 @@ pub use error::{
     Evaluation,
 };
 pub use hull_dp::HullDouglasPeucker;
+pub use one_pass::{OnePassCone, OnePassFit, CONE_DIRECTIONS};
 pub use opening_window::{BreakStrategy, OpeningWindow};
 pub use parallel::{auto_workers, compress_all, MIN_AUTO_PARALLEL_WORK};
 pub use result::{CompressionResult, CompressionResultBuf, Compressor, InvalidResult};
@@ -106,5 +120,6 @@ pub use segmentation::{detect_stops, segment_stops_moves, stop_ratio, Episode, S
 pub use simple::{DistanceThreshold, UniformSample};
 pub use sliding_window::SlidingWindow;
 pub use spt::spt;
+pub use streaming::{OnePassStream, OwStream, StreamingCompressor};
 pub use td_sp::TdSp;
 pub use workspace::Workspace;

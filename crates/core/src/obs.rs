@@ -26,6 +26,11 @@
 //! | `merge_steps`    | counter   | bottom-up merges executed |
 //! | `heap_pops`      | counter   | candidate-heap pops |
 //!
+//! The one-pass SED family flushes two more under subsystem `onepass`
+//! (same `algo` label): `onepass.checks` counts fitting-region
+//! feasibility checks (one per input point past the anchor) and
+//! `onepass.regions_closed` counts region closes (= emitted anchors).
+//!
 //! The workspace layer flushes two more (subsystem `ws`, unlabeled):
 //! `ws.reuse` counts `compress_into` calls served by a warm
 //! [`crate::Workspace`], and `ws.bytes_saved` the approximate scratch
@@ -58,6 +63,8 @@ mod enabled {
         forced_cuts: u64,
         merge_steps: u64,
         heap_pops: u64,
+        op_checks: u64,
+        op_closes: u64,
     }
 
     impl AlgoRun {
@@ -103,6 +110,16 @@ mod enabled {
             self.heap_pops += 1;
         }
 
+        #[inline]
+        pub(crate) fn op_check(&mut self) {
+            self.op_checks += 1;
+        }
+
+        #[inline]
+        pub(crate) fn op_close(&mut self) {
+            self.op_closes += 1;
+        }
+
         /// Publishes the accumulated run into the global registry under
         /// the static `algo` family label. Zero-valued window/merge/heap
         /// counters are skipped so algorithms only surface the metrics
@@ -126,6 +143,13 @@ mod enabled {
             ] {
                 if value > 0 {
                     r.counter_with("compress", name, labels).add(value);
+                }
+            }
+            for (name, value) in
+                [("checks", self.op_checks), ("regions_closed", self.op_closes)]
+            {
+                if value > 0 {
+                    r.counter_with("onepass", name, labels).add(value);
                 }
             }
         }
@@ -165,6 +189,12 @@ mod disabled {
 
         #[inline(always)]
         pub(crate) fn heap_pop(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn op_check(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn op_close(&mut self) {}
 
         #[inline(always)]
         pub(crate) fn flush(&self, _algo: &'static str, _points_in: usize, _points_out: usize) {}

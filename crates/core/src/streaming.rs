@@ -1,30 +1,169 @@
-//! Online (streaming) opening-window compression.
+//! Online (streaming) compression.
 //!
 //! The paper stresses that opening-window algorithms "are online
 //! algorithms … typically used to compress data streams in real-time"
-//! (§2). [`OwStream`] is the incremental form of
-//! [`crate::OpeningWindow`]: fixes are pushed one at a time as a
-//! positioning device reports them, and the kept fixes are emitted as
-//! soon as they are decided. Feeding a whole trajectory through a stream
-//! produces *exactly* the same kept points as the batch compressor with
-//! the same criterion and strategy (asserted by equivalence tests).
+//! (§2). This module provides the record-at-a-time forms of the batch
+//! compressors behind one shared lifecycle trait:
 //!
-//! Memory: the stream buffers the currently open window. On highly
-//! compressible input the window can grow without bound — the price of
-//! the OW family's look-back — so a `max_window` safety valve can force a
-//! cut just before the float once the buffer reaches a limit, trading a
-//! little compression for bounded memory (used by `traj-store`'s ingest
-//! path).
+//! * [`StreamingCompressor`] — input validation, accounting, and the
+//!   metric flush-on-finish contract, shared by every stream;
+//! * [`OwStream`] — the incremental [`crate::OpeningWindow`] (buffers the
+//!   open window, optional `max_window` memory valve);
+//! * [`OnePassStream`] — the incremental one-pass SED family
+//!   ([`crate::OnePassFit`] / [`crate::OnePassCone`]): O(1) state, no
+//!   window buffer at all.
+//!
+//! Feeding a whole trajectory through a stream produces *exactly* the
+//! same kept points as the corresponding batch compressor — pinned by
+//! equivalence tests and proptests.
 
 use crate::criterion::SegmentCriterion;
 use crate::obs::AlgoRun;
+use crate::one_pass::{
+    cone_apothem, cone_directions, one_pass_step, ConeRegion, FitRegion, Region,
+};
 use crate::opening_window::{BreakStrategy, Criterion};
-use traj_model::{Fix, ModelError};
+use traj_model::{Fix, ModelError, Timestamp};
+
+/// Shared bookkeeping every streaming compressor carries: accepted and
+/// emitted fix counts, the last accepted timestamp (for monotonicity
+/// checks), and the per-run metric accumulator flushed on
+/// [`StreamingCompressor::finish`].
+///
+/// Constructed internally by the stream types; the fields are not part
+/// of the public API.
+#[derive(Debug, Clone, Default)]
+pub struct StreamCore {
+    pub(crate) pushed: usize,
+    pub(crate) emitted: usize,
+    pub(crate) last_t: Option<Timestamp>,
+    pub(crate) run: AlgoRun,
+}
+
+impl StreamCore {
+    fn new() -> Self {
+        StreamCore::default()
+    }
+}
+
+/// The shared open/flush lifecycle of a record-at-a-time compressor.
+///
+/// Implementors provide only the algorithm step ([`step`]) and the
+/// end-of-stream drain ([`drain`]); the trait supplies the public
+/// [`push`]/[`finish`] entry points with uniform input validation
+/// (finite fixes, strictly increasing timestamps), accepted/emitted
+/// accounting, and the flush-once metrics contract — the lifecycle that
+/// `OwStream` and `OnePassStream` would otherwise duplicate.
+///
+/// [`step`]: StreamingCompressor::step
+/// [`drain`]: StreamingCompressor::drain
+/// [`push`]: StreamingCompressor::push
+/// [`finish`]: StreamingCompressor::finish
+///
+/// ```
+/// use traj_compress::streaming::{OnePassStream, OwStream, StreamingCompressor};
+/// use traj_model::Fix;
+///
+/// // One driver works for every stream kind.
+/// fn drive<S: StreamingCompressor>(mut s: S) -> Vec<Fix> {
+///     let mut kept = Vec::new();
+///     for i in 0..100 {
+///         let fix = Fix::from_parts(f64::from(i) * 10.0, f64::from(i) * 120.0, 0.0);
+///         kept.extend(s.push(fix).expect("valid fix"));
+///     }
+///     kept.extend(s.finish());
+///     kept
+/// }
+///
+/// // A straight, constant-speed run compresses to its endpoints under
+/// // both the opening-window and the one-pass family.
+/// assert_eq!(drive(OwStream::opw_tr(30.0)).len(), 2);
+/// assert_eq!(drive(OnePassStream::fit(30.0)).len(), 2);
+/// assert_eq!(drive(OnePassStream::cone(30.0)).len(), 2);
+/// ```
+pub trait StreamingCompressor {
+    /// Static algorithm-family label used when flushing stream metrics;
+    /// by convention the batch family name with a `stream-` prefix, so
+    /// online and batch runs stay distinguishable in reports.
+    fn family(&self) -> &'static str;
+
+    /// Shared bookkeeping (read side).
+    fn core(&self) -> &StreamCore;
+
+    /// Shared bookkeeping (write side).
+    fn core_mut(&mut self) -> &mut StreamCore;
+
+    /// Processes one *validated* fix, appending any fixes this step
+    /// commits to `out`. Called by [`StreamingCompressor::push`] after
+    /// finiteness/monotonicity checks pass; implementations never see
+    /// invalid input.
+    fn step(&mut self, fix: Fix, out: &mut Vec<Fix>);
+
+    /// Commits whatever the end of the stream decides (typically the
+    /// final buffered fix), appending to `out`. Called once by
+    /// [`StreamingCompressor::finish`].
+    fn drain(&mut self, out: &mut Vec<Fix>);
+
+    /// Feeds the next fix; returns the fixes *committed* (kept) by this
+    /// push, in order.
+    ///
+    /// # Errors
+    /// [`ModelError::NonFinite`] for NaN/∞ input and
+    /// [`ModelError::NonMonotonicTime`] when `fix.t` is not strictly
+    /// later than the previously accepted fix (the index reported is the
+    /// running count of accepted fixes). A rejected fix leaves the
+    /// stream state untouched and usable.
+    fn push(&mut self, fix: Fix) -> Result<Vec<Fix>, ModelError> {
+        if !fix.is_finite() {
+            return Err(ModelError::NonFinite { index: self.core().pushed });
+        }
+        if let Some(last) = self.core().last_t {
+            // `fix` is already known finite, so >= is a total comparison.
+            if last >= fix.t {
+                return Err(ModelError::NonMonotonicTime { index: self.core().pushed });
+            }
+        }
+        let core = self.core_mut();
+        core.pushed += 1;
+        core.last_t = Some(fix.t);
+        let mut out = Vec::new();
+        self.step(fix, &mut out);
+        self.core_mut().emitted += out.len();
+        Ok(out)
+    }
+
+    /// Flushes the stream: drains the final committed fixes and
+    /// publishes the stream's accumulated metrics to the `traj-obs`
+    /// registry. A stream dropped without `finish` reports nothing.
+    fn finish(mut self) -> Vec<Fix>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        self.drain(&mut out);
+        self.core_mut().emitted += out.len();
+        let core = self.core();
+        core.run.flush(self.family(), core.pushed, core.emitted);
+        out
+    }
+
+    /// Number of fixes accepted so far.
+    fn pushed(&self) -> usize {
+        self.core().pushed
+    }
+}
 
 /// Incremental opening-window compressor.
 ///
+/// Memory: the stream buffers the currently open window. On highly
+/// compressible input the window can grow without bound — the price of
+/// the OW family's look-back — so a `max_window` safety valve can force
+/// a cut just before the float once the buffer reaches a limit, trading
+/// a little compression for bounded memory (used by `traj-store`'s
+/// ingest path).
+///
 /// ```
-/// use traj_compress::streaming::OwStream;
+/// use traj_compress::streaming::{OwStream, StreamingCompressor};
 /// use traj_compress::{BreakStrategy, Criterion};
 /// use traj_model::Fix;
 ///
@@ -51,12 +190,8 @@ pub struct OwStream {
     checked: usize,
     /// Optional bound on the open window's length.
     max_window: Option<usize>,
-    /// Total number of accepted fixes (for error reporting).
-    pushed: usize,
-    /// Total number of fixes committed so far.
-    emitted: usize,
-    /// Metric accumulator, flushed by [`OwStream::finish`].
-    run: AlgoRun,
+    /// Shared streaming bookkeeping.
+    core: StreamCore,
 }
 
 impl OwStream {
@@ -75,23 +210,7 @@ impl OwStream {
             window: Vec::new(),
             checked: 2,
             max_window: None,
-            pushed: 0,
-            emitted: 0,
-            run: AlgoRun::new(),
-        }
-    }
-
-    /// Static algorithm-family label for stream metrics: the batch family
-    /// name with a `stream-` prefix, so online and batch runs stay
-    /// distinguishable in reports.
-    fn family(&self) -> &'static str {
-        match (self.criterion, self.strategy) {
-            (Criterion::Perpendicular { .. }, BreakStrategy::Normal) => "stream-nopw",
-            (Criterion::Perpendicular { .. }, BreakStrategy::BeforeFloat) => "stream-bopw",
-            (Criterion::TimeRatio { .. }, BreakStrategy::Normal) => "stream-opw-tr",
-            (Criterion::TimeRatio { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-tr",
-            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::Normal) => "stream-opw-sp",
-            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-sp",
+            core: StreamCore::new(),
         }
     }
 
@@ -114,7 +233,7 @@ impl OwStream {
     /// one intermediate, float).
     ///
     /// ```
-    /// use traj_compress::streaming::OwStream;
+    /// use traj_compress::streaming::{OwStream, StreamingCompressor};
     /// use traj_model::Fix;
     ///
     /// // Straight constant-speed data never violates the threshold, so
@@ -144,63 +263,6 @@ impl OwStream {
         self.window.last().copied()
     }
 
-    /// Number of fixes accepted so far.
-    pub fn pushed(&self) -> usize {
-        self.pushed
-    }
-
-    /// Feeds the next fix; returns the fixes *committed* (kept) by this
-    /// push, in order.
-    ///
-    /// # Errors
-    /// [`ModelError::NonFinite`] for NaN/∞ input and
-    /// [`ModelError::NonMonotonicTime`] when `fix.t` is not strictly
-    /// later than the previous fix (the index reported is the running
-    /// input position).
-    pub fn push(&mut self, fix: Fix) -> Result<Vec<Fix>, ModelError> {
-        if !fix.is_finite() {
-            return Err(ModelError::NonFinite { index: self.pushed });
-        }
-        if let Some(last) = self.window.last() {
-            // `fix` is already known finite, so >= is a total comparison.
-            if last.t >= fix.t {
-                return Err(ModelError::NonMonotonicTime { index: self.pushed });
-            }
-        }
-        self.pushed += 1;
-        let mut emitted = Vec::new();
-        if self.window.is_empty() {
-            // The very first fix is the initial anchor and is always kept.
-            self.window.push(fix);
-            self.checked = 2;
-            self.run.window_opened();
-            emitted.push(fix);
-            self.emitted += 1;
-            return Ok(emitted);
-        }
-        self.window.push(fix);
-        self.advance(&mut emitted);
-        if let Some(max) = self.max_window {
-            if self.window.len() >= max {
-                // Forced cut just before the float: the window up to
-                // len-2 was fully validated, so this keeps a point known
-                // to represent everything before it.
-                let cut = self.window.len() - 2;
-                if cut > 0 {
-                    self.run.forced_cut();
-                    self.run.window_closed();
-                    self.run.window_opened();
-                    emitted.push(self.window[cut]);
-                    self.window.drain(..cut);
-                    self.checked = 2;
-                    self.advance(&mut emitted);
-                }
-            }
-        }
-        self.emitted += emitted.len();
-        Ok(emitted)
-    }
-
     /// Re-establishes the invariant that every float position in the
     /// current window has been checked against the current anchor,
     /// cutting (possibly repeatedly) on violations — the exact loop
@@ -211,9 +273,9 @@ impl OwStream {
             match self.first_violation(e) {
                 Some(i) => {
                     // Scanned window indices 1..=i against float `e`.
-                    self.run.sed_evals(i as u64);
-                    self.run.window_closed();
-                    self.run.window_opened();
+                    self.core.run.sed_evals(i as u64);
+                    self.core.run.window_closed();
+                    self.core.run.window_opened();
                     let cut = match self.strategy {
                         BreakStrategy::Normal => i,
                         BreakStrategy::BeforeFloat => e - 1,
@@ -224,7 +286,7 @@ impl OwStream {
                     e = 2;
                 }
                 None => {
-                    self.run.sed_evals(e.saturating_sub(1) as u64);
+                    self.core.run.sed_evals(e.saturating_sub(1) as u64);
                     e += 1;
                 }
             }
@@ -240,25 +302,233 @@ impl OwStream {
     fn first_violation(&self, e: usize) -> Option<usize> {
         self.criterion.first_violation(&self.window, 0, e)
     }
+}
 
-    /// Flushes the stream: the final fix (if any besides the anchor) is
-    /// committed, mirroring the batch algorithm's always-keep-the-last
-    /// countermeasure. Returns the remaining kept fixes.
-    ///
-    /// This also publishes the stream's accumulated metrics (criterion
-    /// evaluations, windows, forced cuts) to the `traj-obs` registry;
-    /// a stream dropped without `finish` reports nothing.
-    pub fn finish(mut self) -> Vec<Fix> {
-        let out = match self.window.last() {
-            Some(last) if self.window.len() >= 2 => {
-                self.run.window_closed();
-                vec![*last]
+impl StreamingCompressor for OwStream {
+    fn family(&self) -> &'static str {
+        match (self.criterion, self.strategy) {
+            (Criterion::Perpendicular { .. }, BreakStrategy::Normal) => "stream-nopw",
+            (Criterion::Perpendicular { .. }, BreakStrategy::BeforeFloat) => "stream-bopw",
+            (Criterion::TimeRatio { .. }, BreakStrategy::Normal) => "stream-opw-tr",
+            (Criterion::TimeRatio { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-tr",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::Normal) => "stream-opw-sp",
+            (Criterion::TimeRatioSpeed { .. }, BreakStrategy::BeforeFloat) => "stream-bopw-sp",
+        }
+    }
+
+    fn core(&self) -> &StreamCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut StreamCore {
+        &mut self.core
+    }
+
+    fn step(&mut self, fix: Fix, out: &mut Vec<Fix>) {
+        if self.window.is_empty() {
+            // The very first fix is the initial anchor and is always kept.
+            self.window.push(fix);
+            self.checked = 2;
+            self.core.run.window_opened();
+            out.push(fix);
+            return;
+        }
+        self.window.push(fix);
+        self.advance(out);
+        if let Some(max) = self.max_window {
+            if self.window.len() >= max {
+                // Forced cut just before the float: the window up to
+                // len-2 was fully validated, so this keeps a point known
+                // to represent everything before it.
+                let cut = self.window.len() - 2;
+                if cut > 0 {
+                    self.core.run.forced_cut();
+                    self.core.run.window_closed();
+                    self.core.run.window_opened();
+                    out.push(self.window[cut]);
+                    self.window.drain(..cut);
+                    self.checked = 2;
+                    self.advance(out);
+                }
             }
-            _ => Vec::new(),
+        }
+    }
+
+    /// The final fix (if any besides the anchor) is committed, mirroring
+    /// the batch algorithm's always-keep-the-last countermeasure.
+    fn drain(&mut self, out: &mut Vec<Fix>) {
+        if self.window.len() >= 2 {
+            if let Some(last) = self.window.last() {
+                self.core.run.window_closed();
+                out.push(*last);
+            }
+        }
+        self.window.clear();
+    }
+}
+
+/// The one-pass region state: a rectangle for the fit variant, the
+/// owned polygon buffers for the cone variant.
+#[derive(Debug, Clone)]
+enum StreamRegion {
+    Fit(FitRegion),
+    Cone { dirs: Vec<(f64, f64)>, off: Vec<f64>, apothem: f64 },
+}
+
+/// Incremental one-pass SED simplifier — the streaming form of
+/// [`crate::OnePassFit`] / [`crate::OnePassCone`].
+///
+/// Unlike [`OwStream`] this buffers *no window at all*: the state is the
+/// current anchor, the previous fix, and the O(1)/O(m) fitting region,
+/// so memory is constant regardless of how compressible the input is.
+/// Fed fix-by-fix, it emits exactly the fixes the batch kernel keeps
+/// (both run the same [`crate::one_pass`] step function; pinned by
+/// proptests).
+///
+/// ```
+/// use traj_compress::streaming::{OnePassStream, StreamingCompressor};
+/// use traj_compress::{Compressor, OnePassFit};
+/// use traj_model::{Fix, Trajectory};
+///
+/// let traj = Trajectory::from_triples((0..200).map(|i| {
+///     let t = f64::from(i) * 5.0;
+///     (t, t * 11.0, f64::from(i % 9) * 6.0)
+/// })).unwrap();
+///
+/// let mut stream = OnePassStream::fit(25.0);
+/// let mut kept = Vec::new();
+/// for fix in traj.fixes() {
+///     kept.extend(stream.push(*fix).unwrap());
+/// }
+/// kept.extend(stream.finish());
+///
+/// let batch = OnePassFit::new(25.0).compress(&traj);
+/// let batch_fixes: Vec<Fix> = batch.kept().iter().map(|&i| traj.fixes()[i]).collect();
+/// assert_eq!(kept, batch_fixes);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnePassStream {
+    epsilon: f64,
+    region: StreamRegion,
+    /// `(anchor, prev)` of the open segment; `None` before the first fix.
+    state: Option<(Fix, Fix)>,
+    /// Shared streaming bookkeeping.
+    core: StreamCore,
+}
+
+impl OnePassStream {
+    /// OP-FIT stream (rectangular fitting region) with a strict SED
+    /// bound of `epsilon` metres.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative `epsilon`.
+    pub fn fit(epsilon: f64) -> Self {
+        crate::one_pass::validate_epsilon(epsilon);
+        OnePassStream {
+            epsilon,
+            region: StreamRegion::Fit(FitRegion::new()),
+            state: None,
+            core: StreamCore::new(),
+        }
+    }
+
+    /// OP-CONE stream with the default
+    /// [`crate::one_pass::CONE_DIRECTIONS`] polygon directions.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative `epsilon`.
+    pub fn cone(epsilon: f64) -> Self {
+        OnePassStream::cone_with(epsilon, crate::one_pass::CONE_DIRECTIONS)
+    }
+
+    /// OP-CONE stream with `m` polygon directions (clamped to `4..=64`,
+    /// matching [`crate::OnePassCone::with_directions`]).
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative `epsilon`.
+    pub fn cone_with(epsilon: f64, m: usize) -> Self {
+        crate::one_pass::validate_epsilon(epsilon);
+        let m = m.clamp(4, 64);
+        let mut dirs = Vec::new();
+        cone_directions(m, &mut dirs);
+        OnePassStream {
+            epsilon,
+            region: StreamRegion::Cone {
+                dirs,
+                off: vec![f64::INFINITY; m],
+                apothem: cone_apothem(m),
+            },
+            state: None,
+            core: StreamCore::new(),
+        }
+    }
+
+    /// The declared SED bound, metres.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl StreamingCompressor for OnePassStream {
+    fn family(&self) -> &'static str {
+        match self.region {
+            StreamRegion::Fit(_) => "stream-op-fit",
+            StreamRegion::Cone { .. } => "stream-op-cone",
+        }
+    }
+
+    fn core(&self) -> &StreamCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut StreamCore {
+        &mut self.core
+    }
+
+    fn step(&mut self, fix: Fix, out: &mut Vec<Fix>) {
+        let Some((anchor, prev)) = self.state.as_mut() else {
+            // The very first fix is the initial anchor and is always kept.
+            self.state = Some((fix, fix));
+            out.push(fix);
+            return;
         };
-        self.emitted += out.len();
-        self.run.flush(self.family(), self.pushed, self.emitted);
-        out
+        self.core.run.sed_evals(1);
+        self.core.run.op_check();
+        let closed = match &mut self.region {
+            StreamRegion::Fit(r) => one_pass_step(r, self.epsilon, anchor, prev, fix),
+            StreamRegion::Cone { dirs, off, apothem } => {
+                let mut r = ConeRegion { dirs, off, apothem: *apothem };
+                one_pass_step(&mut r, self.epsilon, anchor, prev, fix)
+            }
+        };
+        if closed {
+            // The segment closed at the previous fix, which became the
+            // new anchor — commit it. The batch kernel keeps the same
+            // index (`j - 1`).
+            self.core.run.op_close();
+            out.push(*anchor);
+        }
+    }
+
+    /// Commits the final fix, mirroring the batch kernel's
+    /// always-keep-the-last countermeasure. A step never emits the
+    /// newest fix (closes commit the *previous* one), so this cannot
+    /// duplicate — except for a single-fix stream, whose only fix was
+    /// already emitted as the anchor.
+    fn drain(&mut self, out: &mut Vec<Fix>) {
+        if self.core.pushed >= 2 {
+            if let Some((_, prev)) = self.state.take() {
+                out.push(prev);
+            }
+        }
+        self.state = None;
+        match &mut self.region {
+            StreamRegion::Fit(r) => r.reset(),
+            StreamRegion::Cone { dirs, off, apothem } => {
+                let mut r = ConeRegion { dirs, off, apothem: *apothem };
+                r.reset();
+            }
+        }
     }
 }
 
@@ -267,6 +537,7 @@ mod tests {
     use super::*;
     use crate::opening_window::OpeningWindow;
     use crate::result::Compressor;
+    use crate::{OnePassCone, OnePassFit};
     use traj_model::Trajectory;
 
     fn car_like() -> Trajectory {
@@ -291,13 +562,17 @@ mod tests {
         Trajectory::from_triples(triples).unwrap()
     }
 
-    fn run_stream(mut s: OwStream, traj: &Trajectory) -> Vec<Fix> {
+    fn run_stream<S: StreamingCompressor>(mut s: S, traj: &Trajectory) -> Vec<Fix> {
         let mut out = Vec::new();
         for f in traj.fixes() {
             out.extend(s.push(*f).unwrap());
         }
         out.extend(s.finish());
         out
+    }
+
+    fn kept_fixes(traj: &Trajectory, c: &dyn Compressor) -> Vec<Fix> {
+        c.compress(traj).kept().iter().map(|&i| traj.fixes()[i]).collect()
     }
 
     #[test]
@@ -314,19 +589,41 @@ mod tests {
             ),
         ];
         for (criterion, strategy) in cases {
-            let batch = OpeningWindow::new(criterion, strategy).compress(&t);
-            let batch_fixes: Vec<Fix> =
-                batch.kept().iter().map(|&i| t.fixes()[i]).collect();
+            let batch = kept_fixes(&t, &OpeningWindow::new(criterion, strategy));
             let streamed = run_stream(OwStream::new(criterion, strategy), &t);
-            assert_eq!(streamed, batch_fixes, "criterion {criterion:?} {strategy:?}");
+            assert_eq!(streamed, batch, "criterion {criterion:?} {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn one_pass_stream_equals_batch() {
+        let t = car_like();
+        for eps in [5.0, 30.0, 120.0] {
+            assert_eq!(
+                run_stream(OnePassStream::fit(eps), &t),
+                kept_fixes(&t, &OnePassFit::new(eps)),
+                "fit eps {eps}"
+            );
+            assert_eq!(
+                run_stream(OnePassStream::cone(eps), &t),
+                kept_fixes(&t, &OnePassCone::new(eps)),
+                "cone eps {eps}"
+            );
+            assert_eq!(
+                run_stream(OnePassStream::cone_with(eps, 8), &t),
+                kept_fixes(&t, &OnePassCone::with_directions(eps, 8)),
+                "cone-8 eps {eps}"
+            );
         }
     }
 
     #[test]
     fn first_fix_emitted_immediately() {
-        let mut s = OwStream::opw_tr(10.0);
         let f0 = Fix::from_parts(0.0, 1.0, 2.0);
-        assert_eq!(s.push(f0).unwrap(), vec![f0]);
+        let mut ow = OwStream::opw_tr(10.0);
+        assert_eq!(ow.push(f0).unwrap(), vec![f0]);
+        let mut op = OnePassStream::fit(10.0);
+        assert_eq!(op.push(f0).unwrap(), vec![f0]);
     }
 
     #[test]
@@ -346,18 +643,48 @@ mod tests {
     }
 
     #[test]
+    fn one_pass_rejects_duplicate_timestamps() {
+        let mut s = OnePassStream::cone(10.0);
+        s.push(Fix::from_parts(5.0, 0.0, 0.0)).unwrap();
+        assert!(matches!(
+            s.push(Fix::from_parts(5.0, 1.0, 0.0)),
+            Err(ModelError::NonMonotonicTime { index: 1 })
+        ));
+        assert!(matches!(
+            s.push(Fix::from_parts(4.0, 1.0, 0.0)),
+            Err(ModelError::NonMonotonicTime { index: 1 })
+        ));
+        assert!(s.push(Fix::from_parts(6.0, 1.0, 0.0)).is_ok());
+        assert_eq!(s.pushed(), 2);
+    }
+
+    #[test]
     fn finish_emits_final_point() {
         let t = car_like();
-        let streamed = run_stream(OwStream::opw_tr(50.0), &t);
-        assert_eq!(streamed.last().unwrap(), t.last());
+        for streamed in [
+            run_stream(OwStream::opw_tr(50.0), &t),
+            run_stream(OnePassStream::fit(50.0), &t),
+            run_stream(OnePassStream::cone(50.0), &t),
+        ] {
+            assert_eq!(streamed.last().unwrap(), t.last());
+        }
     }
 
     #[test]
     fn single_fix_stream_finish_is_empty() {
         let mut s = OwStream::opw_tr(10.0);
-        let out = s.push(Fix::from_parts(0.0, 0.0, 0.0)).unwrap();
-        assert_eq!(out.len(), 1);
+        assert_eq!(s.push(Fix::from_parts(0.0, 0.0, 0.0)).unwrap().len(), 1);
         assert!(s.finish().is_empty(), "anchor already emitted");
+        let mut s = OnePassStream::fit(10.0);
+        assert_eq!(s.push(Fix::from_parts(0.0, 0.0, 0.0)).unwrap().len(), 1);
+        assert!(s.finish().is_empty(), "anchor already emitted");
+    }
+
+    #[test]
+    fn empty_stream_finish_is_empty() {
+        assert!(OwStream::opw_tr(10.0).finish().is_empty());
+        assert!(OnePassStream::fit(10.0).finish().is_empty());
+        assert!(OnePassStream::cone(10.0).finish().is_empty());
     }
 
     #[test]
@@ -416,5 +743,24 @@ mod tests {
         s.push(Fix::from_parts(1.0, 1.0, 0.0)).unwrap();
         let _ = s.push(Fix::from_parts(0.5, 2.0, 0.0)); // rejected
         assert_eq!(s.pushed(), 2);
+    }
+
+    #[test]
+    fn one_pass_stream_emits_within_bound() {
+        let t = car_like();
+        let eps = 40.0;
+        for kept in [
+            run_stream(OnePassStream::fit(eps), &t),
+            run_stream(OnePassStream::cone(eps), &t),
+        ] {
+            let fixes = t.fixes();
+            for w in kept.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                for f in fixes.iter().filter(|f| a.t < f.t && f.t < b.t) {
+                    let d = crate::distance::sed(a, b, f);
+                    assert!(d <= eps + 1e-9, "deviation {d}");
+                }
+            }
+        }
     }
 }

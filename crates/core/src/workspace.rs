@@ -120,6 +120,10 @@ pub struct Workspace {
     pub(crate) hull: Vec<usize>,
     /// Memoized per-interval statistics for the TD-SP sweep.
     pub(crate) sp_stats: HashMap<(usize, usize), SpStats>,
+    /// Fixed polygon edge normals for the one-pass cone region.
+    pub(crate) cone_dirs: Vec<(f64, f64)>,
+    /// Per-direction tightest offsets for the one-pass cone region.
+    pub(crate) cone_off: Vec<f64>,
 }
 
 impl Workspace {
@@ -152,6 +156,8 @@ impl Workspace {
         self.pts.clear();
         self.hull.clear();
         self.sp_stats.clear();
+        self.cone_dirs.clear();
+        self.cone_off.clear();
     }
 
     /// Approximate scratch bytes an `n`-point run can serve from warm
@@ -174,6 +180,8 @@ impl Workspace {
             + warm::<(usize, Point2)>(self.pts.capacity(), n)
             + warm::<usize>(self.hull.capacity(), n)
             + warm::<((usize, usize), SpStats)>(self.sp_stats.capacity(), n)
+            + warm::<(f64, f64)>(self.cone_dirs.capacity(), n)
+            + warm::<f64>(self.cone_off.capacity(), n)
     }
 }
 
@@ -197,6 +205,8 @@ mod tests {
             (0, 7),
             SpStats { i_s: 1, s: 2.0, i_pos: Some(1), i_v: 1, v: 0.5 },
         );
+        ws.cone_dirs.push((1.0, 0.0));
+        ws.cone_off.push(3.5);
         ws.begin(8);
         assert!(ws.keep.is_empty());
         assert!(ws.stack.is_empty());
@@ -208,6 +218,8 @@ mod tests {
         assert!(ws.pts.is_empty());
         assert!(ws.hull.is_empty());
         assert!(ws.sp_stats.is_empty());
+        assert!(ws.cone_dirs.is_empty());
+        assert!(ws.cone_off.is_empty());
         assert!(ws.keep.capacity() >= 8, "begin retains capacity");
     }
 

@@ -6,11 +6,11 @@ use traj_compress::error::{
     average_synchronous_error, average_synchronous_error_numeric, max_synchronous_error,
     sed_at_samples,
 };
-use traj_compress::streaming::OwStream;
+use traj_compress::streaming::{OnePassStream, OwStream, StreamingCompressor};
 use traj_compress::{
     sed, spt, BottomUp, BreakStrategy, CompressionResultBuf, Compressor, Criterion,
-    DouglasPeucker, HullDouglasPeucker, OpeningWindow, SegmentCriterion, SlidingWindow, TdSp,
-    TdTr, TopDown, UniformSample, Workspace,
+    DouglasPeucker, HullDouglasPeucker, OnePassCone, OnePassFit, OpeningWindow,
+    SegmentCriterion, SlidingWindow, TdSp, TdTr, TopDown, UniformSample, Workspace,
 };
 use traj_model::{Fix, Trajectory};
 
@@ -52,6 +52,8 @@ fn all_compressors(eps: f64, veps: f64) -> Vec<Box<dyn Compressor>> {
         Box::new(BottomUp::perpendicular(eps)),
         Box::new(SlidingWindow::time_ratio(eps, 12)),
         Box::new(HullDouglasPeucker::new(eps)),
+        Box::new(OnePassFit::new(eps)),
+        Box::new(OnePassCone::new(eps)),
     ]
 }
 
@@ -175,6 +177,98 @@ proptest! {
         prop_assume!(accepted.len() >= 2);
         let clean = Trajectory::new(accepted).expect("accepted fixes are valid");
         let batch = OpeningWindow::opw_tr(eps).compress(&clean);
+        let expected: Vec<Fix> = batch.kept().iter().map(|&i| clean.fixes()[i]).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// One-pass family soundness: every point dropped from an emitted
+    /// segment satisfies the *declared* SED bound against that segment —
+    /// the bound is strict, not heuristic (the fitting regions are
+    /// inscribed subsets of the exact feasibility disks).
+    #[test]
+    fn one_pass_strict_sed_bound(t in trajectory(), eps in 0.0..200.0f64, m in 4usize..64) {
+        let compressors: Vec<Box<dyn Compressor>> = vec![
+            Box::new(OnePassFit::new(eps)),
+            Box::new(OnePassCone::new(eps)),
+            Box::new(OnePassCone::with_directions(eps, m)),
+        ];
+        let f = t.fixes();
+        for c in compressors {
+            let r = c.compress(&t);
+            for w in r.kept().windows(2) {
+                for i in w[0] + 1..w[1] {
+                    let d = sed(&f[w[0]], &f[w[1]], &f[i]);
+                    prop_assert!(d <= eps + 1e-9, "{}: point {} deviates {} > {}", c.name(), i, d, eps);
+                }
+            }
+        }
+    }
+
+    /// `OnePassStream` fed fix-by-fix is bit-identical to the batch
+    /// kernel, for both region variants.
+    #[test]
+    fn one_pass_streaming_equals_batch(t in trajectory(), eps in 0.0..200.0f64, m in 4usize..64) {
+        let cases: Vec<(OnePassStream, Box<dyn Compressor>)> = vec![
+            (OnePassStream::fit(eps), Box::new(OnePassFit::new(eps))),
+            (OnePassStream::cone(eps), Box::new(OnePassCone::new(eps))),
+            (
+                OnePassStream::cone_with(eps, m),
+                Box::new(OnePassCone::with_directions(eps, m)),
+            ),
+        ];
+        for (mut stream, batch) in cases {
+            let expected: Vec<Fix> =
+                batch.compress(&t).kept().iter().map(|&i| t.fixes()[i]).collect();
+            let mut got = Vec::new();
+            for f in t.fixes() {
+                got.extend(stream.push(*f).unwrap());
+            }
+            got.extend(stream.finish());
+            prop_assert_eq!(&got, &expected, "{}", batch.name());
+        }
+    }
+
+    /// Fault injection for the one-pass stream: out-of-order,
+    /// *duplicate-timestamp*, and non-finite fixes are rejected exactly,
+    /// and the accepted subsequence matches the batch kernel on the
+    /// cleaned trajectory.
+    #[test]
+    fn one_pass_streaming_survives_dirty_input(
+        raw in proptest::collection::vec(
+            (0.0..5000.0f64, -500.0..500.0f64, -500.0..500.0f64, 0u8..12),
+            4..80,
+        ),
+        eps in 5.0..100.0f64,
+    ) {
+        let mut stream = OnePassStream::cone(eps);
+        let mut accepted: Vec<Fix> = Vec::new();
+        let mut got: Vec<Fix> = Vec::new();
+        for (t, x, y, poison) in raw {
+            let fix = match poison {
+                0 => Fix::from_parts(f64::NAN, x, y),
+                1 => Fix::from_parts(t, f64::INFINITY, y),
+                // Duplicate timestamp: exactly the last accepted instant.
+                2 => match accepted.last() {
+                    Some(l) => Fix::from_parts(l.t.as_secs(), x, y),
+                    None => Fix::from_parts(t, x, y),
+                },
+                _ => Fix::from_parts(t, x, y),
+            };
+            match stream.push(fix) {
+                Ok(emitted) => {
+                    accepted.push(fix);
+                    got.extend(emitted);
+                }
+                Err(_) => {
+                    let later = accepted.last().is_none_or(|l| l.t < fix.t);
+                    prop_assert!(!fix.is_finite() || !later, "spurious rejection of {fix:?}");
+                }
+            }
+        }
+        got.extend(stream.finish());
+        prop_assume!(accepted.len() >= 2);
+        let clean = Trajectory::new(accepted).expect("accepted fixes are valid");
+        let batch = OnePassCone::new(eps).compress(&clean);
         let expected: Vec<Fix> = batch.kept().iter().map(|&i| clean.fixes()[i]).collect();
         prop_assert_eq!(got, expected);
     }
@@ -311,6 +405,39 @@ proptest! {
             for r in swept {
                 prop_assert_eq!(r.kept_len(), t.len());
             }
+        }
+    }
+}
+
+/// Streaming ≡ batch for the one-pass family on 0/1/2-fix degenerates
+/// (the proptest strategy never generates fewer than 4 fixes, so these
+/// are pinned explicitly).
+#[test]
+fn one_pass_stream_degenerate_inputs_match_batch() {
+    let trajectories = [
+        Vec::new(),
+        vec![(0.0, 1.0, 2.0)],
+        vec![(0.0, 0.0, 0.0), (7.0, 100.0, -3.0)],
+    ];
+    for triples in trajectories {
+        let streams: Vec<(OnePassStream, Box<dyn Compressor>)> = vec![
+            (OnePassStream::fit(20.0), Box::new(OnePassFit::new(20.0))),
+            (OnePassStream::cone(20.0), Box::new(OnePassCone::new(20.0))),
+        ];
+        for (mut stream, batch) in streams {
+            let mut got = Vec::new();
+            for &(t, x, y) in &triples {
+                got.extend(stream.push(Fix::from_parts(t, x, y)).unwrap());
+            }
+            got.extend(stream.finish());
+            if triples.is_empty() {
+                assert!(got.is_empty());
+                continue;
+            }
+            let traj = Trajectory::from_triples(triples.iter().copied()).unwrap();
+            let expected: Vec<Fix> =
+                batch.compress(&traj).kept().iter().map(|&i| traj.fixes()[i]).collect();
+            assert_eq!(got, expected, "{} on {} fixes", batch.name(), traj.len());
         }
     }
 }

@@ -1,13 +1,17 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [all|table2|fig7|fig8|fig9|fig10|fig11|check|ext] [--seed N] [--csv DIR]
-//!       [--metrics-out FILE] [--trace-out FILE] [--threads N] [--fast]
+//! repro [all|table2|fig7|fig8|fig9|fig10|fig11|onepass|check|ext] [--seed N]
+//!       [--csv DIR] [--metrics-out FILE] [--trace-out FILE] [--threads N] [--fast]
 //! ```
 //!
-//! With no arguments, runs `all`: prints Table 2 and Figures 7–11 as
-//! aligned text tables (averages over the ten-trajectory dataset) and
-//! finishes with the paper-shape check. `--csv DIR` additionally writes
+//! With no arguments, runs `all`: prints Table 2, Figures 7–11 and the
+//! one-pass comparison as aligned text tables (averages over the
+//! ten-trajectory dataset) and finishes with the paper-shape check.
+//! `onepass` prints just the one-pass SED family (OP-FIT / OP-CONE)
+//! against NDP, TD-TR and OPW-TR — compression, α error, SED max/mean —
+//! plus a wall-time/throughput table for the same sweeps.
+//! `--csv DIR` additionally writes
 //! one CSV per figure into `DIR`, plus a `metrics.csv` sidecar with the
 //! instrumentation snapshot of the whole run; `--metrics-out FILE`
 //! redirects the sidecar (JSON lines for `.json` paths, CSV otherwise).
@@ -31,8 +35,8 @@ use std::process::ExitCode;
 
 use traj_eval::{
     check_expectations, fig10_threaded, fig11_threaded, fig7_threaded, fig8_threaded,
-    fig9_threaded, figure_to_csv, format_figure, format_table2, table2, FigureData,
-    PAPER_THRESHOLDS,
+    fig9_threaded, fig_onepass_threaded, figure_to_csv, format_figure, format_table2,
+    sweep_algo_parallel, table2, Algo, FigureData, PAPER_THRESHOLDS,
 };
 
 struct Args {
@@ -81,8 +85,9 @@ fn parse_args() -> Result<Args, String> {
             "--fast" => fast = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [all|table2|fig7..fig11|check|ext] [--seed N] [--csv DIR] \
-                            [--metrics-out FILE] [--trace-out FILE] [--threads N] [--fast]"
+                    "usage: repro [all|table2|fig7..fig11|onepass|check|ext] [--seed N] \
+                            [--csv DIR] [--metrics-out FILE] [--trace-out FILE] [--threads N] \
+                            [--fast]"
                         .to_string(),
                 )
             }
@@ -166,6 +171,36 @@ fn emit(fig: &FigureData, csv_dir: &Option<PathBuf>) {
             std::process::exit(1);
         }
         println!("(wrote {})", path.display());
+    }
+}
+
+/// Times each one-pass-figure sweep separately and prints wall time
+/// and throughput (million input fixes per second, counting every
+/// threshold of the grid as one full pass over the dataset).
+fn run_onepass_throughput(dataset: &[traj_model::Trajectory], grid: &[f64], threads: usize) {
+    use traj_compress::{OnePassCone, OnePassFit, OpeningWindow, TopDown};
+    let algos = [
+        Algo::top_down("NDP", TopDown::perpendicular(0.0)),
+        Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+        Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
+        Algo::factory("OP-FIT", |e| Box::new(OnePassFit::new(e))),
+        Algo::factory("OP-CONE", |e| Box::new(OnePassCone::new(e))),
+    ];
+    let fixes: usize = dataset.iter().map(|t| t.len()).sum();
+    let total = fixes * grid.len();
+    println!("sweep wall time ({} fixes x {} thresholds):", fixes, grid.len());
+    println!("{:>10} | {:>10} {:>12}", "algo", "wall (ms)", "Mfix/s");
+    for algo in &algos {
+        let start = std::time::Instant::now();
+        let sweep = sweep_algo_parallel(algo, dataset, grid, threads);
+        let secs = start.elapsed().as_secs_f64();
+        debug_assert_eq!(sweep.points.len(), grid.len());
+        println!(
+            "{:>10} | {:>10.1} {:>12.2}",
+            sweep.label,
+            secs * 1e3,
+            total as f64 / secs / 1e6
+        );
     }
 }
 
@@ -271,6 +306,10 @@ fn main() -> ExitCode {
         "fig9" => emit(&fig9_threaded(&dataset, grid, threads), &args.csv_dir),
         "fig10" => emit(&fig10_threaded(&dataset, grid, threads), &args.csv_dir),
         "fig11" => emit(&fig11_threaded(&dataset, grid, threads), &args.csv_dir),
+        "onepass" => {
+            emit(&fig_onepass_threaded(&dataset, grid, threads), &args.csv_dir);
+            run_onepass_throughput(&dataset, grid, threads);
+        }
         "check" | "all" => {
             if args.fast {
                 eprintln!(
@@ -288,6 +327,10 @@ fn main() -> ExitCode {
                 for f in [&f7, &f8, &f9, &f10, &f11] {
                     emit(f, &args.csv_dir);
                 }
+                // Beyond the paper: the one-pass SED family on the same
+                // grid. Not part of check_expectations — the figure's
+                // own tests pin its shape (strict bound, label set).
+                emit(&fig_onepass_threaded(&dataset, grid, threads), &args.csv_dir);
             }
             let violations = check_expectations(&f7, &f8, &f9, &f10, &f11);
             if violations.is_empty() {

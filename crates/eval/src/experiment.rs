@@ -29,6 +29,13 @@ pub struct SweepPoint {
     /// Mean of the classic perpendicular error over the dataset, metres
     /// (reported alongside for the §4.1 comparison).
     pub perp_error_m: f64,
+    /// Mean SED at the original sample instants, averaged over the
+    /// dataset, metres.
+    pub mean_sed_m: f64,
+    /// Worst SED at the original sample instants across the whole
+    /// dataset, metres — for strict-bound algorithms this never exceeds
+    /// `threshold_m`.
+    pub max_sed_m: f64,
 }
 
 /// A full threshold sweep for one algorithm.
@@ -210,12 +217,16 @@ fn aggregate(
     let mut comps = vec![Vec::with_capacity(dataset_len); nt];
     let mut errs = vec![Vec::with_capacity(dataset_len); nt];
     let mut perp = vec![0.0f64; nt];
+    let mut sed_mean = vec![0.0f64; nt];
+    let mut sed_max = vec![0.0f64; nt];
     for row in rows {
         debug_assert_eq!(row.len(), nt, "one evaluation per threshold");
         for (j, e) in row.iter().enumerate() {
             comps[j].push(e.compression_pct);
             errs[j].push(e.avg_sync_err_m);
             perp[j] += e.mean_perp_m;
+            sed_mean[j] += e.mean_sed_m;
+            sed_max[j] = sed_max[j].max(e.max_sed_m);
         }
     }
     let points = thresholds
@@ -231,6 +242,8 @@ fn aggregate(
                 error_m: err.mean,
                 error_std: err.std,
                 perp_error_m: perp[j] / dataset_len as f64,
+                mean_sed_m: sed_mean[j] / dataset_len as f64,
+                max_sed_m: sed_max[j],
             }
         })
         .collect();

@@ -1,6 +1,6 @@
 //! One constructor per table/figure of the paper's evaluation.
 
-use traj_compress::{OpeningWindow, TopDown};
+use traj_compress::{OnePassCone, OnePassFit, OpeningWindow, TopDown};
 use traj_model::stats::DatasetStats;
 use traj_model::Trajectory;
 
@@ -232,6 +232,64 @@ pub fn fig11_threaded(dataset: &[Trajectory], thresholds: &[f64], threads: usize
     }
 }
 
+/// One-pass family comparison (beyond the paper): the O(n) OP-FIT and
+/// OP-CONE simplifiers against the paper's strongest batch (NDP, TD-TR)
+/// and online (OPW-TR) algorithms on the same grid — compression ratio,
+/// α error and SED statistics per threshold.
+pub fn fig_onepass(dataset: &[Trajectory]) -> FigureData {
+    fig_onepass_with(dataset, &PAPER_THRESHOLDS)
+}
+
+/// [`fig_onepass`] over custom thresholds.
+pub fn fig_onepass_with(dataset: &[Trajectory], thresholds: &[f64]) -> FigureData {
+    fig_onepass_threaded(dataset, thresholds, 1)
+}
+
+/// [`fig_onepass_with`] with each sweep fanned over `threads` workers
+/// (`0` = all cores); bit-identical to the serial figure.
+pub fn fig_onepass_threaded(
+    dataset: &[Trajectory],
+    thresholds: &[f64],
+    threads: usize,
+) -> FigureData {
+    FigureData {
+        id: "onepass",
+        title: "One-pass SED family (OP-FIT / OP-CONE) vs NDP, TD-TR and OPW-TR",
+        sweeps: vec![
+            sweep_algo_parallel(
+                &Algo::top_down("NDP", TopDown::perpendicular(0.0)),
+                dataset,
+                thresholds,
+                threads,
+            ),
+            sweep_algo_parallel(
+                &Algo::top_down("TD-TR", TopDown::time_ratio(0.0)),
+                dataset,
+                thresholds,
+                threads,
+            ),
+            sweep_algo_parallel(
+                &Algo::factory("OPW-TR", |e| Box::new(OpeningWindow::opw_tr(e))),
+                dataset,
+                thresholds,
+                threads,
+            ),
+            sweep_algo_parallel(
+                &Algo::factory("OP-FIT", |e| Box::new(OnePassFit::new(e))),
+                dataset,
+                thresholds,
+                threads,
+            ),
+            sweep_algo_parallel(
+                &Algo::factory("OP-CONE", |e| Box::new(OnePassCone::new(e))),
+                dataset,
+                thresholds,
+                threads,
+            ),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +344,35 @@ mod tests {
         assert_eq!(f.sweeps.len(), 7);
         assert!(f.sweep("NDP").is_some());
         assert!(f.sweep("OPW-SP(25m/s)").is_some());
+    }
+
+    #[test]
+    fn fig_onepass_compares_the_family_against_the_paper_winners() {
+        let f = fig_onepass(&mini_dataset());
+        let labels: Vec<&str> = f.sweeps.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["NDP", "TD-TR", "OPW-TR", "OP-FIT", "OP-CONE"]);
+        assert_eq!(f.id, "onepass");
+        for s in &f.sweeps {
+            assert_eq!(s.points.len(), 15);
+        }
+    }
+
+    #[test]
+    fn one_pass_bound_is_strict_in_figure_output() {
+        // The one-pass sweeps' max SED never exceeds the threshold —
+        // the strictness contract visible at the experiment level.
+        let f = fig_onepass(&mini_dataset());
+        for label in ["OP-FIT", "OP-CONE"] {
+            let s = f.sweep(label).unwrap();
+            for p in &s.points {
+                assert!(
+                    p.max_sed_m <= p.threshold_m + 1e-9,
+                    "{label}: max SED {} at threshold {}",
+                    p.max_sed_m,
+                    p.threshold_m
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! * [`figures::fig11`] — error versus compression across all
 //!   algorithms.
 //!
+//! Beyond the paper, [`figures::fig_onepass`] compares the one-pass SED
+//! family (OP-FIT / OP-CONE, Lin et al., arXiv 1801.05360) against NDP,
+//! TD-TR and OPW-TR on the same grid, and
+//! [`registry::algorithm_catalog`] is the live, test-synced source of
+//! truth behind the root `ALGORITHMS.md` catalog.
+//!
 //! All experiments follow the paper's §4.3 protocol: ten trajectories
 //! (the calibrated synthetic dataset of `traj-gen`), fifteen spatial
 //! thresholds from 30 to 100 m, speed thresholds {5, 15, 25} m/s, the
@@ -32,14 +38,15 @@ pub use experiment::{
     sweep, sweep_algo, sweep_algo_parallel, AlgoSweep, SweepPoint, PAPER_SPEED_THRESHOLDS,
     PAPER_THRESHOLDS,
 };
-pub use registry::Algo;
+pub use registry::{algorithm_catalog, Algo, AlgoMeta, ErrorBound};
 pub use extensions::{
     class_datasets, class_signatures, interpolation_gap, noise_ablation, object_classes,
     online_spectrum, sampling_ablation,
 };
 pub use figures::{
     fig10, fig10_threaded, fig10_with, fig11, fig11_threaded, fig11_with, fig7, fig7_threaded,
-    fig7_with, fig8, fig8_threaded, fig8_with, fig9, fig9_threaded, fig9_with, table2, FigureData,
+    fig7_with, fig8, fig8_threaded, fig8_with, fig9, fig9_threaded, fig9_with, fig_onepass,
+    fig_onepass_threaded, fig_onepass_with, table2, FigureData,
 };
 pub use report::{
     check_expectations, figure_to_csv, figure_to_markdown, format_figure, format_table2,

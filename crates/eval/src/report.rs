@@ -124,23 +124,25 @@ pub fn figure_to_markdown(fig: &FigureData) -> String {
 
 /// Serializes a figure's sweeps as CSV with per-threshold means and
 /// across-trajectory standard deviations:
-/// `algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m`.
+/// `algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m,mean_sed_m,max_sed_m`.
 pub fn figure_to_csv(fig: &FigureData) -> String {
     let mut out = String::from(
-        "algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m\n",
+        "algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m,mean_sed_m,max_sed_m\n",
     );
     for s in &fig.sweeps {
         for p in &s.points {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{}",
                 s.label,
                 p.threshold_m,
                 p.compression_pct,
                 p.compression_std,
                 p.error_m,
                 p.error_std,
-                p.perp_error_m
+                p.perp_error_m,
+                p.mean_sed_m,
+                p.max_sed_m
             );
         }
     }
@@ -366,6 +368,8 @@ mod tests {
                     error_m: e,
                     error_std: 0.0,
                     perp_error_m: e / 2.0,
+                    mean_sed_m: e / 3.0,
+                    max_sed_m: e,
                 })
                 .collect(),
         }
@@ -428,10 +432,10 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m"
+            "algo,threshold_m,compression_pct,compression_std,error_m,error_std,perp_error_m,mean_sed_m,max_sed_m"
         );
         let data = lines.next().unwrap();
-        assert_eq!(data.split(',').count(), 7);
+        assert_eq!(data.split(',').count(), 9);
         assert!(data.starts_with("A,30"));
     }
 

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use traj_compress::streaming::OwStream;
+use traj_compress::streaming::{OwStream, StreamingCompressor};
 use traj_compress::{BreakStrategy, Criterion};
 use traj_model::{Fix, ModelError, Trajectory};
 

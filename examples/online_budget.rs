@@ -12,7 +12,7 @@
 //! ```
 
 use trajc::compress::error::sed_at_samples;
-use trajc::compress::streaming::OwStream;
+use trajc::compress::streaming::{OwStream, StreamingCompressor};
 use trajc::gen::simple::stop_and_go;
 use trajc::model::Trajectory;
 

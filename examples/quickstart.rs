@@ -5,7 +5,7 @@
 //! ```
 
 use trajc::compress::error::average_synchronous_error;
-use trajc::compress::streaming::OwStream;
+use trajc::compress::streaming::{OwStream, StreamingCompressor};
 use trajc::compress::{evaluate, Compressor, DouglasPeucker, OpeningWindow, TdTr};
 use trajc::model::stats::TrajectoryStats;
 

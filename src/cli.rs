@@ -121,7 +121,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         \n  trajc obs merge <sidecar>... [-o merged.csv]\
         \n  trajc store recover <dir> [--snapshot]\
         \n\nalgorithms: uniform dist ndp ndp-hull td-tr td-sp nopw bopw opw-tr opw-sp \
-        dead-reckoning bottom-up sliding-window\
+        dead-reckoning bottom-up sliding-window op-fit op-cone\
+        \n(see ALGORITHMS.md for criteria, error bounds and complexity)\
         \n\n--stats prints the instrumentation table (points in/out, SED evaluations,\
         \nrecursion depth, per-phase wall time); --metrics-out writes the same snapshot\
         \nto FILE as JSON lines (default) or CSV; obs merge reads those sidecars back\
@@ -419,6 +420,8 @@ pub fn make_compressor(
         "dead-reckoning" | "dr" => Box::new(DeadReckoning::new(eps)),
         "bottom-up" => Box::new(BottomUp::time_ratio(eps)),
         "sliding-window" => Box::new(SlidingWindow::time_ratio(eps, 32)),
+        "op-fit" => Box::new(traj_compress::OnePassFit::new(eps)),
+        "op-cone" => Box::new(traj_compress::OnePassCone::new(eps)),
         other => return Err(format!("unknown algorithm {other:?}")),
     })
 }
@@ -749,7 +752,7 @@ mod tests {
     fn factory_knows_every_documented_algorithm() {
         for name in [
             "uniform", "dist", "ndp", "ndp-hull", "td-tr", "nopw", "bopw", "opw-tr",
-            "dead-reckoning", "bottom-up", "sliding-window",
+            "dead-reckoning", "bottom-up", "sliding-window", "op-fit", "op-cone",
         ] {
             assert!(make_compressor(name, 10.0, None).is_ok(), "{name}");
         }
@@ -758,6 +761,20 @@ mod tests {
             assert!(make_compressor(name, 10.0, Some(5.0)).is_ok(), "{name}");
         }
         assert!(make_compressor("nope", 10.0, None).is_err());
+    }
+
+    #[test]
+    fn factory_accepts_every_catalog_entry() {
+        // `ALGORITHMS.md` is pinned to `algorithm_catalog()`; this pins
+        // the CLI to the same list, so catalog, docs and `--algo` names
+        // can never drift apart. Speed-threshold entries use the
+        // paper's 5 m/s default in the catalog but need `--speed-eps`
+        // here, hence the fallback probe.
+        for meta in traj_eval::algorithm_catalog() {
+            let ok = make_compressor(meta.cli_name, 10.0, None).is_ok()
+                || make_compressor(meta.cli_name, 10.0, Some(5.0)).is_ok();
+            assert!(ok, "catalog entry {:?} not accepted by --algo", meta.cli_name);
+        }
     }
 
     #[test]
