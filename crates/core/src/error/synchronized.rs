@@ -67,7 +67,7 @@ pub(crate) fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
     let sqrt_a = a.sqrt();
 
     // Antiderivative of √(u² + k²).
-    let f = |u: f64| -> f64 {
+    fn antideriv(u: f64, k: f64) -> f64 {
         if k > 0.0 {
             let r = (u * u + k * k).sqrt();
             0.5 * (u * r + k * k * (u / k).asinh())
@@ -75,8 +75,8 @@ pub(crate) fn mean_linear_displacement(d0: Vec2, d1: Vec2) -> f64 {
             // Paper case det = 0 (δ₀ ∥ δ₁): |u| integrated piecewise.
             0.5 * u * u.abs()
         }
-    };
-    sqrt_a * (f(u1) - f(u0))
+    }
+    sqrt_a * (antideriv(u1, k) - antideriv(u0, k))
 }
 
 /// Elementary time intervals: the merged, deduplicated vertex instants of

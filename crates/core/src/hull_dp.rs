@@ -103,7 +103,9 @@ fn convex_hull(pts: &mut Vec<(usize, Point2)>, hull: &mut Vec<usize>) {
         hull.extend(pts.iter().map(|&(i, _)| i));
         return;
     }
-    let cross = |o: Point2, a: Point2, b: Point2| (a - o).cross(b - o);
+    fn cross(o: Point2, a: Point2, b: Point2) -> f64 {
+        (a - o).cross(b - o)
+    }
     // Build with indices into `pts`, remap to original indices at the end.
     // Lower hull.
     for (k, &(_, p)) in pts.iter().enumerate() {

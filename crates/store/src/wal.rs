@@ -301,38 +301,43 @@ impl Wal {
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
         encode_record(&mut buf, id, fix);
-        let res = (|| {
-            let n = buf.len() as u64;
-            self.open_segment()?;
-            // `next_seq` already points past the segment we just opened.
-            let path = segment_path(&self.dir, self.next_seq - 1);
-            let Some(w) = self.writer.as_mut() else {
-                return Err(io_err(&path, std::io::Error::other("segment writer missing")));
-            };
-            w.write_all(&buf).map_err(|e| io_err(&path, e))?;
-            self.segment_bytes += n;
-            self.appends_since_sync += 1;
-            let due = match self.opts.sync {
-                SyncPolicy::EveryAppend => true,
-                SyncPolicy::EveryN(n) => self.appends_since_sync >= n,
-                SyncPolicy::Manual => false,
-            };
-            if due {
-                self.sync()?;
-            }
-            traj_obs::counter!("store", "wal_appends").inc();
-            traj_obs::counter!("store", "wal_append_bytes").add(n);
-            if self.segment_bytes >= self.opts.segment_max_bytes {
-                self.rotate()?;
-            }
-            Ok(())
-        })();
+        let res = self.append_encoded(&buf);
         if res.is_err() {
             // The segment may end in a torn record; never append after it.
             self.writer = None;
         }
         self.buf = buf;
         res
+    }
+
+    /// Writes one already-encoded record to the current segment,
+    /// rotating and syncing per policy. On error the caller abandons
+    /// the segment.
+    fn append_encoded(&mut self, buf: &[u8]) -> Result<(), StoreError> {
+        let n = buf.len() as u64;
+        self.open_segment()?;
+        // `next_seq` already points past the segment we just opened.
+        let path = segment_path(&self.dir, self.next_seq - 1);
+        let Some(w) = self.writer.as_mut() else {
+            return Err(io_err(&path, std::io::Error::other("segment writer missing")));
+        };
+        w.write_all(buf).map_err(|e| io_err(&path, e))?;
+        self.segment_bytes += n;
+        self.appends_since_sync += 1;
+        let due = match self.opts.sync {
+            SyncPolicy::EveryAppend => true,
+            SyncPolicy::EveryN(n) => self.appends_since_sync >= n,
+            SyncPolicy::Manual => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        traj_obs::counter!("store", "wal_appends").inc();
+        traj_obs::counter!("store", "wal_append_bytes").add(n);
+        if self.segment_bytes >= self.opts.segment_max_bytes {
+            self.rotate()?;
+        }
+        Ok(())
     }
 
     /// Forces everything appended so far down to durable storage.

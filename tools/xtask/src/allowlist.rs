@@ -1,7 +1,7 @@
 //! `lint.toml`: configuration, per-lint budgets, and the ratcheting
 //! allowlist.
 //!
-//! The file has three parts:
+//! The file has five parts:
 //!
 //! * `[config]` — tunable patterns and path exemptions ([`Config`]).
 //! * `[budget]` — one integer per lint: the maximum total number of
@@ -12,6 +12,12 @@
 //!   number of findings being grandfathered. A count that no longer
 //!   matches reality — higher or lower — is an error, so stale entries
 //!   cannot linger and new violations cannot hide behind old ones.
+//! * `[contracts]` — the reachability contracts for `cargo xtask
+//!   reach` ([`Contracts`]): root functions that must be panic-free
+//!   and allocation-free, names vouched clean, and per-kind budgets.
+//! * `[[contract_allow]]` — grandfathered reachability findings, per
+//!   (file, kind), each with a **mandatory** `reason`. Same ratchet
+//!   semantics as `[[allow]]`.
 //!
 //! The parser below handles exactly the TOML subset this file uses
 //! (comments, `[section]` / `[[section]]` headers, `key = "string"`,
@@ -34,6 +40,56 @@ pub struct AllowEntry {
     pub count: u64,
 }
 
+/// The `[contracts]` section: what `cargo xtask reach` must prove.
+#[derive(Debug, Clone)]
+pub struct Contracts {
+    /// Root functions that must be panic-free and allocation-free.
+    /// Syntax per entry: `name`, `Type::name`, or either form pinned
+    /// to a file with `@path-suffix` (`push@crates/core/src/streaming.rs`).
+    /// A root matching no workspace function is an error — stale
+    /// contracts cannot linger.
+    pub roots: Vec<String>,
+    /// Call-site names (macros keep their `!`) vouched clean by review:
+    /// the analysis treats every call to them as no-panic/no-alloc.
+    /// Part of the trusted base; defend additions in review.
+    pub assume_clean: Vec<String>,
+    /// Right-operand substrings marking a division as integer-typed —
+    /// see [`crate::callgraph::ExtractOptions::int_div_patterns`].
+    pub int_div_patterns: Vec<String>,
+    /// Max total may-panic findings reachable from the roots.
+    pub budget_panic: u64,
+    /// Max total may-allocate findings reachable from the roots.
+    pub budget_alloc: u64,
+}
+
+impl Default for Contracts {
+    fn default() -> Self {
+        Contracts {
+            roots: Vec::new(),
+            assume_clean: Vec::new(),
+            int_div_patterns: crate::callgraph::ExtractOptions::default().int_div_patterns,
+            budget_panic: 0,
+            budget_alloc: 0,
+        }
+    }
+}
+
+/// One grandfathered reachability finding group: `count` findings of
+/// `kind` (`"panic"` / `"alloc"`) whose cause sits in `path`, each
+/// justified by `reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractAllow {
+    /// Repo-relative path of the file containing the cause sites.
+    pub path: String,
+    /// `"panic"` or `"alloc"`.
+    pub kind: String,
+    /// Exact number of findings being allowed.
+    pub count: u64,
+    /// Why this is acceptable. Mandatory — an unexplained exception is
+    /// a parse error, not a lint finding.
+    pub reason: String,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone)]
 pub struct LintFile {
@@ -43,6 +99,10 @@ pub struct LintFile {
     pub budget: BTreeMap<String, u64>,
     /// The `[[allow]]` entries, in file order.
     pub allows: Vec<AllowEntry>,
+    /// The `[contracts]` section (defaults to no roots).
+    pub contracts: Contracts,
+    /// The `[[contract_allow]]` entries, in file order.
+    pub contract_allows: Vec<ContractAllow>,
 }
 
 /// A raw `key = value` read by the parser.
@@ -58,6 +118,8 @@ pub fn parse(source: &str) -> Result<LintFile, String> {
     let mut config = Config::default();
     let mut budget = BTreeMap::new();
     let mut allows: Vec<AllowEntry> = Vec::new();
+    let mut contracts = Contracts::default();
+    let mut contract_allows: Vec<ContractAllow> = Vec::new();
     let mut section = String::new();
 
     // Join multi-line arrays first so the main loop sees one logical
@@ -95,15 +157,25 @@ pub fn parse(source: &str) -> Result<LintFile, String> {
 
     for (no, line) in logical {
         if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
-            if name != "allow" {
-                return Err(format!("lint.toml:{no}: unknown table array [[{name}]]"));
+            match name {
+                "allow" => {
+                    allows.push(AllowEntry { lint: String::new(), path: String::new(), count: 0 });
+                }
+                "contract_allow" => {
+                    contract_allows.push(ContractAllow {
+                        path: String::new(),
+                        kind: String::new(),
+                        count: 0,
+                        reason: String::new(),
+                    });
+                }
+                _ => return Err(format!("lint.toml:{no}: unknown table array [[{name}]]")),
             }
-            section = "allow".into();
-            allows.push(AllowEntry { lint: String::new(), path: String::new(), count: 0 });
+            section = name.into();
             continue;
         }
         if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-            if !matches!(name, "config" | "budget") {
+            if !matches!(name, "config" | "budget" | "contracts") {
                 return Err(format!("lint.toml:{no}: unknown section [{name}]"));
             }
             section = name.into();
@@ -138,6 +210,36 @@ pub fn parse(source: &str) -> Result<LintFile, String> {
             ("allow", other) => {
                 return Err(format!("lint.toml:{no}: unknown allow key `{other}`"));
             }
+            ("contracts", "roots") => contracts.roots = want_list(value, no)?,
+            ("contracts", "assume_clean") => contracts.assume_clean = want_list(value, no)?,
+            ("contracts", "int_div_patterns") => contracts.int_div_patterns = want_list(value, no)?,
+            ("contracts", "budget_panic") => contracts.budget_panic = want_int(value, no)?,
+            ("contracts", "budget_alloc") => contracts.budget_alloc = want_int(value, no)?,
+            ("contracts", other) => {
+                return Err(format!("lint.toml:{no}: unknown contracts key `{other}`"));
+            }
+            ("contract_allow", "path") => {
+                last_contract(&mut contract_allows, no)?.path = want_str(value, no)?;
+            }
+            ("contract_allow", "kind") => {
+                let kind = want_str(value, no)?;
+                if crate::callgraph::SeedKind::from_name(&kind).is_none() {
+                    return Err(format!(
+                        "lint.toml:{no}: unknown kind `{kind}` in [[contract_allow]] \
+                         (expected \"panic\" or \"alloc\")"
+                    ));
+                }
+                last_contract(&mut contract_allows, no)?.kind = kind;
+            }
+            ("contract_allow", "count") => {
+                last_contract(&mut contract_allows, no)?.count = want_int(value, no)?;
+            }
+            ("contract_allow", "reason") => {
+                last_contract(&mut contract_allows, no)?.reason = want_str(value, no)?;
+            }
+            ("contract_allow", other) => {
+                return Err(format!("lint.toml:{no}: unknown contract_allow key `{other}`"));
+            }
             (_, _) => return Err(format!("lint.toml:{no}: key `{key}` outside any section")),
         }
     }
@@ -158,11 +260,41 @@ pub fn parse(source: &str) -> Result<LintFile, String> {
             return Err(format!("lint.toml: [budget] is missing an entry for `{}`", l.name()));
         }
     }
-    Ok(LintFile { config, budget, allows })
+    for (i, a) in contract_allows.iter().enumerate() {
+        if a.path.is_empty() || a.kind.is_empty() {
+            return Err(format!(
+                "lint.toml: [[contract_allow]] entry #{} is missing path or kind",
+                i + 1
+            ));
+        }
+        if a.count == 0 {
+            return Err(format!(
+                "lint.toml: [[contract_allow]] entry for {} / {} has count 0 — delete it instead",
+                a.kind, a.path
+            ));
+        }
+        if a.reason.trim().is_empty() {
+            return Err(format!(
+                "lint.toml: [[contract_allow]] entry for {} / {} has no reason — every \
+                 contract exception must be justified",
+                a.kind, a.path
+            ));
+        }
+    }
+    Ok(LintFile { config, budget, allows, contracts, contract_allows })
 }
 
 fn last_mut(allows: &mut [AllowEntry], no: usize) -> Result<&mut AllowEntry, String> {
     allows.last_mut().ok_or_else(|| format!("lint.toml:{no}: key before any [[allow]] header"))
+}
+
+fn last_contract(
+    allows: &mut [ContractAllow],
+    no: usize,
+) -> Result<&mut ContractAllow, String> {
+    allows
+        .last_mut()
+        .ok_or_else(|| format!("lint.toml:{no}: key before any [[contract_allow]] header"))
 }
 
 /// Strips a `#` comment, respecting double-quoted strings.
@@ -358,11 +490,21 @@ pub fn reconcile(file: &LintFile, violations: &[Violation]) -> Report {
     report
 }
 
-/// Regenerates the `[budget]` and `[[allow]]` sections from current
-/// findings, keeping `[config]` as parsed. Budgets only ratchet down;
-/// if current findings exceed a budget the regeneration *fails* — the
-/// debt must be fixed, or the budget raised by hand in review.
-pub fn regenerate(file: &LintFile, violations: &[Violation]) -> Result<String, String> {
+/// Regenerates the `[budget]`, `[[allow]]`, and `[[contract_allow]]`
+/// sections from current findings, keeping `[config]` and `[contracts]`
+/// as parsed. Budgets only ratchet down; if current findings exceed a
+/// budget the regeneration *fails* — the debt must be fixed, or the
+/// budget raised by hand in review.
+///
+/// `contract_actual` maps (path, kind) to the current number of
+/// reachability findings, as produced by [`crate::reach`]. Reasons on
+/// surviving `[[contract_allow]]` entries are preserved; genuinely new
+/// entries get a `FIXME` reason that review must replace.
+pub fn regenerate(
+    file: &LintFile,
+    violations: &[Violation],
+    contract_actual: &BTreeMap<(String, String), u64>,
+) -> Result<String, String> {
     let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
     let mut per_file: BTreeMap<(String, String), u64> = BTreeMap::new();
     for v in violations {
@@ -376,6 +518,19 @@ pub fn regenerate(file: &LintFile, violations: &[Violation]) -> Result<String, S
         let cap = file.budget.get(l.name()).copied().unwrap_or(0);
         if total > cap {
             over.push(format!("{} ({} findings, budget {})", l.name(), total, cap));
+        }
+    }
+    let mut contract_totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for ((_, kind), n) in contract_actual {
+        *contract_totals.entry(kind.as_str()).or_default() += n;
+    }
+    for (kind, cap) in [
+        ("panic", file.contracts.budget_panic),
+        ("alloc", file.contracts.budget_alloc),
+    ] {
+        let total = contract_totals.get(kind).copied().unwrap_or(0);
+        if total > cap {
+            over.push(format!("contract {kind} ({total} findings, budget {cap})"));
         }
     }
     if !over.is_empty() {
@@ -404,6 +559,20 @@ pub fn regenerate(file: &LintFile, violations: &[Violation]) -> Result<String, S
         let _ = writeln!(out, "{} = {}", l.name(), total.min(old));
     }
 
+    out.push_str("\n# Reachability contracts for `cargo xtask reach`: these functions\n");
+    out.push_str("# must be panic-free and allocation-free (see tools/xtask/README.md).\n");
+    out.push_str("[contracts]\n");
+    write_list(&mut out, "roots", &file.contracts.roots);
+    write_list(&mut out, "assume_clean", &file.contracts.assume_clean);
+    write_list(&mut out, "int_div_patterns", &file.contracts.int_div_patterns);
+    for (kind, cap) in [
+        ("panic", file.contracts.budget_panic),
+        ("alloc", file.contracts.budget_alloc),
+    ] {
+        let total = contract_totals.get(kind).copied().unwrap_or(0);
+        let _ = writeln!(out, "budget_{kind} = {}", total.min(cap));
+    }
+
     out.push_str("\n# Grandfathered findings, exact counts. Regenerate with\n");
     out.push_str("# `cargo xtask lint --fix-allowlist` after paying debt down.\n");
     for ((lint, path), count) in &per_file {
@@ -413,7 +582,65 @@ pub fn regenerate(file: &LintFile, violations: &[Violation]) -> Result<String, S
         let _ = writeln!(out, "path = \"{path}\"");
         let _ = writeln!(out, "count = {count}");
     }
+
+    for ((path, kind), count) in contract_actual {
+        let reason = file
+            .contract_allows
+            .iter()
+            .find(|a| &a.path == path && &a.kind == kind)
+            .map(|a| a.reason.clone())
+            .unwrap_or_else(|| "FIXME: justify this entry".to_string());
+        out.push('\n');
+        out.push_str("[[contract_allow]]\n");
+        let _ = writeln!(out, "path = \"{path}\"");
+        let _ = writeln!(out, "kind = \"{kind}\"");
+        let _ = writeln!(out, "count = {count}");
+        let _ = writeln!(out, "reason = \"{reason}\"");
+    }
     Ok(out)
+}
+
+/// Drops allowlist entries and config path references that point at
+/// files which no longer exist, so `--fix-allowlist` cannot re-emit
+/// debt for deleted code. `exists` answers "is this repo-relative path
+/// still present?" (for directory prefixes, with the trailing `/`
+/// trimmed). Returns one printable line per pruned item.
+pub fn prune_missing(file: &mut LintFile, exists: &dyn Fn(&str) -> bool) -> Vec<String> {
+    let mut pruned = Vec::new();
+    let keep_list = |key: &str, items: &mut Vec<String>, pruned: &mut Vec<String>| {
+        items.retain(|p| {
+            let ok = exists(p.trim_end_matches('/'));
+            if !ok {
+                pruned.push(format!("config {key}: dropped missing path `{p}`"));
+            }
+            ok
+        });
+    };
+    keep_list("exclude", &mut file.config.exclude, &mut pruned);
+    keep_list("panic_exempt", &mut file.config.panic_exempt, &mut pruned);
+    keep_list("float_eq_allow", &mut file.config.float_eq_allow, &mut pruned);
+    keep_list("time_cast_allow", &mut file.config.time_cast_allow, &mut pruned);
+    file.allows.retain(|a| {
+        let ok = exists(&a.path);
+        if !ok {
+            pruned.push(format!(
+                "[[allow]] {} / {}: file no longer exists, entry dropped",
+                a.lint, a.path
+            ));
+        }
+        ok
+    });
+    file.contract_allows.retain(|a| {
+        let ok = exists(&a.path);
+        if !ok {
+            pruned.push(format!(
+                "[[contract_allow]] {} / {}: file no longer exists, entry dropped",
+                a.kind, a.path
+            ));
+        }
+        ok
+    });
+    pruned
 }
 
 const HEADER: &str = "\
@@ -563,7 +790,7 @@ count = 1
         let f = parse(SAMPLE).unwrap();
         // One finding left: budget must drop to 1, entries collapse.
         let found = vec![v(Lint::Panic, "crates/store/src/wal.rs", 5)];
-        let text = regenerate(&f, &found).unwrap();
+        let text = regenerate(&f, &found, &BTreeMap::new()).unwrap();
         let again = parse(&text).unwrap();
         assert_eq!(again.budget["panic"], 1);
         assert_eq!(again.allows.len(), 1);
@@ -571,15 +798,114 @@ count = 1
 
         // Over budget: refuse.
         let many: Vec<_> = (0..5).map(|i| v(Lint::Panic, "crates/store/src/wal.rs", i)).collect();
-        assert!(regenerate(&f, &many).unwrap_err().contains("never grows"));
+        assert!(regenerate(&f, &many, &BTreeMap::new()).unwrap_err().contains("never grows"));
     }
 
     #[test]
     fn roundtrip_preserves_config() {
         let f = parse(SAMPLE).unwrap();
-        let text = regenerate(&f, &[]).unwrap();
+        let text = regenerate(&f, &[], &BTreeMap::new()).unwrap();
         let again = parse(&text).unwrap();
         assert_eq!(again.config.float_methods, f.config.float_methods);
         assert_eq!(again.config.exclude, f.config.exclude);
+    }
+
+    const CONTRACT_SAMPLE: &str = r#"
+[config]
+exclude = []
+panic_exempt = []
+float_eq_allow = []
+time_cast_allow = []
+float_methods = []
+time_patterns = []
+
+[budget]
+float_eq = 0
+panic = 0
+safety = 0
+ordering = 0
+time_cast = 0
+
+[contracts]
+roots = ["compress_into", "push@crates/core/src/streaming.rs"]
+assume_clean = ["span!", "counter!"]
+int_div_patterns = [".len()"]
+budget_panic = 1
+budget_alloc = 2
+
+[[contract_allow]]
+path = "crates/core/src/one_pass.rs"
+kind = "alloc"
+count = 2
+reason = "pushes into capacity-reserved workspace buffers"
+"#;
+
+    #[test]
+    fn parses_contracts() {
+        let f = parse(CONTRACT_SAMPLE).unwrap();
+        assert_eq!(f.contracts.roots.len(), 2);
+        assert_eq!(f.contracts.assume_clean, vec!["span!", "counter!"]);
+        assert_eq!(f.contracts.budget_panic, 1);
+        assert_eq!(f.contracts.budget_alloc, 2);
+        assert_eq!(f.contract_allows.len(), 1);
+        assert_eq!(f.contract_allows[0].kind, "alloc");
+        assert_eq!(f.contract_allows[0].count, 2);
+    }
+
+    #[test]
+    fn contract_allow_requires_reason_and_valid_kind() {
+        let bad = CONTRACT_SAMPLE.replace(
+            "reason = \"pushes into capacity-reserved workspace buffers\"",
+            "reason = \"  \"",
+        );
+        assert!(parse(&bad).unwrap_err().contains("no reason"));
+        let bad = CONTRACT_SAMPLE.replace("kind = \"alloc\"", "kind = \"segfault\"");
+        assert!(parse(&bad).unwrap_err().contains("unknown kind"));
+    }
+
+    #[test]
+    fn missing_contracts_section_defaults_to_no_roots() {
+        let f = parse(SAMPLE).unwrap();
+        assert!(f.contracts.roots.is_empty());
+        assert!(f.contract_allows.is_empty());
+    }
+
+    #[test]
+    fn regenerate_preserves_contracts_and_reasons() {
+        let f = parse(CONTRACT_SAMPLE).unwrap();
+        let mut actual = BTreeMap::new();
+        actual.insert(("crates/core/src/one_pass.rs".to_string(), "alloc".to_string()), 1u64);
+        let text = regenerate(&f, &[], &actual).unwrap();
+        let again = parse(&text).unwrap();
+        assert_eq!(again.contracts.roots, f.contracts.roots);
+        assert_eq!(again.contracts.assume_clean, f.contracts.assume_clean);
+        // Budget ratchets down to the new total; reason survives.
+        assert_eq!(again.contracts.budget_alloc, 1);
+        assert_eq!(again.contract_allows.len(), 1);
+        assert_eq!(again.contract_allows[0].count, 1);
+        assert!(again.contract_allows[0].reason.contains("capacity-reserved"));
+    }
+
+    #[test]
+    fn regenerate_refuses_contract_budget_growth() {
+        let f = parse(CONTRACT_SAMPLE).unwrap();
+        let mut actual = BTreeMap::new();
+        actual.insert(("crates/core/src/one_pass.rs".to_string(), "panic".to_string()), 3u64);
+        let err = regenerate(&f, &[], &actual).unwrap_err();
+        assert!(err.contains("contract panic"), "{err}");
+    }
+
+    #[test]
+    fn prune_missing_drops_dead_paths_everywhere() {
+        let mut f = parse(CONTRACT_SAMPLE).unwrap();
+        f.config.float_eq_allow = vec!["gone.rs".into(), "kept.rs".into()];
+        f.config.exclude = vec!["vendor/".into()];
+        f.allows.push(AllowEntry { lint: "panic".into(), path: "gone.rs".into(), count: 1 });
+        let pruned = prune_missing(&mut f, &|p| p == "kept.rs" || p == "vendor" || p == "crates/core/src/one_pass.rs");
+        assert_eq!(f.config.float_eq_allow, vec!["kept.rs"]);
+        assert_eq!(f.config.exclude, vec!["vendor/"]);
+        assert!(f.allows.is_empty());
+        assert_eq!(f.contract_allows.len(), 1, "existing file stays");
+        assert_eq!(pruned.len(), 2, "{pruned:?}");
     }
 }

@@ -1,0 +1,890 @@
+//! Whole-workspace call-graph extraction over the lexed code view.
+//!
+//! [`extract`] walks one file's [`crate::scan::lex`] output and recovers
+//! the three ingredients the reachability analysis in [`crate::reach`]
+//! consumes:
+//!
+//! * **Function definitions** — every `fn name` item, with the
+//!   enclosing `impl`/`trait` type (for qualified-call resolution and
+//!   display), the 1-based definition line, whether it lies in a
+//!   `#[cfg(test)]` region, and whether it has a body (trait method
+//!   *declarations* are recorded but carry no effects).
+//! * **Call sites** — free calls (`helper(`), qualified calls
+//!   (`FitRegion::new(`, turbofish included), method calls
+//!   (`.push(`), and macro invocations (`format!(`), each attributed to
+//!   the innermost enclosing function.
+//! * **Pattern seeds** — lexically visible panic/allocation capability
+//!   that is not a call: slice/array indexing (`xs[i]`), division or
+//!   remainder whose right operand matches a configured
+//!   integer-division pattern, and indirect calls through a closure or
+//!   function pointer (`)(`), which is the "unknown callee may do
+//!   anything" fallback the analysis treats conservatively.
+//!
+//! The walk is a single pass with a small amount of cross-line state
+//! (brace depth, a frame stack for `fn`/`impl`/`trait`/`macro_rules!`
+//! bodies, attribute bracket depth). `macro_rules!` bodies are skipped
+//! entirely: token trees are not code until expansion, and the
+//! workspace's observability macros are vouched for via
+//! `[contracts] assume_clean` instead — see `DESIGN.md` §2f for the
+//! soundness discussion.
+
+use crate::scan::{lex, Line};
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name (`compress_into`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when the fn is a method or
+    /// an associated function (`OnePassFit`, `StreamingCompressor`).
+    pub qual: Option<String>,
+    /// Repo-relative path with forward slashes (filled by the caller).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the definition lies inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// `false` for bodyless trait method declarations.
+    pub has_body: bool,
+    /// Whether the signature takes a `self` receiver (`&self`,
+    /// `&mut self`, `self`, `self: Box<Self>`). Method-call sites
+    /// (`x.name(…)`) resolve only against fns with a receiver.
+    pub has_self: bool,
+}
+
+impl FnDef {
+    /// Display name: `Type::name` or `name`.
+    pub fn display(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: last path segment (`new` for `FitRegion::new`),
+    /// with a trailing `!` for macro invocations (`format!`).
+    pub name: String,
+    /// Path qualifier when present (`FitRegion` for `FitRegion::new`);
+    /// `Self` is resolved to the enclosing impl type during extraction.
+    pub qual: Option<String>,
+    /// Whether this is a `.name(` method call.
+    pub method: bool,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Which capability a seed demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeedKind {
+    /// The construct can panic.
+    Panic,
+    /// The construct can allocate.
+    Alloc,
+}
+
+impl SeedKind {
+    /// Stable machine-readable name (`panic` / `alloc`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedKind::Panic => "panic",
+            SeedKind::Alloc => "alloc",
+        }
+    }
+
+    /// Parses a kind name.
+    pub fn from_name(name: &str) -> Option<SeedKind> {
+        match name {
+            "panic" => Some(SeedKind::Panic),
+            "alloc" => Some(SeedKind::Alloc),
+            _ => None,
+        }
+    }
+}
+
+/// A non-call source of panic/allocation capability.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Which fact the seed establishes.
+    pub kind: SeedKind,
+    /// Human-readable description.
+    pub what: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileGraph {
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Call sites per function (parallel to `fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Pattern seeds per function (parallel to `fns`).
+    pub seeds: Vec<Vec<Seed>>,
+}
+
+/// Extraction tunables, from `[contracts]` in `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct ExtractOptions {
+    /// Substrings that mark a division's right operand as integer-typed
+    /// (`.len()`): such divisions are flagged as possible
+    /// divide-by-zero panics. Divisions whose operands do not match are
+    /// assumed floating-point (which cannot panic). Same philosophy as
+    /// the `time_cast` lint's pattern list: lexical, configurable,
+    /// honest about its blind spots.
+    pub int_div_patterns: Vec<String>,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            int_div_patterns: vec![".len()".into(), ".count()".into(), "_count".into()],
+        }
+    }
+}
+
+/// What kind of item a stack frame represents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FrameKind {
+    /// A function body; the index into [`FileGraph::fns`].
+    Fn(usize),
+    /// An `impl`/`trait` block with its subject type name.
+    Holder(Option<String>),
+    /// A `macro_rules!` body: skipped entirely.
+    Macro,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    /// Brace depth *after* the opening `{` of this frame.
+    open_depth: i64,
+}
+
+/// A header whose body `{` has not opened yet.
+#[derive(Debug)]
+enum Pending {
+    Fn {
+        name: Option<String>,
+        qual: Option<String>,
+        line: usize,
+        in_test: bool,
+        has_self: bool,
+    },
+    Holder { last_ident: Option<String>, done: bool },
+    Macro,
+}
+
+/// Extracts the per-file slice of the workspace call graph.
+pub fn extract(source: &str, opts: &ExtractOptions) -> FileGraph {
+    let lines = lex(source);
+    Parser::new(opts).run(&lines)
+}
+
+struct Parser<'o> {
+    opts: &'o ExtractOptions,
+    out: FileGraph,
+    /// Brace depth.
+    depth: i64,
+    /// Paren/bracket depth: `;` and `{` only delimit items at depth 0
+    /// (so `[u8; 4]` in a signature does not end the item).
+    paren: i64,
+    /// Attribute bracket depth: inside `#[…]` nothing is code.
+    attr: i64,
+    frames: Vec<Frame>,
+    pending: Option<Pending>,
+    /// Angle-bracket depth while a `Holder` header is pending, so type
+    /// parameters (`impl<T: Ord> Foo for Bar<T>`) do not pollute the
+    /// subject-type capture.
+    angle: i64,
+}
+
+impl<'o> Parser<'o> {
+    fn new(opts: &'o ExtractOptions) -> Self {
+        Parser {
+            opts,
+            out: FileGraph::default(),
+            depth: 0,
+            paren: 0,
+            attr: 0,
+            frames: Vec::new(),
+            pending: None,
+            angle: 0,
+        }
+    }
+
+    fn run(mut self, lines: &[Line]) -> FileGraph {
+        for (idx, line) in lines.iter().enumerate() {
+            self.line(idx + 1, line);
+        }
+        self.out
+    }
+
+    /// Innermost enclosing function, if any.
+    fn current_fn(&self) -> Option<usize> {
+        self.frames.iter().rev().find_map(|f| match f.kind {
+            FrameKind::Fn(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Innermost `impl`/`trait` subject type, if any.
+    fn current_holder(&self) -> Option<String> {
+        self.frames.iter().rev().find_map(|f| match &f.kind {
+            FrameKind::Holder(q) => q.clone(),
+            _ => None,
+        })
+    }
+
+    fn in_macro(&self) -> bool {
+        self.frames.iter().any(|f| f.kind == FrameKind::Macro)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_fn(
+        &mut self,
+        name: Option<String>,
+        qual: Option<String>,
+        line: usize,
+        in_test: bool,
+        has_body: bool,
+        has_self: bool,
+    ) -> usize {
+        let idx = self.out.fns.len();
+        self.out.fns.push(FnDef {
+            name: name.unwrap_or_default(),
+            qual,
+            file: String::new(),
+            line,
+            in_test,
+            has_body,
+            has_self,
+        });
+        self.out.calls.push(Vec::new());
+        self.out.seeds.push(Vec::new());
+        idx
+    }
+
+    fn push_call(&mut self, call: CallSite) {
+        if let Some(f) = self.current_fn() {
+            self.out.calls[f].push(call);
+        }
+    }
+
+    fn push_seed(&mut self, kind: SeedKind, what: &str, line: usize) {
+        if let Some(f) = self.current_fn() {
+            self.out.seeds[f].push(Seed { kind, what: what.to_string(), line });
+        }
+    }
+
+    fn line(&mut self, lineno: usize, line: &Line) {
+        let chars: Vec<char> = line.code.chars().collect();
+        let n = chars.len();
+        let mut i = 0;
+        // The previous significant character on this line. Calls and
+        // index seeds look behind; a line break resets, which only
+        // loses unidiomatic layouts like `xs\n[i]`. `'a'` stands in for
+        // any operand-ending identifier, `','` for keyword tokens.
+        let mut prev: Option<char> = None;
+        // The previous identifier, and whether `::` directly followed
+        // it — that pair is how `FitRegion::new(` resolves.
+        let mut prev_ident: Option<String> = None;
+        let mut after_colons = false;
+
+        while i < n {
+            let c = chars[i];
+            if c == ' ' {
+                i += 1;
+                continue;
+            }
+
+            // Inside an attribute: only track its bracket balance.
+            if self.attr > 0 {
+                match c {
+                    '[' => self.attr += 1,
+                    ']' => self.attr -= 1,
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            // `#[…]` / `#![…]`: enter attribute mode.
+            if c == '#' {
+                let mut j = i + 1;
+                while chars.get(j) == Some(&' ') || chars.get(j) == Some(&'!') {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'[') {
+                    self.attr = 1;
+                    i = j + 1;
+                    prev = None;
+                    continue;
+                }
+                // `r#ident` raw identifiers: the `#` is transparent.
+                i += 1;
+                continue;
+            }
+
+            // Identifier or keyword.
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // `'a` is a lifetime, not an expression token.
+                if start > 0 && chars[start - 1] == '\'' {
+                    prev = Some(',');
+                    prev_ident = None;
+                    after_colons = false;
+                    continue;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let qual_in = if after_colons { prev_ident.take() } else { None };
+                after_colons = false;
+                let operand = self.word(&word, start, qual_in, &chars, &mut i, lineno, line, &mut prev_ident);
+                prev = Some(if operand { 'a' } else { ',' });
+                continue;
+            }
+
+            // Numeric literal: consume so `1e5` is not an identifier
+            // and `1.max(…)` still yields a method call on the dot.
+            if c.is_ascii_digit() {
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                prev = Some('0');
+                prev_ident = None;
+                after_colons = false;
+                continue;
+            }
+
+            match c {
+                '{' if self.paren == 0 => {
+                    self.depth += 1;
+                    let kind = match self.pending.take() {
+                        Some(Pending::Fn { name, qual, line, in_test, has_self }) => {
+                            Some(FrameKind::Fn(self.push_fn(name, qual, line, in_test, true, has_self)))
+                        }
+                        Some(Pending::Holder { last_ident, .. }) => {
+                            Some(FrameKind::Holder(last_ident))
+                        }
+                        Some(Pending::Macro) => Some(FrameKind::Macro),
+                        None => None,
+                    };
+                    if let Some(kind) = kind {
+                        self.frames.push(Frame { kind, open_depth: self.depth });
+                    }
+                }
+                '{' => self.depth += 1,
+                '}' => {
+                    if self.frames.last().is_some_and(|f| f.open_depth == self.depth) {
+                        self.frames.pop();
+                    }
+                    self.depth -= 1;
+                }
+                ';' if self.paren == 0 => {
+                    // A `;` before the body brace ends a bodyless item:
+                    // trait method declaration, `extern` fn, etc.
+                    if matches!(self.pending, Some(Pending::Fn { .. })) {
+                        if let Some(Pending::Fn { name, qual, line, in_test, has_self }) =
+                            self.pending.take()
+                        {
+                            self.push_fn(name, qual, line, in_test, false, has_self);
+                        }
+                    }
+                }
+                '(' => {
+                    // `)(…)` / `](…)`: calling the result of an
+                    // expression — a closure or function pointer. The
+                    // callee is unknowable lexically; the analysis
+                    // treats it as "may do anything".
+                    if !self.in_macro() && !line.in_test && matches!(prev, Some(')' | ']')) {
+                        let what = "indirect call through a closure or fn pointer";
+                        self.push_seed(SeedKind::Panic, what, lineno);
+                        self.push_seed(SeedKind::Alloc, what, lineno);
+                    }
+                    self.paren += 1;
+                }
+                ')' => self.paren -= 1,
+                '[' => {
+                    // Indexing: `xs[`, `call()[`, `xs[i][j]`. Types,
+                    // literals and attributes (`&[Fix]`, `= [1, 2]`,
+                    // `vec![`) are preceded by non-operand characters.
+                    if !self.in_macro()
+                        && !line.in_test
+                        && matches!(prev, Some(p) if p.is_ascii_alphanumeric() || matches!(p, '_' | ')' | ']' | '?'))
+                    {
+                        self.push_seed(
+                            SeedKind::Panic,
+                            "slice/array indexing `[…]` can panic out of bounds",
+                            lineno,
+                        );
+                    }
+                    self.paren += 1;
+                }
+                ']' => self.paren -= 1,
+                '<' if matches!(self.pending, Some(Pending::Holder { .. })) => self.angle += 1,
+                '>' if matches!(self.pending, Some(Pending::Holder { .. })) => self.angle -= 1,
+                // Comments are stripped from the code view, so `/`
+                // here is division (or `/=`). Integer division and
+                // remainder panic on zero; float forms cannot. The
+                // right operand decides, via configured patterns.
+                '/' | '%' if !self.in_macro() && !line.in_test => {
+                    let op = if chars.get(i + 1) == Some(&'=') { i + 1 } else { i };
+                    self.div_seed(&chars, op, lineno);
+                }
+                _ => {}
+            }
+
+            prev = Some(c);
+            if c == ':' && chars.get(i + 1) == Some(&':') {
+                after_colons = true;
+                i += 1;
+            } else {
+                after_colons = false;
+                prev_ident = None;
+            }
+            i += 1;
+        }
+    }
+
+    /// Handles one identifier/keyword token. `i` sits just past the
+    /// word; lookahead may advance it further (turbofish). Returns
+    /// whether the token can end an operand (for `[` lookbehind).
+    #[allow(clippy::too_many_arguments)]
+    fn word(
+        &mut self,
+        word: &str,
+        start: usize,
+        qual_in: Option<String>,
+        chars: &[char],
+        i: &mut usize,
+        lineno: usize,
+        line: &Line,
+        prev_ident: &mut Option<String>,
+    ) -> bool {
+        // Inside macro_rules! bodies nothing is real code.
+        if self.in_macro() {
+            return false;
+        }
+
+        match word {
+            "fn" => {
+                // `fn(` is a function-pointer type, not an item.
+                if next_nonspace(chars, *i) != Some('(') && self.pending.is_none() {
+                    // A fn nested inside another fn's body is a plain
+                    // local item, not a method of the enclosing impl.
+                    let qual = if self.current_fn().is_some() {
+                        None
+                    } else {
+                        self.current_holder()
+                    };
+                    self.pending = Some(Pending::Fn {
+                        name: None,
+                        qual,
+                        line: lineno,
+                        in_test: line.in_test,
+                        has_self: false,
+                    });
+                }
+                *prev_ident = None;
+                return false;
+            }
+            "impl" | "trait" => {
+                // Only at item position: `impl Trait` inside a pending
+                // fn signature is a type, not a block header.
+                if self.pending.is_none() {
+                    self.pending = Some(Pending::Holder { last_ident: None, done: false });
+                    self.angle = 0;
+                }
+                *prev_ident = None;
+                return false;
+            }
+            "macro_rules" => {
+                self.pending = Some(Pending::Macro);
+                *prev_ident = None;
+                return false;
+            }
+            "where" => {
+                // Stop capturing the impl subject at the where clause.
+                if let Some(Pending::Holder { done, .. }) = &mut self.pending {
+                    *done = true;
+                }
+                *prev_ident = None;
+                return false;
+            }
+            "self" | "Self" => {
+                // A lowercase `self` inside a pending fn's parameter
+                // list marks the fn as a method (`&self`, `mut self`,
+                // `self: Box<Self>`) — but `self::path` in a parameter
+                // type is a module path, not a receiver.
+                if word == "self" && self.paren > 0 && !is_module_path(chars, *i) {
+                    if let Some(Pending::Fn { name: Some(_), has_self, .. }) = &mut self.pending {
+                        *has_self = true;
+                    }
+                }
+                *prev_ident = Some(word.to_string());
+                return true;
+            }
+            // Keywords never form call sites and never end an operand.
+            "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "break"
+            | "continue" | "in" | "as" | "let" | "mut" | "ref" | "move" | "dyn" | "pub"
+            | "use" | "mod" | "struct" | "enum" | "type" | "const" | "static" | "crate"
+            | "super" | "unsafe" | "async" | "await" | "extern" | "box" | "true" | "false" => {
+                *prev_ident = None;
+                return false;
+            }
+            _ => {}
+        }
+
+        // The identifier right after `fn` is the definition's name.
+        if let Some(Pending::Fn { name, .. }) = &mut self.pending {
+            if name.is_none() {
+                *name = Some(word.to_string());
+                *prev_ident = None;
+                return false;
+            }
+        }
+        // While an impl/trait header is pending, remember the last
+        // top-level identifier as the subject type (`impl Tr for Ty`
+        // → `Ty`; generic parameters are skipped via the angle count).
+        if let Some(Pending::Holder { last_ident, done }) = &mut self.pending {
+            if !*done && self.angle == 0 {
+                *last_ident = Some(word.to_string());
+            }
+            *prev_ident = None;
+            return false;
+        }
+
+        // Lookahead: `!` (macro), turbofish, or `(` (call).
+        let mut j = *i;
+        while chars.get(j) == Some(&' ') {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'!') && chars.get(j + 1) != Some(&'=') {
+            let mut k = j + 1;
+            while chars.get(k) == Some(&' ') {
+                k += 1;
+            }
+            if matches!(chars.get(k), Some('(' | '[' | '{')) && !line.in_test {
+                self.push_call(CallSite {
+                    name: format!("{word}!"),
+                    qual: None,
+                    method: false,
+                    line: lineno,
+                });
+            }
+            *prev_ident = None;
+            return false;
+        }
+        // Turbofish: `name::<…>(…)`.
+        if chars.get(j) == Some(&':')
+            && chars.get(j + 1) == Some(&':')
+            && chars.get(j + 2) == Some(&'<')
+        {
+            let mut depth = 1i64;
+            let mut k = j + 3;
+            while k < chars.len() && depth > 0 {
+                match chars[k] {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            while chars.get(k) == Some(&' ') {
+                k += 1;
+            }
+            if chars.get(k) == Some(&'(') {
+                j = k;
+            } else {
+                *prev_ident = Some(word.to_string());
+                return true;
+            }
+        }
+        if chars.get(j) == Some(&'(') && !line.in_test {
+            // Uppercase-initial names without a dot are tuple-struct /
+            // enum-variant constructors (`Some(…)`, `Timestamp(…)`):
+            // plain construction, never a fn item.
+            let method = preceded_by_dot(chars, start);
+            let ctor = word.chars().next().is_some_and(char::is_uppercase) && !method;
+            if !ctor {
+                let qual = match qual_in.as_deref() {
+                    Some("Self") => self.current_holder(),
+                    _ => qual_in,
+                };
+                self.push_call(CallSite { name: word.to_string(), qual, method, line: lineno });
+            }
+        }
+        *prev_ident = Some(word.to_string());
+        true
+    }
+
+    /// Division/remainder seed: flags `a / b` and `a % b` when the
+    /// right operand matches a configured integer pattern.
+    fn div_seed(&mut self, chars: &[char], op: usize, lineno: usize) {
+        let rhs = crate::lints::operand_right(chars, op + 1);
+        if rhs.is_empty() {
+            return;
+        }
+        if self.opts.int_div_patterns.iter().any(|p| rhs.contains(p.as_str())) {
+            self.push_seed(
+                SeedKind::Panic,
+                &format!("division/remainder by `{rhs}` can panic on zero"),
+                lineno,
+            );
+        }
+    }
+}
+
+/// Whether the character just before position `start` (skipping spaces)
+/// is a `.` — i.e. the word at `start` is a method name.
+fn preceded_by_dot(chars: &[char], start: usize) -> bool {
+    let mut k = start;
+    while k > 0 && chars[k - 1] == ' ' {
+        k -= 1;
+    }
+    k > 0 && chars[k - 1] == '.'
+}
+
+fn next_nonspace(chars: &[char], from: usize) -> Option<char> {
+    chars[from..].iter().copied().find(|c| *c != ' ')
+}
+
+/// Whether the token ending at `from` is followed by `::` (a module
+/// path like `self::imp`, as opposed to `self: Box<Self>` ascription).
+fn is_module_path(chars: &[char], from: usize) -> bool {
+    let mut j = from;
+    while chars.get(j) == Some(&' ') {
+        j += 1;
+    }
+    chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> FileGraph {
+        extract(src, &ExtractOptions::default())
+    }
+
+    fn calls_of<'g>(g: &'g FileGraph, name: &str) -> &'g [CallSite] {
+        let i = g.fns.iter().position(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}"));
+        &g.calls[i]
+    }
+
+    fn seeds_of<'g>(g: &'g FileGraph, name: &str) -> &'g [Seed] {
+        let i = g.fns.iter().position(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}"));
+        &g.seeds[i]
+    }
+
+    #[test]
+    fn finds_free_and_method_fns() {
+        let g = graph("fn alpha() { beta(); }\nimpl Gamma { fn delta(&self) { self.epsilon(); } }");
+        assert_eq!(g.fns.len(), 2);
+        assert_eq!(g.fns[0].name, "alpha");
+        assert_eq!(g.fns[0].qual, None);
+        assert_eq!(g.fns[1].name, "delta");
+        assert_eq!(g.fns[1].qual.as_deref(), Some("Gamma"));
+        assert_eq!(calls_of(&g, "alpha")[0].name, "beta");
+        let eps = &calls_of(&g, "delta")[0];
+        assert_eq!(eps.name, "epsilon");
+        assert!(eps.method);
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let g = graph("impl<T: Ord> Region for ConeRegion<T> {\n    fn reset(&mut self) {}\n}");
+        assert_eq!(g.fns[0].qual.as_deref(), Some("ConeRegion"));
+    }
+
+    #[test]
+    fn trait_declarations_are_bodyless() {
+        let g = graph(
+            "trait S {\n    fn family(&self) -> &'static str;\n    fn go(&self) { self.family(); }\n}",
+        );
+        assert_eq!(g.fns.len(), 2);
+        assert!(!g.fns[0].has_body);
+        assert!(g.fns[1].has_body);
+        assert_eq!(g.fns[1].qual.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn array_type_semicolon_does_not_end_the_signature() {
+        let g = graph("fn f(a: [f64; 2]) -> f64 { inner(a) }");
+        assert_eq!(g.fns.len(), 1);
+        assert!(g.fns[0].has_body);
+        assert_eq!(calls_of(&g, "f")[0].name, "inner");
+    }
+
+    #[test]
+    fn qualified_and_turbofish_calls() {
+        let g = graph("fn f() { let v = FitRegion::new(); g::<u32>(v); }");
+        let calls = calls_of(&g, "f");
+        assert_eq!(calls[0].name, "new");
+        assert_eq!(calls[0].qual.as_deref(), Some("FitRegion"));
+        assert_eq!(calls[1].name, "g");
+    }
+
+    #[test]
+    fn self_qualifier_resolves_to_impl_type() {
+        let g = graph("impl Foo { fn a() { Self::b(); } }");
+        assert_eq!(calls_of(&g, "a")[0].qual.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn constructors_are_not_calls() {
+        let g = graph("fn f() { let a = Some(1); let b = Timestamp(2.0); let c = Ok(()); lower(a); drop((b, c)); }");
+        let names: Vec<&str> = calls_of(&g, "f").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["lower", "drop"]);
+    }
+
+    #[test]
+    fn macro_invocations_are_recorded() {
+        let g = graph("fn f() { format!(\"x {}\", 1); my_macro![a]; }");
+        let names: Vec<&str> = calls_of(&g, "f").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["format!", "my_macro!"]);
+    }
+
+    #[test]
+    fn negation_is_not_a_macro() {
+        let g = graph("fn f(a: u32, b: u32) -> bool { a != b }");
+        assert!(calls_of(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn indexing_seeds() {
+        let g = graph("fn f(xs: &[f64], i: usize) -> f64 { xs[i] + xs[i + 1] }");
+        let s = seeds_of(&g, "f");
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|s| s.kind == SeedKind::Panic));
+    }
+
+    #[test]
+    fn types_attributes_and_literals_are_not_indexing() {
+        let g = graph(
+            "#[derive(Debug)]\nfn f(a: &[f64; 2], b: Vec<[u8; 4]>) {\n    #[allow(dead_code)]\n    let v = vec![0; 4];\n    let w = [1, 2];\n    drop((v, w, a, b));\n}",
+        );
+        assert!(seeds_of(&g, "f").iter().all(|s| !s.what.contains("indexing")), "{:?}", seeds_of(&g, "f"));
+        // And attribute arguments are not calls.
+        let names: Vec<&str> = calls_of(&g, "f").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["vec!", "drop"]);
+    }
+
+    #[test]
+    fn keyword_then_bracket_is_not_indexing() {
+        let g = graph("fn f() -> [u32; 2] { return [1, 2]; }");
+        assert!(seeds_of(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn int_division_uses_patterns() {
+        let g = graph("fn f(xs: &[f64]) -> f64 { let k = 10 / xs.len(); (k as f64) / 2.0 }");
+        let s = seeds_of(&g, "f");
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert!(s[0].what.contains("xs.len()"));
+    }
+
+    #[test]
+    fn indirect_calls_are_conservative_seeds() {
+        let g = graph("fn f(g: impl Fn() -> u32) -> u32 { (g)() }");
+        let s = seeds_of(&g, "f");
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|s| s.kind == SeedKind::Panic));
+        assert!(s.iter().any(|s| s.kind == SeedKind::Alloc));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let g = graph(
+            "macro_rules! mk {\n    ($n:ident) => {\n        fn $n() { oops.unwrap(); danger(); }\n    };\n}\nfn real() { fine(); }",
+        );
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "real");
+        assert_eq!(calls_of(&g, "real")[0].name, "fine");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked_and_silent() {
+        let g = graph("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) { x.unwrap(); }\n}");
+        assert!(!g.fns[0].in_test);
+        assert!(g.fns[1].in_test);
+        assert!(calls_of(&g, "t").is_empty());
+        assert!(seeds_of(&g, "t").is_empty());
+    }
+
+    #[test]
+    fn nested_fns_attribute_to_the_inner_fn() {
+        let g = graph("fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}");
+        assert_eq!(
+            calls_of(&g, "outer").iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["shallow"]
+        );
+        assert_eq!(calls_of(&g, "inner")[0].name, "deep");
+    }
+
+    #[test]
+    fn closure_bodies_attribute_to_the_enclosing_fn() {
+        let g = graph("fn f(xs: &[u32]) -> Vec<u32> { xs.iter().map(|x| helper(*x)).collect() }");
+        let names: Vec<&str> = calls_of(&g, "f").iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"collect"));
+    }
+
+    #[test]
+    fn strings_and_comments_never_produce_calls() {
+        let g = graph(
+            "fn f() {\n    // bad() in comment\n    let s = \"call() inside[0] string\";\n    drop(s);\n}",
+        );
+        let names: Vec<&str> = calls_of(&g, "f").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["drop"]);
+        assert!(seeds_of(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_definitions() {
+        let g = graph("fn real(cb: fn(u32) -> u32) -> u32 { cb(1) }");
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "real");
+        assert_eq!(calls_of(&g, "real")[0].name, "cb");
+    }
+
+    #[test]
+    fn lifetime_before_paren_is_not_a_call() {
+        let g = graph("fn f<'a>(x: &'a (u32, u32)) -> u32 { x.0 }");
+        assert!(calls_of(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn self_receiver_is_detected() {
+        let g = graph(
+            "impl A {\n    fn by_ref(&self) {}\n    fn by_mut(&mut self) {}\n    fn by_val(mut self) {}\n    fn boxed(self: Box<Self>) {}\n    fn assoc(n: u32) -> u32 { n }\n}\nfn free(x: self::imp::T) {}\nfn multiline(\n    &self,\n) {}",
+        );
+        let by_name = |n: &str| g.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("by_ref").has_self);
+        assert!(by_name("by_mut").has_self);
+        assert!(by_name("by_val").has_self);
+        assert!(by_name("boxed").has_self, "`self: Box<Self>` ascription is a receiver");
+        assert!(!by_name("assoc").has_self);
+        assert!(!by_name("free").has_self, "`self::` module path is not a receiver");
+        assert!(by_name("multiline").has_self, "receiver on its own line");
+    }
+
+    #[test]
+    fn bodyless_trait_decl_keeps_receiver_flag() {
+        let g = graph("trait T {\n    fn m(&self) -> u32;\n    fn assoc() -> u32;\n}");
+        assert!(g.fns.iter().find(|f| f.name == "m").unwrap().has_self);
+        assert!(!g.fns.iter().find(|f| f.name == "assoc").unwrap().has_self);
+    }
+}

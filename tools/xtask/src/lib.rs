@@ -9,7 +9,9 @@
 //! `tools/xtask/README.md` for the catalog.
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lints;
+pub mod reach;
 pub mod scan;
 pub mod walk;
 
@@ -57,9 +59,24 @@ pub fn run(root: &Path, file: &LintFile) -> Result<Outcome, String> {
 }
 
 /// `--fix-allowlist`: rewrites `lint.toml` from current findings,
-/// ratcheting budgets down. Fails if any budget would need to grow.
+/// ratcheting budgets down. Entries (and config path references) for
+/// files that no longer exist are pruned first, so deleted code cannot
+/// leave debt behind. Fails if any budget would need to grow.
 pub fn fix_allowlist(root: &Path, file: &LintFile, violations: &[Violation]) -> Result<(), String> {
-    let text = regenerate(file, violations)?;
+    let mut file = file.clone();
+    let pruned = allowlist::prune_missing(&mut file, &|rel| root.join(rel).exists());
+    for p in &pruned {
+        println!("pruned: {p}");
+    }
+    // Re-run the reachability analysis so [[contract_allow]] counts
+    // ratchet alongside the lint allowlist.
+    let contract_actual = if file.contracts.roots.is_empty() {
+        std::collections::BTreeMap::new()
+    } else {
+        let analysis = reach::analyze(root, &file)?;
+        reach::group_findings(&analysis.findings)
+    };
+    let text = regenerate(&file, violations, &contract_actual)?;
     let path = root.join(LINT_TOML);
     fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }

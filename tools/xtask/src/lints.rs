@@ -295,7 +295,7 @@ fn float_eq_line(code: &str, cfg: &Config) -> bool {
 /// The token run ending just before position `end` (exclusive):
 /// identifiers, field/method chains, balanced call parentheses and
 /// index brackets, `::` paths, and a leading unary minus.
-fn operand_left(chars: &[char], end: usize) -> String {
+pub(crate) fn operand_left(chars: &[char], end: usize) -> String {
     let mut i = end;
     while i > 0 && chars[i - 1] == ' ' {
         i -= 1;
@@ -338,7 +338,7 @@ fn operand_left(chars: &[char], end: usize) -> String {
 }
 
 /// The token run starting at `start`: mirror image of [`operand_left`].
-fn operand_right(chars: &[char], start: usize) -> String {
+pub(crate) fn operand_right(chars: &[char], start: usize) -> String {
     let mut i = start;
     while i < chars.len() && chars[i] == ' ' {
         i += 1;

@@ -206,8 +206,11 @@ fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
     debug_assert_eq!(chars.get(i), Some(&'\''));
     match chars.get(i + 1) {
         Some('\\') => {
-            // Escaped char: scan to the closing quote.
-            let mut j = i + 2;
+            // Escaped char: the character after the backslash is part
+            // of the escape even when it is a quote (`'\''`), so the
+            // closing-quote scan starts past it. Longer escapes
+            // (`'\x41'`, `'\u{…}'`) scan on to their closing quote.
+            let mut j = i + 3;
             while j < chars.len() && chars[j] != '\'' {
                 j += 1;
             }
@@ -328,6 +331,58 @@ mod tests {
     fn escaped_char_literal() {
         let c = code_of(r"let nl = '\n'; let q = '\''; after()");
         assert!(c[0].contains("after()"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_leaves_no_stray_quote() {
+        // `'\''` is four chars; a scan that stops at the escaped quote
+        // leaves a dangling `'` in the code view.
+        let c = code_of(r"let q = '\''; let s = 'x'; tail()");
+        // Blanking keeps the opening quote only: one per literal. The
+        // buggy length-3 scan left the escaped literal's closing quote
+        // behind as a third quote.
+        let quotes = c[0].matches('\'').count();
+        assert_eq!(quotes, 2, "one opening quote per literal: {}", c[0]);
+        assert!(c[0].contains("tail()"));
+    }
+
+    #[test]
+    fn long_escapes_scan_to_their_closing_quote() {
+        let c = code_of(r"let a = '\x41'; let u = '\u{1F600}'; end()");
+        assert!(c[0].contains("end()"), "{}", c[0]);
+        assert!(!c[0].contains("x41"), "escape body blanked: {}", c[0]);
+        assert!(!c[0].contains("1F600"), "escape body blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn multihash_raw_string_spans_lines() {
+        // `r##"…"##` containing a `"#` that must NOT close it.
+        let src = "let s = r##\"has \"# inside == 0.0\nstill raw unwrap()\"##; done()\nnext";
+        let c = code_of(src);
+        assert!(!c[0].contains("=="), "{}", c[0]);
+        assert!(!c[1].contains("unwrap"), "{}", c[1]);
+        assert!(c[1].contains("done()"), "{}", c[1]);
+        assert_eq!(c[2], "next");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "a /* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */ b\n/* open /* deep\nstill */ closing */ c";
+        let c = code_of(src);
+        assert!(c[0].starts_with("a "), "{}", c[0]);
+        assert!(c[0].ends_with(" b"), "{}", c[0]);
+        assert!(!c[0].contains("unwrap"));
+        assert_eq!(c[1].trim(), "");
+        assert_eq!(c[2].trim(), "c");
+    }
+
+    #[test]
+    fn labeled_loops_are_lifetimes_not_chars() {
+        let src = "'outer: for x in xs { break 'outer; }\nlet c = 'o';";
+        let c = code_of(src);
+        assert!(c[0].contains("'outer: for"), "label survives: {}", c[0]);
+        assert!(c[0].contains("break 'outer;"), "{}", c[0]);
+        assert!(!c[1].contains("'o'"), "char body blanked: {}", c[1]);
     }
 
     #[test]

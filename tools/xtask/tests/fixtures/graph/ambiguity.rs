@@ -1,0 +1,23 @@
+//! Method-vs-function ambiguity: a free `tick` and a method `tick`
+//! coexist. A bare call resolves to the free fn; a `.tick()` call can
+//! only dispatch to the receiver-taking method.
+
+pub fn tick() -> u32 {
+    1
+}
+
+pub struct Clock;
+
+impl Clock {
+    pub fn tick(&self) -> u32 {
+        panic!("no time source")
+    }
+}
+
+pub fn free_call() -> u32 {
+    tick()
+}
+
+pub fn method_call(c: &Clock) -> u32 {
+    c.tick()
+}

@@ -1,0 +1,26 @@
+//! Known call graph: a two-node cycle that stays clean, and a
+//! self-recursive function tainted through an indexing seed.
+
+pub fn ping(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        pong(n - 1)
+    }
+}
+
+pub fn pong(n: u32) -> u32 {
+    ping(n)
+}
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+pub fn spiral(xs: &[u32], i: usize) -> u32 {
+    if i == 0 {
+        lookup(xs, 0)
+    } else {
+        spiral(xs, i - 1)
+    }
+}

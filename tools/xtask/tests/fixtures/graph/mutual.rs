@@ -1,0 +1,19 @@
+//! Mutual recursion: the allocation in `odd` must reach `even` through
+//! the cycle, and the fixpoint must converge.
+
+pub fn even(n: u32, out: &mut Vec<u32>) -> bool {
+    if n == 0 {
+        true
+    } else {
+        odd(n - 1, out)
+    }
+}
+
+pub fn odd(n: u32, out: &mut Vec<u32>) -> bool {
+    out.push(n);
+    if n == 0 {
+        false
+    } else {
+        even(n - 1, out)
+    }
+}

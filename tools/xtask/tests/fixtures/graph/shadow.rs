@@ -1,0 +1,25 @@
+//! Shadowed method names: two types expose `go`; only one can panic.
+//! A qualified call pins its impl, an unknown-receiver call unions both.
+
+pub struct Safe;
+pub struct Risky;
+
+impl Safe {
+    pub fn go(&self, x: Option<u32>) -> u32 {
+        x.unwrap_or(0)
+    }
+}
+
+impl Risky {
+    pub fn go(&self, x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}
+
+pub fn qualified_safe(s: &Safe, x: Option<u32>) -> u32 {
+    Safe::go(s, x)
+}
+
+pub fn unknown_receiver(s: &Safe, x: Option<u32>) -> u32 {
+    s.go(x)
+}
