@@ -22,11 +22,12 @@
 
 use std::collections::BinaryHeap;
 
-use crate::criterion::{Criterion, SegmentCriterion};
+use crate::criterion::{max_split_value_view, Criterion, SegmentCriterion};
 use crate::obs::AlgoRun;
 use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::{MergeCand, Workspace};
-use traj_model::{Fix, Trajectory};
+use traj_geom::TrajView;
+use traj_model::{TrajColumns, Trajectory};
 
 /// Bottom-up merging compressor over a pluggable [`Criterion`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,21 +64,14 @@ impl BottomUp {
     }
 
     /// Worst deviation of the original interior points `left+1..right`
-    /// from the `left`–`right` approximation, in split-value units.
-    fn merge_cost(&self, fixes: &[Fix], left: usize, right: usize) -> f64 {
-        let mut worst = 0.0f64;
-        for i in left + 1..right {
-            worst = worst.max(self.criterion.split_value(fixes, left, right, i));
-        }
-        worst
-    }
-
-    /// [`BottomUp::merge_cost`] plus criterion-evaluation accounting
-    /// (`right - left - 1` distance evaluations per call).
+    /// from the `left`–`right` approximation, in split-value units, plus
+    /// criterion-evaluation accounting (`right - left - 1` distance
+    /// evaluations per call). Computed by the batched columnar fold —
+    /// bit-identical to the former per-point `split_value` max loop.
     #[inline]
-    fn merge_cost_counted(&self, fixes: &[Fix], left: usize, right: usize, run: &mut AlgoRun) -> f64 {
+    fn merge_cost_counted(&self, v: TrajView<'_>, left: usize, right: usize, run: &mut AlgoRun) -> f64 {
         run.sed_evals((right - left).saturating_sub(1) as u64);
-        self.merge_cost(fixes, left, right)
+        max_split_value_view(&self.criterion, v, left, right)
     }
 
     /// The merge loop shared by `compress` and `compress_into`: pops the
@@ -91,7 +85,7 @@ impl BottomUp {
             return;
         }
         let _span = traj_obs::span!("bottom_up.compress", points = n);
-        let fixes = traj.fixes();
+        ws.bind_columns(traj);
         let mut run = AlgoRun::new();
         let threshold = self.criterion.split_threshold();
         // Doubly linked list over surviving indices.
@@ -99,9 +93,12 @@ impl BottomUp {
         ws.next.extend(1..=n);
         ws.keep.resize(n, true); // alive mask
 
+        // Field-disjoint borrows: the view reads `ws.cols` while the loop
+        // mutates the linked list and the merge heap.
+        let v = ws.cols.view();
         for i in 1..n - 1 {
             ws.merge_heap.push(MergeCand {
-                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
+                cost: self.merge_cost_counted(v, i - 1, i + 1, &mut run),
                 idx: i,
                 left: i - 1,
                 right: i + 1,
@@ -126,7 +123,7 @@ impl BottomUp {
             if c.left > 0 {
                 let (l, r) = (ws.prev[c.left], ws.next[c.left]);
                 ws.merge_heap.push(MergeCand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    cost: self.merge_cost_counted(v, l, r, &mut run),
                     idx: c.left,
                     left: l,
                     right: r,
@@ -135,7 +132,7 @@ impl BottomUp {
             if c.right < n - 1 {
                 let (l, r) = (ws.prev[c.right], ws.next[c.right]);
                 ws.merge_heap.push(MergeCand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    cost: self.merge_cost_counted(v, l, r, &mut run),
                     idx: c.right,
                     left: l,
                     right: r,
@@ -172,7 +169,8 @@ impl BottomUp {
         if n <= 2 {
             return CompressionResult::identity(n);
         }
-        let fixes = traj.fixes();
+        let cols = TrajColumns::from_fixes(traj.fixes());
+        let v = cols.view();
         let mut run = AlgoRun::new();
         let mut prev: Vec<usize> = (0..n).map(|i| i.wrapping_sub(1)).collect();
         let mut next: Vec<usize> = (1..=n).collect();
@@ -182,7 +180,7 @@ impl BottomUp {
         let mut heap = BinaryHeap::with_capacity(n);
         for i in 1..n - 1 {
             heap.push(MergeCand {
-                cost: self.merge_cost_counted(fixes, i - 1, i + 1, &mut run),
+                cost: self.merge_cost_counted(v, i - 1, i + 1, &mut run),
                 idx: i,
                 left: i - 1,
                 right: i + 1,
@@ -195,8 +193,8 @@ impl BottomUp {
             }
             // Replacing the two segments around idx with one changes the
             // total by (merged cost − left cost − right cost).
-            let left_cost = self.merge_cost_counted(fixes, c.left, c.idx, &mut run);
-            let right_cost = self.merge_cost_counted(fixes, c.idx, c.right, &mut run);
+            let left_cost = self.merge_cost_counted(v, c.left, c.idx, &mut run);
+            let right_cost = self.merge_cost_counted(v, c.idx, c.right, &mut run);
             let new_total = total + c.cost - left_cost - right_cost;
             if new_total > total_budget {
                 // The cheapest remaining merge overruns the budget; any
@@ -211,7 +209,7 @@ impl BottomUp {
             if c.left > 0 {
                 let (l, r) = (prev[c.left], next[c.left]);
                 heap.push(MergeCand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    cost: self.merge_cost_counted(v, l, r, &mut run),
                     idx: c.left,
                     left: l,
                     right: r,
@@ -220,7 +218,7 @@ impl BottomUp {
             if c.right < n - 1 {
                 let (l, r) = (prev[c.right], next[c.right]);
                 heap.push(MergeCand {
-                    cost: self.merge_cost_counted(fixes, l, r, &mut run),
+                    cost: self.merge_cost_counted(v, l, r, &mut run),
                     idx: c.right,
                     left: l,
                     right: r,

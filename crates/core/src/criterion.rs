@@ -26,7 +26,31 @@
 //! and the scanned point's immediate neighbours.
 
 use crate::distance::{perpendicular_distance, sed};
+use traj_geom::numeric::approx_zero;
+use traj_geom::soa::{perp_dists_into, sed_dists_into};
+use traj_geom::TrajView;
 use traj_model::Fix;
+
+/// Distance values staged per batch by the `scan_segment` family: small
+/// enough to live on the stack (no allocation on the hot path), large
+/// enough for the batched kernels in `traj-geom` to vectorize.
+const SCAN_CHUNK: usize = 64;
+
+/// Result of a batched [`SegmentCriterion::scan_segment`] over the
+/// interior points `lo+1 .. hi` of one candidate segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitDecision {
+    /// First interior index attaining the maximum split value — the
+    /// farthest-point selection of the top-down kernels (`lo + 1` when
+    /// the segment has no interior points).
+    pub split: usize,
+    /// The maximum split value, in [`SegmentCriterion::split_threshold`]
+    /// units (`f64::NEG_INFINITY` when the segment has no interior).
+    pub value: f64,
+    /// First interior index violating the criterion, if any — the
+    /// window families' stop condition.
+    pub first_violation: Option<usize>,
+}
 
 /// Absolute derived-speed difference `‖vᵢ − vᵢ₋₁‖` at slice index `i`
 /// (paper §3.3), or `None` when `i` has no two adjacent segments.
@@ -38,6 +62,147 @@ pub(crate) fn speed_difference_at(fixes: &[Fix], i: usize) -> Option<f64> {
     let v_prev = fixes[i - 1].speed_to(&fixes[i])?;
     let v_next = fixes[i].speed_to(&fixes[i + 1])?;
     Some((v_next - v_prev).abs())
+}
+
+/// Columnar twin of [`speed_difference_at`], reading a [`TrajView`]
+/// instead of fix structs. Same operation sequence (elapsed seconds,
+/// point distance, quotient, absolute difference), hence the same bits.
+#[inline]
+pub(crate) fn speed_difference_view(v: TrajView<'_>, i: usize) -> Option<f64> {
+    if i == 0 || i + 1 >= v.len() {
+        return None;
+    }
+    let v_prev = speed_between(v, i - 1, i)?;
+    let v_next = speed_between(v, i, i + 1)?;
+    Some((v_next - v_prev).abs())
+}
+
+/// `Fix::speed_to` over columns: average speed from point `a` to `b`,
+/// `None` on a zero (or NaN) time step.
+#[inline]
+fn speed_between(v: TrajView<'_>, a: usize, b: usize) -> Option<f64> {
+    // Checked lookups: the callers pass in-bounds indices, so the `?`
+    // never fires — it just keeps this kernel provably panic-free.
+    let dt = *v.ts.get(b)? - *v.ts.get(a)?;
+    if approx_zero(dt, 0.0) {
+        return None;
+    }
+    let dx = *v.xs.get(a)? - *v.xs.get(b)?;
+    let dy = *v.ys.get(a)? - *v.ys.get(b)?;
+    Some((dx * dx + dy * dy).sqrt() / dt.abs())
+}
+
+/// The dimensionless [`TimeRatioSpeed`] blend for one interior point,
+/// given its already-computed SED — the columnar twin of
+/// `TimeRatioSpeed::split_value` past the distance lookup.
+#[inline]
+fn trs_blend(d: f64, dv: Option<f64>, epsilon: f64, speed_epsilon: f64) -> f64 {
+    let ds = if epsilon > 0.0 {
+        d / epsilon
+    } else if d > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let vs = dv.map(|x| x / speed_epsilon).unwrap_or(0.0);
+    ds.max(vs)
+}
+
+/// Shared chunked scan for the single-distance criteria: stages up to
+/// [`SCAN_CHUNK`] distances on the stack via `fill`, then reduces them
+/// in index order — first strict argmax (seeded at `NEG_INFINITY`, the
+/// top-down selection rule) and first value strictly above `eps` (the
+/// window families' violation predicate, which for these criteria *is*
+/// the distance comparison).
+fn scan_dists(
+    v: TrajView<'_>,
+    lo: usize,
+    hi: usize,
+    eps: f64,
+    fill: fn(TrajView<'_>, usize, usize, usize, &mut [f64]),
+) -> SplitDecision {
+    let mut best = (lo + 1, f64::NEG_INFINITY);
+    let mut first_violation = None;
+    let mut buf = [0.0f64; SCAN_CHUNK];
+    let mut i = lo + 1;
+    while i < hi {
+        let len = SCAN_CHUNK.min(hi - i);
+        // `len <= SCAN_CHUNK` by construction, so the checked reborrow
+        // always succeeds; `get_mut` keeps the scan provably panic-free.
+        let Some(chunk) = buf.get_mut(..len) else {
+            break;
+        };
+        fill(v, lo, hi, i, chunk);
+        // Branch-free chunk max first (lane-independent folds the
+        // backend keeps in vector registers), then rescan the staged
+        // chunk for an index only when it can actually contribute —
+        // the common chunk costs no per-element branches at all.
+        let m = chunk_max(chunk);
+        if m > best.1 {
+            // First in-chunk occurrence of the max == the index the
+            // first-strict-argmax loop would have picked. NaN distances
+            // never exceed `best.1`, exactly as in the scalar loop.
+            let k = chunk.iter().position(|&d| d == m).unwrap_or(0);
+            best = (i + k, m);
+        }
+        if first_violation.is_none() && m > eps {
+            first_violation = chunk.iter().position(|&d| d > eps).map(|k| i + k);
+        }
+        i += len;
+    }
+    SplitDecision { split: best.0, value: best.1, first_violation }
+}
+
+/// Maximum of a staged distance chunk, NaN entries ignored (they can
+/// never win a `>` comparison in the scalar loops either). Four
+/// independent lane accumulators so the fold vectorizes without FP
+/// reassociation; max is associative over the non-NaN reals, so the
+/// lane-combine order cannot change the result.
+#[inline]
+fn chunk_max(chunk: &[f64]) -> f64 {
+    let mut lanes = [f64::NEG_INFINITY; 4];
+    for q in chunk.chunks_exact(4) {
+        for (lane, &d) in lanes.iter_mut().zip(q) {
+            if d > *lane {
+                *lane = d;
+            }
+        }
+    }
+    let [l0, l1, l2, l3] = lanes;
+    let mut m = l0.max(l1).max(l2.max(l3));
+    for &d in chunk.iter().skip(chunk.len() - chunk.len() % 4) {
+        if d > m {
+            m = d;
+        }
+    }
+    m
+}
+
+/// Early-exit twin of [`scan_dists`] for callers that only need the
+/// first violation: stops at the first staged chunk containing one, so
+/// a violation near the anchor costs at most one chunk of distances.
+fn first_violation_dists(
+    v: TrajView<'_>,
+    anchor: usize,
+    float: usize,
+    eps: f64,
+    fill: fn(TrajView<'_>, usize, usize, usize, &mut [f64]),
+) -> Option<usize> {
+    let mut buf = [0.0f64; SCAN_CHUNK];
+    let mut i = anchor + 1;
+    while i < float {
+        let len = SCAN_CHUNK.min(float - i);
+        // See `scan_dists`: `len <= SCAN_CHUNK`, so this never breaks.
+        let Some(chunk) = buf.get_mut(..len) else {
+            break;
+        };
+        fill(v, anchor, float, i, chunk);
+        if chunk_max(chunk) > eps {
+            return chunk.iter().position(|&d| d > eps).map(|k| i + k);
+        }
+        i += len;
+    }
+    None
 }
 
 /// A discarding criterion for one approximation segment.
@@ -83,6 +248,28 @@ pub trait SegmentCriterion {
     fn first_violation(&self, fixes: &[Fix], anchor: usize, float: usize) -> Option<usize> {
         (anchor + 1..float).find(|&i| self.violates(fixes, anchor, float, i))
     }
+
+    /// Batched scan of every interior point of the segment `lo → hi`
+    /// over trajectory columns: one call replaces the per-point
+    /// [`SegmentCriterion::split_value`] /
+    /// [`SegmentCriterion::violates`] loop of the scalar kernels, with
+    /// the criterion dispatched **once per segment** instead of once per
+    /// point and distances computed by the chunk-vectorized kernels in
+    /// `traj_geom::soa`.
+    ///
+    /// The view must hold the same series the scalar methods would see
+    /// as `fixes`; results are then bitwise identical to the scalar
+    /// loop (pinned by the layout-equivalence proptests).
+    fn scan_segment(&self, v: TrajView<'_>, lo: usize, hi: usize) -> SplitDecision;
+
+    /// Columnar twin of [`SegmentCriterion::first_violation`]. The
+    /// default derives it from [`SegmentCriterion::scan_segment`];
+    /// implementations override with an early-exit scan so a violation
+    /// near the anchor does not pay for the whole window.
+    #[inline]
+    fn first_violation_view(&self, v: TrajView<'_>, anchor: usize, float: usize) -> Option<usize> {
+        self.scan_segment(v, anchor, float).first_violation
+    }
 }
 
 /// Perpendicular distance to the anchor–float line — the classic
@@ -113,6 +300,14 @@ impl SegmentCriterion for Perpendicular {
     fn split_threshold(&self) -> f64 {
         self.epsilon
     }
+
+    fn scan_segment(&self, v: TrajView<'_>, lo: usize, hi: usize) -> SplitDecision {
+        scan_dists(v, lo, hi, self.epsilon, perp_dists_into)
+    }
+
+    fn first_violation_view(&self, v: TrajView<'_>, anchor: usize, float: usize) -> Option<usize> {
+        first_violation_dists(v, anchor, float, self.epsilon, perp_dists_into)
+    }
 }
 
 /// Synchronized (time-ratio) Euclidean distance — the spatiotemporal
@@ -142,6 +337,14 @@ impl SegmentCriterion for TimeRatio {
     #[inline]
     fn split_threshold(&self) -> f64 {
         self.epsilon
+    }
+
+    fn scan_segment(&self, v: TrajView<'_>, lo: usize, hi: usize) -> SplitDecision {
+        scan_dists(v, lo, hi, self.epsilon, sed_dists_into)
+    }
+
+    fn first_violation_view(&self, v: TrajView<'_>, anchor: usize, float: usize) -> Option<usize> {
+        first_violation_dists(v, anchor, float, self.epsilon, sed_dists_into)
     }
 }
 
@@ -192,6 +395,56 @@ impl SegmentCriterion for TimeRatioSpeed {
     #[inline]
     fn split_threshold(&self) -> f64 {
         1.0
+    }
+
+    fn scan_segment(&self, v: TrajView<'_>, lo: usize, hi: usize) -> SplitDecision {
+        // The SEDs batch; the speed-difference term is inherently
+        // point-local (three neighbours), so it stays scalar per
+        // element. The violation predicate is the scalar disjunction
+        // `sed > ε || Δv > ε_v` — *not* `blend > 1`, which can differ
+        // in the last bit when the ratio rounds across the threshold.
+        let mut best = (lo + 1, f64::NEG_INFINITY);
+        let mut first_violation = None;
+        let mut buf = [0.0f64; SCAN_CHUNK];
+        let mut i = lo + 1;
+        while i < hi {
+            let len = SCAN_CHUNK.min(hi - i);
+            let chunk = &mut buf[..len];
+            sed_dists_into(v, lo, hi, i, chunk);
+            for (k, &d) in chunk.iter().enumerate() {
+                let dv = speed_difference_view(v, i + k);
+                let val = trs_blend(d, dv, self.epsilon, self.speed_epsilon);
+                if val > best.1 {
+                    best = (i + k, val);
+                }
+                if first_violation.is_none()
+                    && (d > self.epsilon || dv.is_some_and(|x| x > self.speed_epsilon))
+                {
+                    first_violation = Some(i + k);
+                }
+            }
+            i += len;
+        }
+        SplitDecision { split: best.0, value: best.1, first_violation }
+    }
+
+    fn first_violation_view(&self, v: TrajView<'_>, anchor: usize, float: usize) -> Option<usize> {
+        let mut buf = [0.0f64; SCAN_CHUNK];
+        let mut i = anchor + 1;
+        while i < float {
+            let len = SCAN_CHUNK.min(float - i);
+            let chunk = &mut buf[..len];
+            sed_dists_into(v, anchor, float, i, chunk);
+            for (k, &d) in chunk.iter().enumerate() {
+                if d > self.epsilon
+                    || speed_difference_view(v, i + k).is_some_and(|x| x > self.speed_epsilon)
+                {
+                    return Some(i + k);
+                }
+            }
+            i += len;
+        }
+        None
     }
 }
 
@@ -327,6 +580,70 @@ impl SegmentCriterion for Criterion {
             Criterion::TimeRatioSpeed { .. } => 1.0,
         }
     }
+
+    fn scan_segment(&self, v: TrajView<'_>, lo: usize, hi: usize) -> SplitDecision {
+        // One dispatch per *segment*; the struct impls loop.
+        match *self {
+            Criterion::Perpendicular { epsilon } => {
+                Perpendicular { epsilon }.scan_segment(v, lo, hi)
+            }
+            Criterion::TimeRatio { epsilon } => TimeRatio { epsilon }.scan_segment(v, lo, hi),
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                TimeRatioSpeed { epsilon, speed_epsilon }.scan_segment(v, lo, hi)
+            }
+        }
+    }
+
+    fn first_violation_view(&self, v: TrajView<'_>, anchor: usize, float: usize) -> Option<usize> {
+        match *self {
+            Criterion::Perpendicular { epsilon } => {
+                Perpendicular { epsilon }.first_violation_view(v, anchor, float)
+            }
+            Criterion::TimeRatio { epsilon } => {
+                TimeRatio { epsilon }.first_violation_view(v, anchor, float)
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                TimeRatioSpeed { epsilon, speed_epsilon }.first_violation_view(v, anchor, float)
+            }
+        }
+    }
+}
+
+/// Batched twin of the bottom-up merge cost: folds
+/// `worst.max(split_value(i))` over the interior of `lo → hi` in index
+/// order, seeded at `0.0` — exactly the scalar accumulation in
+/// `bottom_up.rs`, with distances staged chunk-wise.
+pub(crate) fn max_split_value_view(c: &Criterion, v: TrajView<'_>, lo: usize, hi: usize) -> f64 {
+    let mut worst = 0.0f64;
+    let mut buf = [0.0f64; SCAN_CHUNK];
+    let mut i = lo + 1;
+    while i < hi {
+        let len = SCAN_CHUNK.min(hi - i);
+        let chunk = &mut buf[..len];
+        match *c {
+            Criterion::Perpendicular { .. } => {
+                perp_dists_into(v, lo, hi, i, chunk);
+                for &d in chunk.iter() {
+                    worst = worst.max(d);
+                }
+            }
+            Criterion::TimeRatio { .. } => {
+                sed_dists_into(v, lo, hi, i, chunk);
+                for &d in chunk.iter() {
+                    worst = worst.max(d);
+                }
+            }
+            Criterion::TimeRatioSpeed { epsilon, speed_epsilon } => {
+                sed_dists_into(v, lo, hi, i, chunk);
+                for (k, &d) in chunk.iter().enumerate() {
+                    let dv = speed_difference_view(v, i + k);
+                    worst = worst.max(trs_blend(d, dv, epsilon, speed_epsilon));
+                }
+            }
+        }
+        i += len;
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -439,5 +756,105 @@ mod tests {
     #[test]
     fn validate_allows_infinite_speed_threshold() {
         Criterion::TimeRatioSpeed { epsilon: 1.0, speed_epsilon: f64::INFINITY }.validate();
+    }
+
+    /// The scalar reference for [`SegmentCriterion::scan_segment`]: the
+    /// exact per-point loops the batched path replaced.
+    fn scalar_scan<C: SegmentCriterion>(
+        c: &C,
+        fixes: &[Fix],
+        lo: usize,
+        hi: usize,
+    ) -> SplitDecision {
+        let mut best = (lo + 1, f64::NEG_INFINITY);
+        for i in lo + 1..hi {
+            let d = c.split_value(fixes, lo, hi, i);
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        SplitDecision {
+            split: best.0,
+            value: best.1,
+            first_violation: c.first_violation(fixes, lo, hi),
+        }
+    }
+
+    fn wiggly(n: usize) -> Vec<Fix> {
+        // Irregular timestamps and a few dwell points so the speed term
+        // has structure; > SCAN_CHUNK points to cross chunk boundaries.
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 7.0 + (i % 5) as f64;
+                let x = (i as f64 * 0.37).sin() * 200.0 + i as f64 * 3.0;
+                let y = if i % 11 == 0 { 0.0 } else { (i as f64 * 0.71).cos() * 150.0 };
+                fix(t, x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_segment_matches_scalar_loops_bitwise() {
+        let fixes = wiggly(200);
+        let cols = traj_model::TrajColumns::from_fixes(&fixes);
+        let v = cols.view();
+        let criteria = [
+            Criterion::Perpendicular { epsilon: 40.0 },
+            Criterion::TimeRatio { epsilon: 40.0 },
+            Criterion::TimeRatioSpeed { epsilon: 40.0, speed_epsilon: 2.0 },
+            Criterion::TimeRatioSpeed { epsilon: 0.0, speed_epsilon: 0.0 },
+            Criterion::TimeRatioSpeed { epsilon: 40.0, speed_epsilon: f64::INFINITY },
+        ];
+        for c in criteria {
+            for (lo, hi) in [(0, 199), (0, 1), (3, 130), (63, 129), (100, 101), (10, 75)] {
+                let got = c.scan_segment(v, lo, hi);
+                let want = scalar_scan(&c, &fixes, lo, hi);
+                assert_eq!(got.split, want.split, "{c:?} [{lo},{hi}]");
+                assert_eq!(
+                    got.value.to_bits(),
+                    want.value.to_bits(),
+                    "{c:?} [{lo},{hi}] got {} want {}",
+                    got.value,
+                    want.value
+                );
+                assert_eq!(got.first_violation, want.first_violation, "{c:?} [{lo},{hi}]");
+                assert_eq!(
+                    c.first_violation_view(v, lo, hi),
+                    c.first_violation(&fixes, lo, hi),
+                    "{c:?} [{lo},{hi}] early-exit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_split_value_view_matches_scalar_fold() {
+        let fixes = wiggly(150);
+        let cols = traj_model::TrajColumns::from_fixes(&fixes);
+        let v = cols.view();
+        for c in [
+            Criterion::Perpendicular { epsilon: 40.0 },
+            Criterion::TimeRatio { epsilon: 40.0 },
+            Criterion::TimeRatioSpeed { epsilon: 40.0, speed_epsilon: 2.0 },
+        ] {
+            for (lo, hi) in [(0, 149), (5, 6), (20, 90)] {
+                let mut worst = 0.0f64;
+                for i in lo + 1..hi {
+                    worst = worst.max(c.split_value(&fixes, lo, hi, i));
+                }
+                let got = max_split_value_view(&c, v, lo, hi);
+                assert_eq!(got.to_bits(), worst.to_bits(), "{c:?} [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn speed_difference_view_matches_slice_form() {
+        let fixes = wiggly(40);
+        let cols = traj_model::TrajColumns::from_fixes(&fixes);
+        let v = cols.view();
+        for i in 0..fixes.len() {
+            assert_eq!(speed_difference_view(v, i), speed_difference_at(&fixes, i), "i={i}");
+        }
     }
 }

@@ -36,6 +36,7 @@ use crate::criterion::{Criterion, SegmentCriterion};
 use crate::obs::AlgoRun;
 use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::Workspace;
+use traj_geom::TrajView;
 use traj_model::{Fix, Trajectory};
 
 /// Generic top-down splitter over a [`Criterion`].
@@ -131,6 +132,18 @@ impl TopDown {
         Some(best)
     }
 
+    /// Columnar [`TopDown::farthest`]: one batched
+    /// [`SegmentCriterion::scan_segment`] over the structure-of-arrays
+    /// view instead of a per-point dispatch loop. Bit-identical to the
+    /// scalar form (same seed, same strict `>` first-maximum rule).
+    pub(crate) fn farthest_view(&self, v: TrajView<'_>, lo: usize, hi: usize) -> Option<(usize, f64)> {
+        if hi <= lo + 1 {
+            return None;
+        }
+        let d = self.criterion.scan_segment(v, lo, hi);
+        Some((d.split, d.value))
+    }
+
     /// Iterative (explicit stack) kernel — the production engine behind
     /// both `compress` and `compress_into`.
     fn kernel(&self, traj: &Trajectory, ws: &mut Workspace, out: &mut CompressionResultBuf) {
@@ -146,7 +159,7 @@ impl TopDown {
             Criterion::TimeRatioSpeed { .. } => traj_obs::span!("td_sp.compress", points = n),
         };
         let mut run = AlgoRun::new();
-        let fixes = traj.fixes();
+        ws.bind_columns(traj);
         let threshold = self.criterion.split_threshold();
         ws.keep.resize(n, false);
         ws.keep[0] = true;
@@ -155,10 +168,13 @@ impl TopDown {
         // histogram (max over the run ≙ the recursion depth the textbook
         // formulation would reach).
         ws.stack.push((0, n - 1, 1));
+        // Field-disjoint borrows: the view reads `ws.cols` while the loop
+        // mutates `ws.stack` / `ws.keep`.
+        let v = ws.cols.view();
         while let Some((lo, hi, depth)) = ws.stack.pop() {
             run.depth(u64::from(depth));
             run.sed_evals(Self::evals(lo, hi));
-            if let Some((split, dist)) = self.farthest(fixes, lo, hi) {
+            if let Some((split, dist)) = self.farthest_view(v, lo, hi) {
                 if dist > threshold {
                     ws.keep[split] = true;
                     ws.stack.push((lo, split, depth + 1));

@@ -42,12 +42,66 @@
 //! `tests/eval_engine.rs`).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::error::synchronized::mean_linear_displacement;
 use crate::error::Evaluation;
 use crate::result::CompressionResult;
-use traj_geom::{Segment, Vec2};
-use traj_model::{Fix, Trajectory};
+use traj_geom::numeric::approx_zero;
+use traj_geom::Vec2;
+use traj_model::{Fix, TrajColumns, Trajectory};
+
+/// Multiply-rotate hasher for the segment cache (the FxHash recipe).
+/// `(lo, hi)` keys are a pair of small indices; SipHash's DoS hardening
+/// buys nothing here and its per-lookup cost is visible in threshold
+/// sweeps, where every anchor segment of every result is looked up.
+#[derive(Debug, Default)]
+struct SegHasher(u64);
+
+impl Hasher for SegHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_usize(b as usize);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0.rotate_left(5) ^ v as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.write_usize(v as usize);
+    }
+}
+
+/// Cache entry for one anchor segment: where its per-interval terms
+/// live, plus the segment-level maxima.
+///
+/// The maxima are cached *reduced* — unlike the sums, a maximum is
+/// associative and commutative over the non-negative finite distances
+/// involved, so folding cached per-segment maxima yields bit-identical
+/// results to the reference path's flat per-term max while costing the
+/// warm re-evaluation two `max` operations per segment instead of two
+/// per term.
+#[derive(Debug, Clone, Copy)]
+struct SegEntry {
+    /// Offset of the segment's `hi - lo` terms in `EvalWorkspace::terms`.
+    off: usize,
+    /// Max synchronous distance over the segment's end vertices
+    /// (seeded at `0.0`, as the reference fold's accumulator is).
+    d_max: f64,
+    /// Max perpendicular distance over the segment's removed vertices
+    /// (seeded at `0.0`).
+    perp_max: f64,
+}
 
 /// Contributions of one elementary interval `[i, i+1]` inside a kept
 /// anchor segment, cached per `(lo, hi)` anchor pair.
@@ -66,52 +120,35 @@ struct SegTerm {
     perp: f64,
 }
 
-/// Identity of the trajectory a segment cache was built for. Anchor
-/// indices are only meaningful per trajectory, so the workspace
-/// self-invalidates when bound to a different one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TrajKey {
-    ptr: usize,
-    len: usize,
-    t0: u64,
-    t1: u64,
-}
-
-impl TrajKey {
-    fn of(traj: &Trajectory) -> TrajKey {
-        let fixes = traj.fixes();
-        TrajKey {
-            ptr: fixes.as_ptr() as usize,
-            len: fixes.len(),
-            t0: fixes[0].t.as_secs().to_bits(),
-            t1: fixes[fixes.len() - 1].t.as_secs().to_bits(),
-        }
-    }
-}
-
 /// Reusable scratch for the one-pass evaluation engine — the evaluation
 /// twin of [`crate::Workspace`].
 ///
-/// Holds the per-trajectory segment-contribution cache and the SED
-/// sample buffer. Reuse one workspace across a sweep (or a whole
-/// dataset) to keep evaluation allocation-free once warm; the cache
-/// automatically resets when a different trajectory is evaluated.
+/// Holds the identity-keyed trajectory columns (the structure-of-arrays
+/// the cursor merge reads), the per-trajectory segment-contribution
+/// cache and the SED sample buffer. Reuse one workspace across a sweep
+/// (or a whole dataset) to keep evaluation allocation-free once warm;
+/// the cache automatically resets when a different trajectory is
+/// evaluated. A compression [`crate::Workspace`] that already columnized
+/// the same trajectory can hand its columns over through
+/// [`seed_columns`](EvalWorkspace::seed_columns), so a compress→evaluate
+/// pipeline de-interleaves each trajectory exactly once.
 ///
 /// With the `obs` feature enabled, warm rebinds are counted in the
-/// `eval.ws_reuse` metric, evaluated cells in `eval.cells` and anchor
-/// segments served from the cache in `eval.cache_hits` (see
+/// `eval.ws_reuse` metric, evaluated cells in `eval.cells`, anchor
+/// segments served from the cache in `eval.cache_hits`, and column
+/// binds in `layout.cols_built` / `layout.cols_reuse` (see
 /// `crates/obs/README.md`).
 #[derive(Debug, Default)]
 pub struct EvalWorkspace {
-    /// Anchor segment `(lo, hi)` → offset of its `hi - lo` terms in
-    /// `terms`.
-    seg_at: HashMap<(usize, usize), usize>,
+    /// Anchor segment `(lo, hi)` → term offset and cached maxima.
+    seg_at: HashMap<(usize, usize), SegEntry, BuildHasherDefault<SegHasher>>,
     /// Arena of cached per-interval terms, in discovery order.
     terms: Vec<SegTerm>,
     /// SED sample scratch for the quantile queries.
     seds: Vec<f64>,
-    /// Which trajectory `seg_at`/`terms` belong to.
-    key: Option<TrajKey>,
+    /// Columnar copy of the bound trajectory. Its identity key doubles
+    /// as the cache invalidation signal for `seg_at`/`terms`.
+    cols: TrajColumns,
 }
 
 impl EvalWorkspace {
@@ -123,17 +160,31 @@ impl EvalWorkspace {
     /// Points the cache at `traj`, clearing it if it belonged to a
     /// different trajectory (capacity is retained either way).
     fn bind(&mut self, traj: &Trajectory) {
-        let key = TrajKey::of(traj);
-        if self.key == Some(key) {
+        let rebuilt = self.cols.bind(traj);
+        #[cfg(feature = "obs")]
+        crate::obs::note_columns(rebuilt);
+        if !rebuilt {
             return;
         }
         #[cfg(feature = "obs")]
         if self.terms.capacity() > 0 {
             traj_obs::registry().counter("eval", "ws_reuse").inc();
         }
-        self.key = Some(key);
         self.seg_at.clear();
         self.terms.clear();
+    }
+
+    /// Installs columns another workspace already filled (see
+    /// [`crate::Workspace::take_columns`]). If they come from a
+    /// different trajectory than the current binding, the segment cache
+    /// is invalidated; if they are the same trajectory's, both the
+    /// columns and the cache survive.
+    pub fn seed_columns(&mut self, cols: TrajColumns) {
+        if !cols.same_source(&self.cols) {
+            self.seg_at.clear();
+            self.terms.clear();
+            self.cols = cols;
+        }
     }
 }
 
@@ -223,16 +274,25 @@ impl<'a> ErrorEval<'a> {
         let mut perp_max = 0.0f64;
         for w in result.kept().windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            let off = self.seg_terms(lo, hi);
-            for (k, term) in self.ws.terms[off..off + (hi - lo)].iter().enumerate() {
+            let e = self.seg_terms(lo, hi);
+            let seg = &self.ws.terms[e.off..e.off + (hi - lo)];
+            // Three independent ordered add chains — the sums must keep
+            // the reference path's flat per-term order bit-for-bit, so
+            // they stay serial. The last term's `perp` is stored as
+            // exactly `0.0` (its end vertex is kept), and the
+            // accumulator is `+0.0` or a positive/`inf` sum of
+            // non-negative distances, so adding it is a bitwise no-op —
+            // no per-term branch or split needed.
+            for term in seg {
                 alpha_num += term.alpha;
                 sed_sum += term.d_end;
-                d_max = d_max.max(term.d_end);
-                if lo + k + 1 < hi {
-                    perp_sum += term.perp;
-                    perp_max = perp_max.max(term.perp);
-                }
+                perp_sum += term.perp;
             }
+            // Maxima fold from the per-segment cache; `max` over the
+            // non-negative distances is associative, so this matches the
+            // reference path's flat per-term max exactly.
+            d_max = d_max.max(e.d_max);
+            perp_max = perp_max.max(e.perp_max);
         }
         let removed = n - result.kept_len();
         Evaluation {
@@ -278,8 +338,12 @@ impl<'a> ErrorEval<'a> {
         seds.push(0.0);
         for w in result.kept().windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            let off = self.seg_terms(lo, hi);
-            seds.extend(self.ws.terms[off..off + (hi - lo)].iter().map(|t| t.d_end));
+            let e = self.seg_terms(lo, hi);
+            seds.extend(
+                self.ws.terms[e.off..e.off + (hi - lo)]
+                    .iter()
+                    .map(|t| t.d_end),
+            );
         }
         seds.sort_unstable_by(f64::total_cmp);
         let n = seds.len();
@@ -297,51 +361,93 @@ impl<'a> ErrorEval<'a> {
 
     /// The terms of anchor segment `(lo, hi)`: cached offset if seen
     /// before, else one linear walk over the covered elementary
-    /// intervals.
-    fn seg_terms(&mut self, lo: usize, hi: usize) -> usize {
-        if let Some(&off) = self.ws.seg_at.get(&(lo, hi)) {
+    /// intervals, reading the workspace's columnar copy of the
+    /// trajectory with all anchor-invariant subexpressions (time span,
+    /// chord direction and length, degeneracy flags) hoisted out of the
+    /// loop. Every per-point operation keeps the exact operand order of
+    /// the former fix-based walk (`Fix::interpolate`, `Point2::distance`,
+    /// `Segment::line_distance`), so each term is bit-identical.
+    fn seg_terms(&mut self, lo: usize, hi: usize) -> SegEntry {
+        if let Some(&e) = self.ws.seg_at.get(&(lo, hi)) {
             #[cfg(feature = "obs")]
             {
                 self.cache_hits += 1;
             }
-            return off;
+            return e;
         }
-        let fixes = self.fixes;
-        let a_fix = &fixes[lo];
-        let b_fix = &fixes[hi];
-        let chord = Segment::new(a_fix.pos, b_fix.pos);
-        let off = self.ws.terms.len();
-        self.ws.terms.reserve(hi - lo);
+        // Field-disjoint borrows: the view reads `ws.cols` while the
+        // loop appends to `ws.terms`.
+        let ws = &mut *self.ws;
+        let v = ws.cols.view();
+        let (ts, xs, ys) = (v.ts, v.xs, v.ys);
+        let (ta, ax, ay) = (ts[lo], xs[lo], ys[lo]);
+        let (tb, bx, by) = (ts[hi], xs[hi], ys[hi]);
+        // `Fix::interpolate`'s `ratio_within` denominator and its
+        // degenerate (zero-span → anchor start) branch.
+        let span = tb - ta;
+        let span_degenerate = approx_zero(span, 0.0);
+        // `Segment::line_distance`'s chord direction/length and its
+        // degenerate (coincident endpoints → point distance) branch.
+        let (dx, dy) = (bx - ax, by - ay);
+        let len = (dx * dx + dy * dy).sqrt();
+        let len_degenerate = approx_zero(len, 0.0);
+        let off = ws.terms.len();
+        ws.terms.reserve(hi - lo);
         // Displacement δ at the anchor start: the approximation passes
         // through the kept fix, so δ is exactly zero — bit-identical to
         // the reference path's `p - p` subtraction of finite coordinates.
         let mut d0 = Vec2::ZERO;
+        // Segment-level maxima, reduced once at build time (see
+        // `SegEntry`). Seeded at `0.0` like the reference accumulators;
+        // the distances are `sqrt` results, so never negative or `-0.0`.
+        let mut seg_d_max = 0.0f64;
+        let mut seg_perp_max = 0.0f64;
         for i in lo..hi {
-            let p1 = &fixes[i + 1];
+            let (t1, px, py) = (ts[i + 1], xs[i + 1], ys[i + 1]);
             // The approximation's synchronized position at p1's instant:
             // the kept vertex itself at the anchor end, else the linear
             // interpolation along the anchor — the same operands
             // `position_at` would reach through its binary search.
-            let a1 = if i + 1 == hi {
-                b_fix.pos
+            let (a1x, a1y) = if i + 1 == hi {
+                (bx, by)
+            } else if span_degenerate {
+                (ax, ay)
             } else {
-                Fix::interpolate(a_fix, b_fix, p1.t)
+                let f = (t1 - ta) / span;
+                (ax + dx * f, ay + dy * f)
             };
-            let d1 = p1.pos - a1;
-            let dt = (p1.t - fixes[i].t).as_secs();
-            self.ws.terms.push(SegTerm {
+            let d1 = Vec2::new(px - a1x, py - a1y);
+            let dt = t1 - ts[i];
+            let (ex, ey) = (a1x - px, a1y - py);
+            let d_end = (ex * ex + ey * ey).sqrt();
+            if d_end > seg_d_max {
+                seg_d_max = d_end;
+            }
+            let perp = if i + 1 == hi {
+                0.0
+            } else if len_degenerate {
+                let (gx, gy) = (ax - px, ay - py);
+                (gx * gx + gy * gy).sqrt()
+            } else {
+                (dx * (py - ay) - dy * (px - ax)).abs() / len
+            };
+            if perp > seg_perp_max {
+                seg_perp_max = perp;
+            }
+            ws.terms.push(SegTerm {
                 alpha: dt * mean_linear_displacement(d0, d1),
-                d_end: a1.distance(p1.pos),
-                perp: if i + 1 == hi {
-                    0.0
-                } else {
-                    chord.line_distance(p1.pos)
-                },
+                d_end,
+                perp,
             });
             d0 = d1;
         }
-        self.ws.seg_at.insert((lo, hi), off);
-        off
+        let e = SegEntry {
+            off,
+            d_max: seg_d_max,
+            perp_max: seg_perp_max,
+        };
+        ws.seg_at.insert((lo, hi), e);
+        e
     }
 }
 

@@ -33,8 +33,8 @@
 
 use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::Workspace;
-use traj_geom::Point2;
-use traj_model::{Fix, Trajectory};
+use traj_geom::{Point2, TrajView};
+use traj_model::Trajectory;
 
 /// Douglas–Peucker with hull-accelerated farthest-point queries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,13 +68,16 @@ impl HullDouglasPeucker {
             out.set_identity(n);
             return;
         }
-        let fixes = traj.fixes();
+        ws.bind_columns(traj);
         ws.keep.resize(n, false);
         ws.keep[0] = true;
         ws.keep[n - 1] = true;
         ws.stack.push((0, n - 1, 0));
+        // Field-disjoint borrows: the view reads `ws.cols` while the loop
+        // mutates `ws.stack` / `ws.keep` / the hull scratch buffers.
+        let v = ws.cols.view();
         while let Some((lo, hi, _)) = ws.stack.pop() {
-            if let Some((split, dist)) = farthest_via_hull(fixes, lo, hi, &mut ws.pts, &mut ws.hull)
+            if let Some((split, dist)) = farthest_via_hull(v, lo, hi, &mut ws.pts, &mut ws.hull)
             {
                 if dist > self.epsilon {
                     ws.keep[split] = true;
@@ -133,10 +136,12 @@ fn convex_hull(pts: &mut Vec<(usize, Point2)>, hull: &mut Vec<usize>) {
 }
 
 /// Farthest interior point (by perpendicular distance to the `lo`–`hi`
-/// line) among `fixes[lo+1..hi]`, via the convex hull. `pts` and `hull`
-/// are scratch buffers; their contents on entry are ignored.
+/// line) among indices `lo+1..hi` of the columnar view, via the convex
+/// hull. `pts` and `hull` are scratch buffers; their contents on entry
+/// are ignored. Positions read through [`TrajView::point`] are bitwise
+/// the fix positions, so the output matches the former slice form.
 fn farthest_via_hull(
-    fixes: &[Fix],
+    v: TrajView<'_>,
     lo: usize,
     hi: usize,
     pts: &mut Vec<(usize, Point2)>,
@@ -145,20 +150,20 @@ fn farthest_via_hull(
     if hi <= lo + 1 {
         return None;
     }
-    let seg = traj_geom::Segment::new(fixes[lo].pos, fixes[hi].pos);
+    let seg = traj_geom::Segment::new(v.point(lo), v.point(hi));
     pts.clear();
-    pts.extend((lo + 1..hi).map(|i| (i, fixes[i].pos)));
+    pts.extend((lo + 1..hi).map(|i| (i, v.point(i))));
     convex_hull(pts, hull);
     let mut best: Option<(usize, f64)> = None;
     for &i in hull.iter() {
-        let d = seg.line_distance(fixes[i].pos);
+        let d = seg.line_distance(v.point(i));
         match best {
             Some((_, bd)) if d <= bd => {}
             _ => best = Some((i, d)),
         }
     }
     // All interior points coincided after dedup: fall back to the first.
-    best.or(Some((lo + 1, seg.line_distance(fixes[lo + 1].pos))))
+    best.or(Some((lo + 1, seg.line_distance(v.point(lo + 1)))))
 }
 
 impl Compressor for HullDouglasPeucker {

@@ -103,7 +103,9 @@ pub mod td_sp;
 pub mod workspace;
 
 pub use bottom_up::BottomUp;
-pub use criterion::{Criterion, Perpendicular, SegmentCriterion, TimeRatio, TimeRatioSpeed};
+pub use criterion::{
+    Criterion, Perpendicular, SegmentCriterion, SplitDecision, TimeRatio, TimeRatioSpeed,
+};
 pub use dead_reckoning::DeadReckoning;
 pub use distance::{perpendicular_distance, sed, speed_difference};
 pub use douglas_peucker::{DouglasPeucker, TdTr, TopDown};

@@ -51,6 +51,21 @@ pub(crate) fn note_workspace_reuse(bytes: u64) {
     r.counter("ws", "bytes_saved").add(bytes);
 }
 
+/// Records one trajectory-column bind: `layout.cols_built` when the
+/// columns had to be (re)filled, `layout.cols_reuse` when the bind was
+/// served by the identity-keyed cache (including columns seeded from
+/// another workspace — how the compress→evaluate pipeline proves it
+/// de-interleaved the trajectory only once).
+#[cfg(feature = "obs")]
+pub(crate) fn note_columns(rebuilt: bool) {
+    let r = traj_obs::registry();
+    if rebuilt {
+        r.counter("layout", "cols_built").inc();
+    } else {
+        r.counter("layout", "cols_reuse").inc();
+    }
+}
+
 #[cfg(feature = "obs")]
 mod enabled {
     /// Stack-local accumulator; see the module docs.

@@ -120,14 +120,15 @@ impl OpeningWindow {
         }
         let _span = traj_obs::span!("ow.compress", points = n);
         let mut run = AlgoRun::new();
-        let fixes = traj.fixes();
+        ws.bind_columns(traj);
+        let v = ws.cols.view();
         out.reset(n);
         out.kept.push(0);
         let mut anchor = 0usize;
         let mut float = anchor + 2;
         run.window_opened();
         while float < n {
-            match self.criterion.first_violation(fixes, anchor, float) {
+            match self.criterion.first_violation_view(v, anchor, float) {
                 Some(i) => {
                     // `first_violation` evaluated anchor+1..=i.
                     run.sed_evals((i - anchor) as u64);

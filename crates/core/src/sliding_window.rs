@@ -17,7 +17,8 @@
 use crate::criterion::{Criterion, SegmentCriterion};
 use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::Workspace;
-use traj_model::{Fix, Trajectory};
+use traj_geom::TrajView;
+use traj_model::Trajectory;
 
 /// Fixed-size sliding-window compressor over a pluggable [`Criterion`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,10 +63,10 @@ impl SlidingWindow {
     /// The farthest float in `(anchor, limit]` such that no intermediate
     /// point violates; falls back to `anchor + 1` (always valid: no
     /// intermediates).
-    fn best_float(&self, fixes: &[Fix], anchor: usize, limit: usize) -> usize {
+    fn best_float(&self, v: TrajView<'_>, anchor: usize, limit: usize) -> usize {
         let mut float = anchor + 1;
         for cand in anchor + 2..=limit {
-            if self.criterion.first_violation(fixes, anchor, cand).is_some() {
+            if self.criterion.first_violation_view(v, anchor, cand).is_some() {
                 break;
             }
             float = cand;
@@ -80,13 +81,14 @@ impl SlidingWindow {
             out.set_identity(n);
             return;
         }
-        let fixes = traj.fixes();
+        ws.bind_columns(traj);
+        let v = ws.cols.view();
         out.reset(n);
         out.kept.push(0);
         let mut anchor = 0usize;
         while anchor < n - 1 {
             let limit = (anchor + self.window).min(n - 1);
-            let float = self.best_float(fixes, anchor, limit);
+            let float = self.best_float(v, anchor, limit);
             out.kept.push(float);
             anchor = float;
         }

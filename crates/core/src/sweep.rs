@@ -27,11 +27,15 @@
 //! byte-identical to calling `compress` separately per threshold —
 //! pinned by tests here and in `traj-eval`.
 
-use crate::criterion::{Criterion, SegmentCriterion};
+use std::collections::HashMap;
+
+use crate::criterion::{speed_difference_view, Criterion};
 use crate::douglas_peucker::TopDown;
 use crate::result::{CompressionResult, CompressionResultBuf, Compressor};
 use crate::workspace::{SpStats, Workspace};
-use traj_model::{Fix, Trajectory};
+use traj_geom::soa::sed_dists_into;
+use traj_geom::TrajView;
+use traj_model::Trajectory;
 
 impl TopDown {
     /// Compresses `traj` once per threshold in `thresholds`, returning
@@ -80,6 +84,7 @@ impl TopDown {
             return thresholds.iter().map(|_| CompressionResult::identity(n)).collect();
         }
         let _span = traj_obs::span!("sweep.compress", points = n);
+        ws.bind_columns(traj);
         match self.criterion() {
             Criterion::Perpendicular { .. } | Criterion::TimeRatio { .. } => {
                 self.sweep_static_tree(traj, thresholds, ws)
@@ -113,15 +118,16 @@ impl TopDown {
         ws: &mut Workspace,
     ) -> Vec<CompressionResult> {
         let n = traj.len();
-        let fixes = traj.fixes();
         // Tree build: every node records (path-min of split maxima, split
         // index). A split survives threshold eps iff its path-min > eps —
         // the same strict comparison the single-threshold kernel applies
-        // at every ancestor.
+        // at every ancestor. Field-disjoint borrows: the view reads
+        // `ws.cols` while the loop mutates `ws.fstack` / `ws.nodes`.
+        let v = ws.cols.view();
         ws.fstack.push((0, n - 1, f64::INFINITY));
         while let Some((lo, hi, pmin)) = ws.fstack.pop() {
-            if let Some((split, v)) = self.farthest(fixes, lo, hi) {
-                let m = v.min(pmin);
+            if let Some((split, value)) = self.farthest_view(v, lo, hi) {
+                let m = value.min(pmin);
                 ws.nodes.push((m, split));
                 ws.fstack.push((lo, split, m));
                 ws.fstack.push((split, hi, m));
@@ -153,7 +159,10 @@ impl TopDown {
         ws: &mut Workspace,
     ) -> Vec<CompressionResult> {
         let n = traj.len();
-        let fixes = traj.fixes();
+        // Field-disjoint borrows: the view reads `ws.cols` while the
+        // loop mutates `ws.stack` and the `ws.sp_stats` memo table.
+        let ws = &mut *ws;
+        let v = ws.cols.view();
         thresholds
             .iter()
             .map(|&eps| {
@@ -164,7 +173,7 @@ impl TopDown {
                     if hi <= lo + 1 {
                         continue;
                     }
-                    let st = interval_stats(fixes, lo, hi, ws);
+                    let st = interval_stats(v, lo, hi, &mut ws.sp_stats);
                     let (split, max_ratio) = decide_split(&st, eps, speed_epsilon);
                     if max_ratio > 1.0 {
                         kept.push(split);
@@ -180,13 +189,20 @@ impl TopDown {
 }
 
 /// Per-interval extremes of the blended criterion's two components,
-/// memoized in `ws.sp_stats`: one scan per distinct interval no matter
-/// how many thresholds query it.
-fn interval_stats(fixes: &[Fix], lo: usize, hi: usize, ws: &mut Workspace) -> SpStats {
-    if let Some(st) = ws.sp_stats.get(&(lo, hi)) {
+/// memoized in `cache` (the workspace's `sp_stats` table): one scan per
+/// distinct interval no matter how many thresholds query it. The SED
+/// column is produced by the batched kernel in chunk-sized strips; the
+/// running extremes use the same strict `>` updates as the former
+/// per-point loop, so the results are bit-identical.
+fn interval_stats(
+    v: TrajView<'_>,
+    lo: usize,
+    hi: usize,
+    cache: &mut HashMap<(usize, usize), SpStats>,
+) -> SpStats {
+    if let Some(st) = cache.get(&(lo, hi)) {
         return *st;
     }
-    let tr = crate::criterion::TimeRatio { epsilon: 0.0 };
     let mut st = SpStats {
         i_s: lo + 1,
         s: f64::NEG_INFINITY,
@@ -194,22 +210,31 @@ fn interval_stats(fixes: &[Fix], lo: usize, hi: usize, ws: &mut Workspace) -> Sp
         i_v: lo + 1,
         v: f64::NEG_INFINITY,
     };
-    for i in lo + 1..hi {
-        let d = tr.split_value(fixes, lo, hi, i);
-        if d > st.s {
-            st.i_s = i;
-            st.s = d;
+    const CHUNK: usize = 64;
+    let mut buf = [0.0f64; CHUNK];
+    let mut start = lo + 1;
+    while start < hi {
+        let len = (hi - start).min(CHUNK);
+        let dists = &mut buf[..len];
+        sed_dists_into(v, lo, hi, start, dists);
+        for (k, &d) in dists.iter().enumerate() {
+            let i = start + k;
+            if d > st.s {
+                st.i_s = i;
+                st.s = d;
+            }
+            if d > 0.0 && st.i_pos.is_none() {
+                st.i_pos = Some(i);
+            }
+            let dv = speed_difference_view(v, i).unwrap_or(0.0);
+            if dv > st.v {
+                st.i_v = i;
+                st.v = dv;
+            }
         }
-        if d > 0.0 && st.i_pos.is_none() {
-            st.i_pos = Some(i);
-        }
-        let dv = crate::criterion::speed_difference_at(fixes, i).unwrap_or(0.0);
-        if dv > st.v {
-            st.i_v = i;
-            st.v = dv;
-        }
+        start += len;
     }
-    ws.sp_stats.insert((lo, hi), st);
+    cache.insert((lo, hi), st);
     st
 }
 

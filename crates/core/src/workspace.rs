@@ -17,6 +17,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use traj_geom::Point2;
+use traj_model::{TrajColumns, Trajectory};
 
 /// Min-heap candidate for bottom-up merging: removing `idx` (currently
 /// flanked by kept `left` and `right`) costs `cost`.
@@ -124,6 +125,11 @@ pub struct Workspace {
     pub(crate) cone_dirs: Vec<(f64, f64)>,
     /// Per-direction tightest offsets for the one-pass cone region.
     pub(crate) cone_off: Vec<f64>,
+    /// Cached structure-of-arrays columns for the bound trajectory.
+    /// Identity-keyed, so it survives `begin` (unlike the scratch
+    /// buffers above): sweeping one trajectory across many thresholds
+    /// de-interleaves it exactly once.
+    pub(crate) cols: TrajColumns,
 }
 
 impl Workspace {
@@ -158,6 +164,35 @@ impl Workspace {
         self.sp_stats.clear();
         self.cone_dirs.clear();
         self.cone_off.clear();
+        // `cols` is deliberately *not* cleared: it is an identity-keyed
+        // cache, invalidated by `bind_columns` when the trajectory
+        // changes.
+    }
+
+    /// Points `cols` at `traj`, rebuilding only when the trajectory
+    /// identity changed, and counts the outcome in the
+    /// `layout.cols_built` / `layout.cols_reuse` metrics.
+    pub(crate) fn bind_columns(&mut self, traj: &Trajectory) {
+        let rebuilt = self.cols.bind(traj);
+        #[cfg(feature = "obs")]
+        crate::obs::note_columns(rebuilt);
+        #[cfg(not(feature = "obs"))]
+        let _ = rebuilt;
+    }
+
+    /// Takes the cached trajectory columns out of the workspace (leaving
+    /// an empty, unbound set) so another consumer — typically an
+    /// evaluation workspace scoring the same trajectory — can reuse them
+    /// instead of de-interleaving the fixes again.
+    pub fn take_columns(&mut self) -> TrajColumns {
+        std::mem::take(&mut self.cols)
+    }
+
+    /// Seeds the workspace's column cache, e.g. with columns taken from
+    /// another workspace that already processed the same trajectory. A
+    /// later bind against that trajectory is then served from cache.
+    pub fn seed_columns(&mut self, cols: TrajColumns) {
+        self.cols = cols;
     }
 
     /// Approximate scratch bytes an `n`-point run can serve from warm
@@ -233,6 +268,29 @@ mod tests {
         let warm = ws.warm_bytes(100);
         assert_eq!(warm, 100 + 100 * 8);
         assert!(ws.warm_bytes(10) < warm, "small runs credit only what they use");
+    }
+
+    #[test]
+    fn begin_preserves_the_column_cache() {
+        let t = Trajectory::from_triples((0..20).map(|i| (i as f64, i as f64, 0.0))).unwrap();
+        let mut ws = Workspace::new();
+        ws.bind_columns(&t);
+        assert_eq!(ws.cols.len(), 20);
+        ws.begin(20);
+        assert_eq!(ws.cols.len(), 20, "begin must not drop bound columns");
+        assert!(!ws.cols.bind(&t), "columns still bound after begin");
+    }
+
+    #[test]
+    fn take_and_seed_round_trip_the_columns() {
+        let t = Trajectory::from_triples((0..10).map(|i| (i as f64, i as f64, 1.0))).unwrap();
+        let mut a = Workspace::new();
+        a.bind_columns(&t);
+        let cols = a.take_columns();
+        assert!(a.cols.is_empty(), "take leaves an unbound set behind");
+        let mut b = Workspace::new();
+        b.seed_columns(cols);
+        assert!(!b.cols.bind(&t), "seeded columns serve the bind from cache");
     }
 
     #[test]

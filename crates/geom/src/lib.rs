@@ -10,7 +10,10 @@
 //! * [`Bbox`] — axis-aligned boxes used by spatial indexes;
 //! * [`geodesy`] — conversion between WGS-84 GPS fixes and the local plane;
 //! * [`numeric`] — small numerical helpers (adaptive Simpson quadrature,
-//!   approximate comparisons) used to cross-validate closed-form integrals.
+//!   approximate comparisons) used to cross-validate closed-form integrals;
+//! * [`soa`] — a structure-of-arrays trajectory view ([`TrajView`]) with
+//!   batched distance kernels that autovectorize (optionally 4-lane
+//!   unrolled under the `simd` cargo feature, bitwise equal to scalar).
 //!
 //! Everything is `f64`-based and allocation-free; these types are hot-path
 //! values for the compression kernels in `traj-compress`.
@@ -21,9 +24,11 @@ pub mod numeric;
 pub mod point;
 pub mod polyline;
 pub mod segment;
+pub mod soa;
 
 pub use bbox::Bbox;
 pub use geodesy::{GeoPoint, LocalProjection, EARTH_RADIUS_M};
 pub use point::{Point2, Vec2};
 pub use polyline::polyline_length;
 pub use segment::Segment;
+pub use soa::TrajView;

@@ -1,0 +1,207 @@
+//! Cached structure-of-arrays columns for one trajectory.
+//!
+//! [`TrajColumns`] owns the three `f64` columns behind a
+//! [`TrajView`]: it is the bridge between the array-of-structs façade
+//! (`&Trajectory`, which every public API keeps accepting) and the
+//! columnar interior the batched kernels in `traj-geom` scan. Workspaces
+//! hold one and [`bind`](TrajColumns::bind) it per call: binding is
+//! keyed by trajectory identity (buffer address, length, first/last
+//! timestamp bits — the same recipe the evaluation engine uses for its
+//! segment-table cache), so sweeping one trajectory across many
+//! thresholds fills the columns exactly once and every later bind is a
+//! cheap key comparison.
+
+use crate::fix::Fix;
+use crate::trajectory::Trajectory;
+use traj_geom::TrajView;
+
+/// Identity of the fix buffer a column set was filled from. The
+/// endpoint bits (timestamps *and* positions of the first and last fix)
+/// guard against a reallocation landing a *different* trajectory at the
+/// same address with the same length — same-cadence tracks share
+/// endpoint timestamps, so position bits are required to tell them
+/// apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ColumnsKey {
+    ptr: usize,
+    len: usize,
+    ends: [u64; 6],
+}
+
+fn end_bits(f: &Fix) -> [u64; 3] {
+    [f.t.as_secs().to_bits(), f.pos.x.to_bits(), f.pos.y.to_bits()]
+}
+
+fn key_of(fixes: &[Fix]) -> ColumnsKey {
+    let ends = match (fixes.first(), fixes.last()) {
+        (Some(a), Some(b)) => {
+            let ([a0, a1, a2], [b0, b1, b2]) = (end_bits(a), end_bits(b));
+            [a0, a1, a2, b0, b1, b2]
+        }
+        _ => [0; 6],
+    };
+    ColumnsKey { ptr: fixes.as_ptr() as usize, len: fixes.len(), ends }
+}
+
+/// Copies `fixes` into the three columns, reusing their capacity. This
+/// is the one place fix structs are de-interleaved; everything
+/// downstream reads contiguous columns.
+fn fill_columns(fixes: &[Fix], ts: &mut Vec<f64>, xs: &mut Vec<f64>, ys: &mut Vec<f64>) {
+    ts.clear();
+    xs.clear();
+    ys.clear();
+    ts.reserve(fixes.len());
+    xs.reserve(fixes.len());
+    ys.reserve(fixes.len());
+    for f in fixes {
+        ts.push(f.t.as_secs());
+        xs.push(f.pos.x);
+        ys.push(f.pos.y);
+    }
+}
+
+/// Owned, identity-keyed trajectory columns; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TrajColumns {
+    ts: Vec<f64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    key: Option<ColumnsKey>,
+}
+
+impl TrajColumns {
+    /// An empty, unbound column set.
+    pub fn new() -> Self {
+        TrajColumns::default()
+    }
+
+    /// Builds columns directly from a fix slice (keyed to it, so a later
+    /// [`bind`](TrajColumns::bind) against the same buffer reuses them).
+    pub fn from_fixes(fixes: &[Fix]) -> Self {
+        let mut cols = TrajColumns::new();
+        fill_columns(fixes, &mut cols.ts, &mut cols.xs, &mut cols.ys);
+        cols.key = Some(key_of(fixes));
+        cols
+    }
+
+    /// Points the columns at `traj`, refilling them only if the cached
+    /// identity differs. Returns `true` when the columns were (re)built,
+    /// `false` when the bind was served from cache.
+    pub fn bind(&mut self, traj: &Trajectory) -> bool {
+        let fixes = traj.fixes();
+        let key = key_of(fixes);
+        if self.key == Some(key) {
+            return false;
+        }
+        // Self-invalidate while refilling so a panic mid-fill cannot
+        // leave stale columns behind a valid key.
+        self.key = None;
+        fill_columns(fixes, &mut self.ts, &mut self.xs, &mut self.ys);
+        self.key = Some(key);
+        true
+    }
+
+    /// Whether both column sets were filled from the same (still
+    /// identically-keyed) fix buffer. `false` whenever either side is
+    /// unbound — an unbound set vouches for nothing.
+    pub fn same_source(&self, other: &TrajColumns) -> bool {
+        self.key.is_some() && self.key == other.key
+    }
+
+    /// The borrowed structure-of-arrays view over the bound columns.
+    #[inline]
+    pub fn view(&self) -> TrajView<'_> {
+        TrajView { ts: &self.ts, xs: &self.xs, ys: &self.ys }
+    }
+
+    /// Number of points currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether no points are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Approximate heap bytes currently reserved by the columns (used by
+    /// workspace warm-reuse accounting).
+    pub fn capacity_bytes(&self) -> usize {
+        (self.ts.capacity() + self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(n: usize, off: f64) -> Trajectory {
+        Trajectory::from_triples((0..n).map(|i| (i as f64, i as f64 * 2.0 + off, off)))
+            .unwrap()
+    }
+
+    #[test]
+    fn bind_fills_once_and_reuses() {
+        let t = traj(50, 0.0);
+        let mut cols = TrajColumns::new();
+        assert!(cols.bind(&t), "first bind builds");
+        assert!(!cols.bind(&t), "second bind reuses");
+        assert_eq!(cols.len(), 50);
+        let v = cols.view();
+        for (i, f) in t.fixes().iter().enumerate() {
+            assert_eq!(v.ts[i].to_bits(), f.t.as_secs().to_bits());
+            assert_eq!(v.xs[i].to_bits(), f.pos.x.to_bits());
+            assert_eq!(v.ys[i].to_bits(), f.pos.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn rebinding_a_different_trajectory_rebuilds() {
+        let a = traj(50, 0.0);
+        let b = traj(30, 7.0);
+        let mut cols = TrajColumns::new();
+        assert!(cols.bind(&a));
+        assert!(cols.bind(&b), "different trajectory rebuilds");
+        assert_eq!(cols.len(), 30);
+        assert!(cols.bind(&a), "switching back rebuilds again");
+        assert_eq!(cols.len(), 50);
+    }
+
+    #[test]
+    fn from_fixes_is_prebound() {
+        let t = traj(20, 1.0);
+        let mut cols = TrajColumns::from_fixes(t.fixes());
+        assert_eq!(cols.len(), 20);
+        assert!(!cols.bind(&t), "bind against the same buffer reuses");
+    }
+
+    #[test]
+    fn recycled_allocation_with_same_cadence_rebuilds() {
+        // Two tracks with identical length and identical first/last
+        // timestamps, where the second is allocated after the first is
+        // dropped (the allocator frequently hands back the same block).
+        // The position bits in the key must force a rebuild.
+        let mut cols = TrajColumns::new();
+        let a = traj(200, 0.0);
+        assert!(cols.bind(&a));
+        drop(a);
+        let b = traj(200, 7.0);
+        assert!(cols.bind(&b), "aliased buffer must not serve stale columns");
+        let v = cols.view();
+        for (i, f) in b.fixes().iter().enumerate() {
+            assert_eq!(v.xs[i].to_bits(), f.pos.x.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_capacity() {
+        let cols = TrajColumns::new();
+        assert!(cols.is_empty());
+        assert_eq!(cols.capacity_bytes(), 0);
+        let t = traj(8, 0.0);
+        let cols = TrajColumns::from_fixes(t.fixes());
+        assert!(cols.capacity_bytes() >= 8 * 3 * std::mem::size_of::<f64>());
+    }
+}

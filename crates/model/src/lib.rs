@@ -13,8 +13,11 @@
 //!   time-ratio synchronized position of §3.2 (eqs. 1–2);
 //! * [`stats`] — per-trajectory and per-dataset statistics (Table 2);
 //! * [`ops`] — resampling, time slicing and related transformations;
-//! * [`io`] — a plain-text `t,x,y` CSV format for interchange.
+//! * [`io`] — a plain-text `t,x,y` CSV format for interchange;
+//! * [`cols`] — cached structure-of-arrays columns ([`TrajColumns`])
+//!   behind the batched kernels in `traj-geom`.
 
+pub mod cols;
 pub mod error;
 pub mod fix;
 pub mod interp;
@@ -25,6 +28,7 @@ pub mod stats;
 pub mod time;
 pub mod trajectory;
 
+pub use cols::TrajColumns;
 pub use error::ModelError;
 pub use fix::Fix;
 pub use stats::{DatasetStats, MeanStd, TrajectoryStats};

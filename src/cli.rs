@@ -18,8 +18,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use traj_compress::{
-    compress_all, evaluate_with, BottomUp, Compressor, DeadReckoning, DistanceThreshold,
+    evaluate_with, BottomUp, CompressionResultBuf, Compressor, DeadReckoning, DistanceThreshold,
     DouglasPeucker, EvalWorkspace, OpeningWindow, SlidingWindow, TdSp, TdTr, UniformSample,
+    Workspace,
 };
 use traj_model::stats::TrajectoryStats;
 use traj_model::{io, Trajectory};
@@ -481,21 +482,25 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             let compressor = make_compressor(algo, *eps, *speed_eps)?;
             let compress_timer = traj_obs::Timer::start();
+            // An explicit workspace (rather than the fleet path, which a
+            // single trajectory runs inline anyway — `--threads` only
+            // matters for batches) so the columnar copy built during
+            // compression can be handed to the evaluation below instead
+            // of being de-interleaved a second time.
+            let mut cws = Workspace::new();
             let result = {
                 let _phase = traj_obs::span!("cli.compress", points = t.len() as u64);
-                // Route through the fleet path so --threads (0 = auto)
-                // applies; a single trajectory runs inline regardless.
-                let mut results = compress_all(std::slice::from_ref(&t), &compressor, *threads);
-                match results.pop() {
-                    Some(r) => r,
-                    None => return Err("internal: compression produced no result".into()),
-                }
+                let _ = threads; // batch-only knob; kept for the fleet path
+                let mut buf = CompressionResultBuf::new();
+                compressor.compress_into(&t, &mut cws, &mut buf);
+                buf.take()
             };
             let compress_ns = compress_timer.elapsed_ns();
             let evaluate_timer = traj_obs::Timer::start();
             let e = {
                 let _phase = traj_obs::span!("cli.evaluate");
                 let mut ews = EvalWorkspace::new();
+                ews.seed_columns(cws.take_columns());
                 evaluate_with(&t, &result, &mut ews)
             };
             let evaluate_ns = evaluate_timer.elapsed_ns();
@@ -841,7 +846,17 @@ mod tests {
         .unwrap();
         // The acceptance surface: points in/out, SED evaluations,
         // recursion depth and per-phase wall time are all visible.
-        for needle in ["points_in", "points_out", "sed_evals", "dp_depth", "cli.compress"] {
+        // `cols_reuse` proves the evaluation phase inherited the column
+        // copy built during compression instead of rebuilding it.
+        for needle in [
+            "points_in",
+            "points_out",
+            "sed_evals",
+            "dp_depth",
+            "cli.compress",
+            "cols_built",
+            "cols_reuse",
+        ] {
             assert!(report.contains(needle), "missing {needle} in:\n{report}");
         }
         // The JSON sidecar is one object per line.
