@@ -21,9 +21,12 @@
 //! 5. [`dataset`] — the ten-trajectory [`dataset::paper_dataset`] used by
 //!    every experiment, plus parameterized trip generation;
 //! 6. [`simple`] — closed-form synthetic trajectories (straight runs,
-//!    circles, random walks, stop-and-go) for unit tests and benches.
+//!    circles, random walks, stop-and-go) for unit tests and benches;
+//! 7. [`fleet`] — O(1) closed-form fleet synthesis for ingest load
+//!    generation at 100k–1M movers (`trajc serve --load-gen`).
 
 pub mod dataset;
+pub mod fleet;
 pub mod movers;
 pub mod network;
 pub mod noise;
@@ -32,6 +35,7 @@ pub mod simple;
 pub mod vehicle;
 
 pub use dataset::{paper_dataset, TripConfig};
+pub use fleet::{Fleet, FleetConfig};
 pub use movers::{animal_track, pedestrian_trip, AnimalParams, PedestrianParams};
 pub use network::{NodeId, RoadClass, RoadNetwork};
 pub use noise::GpsNoise;

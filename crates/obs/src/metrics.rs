@@ -181,6 +181,30 @@ impl Histogram {
         HistogramSummary { count, sum, min, max, p50: pct(0.50), p90: pct(0.90), p99: pct(0.99) }
     }
 
+    /// Estimated value at quantile `q` (`0.0..=1.0`), e.g. `0.999` for
+    /// p999 — the tail the standard [`Histogram::summary`] stops short
+    /// of. Same estimator as the summary percentiles: the geometric
+    /// midpoint of the log₂ bucket holding rank `⌈q·count⌉`, clamped to
+    /// the observed min/max. Returns 0 with no observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let inner = &*self.0;
+        let count = inner.count.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+        if count == 0 {
+            return 0;
+        }
+        let min = inner.min.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+        let max = inner.max.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed); // ordering: relaxed snapshot read
+            if seen >= rank {
+                return Self::bucket_estimate(i).clamp(min, max);
+            }
+        }
+        max
+    }
+
     /// Geometric midpoint of bucket `i` (`0` for the zero bucket).
     fn bucket_estimate(i: usize) -> u64 {
         if i == 0 {
@@ -599,6 +623,25 @@ mod tests {
         assert!((8..=16).contains(&s.p50), "p50 = {}", s.p50);
         // p99 lands in the bucket holding 1000, clamped to max.
         assert!((512..=1000).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn histogram_quantile_reaches_the_tail() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.999), 0, "empty histogram");
+        for _ in 0..998 {
+            h.record(100);
+        }
+        h.record(100_000);
+        h.record(100_000);
+        // p50 sits in the bulk bucket, p999+ in the tail bucket.
+        assert!((64..=128).contains(&h.quantile(0.5)), "p50 = {}", h.quantile(0.5));
+        let p999 = h.quantile(0.999);
+        assert!((65_536..=100_000).contains(&p999), "p999 = {p999}");
+        // quantile(q) agrees with the summary's estimator at its points.
+        let s = h.summary();
+        assert_eq!(h.quantile(0.99), s.p99);
+        assert_eq!(h.quantile(0.50), s.p50);
     }
 
     #[test]

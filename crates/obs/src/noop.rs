@@ -68,6 +68,12 @@ impl Histogram {
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 }
     }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn quantile(&self, _q: f64) -> u64 {
+        0
+    }
 }
 
 /// Disabled timer; always reads 0.

@@ -1,0 +1,131 @@
+//! Open-loop fleet load generation for `trajc serve --load-gen`.
+//!
+//! Replays a [`Fleet`] (closed-form synthetic movers, O(1) per fix)
+//! into a running [`Service`] on an *open-loop* arrival schedule: fix
+//! arrivals are scheduled at the offered rate regardless of how fast
+//! the service acknowledges, and each submission is stamped with its
+//! **scheduled** time, not the instant `try_send` happened to run — so
+//! when the service lags, the latency histograms absorb the queueing
+//! delay instead of quietly omitting it (the classic coordinated-
+//! omission mistake). A full queue sheds the fix (counted as rejected)
+//! rather than stalling the schedule.
+
+use std::time::{Duration, Instant};
+
+use traj_gen::fleet::{Fleet, FleetConfig};
+
+use crate::queue::SubmitError;
+use crate::service::Service;
+
+/// Load generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Fleet size (mover ids `0..movers`).
+    pub movers: u64,
+    /// Fixes submitted per mover.
+    pub fixes_per_mover: u64,
+    /// Offered rate over the whole fleet, fixes/second; 0 = submit as
+    /// fast as possible (closed only by backpressure).
+    pub rate: f64,
+    /// Fleet synthesis seed.
+    pub seed: u64,
+    /// Submitter threads; movers are partitioned `mover % threads`.
+    pub threads: usize,
+    /// Simulated seconds between a mover's consecutive fixes.
+    pub report_dt: f64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            movers: 1_000,
+            fixes_per_mover: 10,
+            rate: 0.0,
+            seed: 42,
+            threads: 1,
+            report_dt: 10.0,
+        }
+    }
+}
+
+/// What the generator offered and what the service refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadGenOutcome {
+    /// Fixes accepted into shard queues.
+    pub submitted: u64,
+    /// Fixes shed with [`SubmitError::Backpressure`].
+    pub rejected: u64,
+}
+
+/// One submitter thread's share of the schedule.
+fn submit_share(
+    service: &Service,
+    fleet: &Fleet,
+    cfg: &LoadGenConfig,
+    thread: usize,
+    threads: usize,
+) -> LoadGenOutcome {
+    let mut out = LoadGenOutcome { submitted: 0, rejected: 0 };
+    let my_movers = (thread as u64..cfg.movers).step_by(threads).count() as u64;
+    if my_movers == 0 {
+        return out;
+    }
+    // This thread owns `my_movers / movers` of the fleet, so it carries
+    // the same share of the offered rate.
+    let my_rate = cfg.rate * my_movers as f64 / cfg.movers as f64;
+    let start = Instant::now();
+    let mut sent = 0u64;
+    for k in 0..cfg.fixes_per_mover {
+        for mover in (thread as u64..cfg.movers).step_by(threads) {
+            let stamp = if my_rate > 0.0 {
+                let scheduled =
+                    start + Duration::from_secs_f64(sent as f64 / my_rate);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                scheduled
+            } else {
+                Instant::now()
+            };
+            sent += 1;
+            match service.submit_at(mover, fleet.fix_for(mover, k), stamp) {
+                Ok(()) => out.submitted += 1,
+                Err(SubmitError::Backpressure { .. }) => out.rejected += 1,
+                Err(SubmitError::Closed) => return out,
+            }
+        }
+    }
+    out
+}
+
+/// Runs the whole schedule to completion and returns the totals. Does
+/// not shut the service down — callers decide when to stop ingest.
+pub fn run(service: &Service, cfg: &LoadGenConfig) -> LoadGenOutcome {
+    let fleet = Fleet::new(FleetConfig {
+        movers: cfg.movers.max(1),
+        seed: cfg.seed,
+        report_dt: cfg.report_dt,
+    });
+    let threads = cfg.threads.clamp(1, 256);
+    if threads == 1 {
+        return submit_share(service, &fleet, cfg, 0, 1);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let fleet = &fleet;
+                scope.spawn(move || submit_share(service, fleet, cfg, t, threads))
+            })
+            .collect();
+        let mut total = LoadGenOutcome { submitted: 0, rejected: 0 };
+        for h in handles {
+            // A submitter panic would be a bug in this crate; surface it.
+            // lint: allow(panic) propagating a child thread's panic
+            let share = h.join().expect("load-gen thread panicked");
+            total.submitted += share.submitted;
+            total.rejected += share.rejected;
+        }
+        total
+    })
+}

@@ -15,6 +15,10 @@
 //!   atomic checksummed snapshots ([`persist`]), and crash recovery
 //!   ([`DurableStore::open`]) that replays the log tail over the latest
 //!   snapshot (format spec: `crates/store/README.md`);
+//! * [`GroupCommitStore`] — the batched-fsync variant of the durable
+//!   path: appends from many sessions buffer behind one shared fsync
+//!   and are acknowledged only once it returns ([`group`]), the
+//!   configuration `trajc serve` shards run;
 //! * [`storage`] — the injectable filesystem boundary behind the
 //!   durability layer, including the fault-injecting
 //!   [`storage::MemStorage`] the crash tests sweep with;
@@ -27,6 +31,7 @@
 //!   evaluated on the (compressed) piecewise-linear trajectories.
 
 pub mod durable;
+pub mod group;
 pub mod index;
 pub mod persist;
 pub mod query;
@@ -36,6 +41,7 @@ pub mod store;
 pub mod wal;
 
 pub use durable::{DurableOptions, DurableStore, RecoveryReport};
+pub use group::{GroupCommitOptions, GroupCommitStore};
 pub use index::GridIndex;
 pub use persist::{load_dir, save_dir};
 pub use query::{

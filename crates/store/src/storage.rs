@@ -17,7 +17,12 @@
 //!   [`MemStorage::lift_faults`] simulates the restart;
 //! * renames are atomic and free (metadata, not data), matching POSIX
 //!   `rename(2)` semantics on a journaling filesystem;
-//! * [`MemStorage::corrupt_byte`] models at-rest bit rot.
+//! * [`MemStorage::corrupt_byte`] models at-rest bit rot;
+//! * every file tracks its *synced length* — the prefix an
+//!   [`StorageWriter::sync`] has made durable — and
+//!   [`MemStorage::drop_unsynced`] models a power loss that empties the
+//!   page cache: bytes written but never fsynced vanish. This is the
+//!   model the group-commit ack-after-fsync tests sweep over.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -54,7 +59,11 @@ const fn crc32_table() -> [u32; 256] {
 }
 
 /// A sequential writer into one storage object (file).
-pub trait StorageWriter {
+///
+/// `Send` so a WAL (and the durable store owning it) can be handed to a
+/// dedicated shard worker thread; a writer is only ever *used* by one
+/// thread at a time.
+pub trait StorageWriter: Send {
     /// Appends all of `buf` to the object.
     ///
     /// # Errors
@@ -202,6 +211,9 @@ struct MemFs {
     crashed: bool,
     /// Cumulative bytes successfully written (for sizing crash sweeps).
     written: u64,
+    /// Per-file durable prefix length: what an fsync has pinned. Files
+    /// without an entry have never been synced (durable length 0).
+    synced: BTreeMap<PathBuf, usize>,
 }
 
 /// Locks the shared in-memory fs, recovering from poisoning.
@@ -251,6 +263,15 @@ impl MemStorage {
         s
     }
 
+    /// Arms (or re-arms) the write budget on a live storage: exactly
+    /// `budget` more bytes may be written before the injected crash
+    /// fires. Lets a test run a fault-free prefix workload first and
+    /// then place the crash point precisely.
+    pub fn arm_write_budget(&self, budget: u64) {
+        let mut fs = lock_fs(&self.fs);
+        fs.budget = Some(budget);
+    }
+
     /// Clears the crashed flag and the write budget — the simulated
     /// machine restart. On-disk contents are untouched.
     pub fn lift_faults(&self) {
@@ -268,6 +289,24 @@ impl MemStorage {
     /// crash-at-every-offset sweeps).
     pub fn written_bytes(&self) -> u64 {
         lock_fs(&self.fs).written
+    }
+
+    /// Simulates a power loss that empties the page cache: every file
+    /// is truncated back to its *synced length* — the prefix pinned by
+    /// the last [`StorageWriter::sync`] on it. Files that were never
+    /// synced keep their directory entry but lose all content (the WAL
+    /// treats such an empty segment as a torn header: no records, no
+    /// loss of acknowledged data). On-disk durable bytes are untouched.
+    ///
+    /// Composes with [`MemStorage::lift_faults`] for a full
+    /// crash-and-restart: lift the injected fault, then drop the cache.
+    pub fn drop_unsynced(&self) {
+        let mut fs = lock_fs(&self.fs);
+        let synced = std::mem::take(&mut fs.synced);
+        for (path, file) in fs.files.iter_mut() {
+            file.truncate(synced.get(path).copied().unwrap_or(0));
+        }
+        fs.synced = synced;
     }
 
     /// XORs `mask` into byte `offset` of `path` (at-rest bit rot).
@@ -337,7 +376,13 @@ impl StorageWriter for MemWriter {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        lock_fs(&self.fs).check_alive()
+        let mut fs = lock_fs(&self.fs);
+        fs.check_alive()?;
+        // The fsync commit point: everything written so far becomes
+        // durable — it survives a later `drop_unsynced`.
+        let len = fs.files.get(&self.path).map_or(0, Vec::len);
+        fs.synced.insert(self.path.clone(), len);
+        Ok(())
     }
 }
 
@@ -383,6 +428,8 @@ impl Storage for MemStorage {
         let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
         fs.files.insert(path.to_path_buf(), Vec::new());
+        // A truncating create discards any previously durable content.
+        fs.synced.remove(path);
         Ok(Box::new(MemWriter { fs: Arc::clone(&self.fs), path: path.to_path_buf() }))
     }
 
@@ -392,6 +439,16 @@ impl Storage for MemStorage {
         match fs.files.remove(from) {
             Some(data) => {
                 fs.files.insert(to.to_path_buf(), data);
+                // The rename is atomic metadata; the data's durability
+                // travels with the file.
+                match fs.synced.remove(from) {
+                    Some(n) => {
+                        fs.synced.insert(to.to_path_buf(), n);
+                    }
+                    None => {
+                        fs.synced.remove(to);
+                    }
+                }
                 Ok(())
             }
             None => Err(io::Error::new(
@@ -404,6 +461,7 @@ impl Storage for MemStorage {
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         let mut fs = lock_fs(&self.fs);
         fs.check_alive()?;
+        fs.synced.remove(path);
         fs.files
             .remove(path)
             .map(|_| ())
@@ -474,6 +532,43 @@ mod tests {
         assert!(s.truncate_file(Path::new("/d/f"), 1));
         assert_eq!(s.file(Path::new("/d/f")).unwrap(), b"x");
         assert!(!s.truncate_file(Path::new("/d/f"), 5));
+    }
+
+    #[test]
+    fn drop_unsynced_keeps_only_fsynced_prefixes() {
+        let s = MemStorage::new();
+        s.create_dir_all(Path::new("/d")).unwrap();
+        // File a: sync after "ab", then write "cd" without syncing.
+        let mut a = s.create(Path::new("/d/a")).unwrap();
+        a.write_all(b"ab").unwrap();
+        a.sync().unwrap();
+        a.write_all(b"cd").unwrap();
+        // File b: never synced at all.
+        s.create(Path::new("/d/b")).unwrap().write_all(b"xyz").unwrap();
+        s.drop_unsynced();
+        assert_eq!(s.file(Path::new("/d/a")).unwrap(), b"ab");
+        assert_eq!(s.file(Path::new("/d/b")).unwrap(), b"");
+        // The durable prefix survives repeated drops.
+        s.drop_unsynced();
+        assert_eq!(s.file(Path::new("/d/a")).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn rename_and_recreate_carry_durability_correctly() {
+        let s = MemStorage::new();
+        s.create_dir_all(Path::new("/d")).unwrap();
+        let mut w = s.create(Path::new("/d/tmp")).unwrap();
+        w.write_all(b"snapshot").unwrap();
+        w.sync().unwrap();
+        s.rename(Path::new("/d/tmp"), Path::new("/d/final")).unwrap();
+        // Recreating a previously synced name restarts at durable len 0.
+        let mut w2 = s.create(Path::new("/d/other")).unwrap();
+        w2.write_all(b"a").unwrap();
+        w2.sync().unwrap();
+        s.create(Path::new("/d/other")).unwrap().write_all(b"bb").unwrap();
+        s.drop_unsynced();
+        assert_eq!(s.file(Path::new("/d/final")).unwrap(), b"snapshot");
+        assert_eq!(s.file(Path::new("/d/other")).unwrap(), b"");
     }
 
     #[test]

@@ -37,7 +37,38 @@ pub const KIND_APPEND_FIX: u8 = 1;
 /// treated as framing corruption (torn tail), not a huge record.
 pub const MAX_PAYLOAD_BYTES: u32 = 1024;
 
-/// When the log forces data down to disk.
+/// When the log forces data down to disk — the durability/throughput
+/// tradeoff of the ingest path, in one knob.
+///
+/// `fsync` dominates per-append cost on a real disk (hundreds of
+/// microseconds to milliseconds, vs. nanoseconds for the buffered
+/// write), so the policy decides both the throughput ceiling and what
+/// a *power loss* can take back:
+///
+/// * [`SyncPolicy::EveryAppend`] — every acknowledged fix survives
+///   power loss, at one fsync per append. This is
+///   [`WalOptions::default`], chosen so naive callers can never lose
+///   an acknowledged fix; it is also the slowest choice by orders of
+///   magnitude (`BENCH_PR10.json`).
+/// * [`SyncPolicy::EveryN`] — amortizes the fsync over `n` appends
+///   *of one caller*. Appends between syncs are acknowledged but
+///   volatile: a process crash alone loses nothing (the OS still has
+///   the write), power loss can take back up to `n-1` acknowledged
+///   fixes.
+/// * [`SyncPolicy::Manual`] — the log never syncs on its own; the
+///   caller owns the commit point via [`Wal::sync`]. This is the
+///   building block for *group commit*
+///   ([`crate::GroupCommitStore`]): appends from many sessions
+///   accumulate and one fsync makes the whole batch durable, after
+///   which — and only after which — those fixes are acknowledged.
+///   Same durability class as `EveryAppend` (nothing is acknowledged
+///   before its fsync) at a fraction of the syncs.
+///
+/// Callers that want batching without silently weakening the
+/// acknowledged-means-durable guarantee should use
+/// [`crate::DurableStore::open_group_commit`], which pairs `Manual`
+/// with the explicit ack-after-commit protocol, rather than handing
+/// `EveryN`/`Manual` to a store whose acks are per-append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
     /// `fsync` after every append — an acknowledged fix survives power
